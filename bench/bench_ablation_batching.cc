@@ -1,0 +1,109 @@
+// Ablation for request batching (Section 3.6: "users can configure Manu to
+// batch search requests to improve efficiency ... requests of the same
+// type are organized into the one batch and handled by Manu together").
+// Compares wall time of N individual searches against one batched call,
+// which shares the query timestamp, validation, node dispatch and executor
+// scheduling.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+constexpr int32_t kDim = 64;
+
+void Run() {
+  const int64_t rows = bench::Scaled(40000);
+  std::printf(
+      "== Ablation: request batching at the proxy (Section 3.6) ==\n"
+      "rows=%lld dim=%d, 2 query nodes, ivf_flat\n\n",
+      static_cast<long long>(rows), kDim);
+
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = rows / 8;
+  config.segment_idle_seal_ms = 300;
+  config.num_query_nodes = 2;
+  config.num_index_nodes = 2;
+  ManuInstance db(config);
+
+  CollectionSchema schema("corpus");
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = kDim;
+  (void)schema.AddField(vec);
+  auto meta = db.CreateCollection(std::move(schema));
+  if (!meta.ok()) return;
+  IndexParams index;
+  index.type = IndexType::kIvfFlat;
+  index.nlist = 64;
+  (void)db.CreateIndex("corpus", "v", index);
+  const FieldId field = meta.value().schema.FieldByName("v")->id;
+
+  SyntheticOptions opts;
+  opts.num_rows = rows;
+  opts.dim = kDim;
+  VectorDataset data = MakeClusteredDataset(opts);
+  VectorDataset queries = MakeQueries(opts, 512, 7);
+  for (int64_t begin = 0; begin < rows; begin += 10000) {
+    const int64_t end = std::min(rows, begin + 10000);
+    EntityBatch eb;
+    for (int64_t i = begin; i < end; ++i) eb.primary_keys.push_back(i);
+    eb.columns.push_back(FieldColumn::MakeFloatVector(
+        field, kDim,
+        std::vector<float>(data.Row(begin),
+                           data.Row(begin) + (end - begin) * kDim)));
+    if (!db.Insert("corpus", std::move(eb)).ok()) return;
+  }
+  if (!db.FlushAndWait("corpus", 180000).ok()) return;
+
+  auto make_request = [&](int64_t q) {
+    SearchRequest req;
+    req.collection = "corpus";
+    const float* v = queries.Row(q % queries.NumRows());
+    req.query.assign(v, v + kDim);
+    req.k = 10;
+    req.nprobe = 8;
+    req.consistency = ConsistencyLevel::kEventually;
+    return req;
+  };
+
+  bench::Table table({"batch_size", "individual_ms", "batched_ms",
+                      "speedup"});
+  for (size_t batch_size : {4, 16, 64, 256}) {
+    std::vector<SearchRequest> reqs;
+    for (size_t q = 0; q < batch_size; ++q) reqs.push_back(make_request(q));
+
+    const int kRepeats = 8;
+    int64_t t0 = NowMicros();
+    for (int r = 0; r < kRepeats; ++r) {
+      for (const auto& req : reqs) (void)db.Search(req);
+    }
+    const double individual_ms =
+        static_cast<double>(NowMicros() - t0) / 1000.0 / kRepeats;
+
+    t0 = NowMicros();
+    for (int r = 0; r < kRepeats; ++r) (void)db.BatchSearch(reqs);
+    const double batched_ms =
+        static_cast<double>(NowMicros() - t0) / 1000.0 / kRepeats;
+
+    table.AddRow({std::to_string(batch_size), bench::Fmt(individual_ms),
+                  bench::Fmt(batched_ms),
+                  bench::Fmt(batched_ms > 0 ? individual_ms / batched_ms : 0,
+                             2) +
+                      "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace manu
+
+int main() {
+  manu::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation for the growing-segment slice design (Section 3.6): "we divide
+// each segment into slices ... after a slice is full, a light-weight
+// temporary index is built for it. Empirically, we observed that the
+// temporary index brings up to 10X speedup for searching growing
+// segments." This bench measures exactly that: search latency over a large
+// growing segment with slice temp-indexes enabled vs pure brute force.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/segment.h"
+
+namespace manu {
+namespace {
+
+constexpr int32_t kDim = 96;
+
+double MeasureGrowingLatencyUs(int64_t rows, int64_t slice_rows,
+                               const VectorDataset& data,
+                               const VectorDataset& queries,
+                               int64_t* slices_built) {
+  CollectionSchema schema("g");
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = kDim;
+  (void)schema.AddField(vec);
+  (void)schema.Finalize();
+  const FieldId field = schema.FieldByName("v")->id;
+
+  GrowingSegment segment(1, &schema, slice_rows);
+  const int64_t batch_rows = 2048;  // WAL-like arrival granularity.
+  for (int64_t begin = 0; begin < rows; begin += batch_rows) {
+    const int64_t end = std::min(rows, begin + batch_rows);
+    EntityBatch batch;
+    for (int64_t i = begin; i < end; ++i) {
+      batch.primary_keys.push_back(i);
+      batch.timestamps.push_back(static_cast<Timestamp>(i + 1));
+    }
+    batch.columns.push_back(FieldColumn::MakeFloatVector(
+        field, kDim,
+        std::vector<float>(data.Row(begin),
+                           data.Row(begin) + (end - begin) * kDim)));
+    if (!segment.Append(batch).ok()) return 0;
+  }
+  *slices_built = segment.NumSlicesIndexed();
+
+  SegmentSearchRequest req;
+  req.field = field;
+  req.params.k = 50;
+  req.params.nprobe = 8;
+  const int64_t t0 = NowMicros();
+  for (int64_t q = 0; q < queries.NumRows(); ++q) {
+    req.query = queries.Row(q);
+    (void)segment.Search(req);
+  }
+  return static_cast<double>(NowMicros() - t0) /
+         static_cast<double>(queries.NumRows());
+}
+
+void Run() {
+  const int64_t rows = bench::Scaled(100000);
+  std::printf(
+      "== Ablation: growing-segment slice temp-indexes (Section 3.6) ==\n"
+      "rows=%lld dim=%d, IVF-Flat temp index per full slice\n\n",
+      static_cast<long long>(rows), kDim);
+
+  SyntheticOptions opts;
+  opts.num_rows = rows;
+  opts.dim = kDim;
+  opts.num_clusters = 128;
+  VectorDataset data = MakeClusteredDataset(opts);
+  VectorDataset queries = MakeQueries(opts, 64, 7);
+
+  bench::Table table({"config", "slices", "latency_us", "speedup"});
+  int64_t slices = 0;
+  const double brute = MeasureGrowingLatencyUs(
+      rows, std::numeric_limits<int64_t>::max(), data, queries, &slices);
+  table.AddRow({"brute_force", std::to_string(slices), bench::Fmt(brute, 0),
+                "1.0"});
+  for (int64_t slice_rows : {5000, 10000, 20000}) {
+    const double lat =
+        MeasureGrowingLatencyUs(rows, slice_rows, data, queries, &slices);
+    table.AddRow({"slice_" + std::to_string(slice_rows),
+                  std::to_string(slices), bench::Fmt(lat, 0),
+                  bench::Fmt(lat > 0 ? brute / lat : 0, 1) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\npaper claim: temporary index brings up to 10X speedup for growing "
+      "segments.\n");
+}
+
+}  // namespace
+}  // namespace manu
+
+int main() {
+  manu::Run();
+  return 0;
+}

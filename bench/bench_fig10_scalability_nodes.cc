@@ -1,0 +1,106 @@
+// Figure 10 reproduction: query throughput vs number of query nodes.
+// Fixed dataset, segments distributed across 1/2/4/8 query nodes; the
+// paper reports near-linear scaling because segments shard the search work
+// and nodes need no coordination.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+void Run() {
+  const int32_t dim = 64;
+  const int64_t rows = bench::Scaled(60000);
+  const size_t k = 50;
+
+  std::printf(
+      "== Figure 10: QPS vs #query nodes (rows=%lld, ivf_flat, calibrated "
+      "per-node service times) ==\n",
+      static_cast<long long>(rows));
+
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = rows / 16;  // 16 segments to spread.
+  config.segment_idle_seal_ms = 500;
+  config.slice_rows = 2048;
+  config.num_query_nodes = 1;
+  config.num_index_nodes = 2;
+  config.index_build_threads = 4;
+  config.query_threads = 2;
+  // Each simulated node is its own machine: per-segment service time keeps
+  // throughput architecture-bound instead of host-core-bound (see
+  // ManuConfig docs).
+  config.sim_segment_search_us = 1500;
+  ManuInstance db(config);
+
+  CollectionSchema schema("videos");
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = dim;
+  (void)schema.AddField(vec);
+  auto meta = db.CreateCollection(std::move(schema));
+  if (!meta.ok()) return;
+  IndexParams index;
+  index.type = IndexType::kIvfFlat;
+  index.nlist = 128;
+  (void)db.CreateIndex("videos", "v", index);
+  const FieldId field = meta.value().schema.FieldByName("v")->id;
+
+  SyntheticOptions opts;
+  opts.num_rows = rows;
+  opts.dim = dim;
+  opts.num_clusters = 64;
+  VectorDataset data = MakeClusteredDataset(opts);
+  VectorDataset queries = MakeQueries(opts, 512, 7);
+
+  const int64_t batch = 10000;
+  for (int64_t begin = 0; begin < rows; begin += batch) {
+    const int64_t end = std::min(rows, begin + batch);
+    EntityBatch eb;
+    for (int64_t i = begin; i < end; ++i) eb.primary_keys.push_back(i);
+    eb.columns.push_back(FieldColumn::MakeFloatVector(
+        field, dim,
+        std::vector<float>(data.Row(begin), data.Row(begin) + (end - begin) * dim)));
+    auto st = db.Insert("videos", std::move(eb));
+    if (!st.ok()) {
+      std::printf("insert failed: %s\n", st.status().ToString().c_str());
+      return;
+    }
+  }
+  if (auto st = db.FlushAndWait("videos", 120000); !st.ok()) {
+    std::printf("flush failed: %s\n", st.ToString().c_str());
+    return;
+  }
+
+  bench::Table table({"query_nodes", "qps", "mean_ms", "speedup"});
+  double base_qps = 0;
+  for (int32_t nodes : {1, 2, 4, 8}) {
+    if (!db.ScaleQueryNodes(nodes).ok()) continue;
+    auto tp = bench::MeasureThroughput(24, 3000, [&](int32_t, int64_t i) {
+      SearchRequest req;
+      req.collection = "videos";
+      const float* q = queries.Row(i % queries.NumRows());
+      req.query.assign(q, q + dim);
+      req.k = k;
+      req.nprobe = 16;
+      req.consistency = ConsistencyLevel::kEventually;
+      (void)db.Search(req);
+    });
+    if (base_qps == 0) base_qps = tp.qps;
+    table.AddRow({std::to_string(nodes), bench::Fmt(tp.qps, 0),
+                  bench::Fmt(tp.mean_ms), bench::Fmt(tp.qps / base_qps, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace manu
+
+int main() {
+  manu::Run();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the hot kernels the system-level
+// results rest on: distance computation (blocked vs scalar), top-k heap,
+// PQ ADC scoring, SQ decode-scoring, bitset filtering.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "common/bitset.h"
+#include "common/topk.h"
+#include "index/pq.h"
+#include "index/sq.h"
+#include "simd/distances.h"
+
+namespace manu {
+namespace {
+
+std::vector<float> RandomVectors(int64_t n, int32_t dim, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uni(0, 1);
+  std::vector<float> out(n * dim);
+  for (auto& v : out) v = uni(rng);
+  return out;
+}
+
+float ScalarL2(const float* a, const float* b, size_t dim) {
+  float acc = 0;
+  for (size_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void BM_L2Blocked(benchmark::State& state) {
+  const int32_t dim = static_cast<int32_t>(state.range(0));
+  auto data = RandomVectors(1024, dim, 1);
+  auto query = RandomVectors(1, dim, 2);
+  std::vector<float> out(1024);
+  for (auto _ : state) {
+    simd::L2SqrBatch(query.data(), data.data(), 1024, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_L2Blocked)->Arg(64)->Arg(128)->Arg(768);
+
+void BM_L2Scalar(benchmark::State& state) {
+  const int32_t dim = static_cast<int32_t>(state.range(0));
+  auto data = RandomVectors(1024, dim, 1);
+  auto query = RandomVectors(1, dim, 2);
+  std::vector<float> out(1024);
+  for (auto _ : state) {
+    for (int64_t i = 0; i < 1024; ++i) {
+      out[i] = ScalarL2(query.data(), data.data() + i * dim, dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_L2Scalar)->Arg(64)->Arg(128)->Arg(768);
+
+void BM_InnerProductBatch(benchmark::State& state) {
+  const int32_t dim = static_cast<int32_t>(state.range(0));
+  auto data = RandomVectors(1024, dim, 1);
+  auto query = RandomVectors(1, dim, 2);
+  std::vector<float> out(1024);
+  for (auto _ : state) {
+    simd::InnerProductBatch(query.data(), data.data(), 1024, dim,
+                            out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_InnerProductBatch)->Arg(96)->Arg(128);
+
+void BM_TopKHeap(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  auto scores = RandomVectors(1, 100000, 3);
+  for (auto _ : state) {
+    TopKHeap heap(k);
+    for (int64_t i = 0; i < 100000; ++i) heap.Push(i, scores[i]);
+    auto out = heap.TakeSorted();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TopKHeap)->Arg(10)->Arg(100);
+
+void BM_PqAdcScan(benchmark::State& state) {
+  constexpr int32_t kDim = 128, kM = 16;
+  constexpr int64_t kRows = 20000;
+  auto data = RandomVectors(kRows, kDim, 4);
+  ProductQuantizer pq;
+  (void)pq.Train(data.data(), 4000, kDim, kM, 4, 42);
+  std::vector<uint8_t> codes(kRows * kM);
+  for (int64_t i = 0; i < kRows; ++i) {
+    pq.Encode(data.data() + i * kDim, codes.data() + i * kM);
+  }
+  auto query = RandomVectors(1, kDim, 5);
+  std::vector<float> table(kM * ProductQuantizer::kCodebookSize);
+  for (auto _ : state) {
+    pq.BuildAdcTable(query.data(), MetricType::kL2, table.data());
+    float acc = 0;
+    for (int64_t i = 0; i < kRows; ++i) {
+      acc += pq.ScoreWithTable(table.data(), codes.data() + i * kM);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_PqAdcScan);
+
+void BM_SqScoreScan(benchmark::State& state) {
+  constexpr int32_t kDim = 128;
+  constexpr int64_t kRows = 20000;
+  auto data = RandomVectors(kRows, kDim, 6);
+  ScalarQuantizer sq;
+  sq.Train(data.data(), kRows, kDim);
+  std::vector<uint8_t> codes(kRows * kDim);
+  for (int64_t i = 0; i < kRows; ++i) {
+    sq.Encode(data.data() + i * kDim, codes.data() + i * kDim);
+  }
+  auto query = RandomVectors(1, kDim, 7);
+  for (auto _ : state) {
+    float acc = 0;
+    for (int64_t i = 0; i < kRows; ++i) {
+      acc += sq.Score(query.data(), codes.data() + i * kDim,
+                      MetricType::kL2);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_SqScoreScan);
+
+void BM_BitsetFilter(benchmark::State& state) {
+  constexpr size_t kBits = 1 << 20;
+  ConcurrentBitset bits(kBits);
+  for (size_t i = 0; i < kBits; i += 3) bits.Set(i);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (size_t i = 0; i < kBits; ++i) hits += bits.Test(i);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * kBits);
+}
+BENCHMARK(BM_BitsetFilter);
+
+}  // namespace
+}  // namespace manu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+// Section 4.4 reproduction: the SSD bucket index (hierarchical k-means into
+// 4 KB buckets, SQ compression, multi-assignment replication, DRAM centroid
+// graph) against a naive IVF-on-disk baseline at matched bytes-read budgets.
+// The paper reports up to 60% recall improvement over the competition
+// baseline at equal throughput; here the budget knob is the number of disk
+// reads per query, and the win comes from bucket replication + balanced
+// 4 KB-sized buckets.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "index/index_factory.h"
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+#include "index/ssd_index.h"
+#include "storage/object_store.h"
+
+namespace manu {
+namespace {
+
+/// Naive disk IVF: same bucket-read cost model (one object-store ranged
+/// read per probed list), but plain flat k-means lists (unbalanced sizes),
+/// no replication, raw float payloads.
+class DiskIvfBaseline {
+ public:
+  Status Build(const VectorDataset& data, int32_t nlist, ObjectStore* store,
+               const std::string& path) {
+    dim_ = data.dim;
+    metric_ = data.metric;
+    store_ = store;
+    path_ = path;
+    KMeansOptions opts;
+    opts.k = nlist;
+    opts.max_iters = 8;
+    KMeansResult km = KMeans(data.data.data(), data.NumRows(), dim_, opts);
+    centroids_ = std::move(km.centroids);
+    nlist_ = km.k;
+    std::vector<std::string> blobs(nlist_);
+    std::vector<std::vector<int64_t>> ids(nlist_);
+    for (int64_t i = 0; i < data.NumRows(); ++i) {
+      ids[km.assignments[i]].push_back(i);
+    }
+    std::string all;
+    offsets_.resize(nlist_);
+    lengths_.resize(nlist_);
+    counts_.resize(nlist_);
+    for (int32_t c = 0; c < nlist_; ++c) {
+      offsets_[c] = all.size();
+      counts_[c] = static_cast<uint32_t>(ids[c].size());
+      for (int64_t id : ids[c]) {
+        all.append(reinterpret_cast<const char*>(&id), sizeof(id));
+        all.append(reinterpret_cast<const char*>(data.Row(id)),
+                   dim_ * sizeof(float));
+      }
+      lengths_[c] = all.size() - offsets_[c];
+    }
+    return store_->Put(path_, all);
+  }
+
+  /// Probes best lists until `byte_budget` is spent (device-bytes budget,
+  /// the honest throughput proxy). Returns bytes actually read via
+  /// `bytes_read`.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       uint64_t byte_budget,
+                                       uint64_t* bytes_read) const {
+    std::vector<std::pair<float, int32_t>> scored(nlist_);
+    for (int32_t c = 0; c < nlist_; ++c) {
+      scored[c] = {simd::L2Sqr(query,
+                               centroids_.data() +
+                                   static_cast<size_t>(c) * dim_,
+                               dim_),
+                   c};
+    }
+    std::sort(scored.begin(), scored.end());
+    *bytes_read = 0;
+    TopKHeap heap(k);
+    for (int32_t p = 0; p < nlist_; ++p) {
+      const int32_t list = scored[p].second;
+      // Disk reads are 4 KB-granular regardless of list size.
+      const uint64_t cost = (lengths_[list] + 4095) / 4096 * 4096;
+      if (*bytes_read + cost > byte_budget && *bytes_read > 0) break;
+      *bytes_read += cost;
+      MANU_ASSIGN_OR_RETURN(
+          std::string blob,
+          store_->GetRange(path_, offsets_[list], lengths_[list]));
+      const char* ptr = blob.data();
+      for (uint32_t i = 0; i < counts_[list]; ++i) {
+        int64_t id;
+        std::memcpy(&id, ptr, sizeof(id));
+        ptr += sizeof(id);
+        heap.Push(id, MetricScore(query,
+                                  reinterpret_cast<const float*>(ptr), dim_,
+                                  metric_));
+        ptr += dim_ * sizeof(float);
+      }
+    }
+    return heap.TakeSorted();
+  }
+
+ private:
+  int32_t dim_ = 0;
+  int32_t nlist_ = 0;
+  MetricType metric_ = MetricType::kL2;
+  ObjectStore* store_ = nullptr;
+  std::string path_;
+  std::vector<float> centroids_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> lengths_;
+  std::vector<uint32_t> counts_;
+};
+
+void Run() {
+  const int64_t rows = bench::Scaled(60000);
+  const size_t k = 10;
+  std::printf(
+      "== Section 4.4: SSD bucket index vs naive disk IVF (rows=%lld, "
+      "dim=96) ==\n",
+      static_cast<long long>(rows));
+
+  SyntheticOptions opts;
+  opts.num_rows = rows;
+  opts.dim = 96;
+  opts.num_clusters = 96;
+  opts.cluster_spread = 0.15;
+  VectorDataset data = MakeClusteredDataset(opts);
+  VectorDataset queries = MakeQueries(opts, 128, 7);
+  auto truth = BruteForceGroundTruth(data, queries, k);
+
+  MemoryObjectStore store;
+
+  IndexParams params;
+  params.type = IndexType::kSsdBucket;
+  params.metric = MetricType::kL2;
+  params.dim = data.dim;
+  params.ssd_bucket_bytes = 4096;
+  params.ssd_replicas = 2;
+  SsdBucketIndex ssd(params, &store, "ssd/buckets");
+  int64_t t0 = NowMicros();
+  if (auto st = ssd.Build(data.data.data(), rows); !st.ok()) {
+    std::printf("ssd build failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  const double ssd_build_s = static_cast<double>(NowMicros() - t0) / 1e6;
+
+  // The baseline gets the same coarse granularity (one replica's worth of
+  // partitions); the comparison knob is the per-query device-bytes budget.
+  const int32_t nlist = static_cast<int32_t>(
+      std::max<int64_t>(16, ssd.NumBuckets() / params.ssd_replicas));
+  DiskIvfBaseline baseline;
+  t0 = NowMicros();
+  if (auto st = baseline.Build(data, nlist, &store, "disk_ivf/lists");
+      !st.ok()) {
+    std::printf("baseline build failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  const double base_build_s = static_cast<double>(NowMicros() - t0) / 1e6;
+
+  std::printf("ssd: buckets=%lld dram=%.1fMB ssd=%.1fMB build=%.1fs | "
+              "disk_ivf: nlist=%d build=%.1fs\n\n",
+              static_cast<long long>(ssd.NumBuckets()),
+              static_cast<double>(ssd.MemoryBytes()) / 1e6,
+              static_cast<double>(ssd.SsdBytes()) / 1e6, ssd_build_s, nlist,
+              base_build_s);
+
+  // Equal device-bytes budgets: throughput on an SSD is bytes/second, so
+  // recall at a fixed per-query byte budget is the paper's "recall at the
+  // same query processing throughput". The SSD index's SQ compression packs
+  // ~4x more vectors per byte and its multi-assignment covers border
+  // vectors, which is where the gain comes from.
+  bench::Table table({"KB/query", "ssd_recall@10", "ivf_recall@10",
+                      "ssd_gain"});
+  for (uint64_t budget_kb : {16, 32, 64, 128, 256}) {
+    const uint64_t budget = budget_kb * 1024;
+    double ssd_recall = 0, base_recall = 0;
+    for (int64_t q = 0; q < queries.NumRows(); ++q) {
+      SearchParams sp;
+      sp.k = k;
+      sp.nprobe = static_cast<int32_t>(budget / 4096);  // 4 KB per bucket.
+      auto hits = ssd.Search(queries.Row(q), sp);
+      if (hits.ok()) ssd_recall += RecallAtK(hits.value(), truth[q], k);
+      uint64_t bytes_read = 0;
+      auto bhits = baseline.Search(queries.Row(q), k, budget, &bytes_read);
+      if (bhits.ok()) base_recall += RecallAtK(bhits.value(), truth[q], k);
+    }
+    ssd_recall /= static_cast<double>(queries.NumRows());
+    base_recall /= static_cast<double>(queries.NumRows());
+    table.AddRow({std::to_string(budget_kb), bench::Fmt(ssd_recall, 3),
+                  bench::Fmt(base_recall, 3),
+                  bench::Fmt(base_recall > 0
+                                 ? (ssd_recall - base_recall) / base_recall *
+                                       100.0
+                                 : 0,
+                             1) +
+                      "%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace manu
+
+int main() {
+  manu::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+#ifndef MANU_BENCH_BENCH_UTIL_H_
+#define MANU_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/synthetic.h"
+
+namespace manu::bench {
+
+/// Scale multiplier for dataset sizes: MANU_BENCH_SCALE=4 runs 4x larger
+/// benches. Default 1 keeps the full suite under ~10 minutes.
+inline double Scale() {
+  const char* env = std::getenv("MANU_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline int64_t Scaled(int64_t base) {
+  return static_cast<int64_t>(static_cast<double>(base) * Scale());
+}
+
+/// Drives `fn` from `threads` workers for `duration_ms`, returning achieved
+/// QPS. `fn(worker, i)` runs one operation.
+struct ThroughputResult {
+  double qps = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+};
+
+inline ThroughputResult MeasureThroughput(
+    int32_t threads, int64_t duration_ms,
+    const std::function<void(int32_t, int64_t)>& fn) {
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> ops{0};
+  LatencyHistogram hist;
+  std::vector<std::thread> workers;
+  const int64_t t0 = NowMicros();
+  for (int32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t s = NowMicros();
+        fn(w, i++);
+        hist.Observe(static_cast<double>(NowMicros() - s));
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      static_cast<double>(NowMicros() - t0) / 1e6;
+  ThroughputResult out;
+  out.qps = static_cast<double>(ops.load()) / elapsed_s;
+  out.mean_ms = hist.Mean() / 1000.0;
+  out.p99_ms = hist.Percentile(99) / 1000.0;
+  return out;
+}
+
+/// Simple aligned table printer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace manu::bench
+
+#endif  // MANU_BENCH_BENCH_UTIL_H_

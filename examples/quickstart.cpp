@@ -1,0 +1,154 @@
+// Quickstart: create a collection, insert vectors, build an index, run
+// searches with filters and tunable consistency. Mirrors the PyManu flow
+// from Table 2 of the paper:
+//
+//   collection = Collection(name, schema)
+//   collection.insert(vecs)
+//   collection.create_index("vector", params)
+//   collection.search(vec, params)
+//   collection.query(vec, params, expr)
+
+#include <cstdio>
+
+#include "common/synthetic.h"
+#include "core/manu.h"
+
+using namespace manu;
+
+int main() {
+  // 1. Start an embedded Manu deployment (in production these would be
+  //    separate cloud services; the API is identical — the paper's
+  //    "strong adaptability" goal).
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 20000;
+  config.segment_idle_seal_ms = 1000;
+  ManuInstance db(config);
+
+  // 2. Define the schema of Figure 1: primary key, feature vector, label,
+  //    numerical attribute.
+  CollectionSchema schema("products");
+  FieldSchema pk;
+  pk.name = "product_id";
+  pk.type = DataType::kInt64;
+  pk.is_primary = true;
+  (void)schema.AddField(pk);
+  FieldSchema vec;
+  vec.name = "feature";
+  vec.type = DataType::kFloatVector;
+  vec.dim = 64;
+  vec.metric = MetricType::kL2;
+  (void)schema.AddField(vec);
+  FieldSchema label;
+  label.name = "category";
+  label.type = DataType::kString;
+  (void)schema.AddField(label);
+  FieldSchema price;
+  price.name = "price";
+  price.type = DataType::kDouble;
+  (void)schema.AddField(price);
+
+  auto meta = db.CreateCollection(std::move(schema));
+  if (!meta.ok()) {
+    std::printf("create failed: %s\n", meta.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("created collection '%s' (id=%lld)\n",
+              meta.value().schema.name().c_str(),
+              static_cast<long long>(meta.value().id));
+
+  // 3. Declare the vector index (stream indexing will build it per sealed
+  //    segment without stopping search).
+  IndexParams index;
+  index.type = IndexType::kIvfFlat;
+  index.nlist = 64;
+  if (auto st = db.CreateIndex("products", "feature", index); !st.ok()) {
+    std::printf("create_index failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Insert 10k products.
+  const int64_t n = 10000;
+  SyntheticOptions opts;
+  opts.num_rows = n;
+  opts.dim = 64;
+  VectorDataset data = MakeClusteredDataset(opts);
+  const char* categories[] = {"book", "food", "cloth"};
+
+  EntityBatch batch;
+  std::vector<std::string> labels;
+  std::vector<double> prices;
+  for (int64_t i = 0; i < n; ++i) {
+    batch.primary_keys.push_back(i);
+    labels.push_back(categories[i % 3]);
+    prices.push_back(5.0 + static_cast<double>(i % 200));
+  }
+  const auto& s = meta.value().schema;
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      s.FieldByName("feature")->id, 64, data.data));
+  batch.columns.push_back(
+      FieldColumn::MakeString(s.FieldByName("category")->id, labels));
+  batch.columns.push_back(
+      FieldColumn::MakeDouble(s.FieldByName("price")->id, prices));
+  auto insert_ts = db.Insert("products", std::move(batch));
+  if (!insert_ts.ok()) {
+    std::printf("insert failed: %s\n", insert_ts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted %lld products at LSN %llu\n",
+              static_cast<long long>(n),
+              static_cast<unsigned long long>(insert_ts.value()));
+
+  // 5. Strong-consistency search: guaranteed to observe the insert above.
+  SearchRequest req;
+  req.collection = "products";
+  req.query.assign(data.Row(123), data.Row(123) + 64);
+  req.k = 5;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  if (!res.ok()) {
+    std::printf("search failed: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop-5 for product 123 (strong consistency):\n");
+  for (size_t i = 0; i < res.value().ids.size(); ++i) {
+    std::printf("  #%zu  id=%lld  score=%.4f\n", i + 1,
+                static_cast<long long>(res.value().ids[i]),
+                res.value().scores[i]);
+  }
+
+  // 6. Filtered search ("query" in PyManu): cheap books under 50.
+  req.filter = "category == 'book' && price < 50";
+  res = db.Search(req);
+  if (res.ok()) {
+    std::printf("\ntop-5 cheap books:\n");
+    for (size_t i = 0; i < res.value().ids.size(); ++i) {
+      std::printf("  #%zu  id=%lld  score=%.4f\n", i + 1,
+                  static_cast<long long>(res.value().ids[i]),
+                  res.value().scores[i]);
+    }
+  }
+
+  // 7. Bounded staleness: allow results up to 2 s stale in exchange for
+  //    never waiting on the ingest pipeline (delta consistency).
+  req.filter.clear();
+  req.consistency = ConsistencyLevel::kBounded;
+  req.staleness_ms = 2000;
+  res = db.Search(req);
+  std::printf("\nbounded-staleness search %s (%zu hits)\n",
+              res.ok() ? "ok" : res.status().ToString().c_str(),
+              res.ok() ? res.value().ids.size() : 0);
+
+  // 8. Delete + verify.
+  (void)db.Delete("products", {123});
+  req.consistency = ConsistencyLevel::kStrong;
+  res = db.Search(req);
+  if (res.ok()) {
+    bool gone = true;
+    for (int64_t id : res.value().ids) gone = gone && id != 123;
+    std::printf("after delete, product 123 %s the top-5\n",
+                gone ? "vanished from" : "is still in");
+  }
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

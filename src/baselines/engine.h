@@ -1,0 +1,60 @@
+#ifndef MANU_BASELINES_ENGINE_H_
+#define MANU_BASELINES_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/synthetic.h"
+#include "common/topk.h"
+
+namespace manu {
+
+/// Single-node search engine interface for the Figure 8 recall-throughput
+/// comparison. `knob` in [0, 1] sweeps each engine's accuracy/latency
+/// trade-off (nprobe for inverted engines, beam width for graph engines):
+/// knob 0 = fastest/least accurate, 1 = slowest/most accurate.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+  virtual std::string name() const = 0;
+  virtual Status Build(const VectorDataset& data) = 0;
+  virtual Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                               double knob) const = 0;
+};
+
+/// Manu's single-node search path: the collection is split into segments,
+/// each with its own index, searched with the segment-level/node-level
+/// reduce and the blocked SIMD-friendly kernels (Section 5.2 attributes
+/// Manu's edge to "better implementations with optimizations for CPU cache
+/// and SIMD"). Default of one segment is faithful at bench scale: the
+/// paper's 512 MB seal size means datasets up to ~1M 128-d vectors occupy
+/// a single segment.
+std::unique_ptr<SearchEngine> MakeManuEngine(IndexType type,
+                                             int32_t num_segments = 1);
+
+/// ES-like baseline: disk-resident inverted index. Centroids live in
+/// memory; every probed posting list is fetched from (simulated) disk with
+/// per-read latency, which is why "ES is a disk-based solution" loses
+/// throughput.
+std::unique_ptr<SearchEngine> MakeEsLikeEngine(int64_t disk_read_micros = 80);
+
+/// Vearch-like baseline: same in-memory IVF as Manu but behind the
+/// "three-layer aggregation procedure (searcher-broker-blender)": partial
+/// results are serialized, queued across two thread hops and re-merged at
+/// each layer — the overhead the paper blames.
+std::unique_ptr<SearchEngine> MakeVearchLikeEngine(int32_t num_searchers = 4);
+
+/// Vald-like baseline (NGT family): a flat kNN-proximity-graph with
+/// best-first beam search and plain scalar distance loops.
+std::unique_ptr<SearchEngine> MakeValdLikeEngine(int32_t graph_degree = 24);
+
+/// Vespa-like baseline: HNSW, but with virtually dispatched scalar distance
+/// kernels (an engine that supports arbitrary pluggable metrics pays this
+/// abstraction cost on every hop).
+std::unique_ptr<SearchEngine> MakeVespaLikeEngine(int32_t m = 16);
+
+}  // namespace manu
+
+#endif  // MANU_BASELINES_ENGINE_H_

@@ -1,0 +1,76 @@
+#include <algorithm>
+
+#include "baselines/engine.h"
+#include "index/index_factory.h"
+
+namespace manu {
+
+namespace {
+
+class ManuEngine : public SearchEngine {
+ public:
+  ManuEngine(IndexType type, int32_t num_segments)
+      : type_(type), num_segments_(num_segments) {}
+
+  std::string name() const override {
+    return std::string("manu/") + ToString(type_);
+  }
+
+  Status Build(const VectorDataset& data) override {
+    metric_ = data.metric;
+    const int64_t rows = data.NumRows();
+    const int64_t per_segment = (rows + num_segments_ - 1) / num_segments_;
+    segments_.clear();
+    bases_.clear();
+    for (int64_t begin = 0; begin < rows; begin += per_segment) {
+      const int64_t end = std::min(rows, begin + per_segment);
+      IndexParams params;
+      params.type = type_;
+      params.metric = data.metric;
+      params.dim = data.dim;
+      params.nlist = static_cast<int32_t>(
+          std::max<int64_t>(16, (end - begin) / 256));
+      params.hnsw_m = 16;
+      params.hnsw_ef_construction = 150;
+      MANU_ASSIGN_OR_RETURN(
+          std::unique_ptr<VectorIndex> index,
+          BuildVectorIndex(params, data.Row(begin), end - begin));
+      segments_.push_back(std::move(index));
+      bases_.push_back(begin);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       double knob) const override {
+    SearchParams sp;
+    sp.k = k;
+    sp.nprobe = 1 + static_cast<int32_t>(knob * 63);
+    sp.ef_search = static_cast<int32_t>(k + knob * 400);
+    std::vector<std::vector<Neighbor>> lists;
+    lists.reserve(segments_.size());
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
+                            segments_[s]->Search(query, sp));
+      for (Neighbor& n : hits) n.id += bases_[s];  // Segment-local -> global.
+      lists.push_back(std::move(hits));
+    }
+    return MergeTopK(lists, k, /*dedup_ids=*/false);
+  }
+
+ private:
+  IndexType type_;
+  int32_t num_segments_;
+  MetricType metric_ = MetricType::kL2;
+  std::vector<std::unique_ptr<VectorIndex>> segments_;
+  std::vector<int64_t> bases_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchEngine> MakeManuEngine(IndexType type,
+                                             int32_t num_segments) {
+  return std::make_unique<ManuEngine>(type, num_segments);
+}
+
+}  // namespace manu

@@ -1,0 +1,120 @@
+#include "baselines/milvus_like.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "index/index_factory.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+MilvusLike::MilvusLike(IndexParams index_params, int64_t seal_rows)
+    : index_params_(index_params),
+      seal_rows_(seal_rows),
+      growing_(std::make_shared<Segment>()) {
+  ingest_thread_ = std::thread([this] { IngestLoop(); });
+  build_thread_ = std::thread([this] { BuildLoop(); });
+}
+
+MilvusLike::~MilvusLike() { Stop(); }
+
+void MilvusLike::Stop() {
+  queue_.Close();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  pending_builds_.Close();
+  if (build_thread_.joinable()) build_thread_.join();
+}
+
+void MilvusLike::Insert(std::vector<int64_t> pks,
+                        std::vector<float> vectors) {
+  queued_rows_.fetch_add(static_cast<int64_t>(pks.size()),
+                         std::memory_order_relaxed);
+  queue_.Push({std::move(pks), std::move(vectors)});
+}
+
+void MilvusLike::IngestLoop() {
+  while (auto job = queue_.Pop()) {
+    queued_rows_.fetch_sub(static_cast<int64_t>(job->pks.size()),
+                           std::memory_order_relaxed);
+    std::shared_ptr<Segment> to_index;
+    {
+      std::unique_lock lk(mu_);
+      growing_->pks.insert(growing_->pks.end(), job->pks.begin(),
+                           job->pks.end());
+      growing_->vectors.insert(growing_->vectors.end(), job->vectors.begin(),
+                               job->vectors.end());
+      if (static_cast<int64_t>(growing_->pks.size()) >= seal_rows_) {
+        segments_.push_back(growing_);
+        to_index = growing_;
+        growing_ = std::make_shared<Segment>();
+      }
+    }
+    if (to_index != nullptr) pending_builds_.Push(std::move(to_index));
+  }
+}
+
+void MilvusLike::BuildLoop() {
+  // The write node's one build worker: when it falls behind the seal rate,
+  // the unindexed backlog (and brute-force search cost) grows.
+  while (auto segment = pending_builds_.Pop()) {
+    auto built = BuildVectorIndex(
+        index_params_, (*segment)->vectors.data(),
+        static_cast<int64_t>((*segment)->pks.size()));
+    if (built.ok()) {
+      std::unique_lock lk(mu_);
+      (*segment)->index = std::move(built).value();
+    } else {
+      MANU_LOG_WARN << "milvus_like index build failed: "
+                    << built.status().ToString();
+    }
+  }
+}
+
+Result<std::vector<Neighbor>> MilvusLike::Search(const float* query, size_t k,
+                                                 int32_t nprobe) const {
+  std::shared_lock lk(mu_);
+  TopKHeap heap(k);
+  const int32_t dim = index_params_.dim;
+  SearchParams sp;
+  sp.k = k;
+  sp.nprobe = nprobe;
+  for (const auto& seg : segments_) {
+    if (seg->index != nullptr) {
+      MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
+                            seg->index->Search(query, sp));
+      for (const Neighbor& n : hits) heap.Push(seg->pks[n.id], n.score);
+    } else {
+      for (size_t i = 0; i < seg->pks.size(); ++i) {
+        heap.Push(seg->pks[i],
+                  MetricScore(query, seg->vectors.data() + i * dim, dim,
+                              index_params_.metric));
+      }
+    }
+  }
+  for (size_t i = 0; i < growing_->pks.size(); ++i) {
+    heap.Push(growing_->pks[i],
+              MetricScore(query, growing_->vectors.data() + i * dim, dim,
+                          index_params_.metric));
+  }
+  return heap.TakeSorted();
+}
+
+int64_t MilvusLike::UnindexedRows() const {
+  std::shared_lock lk(mu_);
+  int64_t rows = static_cast<int64_t>(growing_->pks.size());
+  for (const auto& seg : segments_) {
+    if (seg->index == nullptr) rows += static_cast<int64_t>(seg->pks.size());
+  }
+  return rows;
+}
+
+int64_t MilvusLike::VisibleRows() const {
+  std::shared_lock lk(mu_);
+  int64_t rows = static_cast<int64_t>(growing_->pks.size());
+  for (const auto& seg : segments_) {
+    rows += static_cast<int64_t>(seg->pks.size());
+  }
+  return rows;
+}
+
+}  // namespace manu

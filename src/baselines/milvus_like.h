@@ -1,0 +1,83 @@
+#ifndef MANU_BASELINES_MILVUS_LIKE_H_
+#define MANU_BASELINES_MILVUS_LIKE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+#include "common/topk.h"
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// The Figure 6 comparator: a Milvus-1.x-style deployment with "multiple
+/// read nodes, but only one write node ... responsible for data insertion
+/// and index construction, and thus write tasks and index building tasks
+/// contend for resource".
+///
+/// The write node runs an ingest thread (rows become read-visible
+/// immediately, as in Milvus) and a single index-build thread. When the
+/// build thread falls behind the insert rate, sealed-but-unindexed
+/// segments accumulate and every search brute-forces them — raw, with no
+/// temporary indexes, which is what Manu's growing-segment slices fix.
+/// "As a result, the index building latency is long and brute force search
+/// is used for a large amount of data."
+class MilvusLike {
+ public:
+  MilvusLike(IndexParams index_params, int64_t seal_rows);
+  ~MilvusLike();
+
+  /// Enqueues rows for the write node (non-blocking, like a client SDK).
+  void Insert(std::vector<int64_t> pks, std::vector<float> vectors);
+
+  /// Searches everything ingested so far: indexed segments through their
+  /// index, unindexed segments and the growing buffer by brute force.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       int32_t nprobe) const;
+
+  /// Rows currently not covered by any index (the brute-force backlog).
+  int64_t UnindexedRows() const;
+  /// Rows accepted into read-visible state.
+  int64_t VisibleRows() const;
+  /// Rows still waiting in the insert queue (ingest backlog).
+  int64_t QueuedRows() const {
+    return queued_rows_.load(std::memory_order_relaxed);
+  }
+
+  void Stop();
+
+ private:
+  struct Segment {
+    std::vector<int64_t> pks;
+    std::vector<float> vectors;
+    std::unique_ptr<VectorIndex> index;  ///< Null until built.
+  };
+  struct InsertJob {
+    std::vector<int64_t> pks;
+    std::vector<float> vectors;
+  };
+
+  void IngestLoop();
+  void BuildLoop();
+
+  IndexParams index_params_;
+  int64_t seal_rows_;
+
+  Channel<InsertJob> queue_;
+  Channel<std::shared_ptr<Segment>> pending_builds_;
+  std::atomic<int64_t> queued_rows_{0};
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::shared_ptr<Segment>> segments_;  ///< Sealed.
+  std::shared_ptr<Segment> growing_;
+
+  std::thread ingest_thread_;
+  std::thread build_thread_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_BASELINES_MILVUS_LIKE_H_

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <queue>
+
+#include "baselines/engine.h"
+#include "index/kmeans.h"
+
+namespace manu {
+
+namespace {
+
+/// Scalar (intentionally un-unrolled) distance loops: the NGT-style engine
+/// does not ship Manu's blocked kernels.
+float ScalarScore(const float* a, const float* b, int32_t dim,
+                  MetricType metric) {
+  if (metric == MetricType::kL2) {
+    float acc = 0;
+    for (int32_t d = 0; d < dim; ++d) {
+      const float diff = a[d] - b[d];
+      acc += diff * diff;
+    }
+    return acc;
+  }
+  float acc = 0;
+  for (int32_t d = 0; d < dim; ++d) acc += a[d] * b[d];
+  return -acc;
+}
+
+/// Vald-like engine: a flat kNN proximity graph (the ANNG of NGT). Build
+/// approximates the kNN graph through cluster-restricted neighbor search;
+/// query runs best-first beam search from a medoid-ish entry.
+class ValdLikeEngine : public SearchEngine {
+ public:
+  explicit ValdLikeEngine(int32_t degree) : degree_(degree) {}
+
+  std::string name() const override { return "vald_like/knn_graph"; }
+
+  Status Build(const VectorDataset& data) override {
+    dim_ = data.dim;
+    metric_ = data.metric;
+    data_ = data.data;
+    const int64_t rows = data.NumRows();
+    neighbors_.assign(rows, {});
+
+    // Approximate kNN graph: cluster, then connect within cluster plus the
+    // nearest sibling cluster (keeps build near O(n * cluster_size)).
+    KMeansOptions opts;
+    opts.k = static_cast<int32_t>(
+        std::clamp<int64_t>(rows / 200, 1, 4096));
+    opts.max_iters = 6;
+    KMeansResult km = KMeans(data_.data(), rows, dim_, opts);
+    std::vector<std::vector<int64_t>> clusters(km.k);
+    for (int64_t i = 0; i < rows; ++i) {
+      clusters[km.assignments[i]].push_back(i);
+    }
+    // Three nearest sibling clusters per cluster: neighbor candidates come
+    // from the cluster and its siblings, so edges cross cluster borders.
+    constexpr int32_t kSiblings = 4;
+    std::vector<std::vector<int32_t>> siblings(km.k);
+    for (int32_t c = 0; c < km.k; ++c) {
+      std::vector<std::pair<float, int32_t>> ranked;
+      ranked.reserve(km.k - 1);
+      for (int32_t o = 0; o < km.k; ++o) {
+        if (o == c) continue;
+        ranked.emplace_back(
+            ScalarScore(km.centroids.data() + static_cast<size_t>(c) * dim_,
+                        km.centroids.data() + static_cast<size_t>(o) * dim_,
+                        dim_, MetricType::kL2),
+            o);
+      }
+      const size_t keep = std::min<size_t>(kSiblings, ranked.size());
+      std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end());
+      for (size_t s = 0; s < keep; ++s) {
+        siblings[c].push_back(ranked[s].second);
+      }
+    }
+    for (int32_t c = 0; c < km.k; ++c) {
+      std::vector<int64_t> pool = clusters[c];
+      for (int32_t sib : siblings[c]) {
+        pool.insert(pool.end(), clusters[sib].begin(), clusters[sib].end());
+      }
+      for (int64_t node : clusters[c]) {
+        TopKHeap heap(degree_);
+        const float* v = data_.data() + node * dim_;
+        for (int64_t other : pool) {
+          if (other == node) continue;
+          heap.Push(other,
+                    ScalarScore(v, data_.data() + other * dim_, dim_,
+                                metric_));
+        }
+        for (const Neighbor& n : heap.TakeSorted()) {
+          neighbors_[node].push_back(static_cast<int64_t>(n.id));
+        }
+      }
+    }
+    // ANNG graphs are undirected: add reverse edges so no node has zero
+    // in-degree (a directed kNN graph leaves outliers unreachable).
+    std::vector<std::vector<int64_t>> reverse(rows);
+    for (int64_t node = 0; node < rows; ++node) {
+      for (int64_t nb : neighbors_[node]) reverse[nb].push_back(node);
+    }
+    for (int64_t node = 0; node < rows; ++node) {
+      for (int64_t back : reverse[node]) {
+        if (std::find(neighbors_[node].begin(), neighbors_[node].end(),
+                      back) == neighbors_[node].end()) {
+          neighbors_[node].push_back(back);
+        }
+      }
+    }
+    // Entry exemplars: one per cluster. A flat kNN graph has no long-range
+    // links, so the search seeds its beam from the exemplars of the
+    // clusters closest to the query (NGT seeds from its tree similarly).
+    centroids_ = std::move(km.centroids);
+    exemplars_.clear();
+    cluster_of_exemplar_.clear();
+    for (int32_t c = 0; c < km.k; ++c) {
+      if (clusters[c].empty()) continue;
+      exemplars_.push_back(clusters[c][0]);
+      cluster_of_exemplar_.push_back(c);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       double knob) const override {
+    const int64_t rows = static_cast<int64_t>(neighbors_.size());
+    if (rows == 0) return std::vector<Neighbor>{};
+    const int32_t beam =
+        static_cast<int32_t>(k + knob * 400);  // NGT epsilon analogue.
+    std::vector<uint8_t> visited(rows, 0);
+    struct CloserFirst {
+      bool operator()(const Neighbor& a, const Neighbor& b) const {
+        return b < a;
+      }
+    };
+    std::priority_queue<Neighbor, std::vector<Neighbor>, CloserFirst> cands;
+    TopKHeap best(beam);
+    // Seed from the exemplars of the clusters nearest to the query.
+    std::vector<std::pair<float, size_t>> seed_rank(exemplars_.size());
+    for (size_t e = 0; e < exemplars_.size(); ++e) {
+      seed_rank[e] = {
+          ScalarScore(query,
+                      centroids_.data() +
+                          static_cast<size_t>(cluster_of_exemplar_[e]) * dim_,
+                      dim_, MetricType::kL2),
+          e};
+    }
+    // Wider beams also seed from more clusters (NGT's epsilon expands both).
+    const size_t num_seeds = std::min<size_t>(
+        8 + static_cast<size_t>(knob * 24), seed_rank.size());
+    std::partial_sort(seed_rank.begin(), seed_rank.begin() + num_seeds,
+                      seed_rank.end());
+    for (size_t s = 0; s < num_seeds; ++s) {
+      const int64_t entry = exemplars_[seed_rank[s].second];
+      if (visited[entry]) continue;
+      visited[entry] = 1;
+      const float d = ScalarScore(query, data_.data() + entry * dim_, dim_,
+                                  metric_);
+      cands.push({entry, d});
+      best.Push(entry, d);
+    }
+    while (!cands.empty()) {
+      const Neighbor cur = cands.top();
+      if (best.Full() && cur.score > best.Worst()) break;
+      cands.pop();
+      for (int64_t nb : neighbors_[cur.id]) {
+        if (visited[nb]) continue;
+        visited[nb] = 1;
+        const float d = ScalarScore(query, data_.data() + nb * dim_, dim_,
+                                    metric_);
+        if (!best.Full() || d < best.Worst()) {
+          cands.push({nb, d});
+          best.Push(nb, d);
+        }
+      }
+    }
+    std::vector<Neighbor> out = best.TakeSorted();
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  int32_t degree_;
+  int32_t dim_ = 0;
+  MetricType metric_ = MetricType::kL2;
+  std::vector<float> data_;
+  std::vector<std::vector<int64_t>> neighbors_;
+  std::vector<float> centroids_;
+  std::vector<int64_t> exemplars_;
+  std::vector<int32_t> cluster_of_exemplar_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchEngine> MakeValdLikeEngine(int32_t graph_degree) {
+  return std::make_unique<ValdLikeEngine>(graph_degree);
+}
+
+}  // namespace manu

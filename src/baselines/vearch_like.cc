@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "baselines/engine.h"
+#include "common/channel.h"
+#include "common/serde.h"
+#include "index/index_factory.h"
+
+namespace manu {
+
+namespace {
+
+/// Serialized partial-result packet passed between layers: real
+/// serialization + copy cost on every hop, as in a networked
+/// searcher->broker->blender pipeline.
+std::string PackHits(const std::vector<Neighbor>& hits) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(hits.size()));
+  for (const Neighbor& n : hits) {
+    w.PutI64(n.id);
+    w.PutFloat(n.score);
+  }
+  return w.Release();
+}
+
+Result<std::vector<Neighbor>> UnpackHits(const std::string& blob) {
+  BinaryReader r(blob);
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  std::vector<Neighbor> hits(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(hits[i].id, r.GetI64());
+    MANU_ASSIGN_OR_RETURN(hits[i].score, r.GetFloat());
+  }
+  return hits;
+}
+
+/// Vearch-like engine: data partitioned over `num_searchers` IVF searchers;
+/// a query fans out to searcher threads, partial results are serialized to
+/// a broker thread which merges and re-serializes to the blender (the
+/// caller), reproducing the three-layer aggregation overhead the paper
+/// cites for Vearch's Figure 8 position.
+class VearchLikeEngine : public SearchEngine {
+ public:
+  explicit VearchLikeEngine(int32_t num_searchers)
+      : num_searchers_(num_searchers) {}
+
+  ~VearchLikeEngine() override {
+    for (auto& q : searcher_queues_) q->Close();
+    broker_in_.Close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  std::string name() const override { return "vearch_like/3layer"; }
+
+  Status Build(const VectorDataset& data) override {
+    const int64_t rows = data.NumRows();
+    const int64_t per = (rows + num_searchers_ - 1) / num_searchers_;
+    for (int64_t begin = 0; begin < rows; begin += per) {
+      const int64_t end = std::min(rows, begin + per);
+      IndexParams params;
+      params.type = IndexType::kIvfFlat;
+      params.metric = data.metric;
+      params.dim = data.dim;
+      params.nlist = static_cast<int32_t>(
+          std::max<int64_t>(16, (end - begin) / 256));
+      MANU_ASSIGN_OR_RETURN(
+          std::unique_ptr<VectorIndex> index,
+          BuildVectorIndex(params, data.Row(begin), end - begin));
+      partitions_.push_back(std::move(index));
+      bases_.push_back(begin);
+    }
+    // Searcher threads + broker thread.
+    searcher_queues_.resize(partitions_.size());
+    for (size_t s = 0; s < partitions_.size(); ++s) {
+      searcher_queues_[s] = std::make_unique<Channel<Job>>();
+      threads_.emplace_back([this, s] { SearcherLoop(s); });
+    }
+    threads_.emplace_back([this] { BrokerLoop(); });
+    return Status::OK();
+  }
+
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       double knob) const override {
+    SearchParams sp;
+    sp.k = k;
+    sp.nprobe = 1 + static_cast<int32_t>(knob * 63);
+
+    auto reply = std::make_shared<Channel<std::string>>();
+    Job job;
+    job.query = query;
+    job.params = sp;
+    job.reply = reply;
+    job.expected = partitions_.size();
+    for (auto& q : searcher_queues_) q->Push(job);
+
+    // Blender: waits for the broker's merged packet and deserializes it.
+    auto packet = reply->PopFor(std::chrono::milliseconds(10000));
+    if (!packet.has_value()) return Status::Timeout("broker timed out");
+    return UnpackHits(*packet);
+  }
+
+ private:
+  struct Job {
+    const float* query = nullptr;
+    SearchParams params;
+    std::shared_ptr<Channel<std::string>> reply;
+    size_t expected = 0;
+  };
+  struct PartialPacket {
+    std::string blob;
+    std::shared_ptr<Channel<std::string>> reply;
+    size_t expected = 0;
+  };
+
+  void SearcherLoop(size_t s) {
+    while (auto job = searcher_queues_[s]->Pop()) {
+      auto hits = partitions_[s]->Search(job->query, job->params);
+      std::vector<Neighbor> list =
+          hits.ok() ? std::move(hits).value() : std::vector<Neighbor>{};
+      for (Neighbor& n : list) n.id += bases_[s];
+      broker_in_.Push({PackHits(list), job->reply, job->expected});
+    }
+  }
+
+  void BrokerLoop() {
+    // Accumulate per reply-channel until all searchers reported, then merge
+    // and forward one serialized packet to the blender.
+    std::map<Channel<std::string>*, std::vector<std::string>> pending;
+    while (auto packet = broker_in_.Pop()) {
+      auto& blobs = pending[packet->reply.get()];
+      blobs.push_back(std::move(packet->blob));
+      if (blobs.size() < packet->expected) continue;
+      std::vector<std::vector<Neighbor>> lists;
+      for (const std::string& blob : blobs) {
+        auto hits = UnpackHits(blob);
+        if (hits.ok()) lists.push_back(std::move(hits).value());
+      }
+      std::vector<Neighbor> merged =
+          MergeTopK(lists, lists.empty() ? 0 : lists[0].size(), false);
+      packet->reply->Push(PackHits(merged));
+      pending.erase(packet->reply.get());
+    }
+  }
+
+  int32_t num_searchers_;
+  std::vector<std::unique_ptr<VectorIndex>> partitions_;
+  std::vector<int64_t> bases_;
+  /// mutable: Search() is logically const but enqueues work.
+  mutable std::vector<std::unique_ptr<Channel<Job>>> searcher_queues_;
+  mutable Channel<PartialPacket> broker_in_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchEngine> MakeVearchLikeEngine(int32_t num_searchers) {
+  return std::make_unique<VearchLikeEngine>(num_searchers);
+}
+
+}  // namespace manu

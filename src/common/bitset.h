@@ -1,0 +1,121 @@
+#ifndef MANU_COMMON_BITSET_H_
+#define MANU_COMMON_BITSET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace manu {
+
+/// Fixed-capacity concurrent bitset used as the per-segment delete bitmap
+/// (Sections 3.5 / 3.6): WAL consumers set bits while search threads test
+/// them, without locks. Bits can only be set, never cleared, matching
+/// tombstone semantics; Reset() is provided for reuse in tests.
+class ConcurrentBitset {
+ public:
+  explicit ConcurrentBitset(size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Sets bit `i`. Returns true if the bit was newly set.
+  bool Set(size_t i) {
+    uint64_t mask = 1ull << (i & 63);
+    uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_acquire) >>
+            (i & 63)) & 1;
+  }
+
+  /// Number of set bits. O(words); callers use it for compaction policy,
+  /// not on the search hot path.
+  size_t Count() const {
+    size_t n = 0;
+    for (const auto& w : words_) {
+      n += static_cast<size_t>(
+          __builtin_popcountll(w.load(std::memory_order_acquire)));
+    }
+    return n;
+  }
+
+  bool Any() const {
+    for (const auto& w : words_) {
+      if (w.load(std::memory_order_acquire) != 0) return true;
+    }
+    return false;
+  }
+
+  void Reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_release);
+  }
+
+  /// Bulk boolean ops (used by the filter-expression evaluator; both sides
+  /// must have equal capacity). Not atomic as a whole — callers own the
+  /// bitsets they combine.
+  void Or(const ConcurrentBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].fetch_or(other.words_[i].load(std::memory_order_acquire),
+                         std::memory_order_acq_rel);
+    }
+  }
+
+  void And(const ConcurrentBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].fetch_and(other.words_[i].load(std::memory_order_acquire),
+                          std::memory_order_acq_rel);
+    }
+  }
+
+  /// Flips every bit; trailing bits past capacity() are masked off.
+  void Not() {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].store(~words_[i].load(std::memory_order_acquire),
+                      std::memory_order_release);
+    }
+    const size_t tail = capacity_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      const uint64_t mask = (1ull << tail) - 1;
+      words_.back().fetch_and(mask, std::memory_order_acq_rel);
+    }
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w.store(~0ull, std::memory_order_release);
+    const size_t tail = capacity_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      const uint64_t mask = (1ull << tail) - 1;
+      words_.back().fetch_and(mask, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Snapshot into a plain vector<bool>-free representation for
+  /// serialization.
+  std::vector<uint64_t> Snapshot() const {
+    std::vector<uint64_t> out(words_.size());
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out[i] = words_[i].load(std::memory_order_acquire);
+    }
+    return out;
+  }
+
+  void Restore(const std::vector<uint64_t>& snapshot) {
+    for (size_t i = 0; i < words_.size() && i < snapshot.size(); ++i) {
+      words_[i].store(snapshot[i], std::memory_order_release);
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_BITSET_H_

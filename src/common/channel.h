@@ -1,0 +1,85 @@
+#ifndef MANU_COMMON_CHANNEL_H_
+#define MANU_COMMON_CHANNEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace manu {
+
+/// Unbounded MPMC blocking queue. Used for in-process "RPC" between the
+/// simulated microservices and inside worker nodes. Close() wakes all
+/// blocked readers; subsequent Pop() calls drain remaining items and then
+/// return nullopt.
+template <typename T>
+class Channel {
+ public:
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;  // Drop writes after close.
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the channel is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Like Pop() but gives up after `timeout`; returns nullopt on timeout or
+  /// closed-and-drained.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_CHANNEL_H_

@@ -1,0 +1,283 @@
+#include "common/dataset.h"
+
+namespace manu {
+
+int64_t FieldColumn::NumRows() const {
+  switch (type) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(i64.size());
+    case DataType::kFloat:
+      return static_cast<int64_t>(f32.size());
+    case DataType::kDouble:
+      return static_cast<int64_t>(f64.size());
+    case DataType::kBool:
+      return static_cast<int64_t>(b8.size());
+    case DataType::kString:
+      return static_cast<int64_t>(str.size());
+    case DataType::kFloatVector:
+      return dim > 0 ? static_cast<int64_t>(f32.size()) / dim : 0;
+  }
+  return 0;
+}
+
+Status FieldColumn::Append(const FieldColumn& other) {
+  if (other.field_id != field_id || other.type != type || other.dim != dim) {
+    return Status::InvalidArgument("column layout mismatch on append");
+  }
+  i64.insert(i64.end(), other.i64.begin(), other.i64.end());
+  f32.insert(f32.end(), other.f32.begin(), other.f32.end());
+  f64.insert(f64.end(), other.f64.begin(), other.f64.end());
+  b8.insert(b8.end(), other.b8.begin(), other.b8.end());
+  str.insert(str.end(), other.str.begin(), other.str.end());
+  return Status::OK();
+}
+
+FieldColumn FieldColumn::Slice(int64_t begin, int64_t end) const {
+  FieldColumn out;
+  out.field_id = field_id;
+  out.type = type;
+  out.dim = dim;
+  switch (type) {
+    case DataType::kInt64:
+      out.i64.assign(i64.begin() + begin, i64.begin() + end);
+      break;
+    case DataType::kFloat:
+      out.f32.assign(f32.begin() + begin, f32.begin() + end);
+      break;
+    case DataType::kDouble:
+      out.f64.assign(f64.begin() + begin, f64.begin() + end);
+      break;
+    case DataType::kBool:
+      out.b8.assign(b8.begin() + begin, b8.begin() + end);
+      break;
+    case DataType::kString:
+      out.str.assign(str.begin() + begin, str.begin() + end);
+      break;
+    case DataType::kFloatVector:
+      out.f32.assign(f32.begin() + begin * dim, f32.begin() + end * dim);
+      break;
+  }
+  return out;
+}
+
+void FieldColumn::Serialize(BinaryWriter* w) const {
+  w->PutI64(field_id);
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutI32(dim);
+  switch (type) {
+    case DataType::kInt64:
+      w->PutVector(i64);
+      break;
+    case DataType::kFloat:
+    case DataType::kFloatVector:
+      w->PutVector(f32);
+      break;
+    case DataType::kDouble:
+      w->PutVector(f64);
+      break;
+    case DataType::kBool:
+      w->PutVector(b8);
+      break;
+    case DataType::kString:
+      w->PutU64(str.size());
+      for (const auto& s : str) w->PutString(s);
+      break;
+  }
+}
+
+Result<FieldColumn> FieldColumn::Deserialize(BinaryReader* r) {
+  FieldColumn c;
+  MANU_ASSIGN_OR_RETURN(c.field_id, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  c.type = static_cast<DataType>(type);
+  MANU_ASSIGN_OR_RETURN(c.dim, r->GetI32());
+  switch (c.type) {
+    case DataType::kInt64: {
+      MANU_ASSIGN_OR_RETURN(c.i64, r->GetVector<int64_t>());
+      break;
+    }
+    case DataType::kFloat:
+    case DataType::kFloatVector: {
+      MANU_ASSIGN_OR_RETURN(c.f32, r->GetVector<float>());
+      break;
+    }
+    case DataType::kDouble: {
+      MANU_ASSIGN_OR_RETURN(c.f64, r->GetVector<double>());
+      break;
+    }
+    case DataType::kBool: {
+      MANU_ASSIGN_OR_RETURN(c.b8, r->GetVector<uint8_t>());
+      break;
+    }
+    case DataType::kString: {
+      MANU_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+      c.str.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        MANU_ASSIGN_OR_RETURN(std::string s, r->GetString());
+        c.str.push_back(std::move(s));
+      }
+      break;
+    }
+  }
+  return c;
+}
+
+FieldColumn FieldColumn::MakeInt64(FieldId id, std::vector<int64_t> values) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kInt64;
+  c.i64 = std::move(values);
+  return c;
+}
+
+FieldColumn FieldColumn::MakeFloat(FieldId id, std::vector<float> values) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kFloat;
+  c.f32 = std::move(values);
+  return c;
+}
+
+FieldColumn FieldColumn::MakeDouble(FieldId id, std::vector<double> values) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kDouble;
+  c.f64 = std::move(values);
+  return c;
+}
+
+FieldColumn FieldColumn::MakeBool(FieldId id, std::vector<uint8_t> values) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kBool;
+  c.b8 = std::move(values);
+  return c;
+}
+
+FieldColumn FieldColumn::MakeString(FieldId id,
+                                    std::vector<std::string> values) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kString;
+  c.str = std::move(values);
+  return c;
+}
+
+FieldColumn FieldColumn::MakeFloatVector(FieldId id, int32_t dim,
+                                         std::vector<float> flat) {
+  FieldColumn c;
+  c.field_id = id;
+  c.type = DataType::kFloatVector;
+  c.dim = dim;
+  c.f32 = std::move(flat);
+  return c;
+}
+
+const FieldColumn* EntityBatch::ColumnByFieldId(FieldId id) const {
+  for (const auto& c : columns) {
+    if (c.field_id == id) return &c;
+  }
+  return nullptr;
+}
+
+FieldColumn* EntityBatch::MutableColumnByFieldId(FieldId id) {
+  for (auto& c : columns) {
+    if (c.field_id == id) return &c;
+  }
+  return nullptr;
+}
+
+Status EntityBatch::Append(const EntityBatch& other) {
+  if (other.columns.size() != columns.size()) {
+    return Status::InvalidArgument("batch column count mismatch");
+  }
+  primary_keys.insert(primary_keys.end(), other.primary_keys.begin(),
+                      other.primary_keys.end());
+  timestamps.insert(timestamps.end(), other.timestamps.begin(),
+                    other.timestamps.end());
+  for (auto& c : columns) {
+    const FieldColumn* oc = other.ColumnByFieldId(c.field_id);
+    if (oc == nullptr) {
+      return Status::InvalidArgument("missing column on append");
+    }
+    MANU_RETURN_NOT_OK(c.Append(*oc));
+  }
+  return Status::OK();
+}
+
+EntityBatch EntityBatch::Slice(int64_t begin, int64_t end) const {
+  EntityBatch out;
+  out.primary_keys.assign(primary_keys.begin() + begin,
+                          primary_keys.begin() + end);
+  if (!timestamps.empty()) {
+    out.timestamps.assign(timestamps.begin() + begin,
+                          timestamps.begin() + end);
+  }
+  out.columns.reserve(columns.size());
+  for (const auto& c : columns) out.columns.push_back(c.Slice(begin, end));
+  return out;
+}
+
+Status EntityBatch::ValidateAgainst(const CollectionSchema& schema) const {
+  const int64_t rows = NumRows();
+  if (!timestamps.empty() &&
+      static_cast<int64_t>(timestamps.size()) != rows) {
+    return Status::InvalidArgument("timestamp count mismatch");
+  }
+  for (const auto& field : schema.fields()) {
+    if (field.is_primary) continue;
+    const FieldColumn* col = ColumnByFieldId(field.id);
+    if (col == nullptr) {
+      return Status::InvalidArgument("missing column for field " + field.name);
+    }
+    if (col->type != field.type) {
+      return Status::InvalidArgument("type mismatch for field " + field.name);
+    }
+    if (field.IsVector() && col->dim != field.dim) {
+      return Status::InvalidArgument("dim mismatch for field " + field.name);
+    }
+    if (col->NumRows() != rows) {
+      return Status::InvalidArgument("row count mismatch for field " +
+                                     field.name);
+    }
+  }
+  for (const auto& col : columns) {
+    if (schema.FieldById(col.field_id) == nullptr) {
+      return Status::InvalidArgument("unknown field id in batch");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t EntityBatch::ByteSize() const {
+  uint64_t bytes = primary_keys.size() * sizeof(int64_t) +
+                   timestamps.size() * sizeof(Timestamp);
+  for (const auto& c : columns) {
+    bytes += c.i64.size() * sizeof(int64_t) + c.f32.size() * sizeof(float) +
+             c.f64.size() * sizeof(double) + c.b8.size();
+    for (const auto& s : c.str) bytes += s.size() + sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+void EntityBatch::Serialize(BinaryWriter* w) const {
+  w->PutVector(primary_keys);
+  w->PutVector(timestamps);
+  w->PutU32(static_cast<uint32_t>(columns.size()));
+  for (const auto& c : columns) c.Serialize(w);
+}
+
+Result<EntityBatch> EntityBatch::Deserialize(BinaryReader* r) {
+  EntityBatch b;
+  MANU_ASSIGN_OR_RETURN(b.primary_keys, r->GetVector<int64_t>());
+  MANU_ASSIGN_OR_RETURN(b.timestamps, r->GetVector<Timestamp>());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  b.columns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(FieldColumn c, FieldColumn::Deserialize(r));
+    b.columns.push_back(std::move(c));
+  }
+  return b;
+}
+
+}  // namespace manu

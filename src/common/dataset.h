@@ -1,0 +1,85 @@
+#ifndef MANU_COMMON_DATASET_H_
+#define MANU_COMMON_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace manu {
+
+/// Column of values for one field across a batch of entities. Exactly one of
+/// the payload vectors is populated, selected by `type`. Vector fields store
+/// row-major flattened floats (`f32.size() == rows * dim`).
+///
+/// This is the unit the data nodes transpose WAL rows into: binlog files are
+/// sequences of serialized FieldColumns, which is what makes the binlog
+/// column-based (Section 3.3).
+struct FieldColumn {
+  FieldId field_id = 0;
+  DataType type = DataType::kInt64;
+  int32_t dim = 0;  ///< > 0 only for kFloatVector.
+
+  std::vector<int64_t> i64;
+  std::vector<float> f32;
+  std::vector<double> f64;
+  std::vector<uint8_t> b8;
+  std::vector<std::string> str;
+
+  int64_t NumRows() const;
+  /// Appends all rows of `other` (same field) to this column.
+  Status Append(const FieldColumn& other);
+  /// Copies rows [begin, end) into a new column.
+  FieldColumn Slice(int64_t begin, int64_t end) const;
+  /// Pointer to row `row` of a vector column.
+  const float* VectorAt(int64_t row) const { return f32.data() + row * dim; }
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<FieldColumn> Deserialize(BinaryReader* r);
+
+  /// Convenience constructors.
+  static FieldColumn MakeInt64(FieldId id, std::vector<int64_t> values);
+  static FieldColumn MakeFloat(FieldId id, std::vector<float> values);
+  static FieldColumn MakeDouble(FieldId id, std::vector<double> values);
+  static FieldColumn MakeBool(FieldId id, std::vector<uint8_t> values);
+  static FieldColumn MakeString(FieldId id, std::vector<std::string> values);
+  static FieldColumn MakeFloatVector(FieldId id, int32_t dim,
+                                     std::vector<float> flat);
+};
+
+/// A batch of entities being inserted (or replayed). Primary keys and
+/// per-row timestamps travel beside the user field columns; timestamps are
+/// empty until a logger assigns LSNs.
+struct EntityBatch {
+  std::vector<int64_t> primary_keys;
+  std::vector<Timestamp> timestamps;
+  std::vector<FieldColumn> columns;
+
+  int64_t NumRows() const { return static_cast<int64_t>(primary_keys.size()); }
+
+  const FieldColumn* ColumnByFieldId(FieldId id) const;
+  FieldColumn* MutableColumnByFieldId(FieldId id);
+
+  /// Appends all rows of `other`; columns are matched by field id.
+  Status Append(const EntityBatch& other);
+  /// Copies rows [begin, end) into a new batch.
+  EntityBatch Slice(int64_t begin, int64_t end) const;
+
+  /// Checks the batch against a schema: every non-PK field present, row
+  /// counts aligned, vector dims matching.
+  Status ValidateAgainst(const CollectionSchema& schema) const;
+
+  /// Approximate in-memory size in bytes; drives segment sealing.
+  uint64_t ByteSize() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<EntityBatch> Deserialize(BinaryReader* r);
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_DATASET_H_

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace manu {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = system_clock::now().time_since_epoch();
+  const auto ms = duration_cast<milliseconds>(now).count();
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::fprintf(stderr, "%s %lld.%03lld %s:%d] %s\n", LevelName(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), Basename(file), line,
+               msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace manu

@@ -1,0 +1,51 @@
+#ifndef MANU_COMMON_LOGGING_H_
+#define MANU_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace manu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Benches raise this
+/// to kWarn so progress logging does not pollute measured output.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define MANU_LOG(level)                                         \
+  if (::manu::GetLogLevel() <= ::manu::LogLevel::level)         \
+  ::manu::internal::LogLine(::manu::LogLevel::level, __FILE__, __LINE__)
+
+#define MANU_LOG_DEBUG MANU_LOG(kDebug)
+#define MANU_LOG_INFO MANU_LOG(kInfo)
+#define MANU_LOG_WARN MANU_LOG(kWarn)
+#define MANU_LOG_ERROR MANU_LOG(kError)
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_LOGGING_H_

@@ -1,0 +1,109 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace manu {
+
+void LatencyHistogram::Observe(double micros) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(micros);
+  } else {
+    samples_[next_] = micros;
+    next_ = (next_ + 1) % max_samples_;
+  }
+  ++total_count_;
+  total_sum_ += micros;
+  max_ = std::max(max_, micros);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double LatencyHistogram::Mean() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_count_ == 0 ? 0 : total_sum_ / static_cast<double>(total_count_);
+}
+
+double LatencyHistogram::Max() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_;
+}
+
+int64_t LatencyHistogram::Count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_count_;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  samples_.clear();
+  next_ = 0;
+  total_count_ = 0;
+  total_sum_ = 0;
+  max_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->Get() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " count=" << h->Count() << " mean_us=" << h->Mean()
+        << " p50_us=" << h->Percentile(50) << " p95_us=" << h->Percentile(95)
+        << " p99_us=" << h->Percentile(99) << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+int64_t NowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowMicros() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace manu

@@ -1,0 +1,95 @@
+#ifndef MANU_COMMON_METRICS_H_
+#define MANU_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace manu {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe latency histogram with exact percentile queries over a sliding
+/// sample buffer. Exact-on-samples (not bucketed) keeps bench output honest
+/// at the scales we run (<= a few million observations).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(size_t max_samples = 1 << 20)
+      : max_samples_(max_samples) {}
+
+  void Observe(double micros);
+
+  /// Percentile in [0, 100]; returns 0 when empty.
+  double Percentile(double p) const;
+  double Mean() const;
+  double Max() const;
+  int64_t Count() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_samples_;
+  size_t next_ = 0;  ///< Ring-buffer write position once full.
+  std::vector<double> samples_;
+  int64_t total_count_ = 0;
+  double total_sum_ = 0;
+  double max_ = 0;
+};
+
+/// Process-wide registry keyed by name; the stand-in for the paper's Attu
+/// GUI "system view" (QPS, latency, memory). Components register counters
+/// and histograms here; benches and examples read them back.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Formats all metrics as "name value" lines (counters) and
+  /// "name p50/p95/p99/mean" lines (histograms).
+  std::string Dump() const;
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Wall-clock helpers.
+int64_t NowMs();
+int64_t NowMicros();
+
+/// RAII latency probe: records elapsed microseconds into a histogram.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* hist)
+      : hist_(hist), start_(NowMicros()) {}
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(NowMicros() - start_));
+    }
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  int64_t start_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_METRICS_H_

@@ -1,0 +1,75 @@
+#ifndef MANU_COMMON_RESULT_H_
+#define MANU_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace manu {
+
+/// Result<T> holds either a value of type T or an error Status, following the
+/// arrow::Result convention. A default-constructed Result is an Internal
+/// error ("uninitialized result").
+template <typename T>
+class Result {
+ public:
+  Result() : repr_(Status::Internal("uninitialized result")) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // arrow::Result so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() && "OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define MANU_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define MANU_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MANU_ASSIGN_OR_RETURN_NAME(a, b) MANU_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MANU_ASSIGN_OR_RETURN(lhs, expr) \
+  MANU_ASSIGN_OR_RETURN_IMPL(            \
+      MANU_ASSIGN_OR_RETURN_NAME(_res_, __COUNTER__), lhs, expr)
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_RESULT_H_

@@ -1,0 +1,138 @@
+#include "common/schema.h"
+
+namespace manu {
+
+const char* ToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+    case DataType::kFloatVector:
+      return "float_vector";
+  }
+  return "unknown";
+}
+
+void FieldSchema::Serialize(BinaryWriter* w) const {
+  w->PutI64(id);
+  w->PutString(name);
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutI32(dim);
+  w->PutBool(is_primary);
+  w->PutU8(static_cast<uint8_t>(metric));
+}
+
+Result<FieldSchema> FieldSchema::Deserialize(BinaryReader* r) {
+  FieldSchema f;
+  MANU_ASSIGN_OR_RETURN(f.id, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(f.name, r->GetString());
+  MANU_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  f.type = static_cast<DataType>(type);
+  MANU_ASSIGN_OR_RETURN(f.dim, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(f.is_primary, r->GetBool());
+  MANU_ASSIGN_OR_RETURN(uint8_t metric, r->GetU8());
+  f.metric = static_cast<MetricType>(metric);
+  return f;
+}
+
+Status CollectionSchema::AddField(FieldSchema field) {
+  if (field.name.empty()) {
+    return Status::InvalidArgument("field name must not be empty");
+  }
+  if (FieldByName(field.name) != nullptr) {
+    return Status::AlreadyExists("duplicate field name: " + field.name);
+  }
+  if (field.is_primary) {
+    if (PrimaryField() != nullptr) {
+      return Status::InvalidArgument("collection already has a primary key");
+    }
+    if (field.type != DataType::kInt64 && field.type != DataType::kString) {
+      return Status::InvalidArgument(
+          "primary key must be int64 or string: " + field.name);
+    }
+  }
+  if (field.IsVector() && field.dim <= 0) {
+    return Status::InvalidArgument("vector field needs dim > 0: " +
+                                   field.name);
+  }
+  if (!field.IsVector() && field.dim != 0) {
+    return Status::InvalidArgument("scalar field must have dim == 0: " +
+                                   field.name);
+  }
+  field.id = next_field_id_++;
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Status CollectionSchema::Finalize() {
+  if (name_.empty()) {
+    return Status::InvalidArgument("collection name must not be empty");
+  }
+  if (PrimaryField() == nullptr) {
+    FieldSchema pk;
+    pk.name = "_pk";
+    pk.type = DataType::kInt64;
+    pk.is_primary = true;
+    MANU_RETURN_NOT_OK(AddField(std::move(pk)));
+  }
+  return Status::OK();
+}
+
+const FieldSchema* CollectionSchema::FieldByName(
+    const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FieldSchema* CollectionSchema::FieldById(FieldId id) const {
+  for (const auto& f : fields_) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+const FieldSchema* CollectionSchema::PrimaryField() const {
+  for (const auto& f : fields_) {
+    if (f.is_primary) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const FieldSchema*> CollectionSchema::VectorFields() const {
+  std::vector<const FieldSchema*> out;
+  for (const auto& f : fields_) {
+    if (f.IsVector()) out.push_back(&f);
+  }
+  return out;
+}
+
+void CollectionSchema::Serialize(BinaryWriter* w) const {
+  w->PutString(name_);
+  w->PutI64(next_field_id_);
+  w->PutU32(static_cast<uint32_t>(fields_.size()));
+  for (const auto& f : fields_) f.Serialize(w);
+}
+
+Result<CollectionSchema> CollectionSchema::Deserialize(BinaryReader* r) {
+  CollectionSchema schema;
+  MANU_ASSIGN_OR_RETURN(schema.name_, r->GetString());
+  MANU_ASSIGN_OR_RETURN(schema.next_field_id_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  schema.fields_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(FieldSchema f, FieldSchema::Deserialize(r));
+    schema.fields_.push_back(std::move(f));
+  }
+  return schema;
+}
+
+}  // namespace manu

@@ -1,0 +1,88 @@
+#ifndef MANU_COMMON_SCHEMA_H_
+#define MANU_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace manu {
+
+/// Field value types (Section 3.1: vector, string, boolean, integer, float).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat = 1,
+  kDouble = 2,
+  kBool = 3,
+  kString = 4,
+  kFloatVector = 5,
+};
+
+const char* ToString(DataType type);
+
+/// Schema of a single field of an entity.
+struct FieldSchema {
+  FieldId id = 0;
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Dimensionality; meaningful only for kFloatVector fields.
+  int32_t dim = 0;
+  /// True for the primary-key field. Exactly one field per collection.
+  bool is_primary = false;
+  /// Similarity function used when searching this field (vector fields).
+  MetricType metric = MetricType::kL2;
+
+  bool IsVector() const { return type == DataType::kFloatVector; }
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<FieldSchema> Deserialize(BinaryReader* r);
+
+  bool operator==(const FieldSchema&) const = default;
+};
+
+/// Schema of a collection (Figure 1 of the paper). A collection has exactly
+/// one primary-key field (added implicitly if absent), zero or more vector
+/// fields, and any number of scalar label/attribute fields used for
+/// filtering.
+class CollectionSchema {
+ public:
+  CollectionSchema() = default;
+  explicit CollectionSchema(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a field; assigns the next FieldId. Fails on duplicate names,
+  /// a second primary key, or a vector field with dim <= 0.
+  Status AddField(FieldSchema field);
+
+  /// Validates the schema and auto-inserts an int64 primary key named "_pk"
+  /// if the user did not declare one (paper: "the system will automatically
+  /// add an integer primary key").
+  Status Finalize();
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldSchema>& fields() const { return fields_; }
+
+  const FieldSchema* FieldByName(const std::string& name) const;
+  const FieldSchema* FieldById(FieldId id) const;
+  /// The primary-key field; null until Finalize() succeeds.
+  const FieldSchema* PrimaryField() const;
+  /// All vector fields, in declaration order.
+  std::vector<const FieldSchema*> VectorFields() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<CollectionSchema> Deserialize(BinaryReader* r);
+
+  bool operator==(const CollectionSchema&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<FieldSchema> fields_;
+  FieldId next_field_id_ = 100;  // User fields start at 100, like Milvus.
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_SCHEMA_H_

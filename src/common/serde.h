@@ -1,0 +1,128 @@
+#ifndef MANU_COMMON_SERDE_H_
+#define MANU_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace manu {
+
+/// Little-endian binary writer used by the WAL message codec, the binlog
+/// format and index (de)serialization. All multi-byte integers are written
+/// in the host byte order (the project targets little-endian x86/ARM).
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutFloat(float v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Length-prefixed string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Counterpart reader. Every getter bounds-checks and reports Corruption on
+/// truncated input instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() { return GetPod<uint8_t>(); }
+  Result<uint32_t> GetU32() { return GetPod<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetPod<uint64_t>(); }
+  Result<int32_t> GetI32() { return GetPod<int32_t>(); }
+  Result<int64_t> GetI64() { return GetPod<int64_t>(); }
+  Result<float> GetFloat() { return GetPod<float>(); }
+  Result<double> GetDouble() { return GetPod<double>(); }
+  Result<bool> GetBool() {
+    MANU_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+    return v != 0;
+  }
+
+  Result<std::string> GetString() {
+    MANU_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("truncated string");
+    }
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MANU_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+    if (n > (data_.size() - pos_) / sizeof(T)) {
+      return Status::Corruption("truncated vector");
+    }
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  Status GetRaw(void* out, size_t n) {
+    if (pos_ + n > data_.size()) return Status::Corruption("truncated raw");
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> GetPod() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::Corruption("truncated field");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC32 (Castagnoli polynomial, bitwise). Used to checksum binlog blocks and
+/// serialized indexes; speed is irrelevant next to the payloads they guard.
+uint32_t Crc32c(const void* data, size_t n);
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_SERDE_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace manu {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace manu

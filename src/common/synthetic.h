@@ -1,0 +1,75 @@
+#ifndef MANU_COMMON_SYNTHETIC_H_
+#define MANU_COMMON_SYNTHETIC_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace manu {
+
+/// In-memory dense float dataset used by tests, examples and benches.
+struct VectorDataset {
+  int32_t dim = 0;
+  MetricType metric = MetricType::kL2;
+  std::vector<float> data;  ///< Row-major, NumRows() * dim floats.
+
+  int64_t NumRows() const {
+    return dim > 0 ? static_cast<int64_t>(data.size()) / dim : 0;
+  }
+  const float* Row(int64_t i) const { return data.data() + i * dim; }
+};
+
+/// Options for the Gaussian-mixture generator. The paper evaluates on SIFT
+/// (128-d, L2) and DEEP (96-d, IP); both are strongly clustered, which is
+/// what makes IVF-style indexes effective, so the generator's key property
+/// is a controllable cluster structure.
+struct SyntheticOptions {
+  int64_t num_rows = 10000;
+  int32_t dim = 128;
+  int32_t num_clusters = 64;
+  double cluster_spread = 0.15;  ///< Intra-cluster stddev relative to the
+                                 ///< inter-cluster scale (1.0).
+  bool normalize = false;        ///< L2-normalize rows (for IP/cosine data).
+  uint64_t seed = 42;
+  MetricType metric = MetricType::kL2;
+};
+
+/// Generates a clustered dataset (Gaussian mixture with uniformly placed
+/// centers in [0,1]^dim).
+VectorDataset MakeClusteredDataset(const SyntheticOptions& opts);
+
+/// "SIFT-like": 128-d, L2, clustered, positive-ish coordinates.
+VectorDataset MakeSiftLike(int64_t num_rows, uint64_t seed = 42);
+
+/// "DEEP-like": 96-d, unit-normalized, inner product.
+VectorDataset MakeDeepLike(int64_t num_rows, uint64_t seed = 42);
+
+/// Draws queries from the same mixture as `opts` but with a different seed,
+/// so queries are near clusters without duplicating base rows.
+VectorDataset MakeQueries(const SyntheticOptions& opts, int64_t num_queries,
+                          uint64_t seed = 7);
+
+/// Canonical score (smaller is better) between two vectors under `metric`.
+float CanonicalScore(const float* a, const float* b, int32_t dim,
+                     MetricType metric);
+
+/// Exact top-k ground truth by brute force; one Neighbor list per query.
+/// O(num_queries * num_rows * dim) — run on modest sizes only.
+std::vector<std::vector<Neighbor>> BruteForceGroundTruth(
+    const VectorDataset& base, const VectorDataset& queries, size_t k);
+
+/// recall@k of `result` against exact `truth` for one query:
+/// |result ∩ truth| / k.
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& truth, size_t k);
+
+/// Mean recall across queries.
+double MeanRecall(const std::vector<std::vector<Neighbor>>& results,
+                  const std::vector<std::vector<Neighbor>>& truths, size_t k);
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_SYNTHETIC_H_

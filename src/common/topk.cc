@@ -1,0 +1,35 @@
+#include "common/topk.h"
+
+#include <limits>
+#include <unordered_set>
+
+namespace manu {
+
+std::vector<Neighbor> MergeTopK(
+    const std::vector<std::vector<Neighbor>>& lists, size_t k,
+    bool dedup_ids) {
+  TopKHeap heap(dedup_ids ? k * 2 : k);  // Headroom so dedup can't starve k.
+  for (const auto& list : lists) {
+    for (const auto& n : list) {
+      if (heap.Full() && n.score > heap.Worst()) break;  // Lists are sorted.
+      heap.Push(n.id, n.score);
+    }
+  }
+  std::vector<Neighbor> merged = heap.TakeSorted();
+  if (!dedup_ids) {
+    if (merged.size() > k) merged.resize(k);
+    return merged;
+  }
+  std::vector<Neighbor> out;
+  out.reserve(k);
+  std::unordered_set<int64_t> seen;
+  for (const auto& n : merged) {
+    if (seen.insert(n.id).second) {
+      out.push_back(n);
+      if (out.size() == k) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace manu

@@ -1,0 +1,82 @@
+#ifndef MANU_COMMON_TOPK_H_
+#define MANU_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace manu {
+
+/// One search hit. `score` is canonical: smaller is always better. For L2
+/// the score is the squared distance; for inner product and cosine it is the
+/// negated similarity. Canonicalizing at the kernel boundary lets every
+/// index, reducer and heap share one comparison direction.
+struct Neighbor {
+  int64_t id = -1;     ///< Row offset within a segment, or a primary key
+                       ///< after segment-level results are mapped.
+  float score = 0.0f;  ///< Canonical score; smaller is better.
+
+  bool operator<(const Neighbor& other) const {
+    // Ties broken by id for deterministic results across runs.
+    if (score != other.score) return score < other.score;
+    return id < other.id;
+  }
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Bounded top-k collector backed by a max-heap on score: the root is the
+/// current worst kept hit, so a candidate only enters if it beats the root.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Current admission threshold: candidates with score >= Worst() when the
+  /// heap is full can be skipped by callers (pruning hook for indexes).
+  float Worst() const {
+    return Full() ? heap_.front().score
+                  : std::numeric_limits<float>::infinity();
+  }
+  bool Full() const { return heap_.size() >= k_; }
+  size_t Size() const { return heap_.size(); }
+
+  void Push(int64_t id, float score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, score});
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+    } else if (score < heap_.front().score ||
+               (score == heap_.front().score && id < heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), WorseFirst);
+      heap_.back() = {id, score};
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+    }
+  }
+
+  /// Extracts hits sorted best-first; the heap is left empty.
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static bool WorseFirst(const Neighbor& a, const Neighbor& b) {
+    return a < b;  // max-heap on score: worst (largest) at front.
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Merges several best-first-sorted hit lists into one global top-k,
+/// dropping duplicate ids (the paper: "proxies remove duplicate result
+/// vectors" because a segment may live on two query nodes mid-rebalance).
+std::vector<Neighbor> MergeTopK(
+    const std::vector<std::vector<Neighbor>>& lists, size_t k,
+    bool dedup_ids = true);
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_TOPK_H_

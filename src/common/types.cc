@@ -1,0 +1,59 @@
+#include "common/types.h"
+
+namespace manu {
+
+const char* ToString(IndexType type) {
+  switch (type) {
+    case IndexType::kFlat:
+      return "flat";
+    case IndexType::kIvfFlat:
+      return "ivf_flat";
+    case IndexType::kIvfPq:
+      return "ivf_pq";
+    case IndexType::kIvfSq:
+      return "ivf_sq8";
+    case IndexType::kPq:
+      return "pq";
+    case IndexType::kSq8:
+      return "sq8";
+    case IndexType::kHnsw:
+      return "hnsw";
+    case IndexType::kSsdBucket:
+      return "ssd_bucket";
+    case IndexType::kIvfHnsw:
+      return "ivf_hnsw";
+    case IndexType::kRq:
+      return "rq";
+    case IndexType::kImi:
+      return "imi";
+  }
+  return "unknown";
+}
+
+const char* ToString(MetricType metric) {
+  switch (metric) {
+    case MetricType::kL2:
+      return "l2";
+    case MetricType::kInnerProduct:
+      return "ip";
+    case MetricType::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+const char* ToString(SegmentState state) {
+  switch (state) {
+    case SegmentState::kGrowing:
+      return "growing";
+    case SegmentState::kSealed:
+      return "sealed";
+    case SegmentState::kIndexed:
+      return "indexed";
+    case SegmentState::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+}  // namespace manu

@@ -1,0 +1,119 @@
+#ifndef MANU_COMMON_TYPES_H_
+#define MANU_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace manu {
+
+// ---------------------------------------------------------------------------
+// Identifier types. Plain integers (not strong typedefs) keep serialization
+// and hashing trivial; names document intent at call sites.
+// ---------------------------------------------------------------------------
+using CollectionId = int64_t;
+using SegmentId = int64_t;
+using FieldId = int64_t;
+using NodeId = int64_t;
+using EntityId = int64_t;  ///< Primary key when the user picks integer PKs.
+using ShardId = int32_t;
+
+inline constexpr CollectionId kInvalidCollectionId = -1;
+inline constexpr SegmentId kInvalidSegmentId = -1;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+// ---------------------------------------------------------------------------
+// Hybrid logical timestamps (Section 3.4 of the paper).
+//
+// A Timestamp packs a physical component (milliseconds since epoch) in the
+// high 46 bits and a logical counter in the low 18 bits, exactly like the
+// TSO timestamps Manu uses as LSNs. The physical part makes user-facing
+// staleness bounds ("10 seconds") directly computable from LSN deltas.
+// ---------------------------------------------------------------------------
+using Timestamp = uint64_t;
+
+inline constexpr int kLogicalBits = 18;
+inline constexpr uint64_t kLogicalMask = (1ull << kLogicalBits) - 1;
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Composes a hybrid timestamp from physical milliseconds and a logical
+/// counter.
+inline constexpr Timestamp ComposeTimestamp(uint64_t physical_ms,
+                                            uint64_t logical) {
+  return (physical_ms << kLogicalBits) | (logical & kLogicalMask);
+}
+
+/// Extracts the physical (millisecond) component of a hybrid timestamp.
+inline constexpr uint64_t PhysicalMs(Timestamp ts) {
+  return ts >> kLogicalBits;
+}
+
+/// Extracts the logical counter of a hybrid timestamp.
+inline constexpr uint64_t LogicalPart(Timestamp ts) {
+  return ts & kLogicalMask;
+}
+
+// ---------------------------------------------------------------------------
+// Enumerations shared across layers.
+// ---------------------------------------------------------------------------
+
+/// Similarity/distance functions supported for vector search (Section 3.6).
+enum class MetricType : uint8_t {
+  kL2 = 0,            ///< Euclidean distance; smaller is more similar.
+  kInnerProduct = 1,  ///< Inner product; larger is more similar.
+  kCosine = 2,        ///< Angular similarity; larger is more similar.
+};
+
+/// Index families from Table 1 that this reproduction implements.
+enum class IndexType : uint8_t {
+  kFlat = 0,    ///< Brute-force scan (also the growing-segment fallback).
+  kIvfFlat = 1, ///< Inverted lists over k-means clusters, raw vectors.
+  kIvfPq = 2,   ///< Inverted lists with product-quantized residual codes.
+  kIvfSq = 3,   ///< Inverted lists with scalar-quantized (8-bit) codes.
+  kPq = 4,      ///< Flat product quantization.
+  kSq8 = 5,     ///< Flat 8-bit scalar quantization.
+  kHnsw = 6,    ///< Hierarchical navigable small world proximity graph.
+  kSsdBucket = 7, ///< Section 4.4 SSD bucket index (SPANN-like).
+  kIvfHnsw = 8, ///< Inverted lists probed through an HNSW over centroids.
+  kRq = 9,      ///< Residual (additive) quantization, ADC scan.
+  kImi = 10,    ///< Inverted multi-index (product-coarse cells).
+};
+
+/// Segment life-cycle states (Section 3.1).
+enum class SegmentState : uint8_t {
+  kGrowing = 0,  ///< Accepting inserts from the WAL, searched by brute force
+                 ///< or a temporary slice index.
+  kSealed = 1,   ///< Read-only; binlog flushed; eligible for index build.
+  kIndexed = 2,  ///< Sealed and a full index is available in object storage.
+  kDropped = 3,  ///< Compacted away or deleted.
+};
+
+/// Named consistency levels; all are sugar over a staleness bound
+/// (delta consistency, Section 3.4).
+enum class ConsistencyLevel : uint8_t {
+  kStrong = 0,     ///< tau = 0: see every write issued before the query.
+  kBounded = 1,    ///< tau = user-provided bound.
+  kEventually = 2, ///< tau = infinity: never wait.
+};
+
+/// Returns a short lower-case name, e.g. "ivf_flat"; used in logs and bench
+/// output.
+const char* ToString(IndexType type);
+const char* ToString(MetricType metric);
+const char* ToString(SegmentState state);
+
+// ---------------------------------------------------------------------------
+// Misc small constants mirroring the paper's defaults.
+// ---------------------------------------------------------------------------
+
+/// Default sealed-segment size threshold (paper: 512 MB). Tests and benches
+/// override this via CollectionConfig; the constant documents the default.
+inline constexpr uint64_t kDefaultSegmentSealBytes = 512ull << 20;
+
+/// Default rows per growing-segment slice (paper: 10,000 vectors).
+inline constexpr int64_t kDefaultSliceRows = 10000;
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_TYPES_H_

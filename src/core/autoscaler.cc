@@ -1,0 +1,49 @@
+#include "core/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/manu.h"
+
+namespace manu {
+
+int32_t AutoScaler::Evaluate(double avg_latency_ms) {
+  const int32_t current = static_cast<int32_t>(db_->NumQueryNodes());
+  int32_t target = current;
+
+  if (avg_latency_ms > policy_.scale_up_above_ms) {
+    ++above_streak_;
+    below_streak_ = 0;
+    if (above_streak_ >= policy_.hysteresis) {
+      target = static_cast<int32_t>(
+          std::ceil(current * policy_.up_factor));
+      above_streak_ = 0;
+    }
+  } else if (avg_latency_ms < policy_.scale_down_below_ms) {
+    ++below_streak_;
+    above_streak_ = 0;
+    if (below_streak_ >= policy_.hysteresis) {
+      target = std::max(1, static_cast<int32_t>(
+                               std::floor(current * policy_.down_factor)));
+      below_streak_ = 0;
+    }
+  } else {
+    above_streak_ = 0;
+    below_streak_ = 0;
+  }
+
+  target = std::clamp(target, policy_.min_nodes, policy_.max_nodes);
+  if (target != current) {
+    MANU_LOG_INFO << "autoscaler: latency " << avg_latency_ms << "ms, nodes "
+                  << current << " -> " << target;
+    Status st = db_->ScaleQueryNodes(target);
+    if (!st.ok()) {
+      MANU_LOG_WARN << "autoscaler: scale failed: " << st.ToString();
+      return current;
+    }
+  }
+  return target;
+}
+
+}  // namespace manu

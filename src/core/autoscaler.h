@@ -1,0 +1,51 @@
+#ifndef MANU_CORE_AUTOSCALER_H_
+#define MANU_CORE_AUTOSCALER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace manu {
+
+class ManuInstance;
+
+/// Scaling policy from the Figure 9 experiment: "Manu is configured to
+/// reduce query nodes by 0.5x when search latency is shorter than 100 ms
+/// and add query nodes to 2x when search latency is over 150 ms".
+struct AutoScalerPolicy {
+  double scale_down_below_ms = 100.0;
+  double scale_up_above_ms = 150.0;
+  double up_factor = 2.0;
+  double down_factor = 0.5;
+  int32_t min_nodes = 1;
+  int32_t max_nodes = 32;
+  /// Consecutive evaluations a threshold must hold before acting (guards
+  /// against reacting to one noisy window).
+  int32_t hysteresis = 1;
+};
+
+/// Reactive query-node autoscaler. The driving loop (a bench harness or an
+/// operator cron) feeds it one latency observation per evaluation window;
+/// Evaluate() applies the policy and resizes the query-node fleet through
+/// ManuInstance::ScaleQueryNodes.
+class AutoScaler {
+ public:
+  AutoScaler(ManuInstance* db, AutoScalerPolicy policy)
+      : db_(db), policy_(policy) {}
+
+  /// Feeds the average search latency of the last window; returns the node
+  /// count after any scaling action.
+  int32_t Evaluate(double avg_latency_ms);
+
+  const AutoScalerPolicy& policy() const { return policy_; }
+
+ private:
+  ManuInstance* db_;
+  AutoScalerPolicy policy_;
+  int32_t above_streak_ = 0;
+  int32_t below_streak_ = 0;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_AUTOSCALER_H_

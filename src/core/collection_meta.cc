@@ -1,0 +1,88 @@
+#include "core/collection_meta.h"
+
+namespace manu {
+
+std::string CollectionMeta::Serialize() const {
+  BinaryWriter w;
+  w.PutI64(id);
+  schema.Serialize(&w);
+  w.PutI32(num_shards);
+  w.PutU32(static_cast<uint32_t>(index_params.size()));
+  for (const auto& [field, params] : index_params) {
+    w.PutI64(field);
+    params.Serialize(&w);
+  }
+  w.PutI32(index_version);
+  w.PutU64(created_at);
+  w.PutBool(dropped);
+  return w.Release();
+}
+
+Result<CollectionMeta> CollectionMeta::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  CollectionMeta meta;
+  MANU_ASSIGN_OR_RETURN(meta.id, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(meta.schema, CollectionSchema::Deserialize(&r));
+  MANU_ASSIGN_OR_RETURN(meta.num_shards, r.GetI32());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(FieldId field, r.GetI64());
+    MANU_ASSIGN_OR_RETURN(IndexParams params, IndexParams::Deserialize(&r));
+    meta.index_params[field] = params;
+  }
+  MANU_ASSIGN_OR_RETURN(meta.index_version, r.GetI32());
+  MANU_ASSIGN_OR_RETURN(meta.created_at, r.GetU64());
+  MANU_ASSIGN_OR_RETURN(meta.dropped, r.GetBool());
+  return meta;
+}
+
+std::string SegmentMeta::Serialize() const {
+  BinaryWriter w;
+  w.PutI64(id);
+  w.PutI64(collection);
+  w.PutI32(shard);
+  w.PutU8(static_cast<uint8_t>(state));
+  w.PutI64(num_rows);
+  w.PutString(binlog_path);
+  w.PutU32(static_cast<uint32_t>(index_paths.size()));
+  for (const auto& [field, path] : index_paths) {
+    w.PutI64(field);
+    w.PutString(path);
+    auto it = index_versions.find(field);
+    w.PutI32(it == index_versions.end() ? 0 : it->second);
+  }
+  w.PutU64(last_lsn);
+  return w.Release();
+}
+
+Result<SegmentMeta> SegmentMeta::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  SegmentMeta meta;
+  MANU_ASSIGN_OR_RETURN(meta.id, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(meta.collection, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(meta.shard, r.GetI32());
+  MANU_ASSIGN_OR_RETURN(uint8_t state, r.GetU8());
+  meta.state = static_cast<SegmentState>(state);
+  MANU_ASSIGN_OR_RETURN(meta.num_rows, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(meta.binlog_path, r.GetString());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(FieldId field, r.GetI64());
+    MANU_ASSIGN_OR_RETURN(std::string path, r.GetString());
+    meta.index_paths[field] = std::move(path);
+    MANU_ASSIGN_OR_RETURN(meta.index_versions[field], r.GetI32());
+  }
+  MANU_ASSIGN_OR_RETURN(meta.last_lsn, r.GetU64());
+  return meta;
+}
+
+std::string CollectionMetaKey(CollectionId id) {
+  return "collection/" + std::to_string(id);
+}
+
+std::string SegmentMetaKey(CollectionId collection, SegmentId segment) {
+  return "segment/" + std::to_string(collection) + "/" +
+         std::to_string(segment);
+}
+
+}  // namespace manu

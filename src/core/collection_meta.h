@@ -1,0 +1,59 @@
+#ifndef MANU_CORE_COLLECTION_META_H_
+#define MANU_CORE_COLLECTION_META_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Durable description of one collection, owned by the root coordinator and
+/// persisted in the MetaStore under meta key "collection/<id>".
+struct CollectionMeta {
+  CollectionId id = kInvalidCollectionId;
+  CollectionSchema schema;
+  int32_t num_shards = 2;
+  /// Declared index per vector field (set by CreateIndex; empty = flat).
+  std::map<FieldId, IndexParams> index_params;
+  /// Bumped on every DeclareIndex; segments indexed under an older version
+  /// are rebuilt (batch re-indexing after an embedding-model change).
+  int32_t index_version = 0;
+  Timestamp created_at = 0;
+  bool dropped = false;
+
+  std::string Serialize() const;
+  static Result<CollectionMeta> Deserialize(std::string_view data);
+};
+
+/// Durable description of one segment, owned by the data coordinator,
+/// persisted under "segment/<collection>/<id>".
+struct SegmentMeta {
+  SegmentId id = kInvalidSegmentId;
+  CollectionId collection = kInvalidCollectionId;
+  ShardId shard = -1;
+  SegmentState state = SegmentState::kGrowing;
+  int64_t num_rows = 0;
+  /// Object-store prefix of the binlog (set when sealed).
+  std::string binlog_path;
+  /// Object-store path of the built vector index per field (set when
+  /// indexed), and the collection index_version it was built under.
+  std::map<FieldId, std::string> index_paths;
+  std::map<FieldId, int32_t> index_versions;
+  /// LSN of the last row in the segment (replay progress marker for time
+  /// travel, Section 4.3).
+  Timestamp last_lsn = 0;
+
+  std::string Serialize() const;
+  static Result<SegmentMeta> Deserialize(std::string_view data);
+};
+
+/// Meta-store key helpers.
+std::string CollectionMetaKey(CollectionId id);
+std::string SegmentMetaKey(CollectionId collection, SegmentId segment);
+
+}  // namespace manu
+
+#endif  // MANU_CORE_COLLECTION_META_H_

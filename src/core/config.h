@@ -1,0 +1,72 @@
+#ifndef MANU_CORE_CONFIG_H_
+#define MANU_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace manu {
+
+/// System-wide configuration of a ManuInstance. Defaults mirror the paper
+/// where it states one (512 MB seal threshold, 10 s idle seal, 10k-row
+/// slices, two query nodes / one data node / one index node); tests and
+/// benches shrink the thresholds so segment life cycles happen at laptop
+/// scale.
+struct ManuConfig {
+  // --- Sharding / segments (Section 3.1) ---
+  int32_t num_shards = 2;           ///< WAL channels per collection.
+  uint64_t segment_seal_bytes = kDefaultSegmentSealBytes;
+  int64_t segment_seal_rows = 0;    ///< 0 = no row-count trigger.
+  int64_t segment_idle_seal_ms = 10000;
+  int64_t slice_rows = kDefaultSliceRows;
+
+  // --- Log backbone (Sections 3.3 / 3.4) ---
+  int64_t time_tick_interval_ms = 50;
+  /// Default staleness tolerance tau in ms when a query does not override it
+  /// (kBounded). kStrong -> 0, kEventually -> +inf.
+  int64_t default_staleness_ms = 1000;
+
+  /// Hot replicas per sealed segment (Section 3.6: "maintaining multiple
+  /// hot replicas of a collection to serve queries for availability and
+  /// throughput"). Each sealed segment is loaded on min(replica_factor,
+  /// #nodes) query nodes; proxies dedup by pk, and a node failure leaves
+  /// the collection fully served.
+  int32_t replica_factor = 1;
+
+  // --- Worker fleet (Section 5.2 defaults) ---
+  int32_t num_query_nodes = 2;
+  int32_t num_index_nodes = 1;
+  int32_t num_data_nodes = 1;
+  int32_t num_loggers = 1;
+  int32_t index_build_threads = 2;   ///< Per index node.
+  int32_t query_threads = 4;         ///< Per query node (intra-query).
+
+  // --- Node main-loop cadence ---
+  int64_t poll_batch = 256;          ///< Max WAL entries per poll.
+  int64_t poll_timeout_ms = 20;
+
+  // --- Deletion / compaction (Section 3.5) ---
+  /// Rebuild (compact) a sealed segment once this fraction of its rows is
+  /// tombstoned.
+  double compact_deleted_ratio = 0.3;
+  /// Merge sealed segments smaller than this fraction of seal size.
+  double small_segment_ratio = 0.25;
+
+  // --- Consistency wait bound (avoid unbounded stalls if ticks stop) ---
+  int64_t max_consistency_wait_ms = 5000;
+
+  // --- Scaling-simulation knob ---
+  /// When > 0, each query-node search takes at least
+  /// `sim_segment_search_us * segments_searched` microseconds (the node
+  /// sleeps off any remainder after real compute). This models each node
+  /// owning its own machine: on a single-core host, real compute cannot
+  /// parallelize across simulated nodes, but calibrated service times can,
+  /// so throughput-vs-nodes experiments (Figures 9-11) measure the
+  /// architecture (segment distribution, queueing) rather than host core
+  /// count. 0 (default) disables the model; searches take their real time.
+  int64_t sim_segment_search_us = 0;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_CONFIG_H_

@@ -1,0 +1,30 @@
+#ifndef MANU_CORE_CONTEXT_H_
+#define MANU_CORE_CONTEXT_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "storage/meta_store.h"
+#include "storage/object_store.h"
+#include "wal/mq.h"
+#include "wal/time_tick.h"
+#include "wal/tso.h"
+
+namespace manu {
+
+/// Shared infrastructure handles passed to every service: the storage layer
+/// (meta + object store), the log backbone (broker, TSO, tick emitter) and
+/// the instance configuration. All pointers are non-owning; ManuInstance
+/// owns the real objects and outlives every service.
+struct CoreContext {
+  ManuConfig config;
+  MetaStore* meta = nullptr;
+  ObjectStore* store = nullptr;
+  MessageQueue* mq = nullptr;
+  Tso* tso = nullptr;
+  TimeTickEmitter* ticker = nullptr;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_CONTEXT_H_

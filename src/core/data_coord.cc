@@ -1,0 +1,386 @@
+#include "core/data_coord.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "storage/binlog.h"
+#include "wal/message.h"
+
+namespace manu {
+
+DataCoordinator::DataCoordinator(const CoreContext& ctx) : ctx_(ctx) {}
+
+void DataCoordinator::OnCollectionCreated(const CollectionMeta& meta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_[meta.id] = meta.num_shards;
+}
+
+void DataCoordinator::OnCollectionDropped(CollectionId collection) {
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_.erase(collection);
+  std::erase_if(alloc_,
+                [&](const auto& kv) { return kv.first.first == collection; });
+  std::erase_if(segments_,
+                [&](const auto& kv) { return kv.first.first == collection; });
+  allocated_.erase(collection);
+}
+
+SegmentId DataCoordinator::NextSegmentId() {
+  return next_segment_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<SegmentId> DataCoordinator::AllocateSegment(CollectionId collection,
+                                                   ShardId shard,
+                                                   int64_t rows,
+                                                   uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shards_.count(collection) == 0) {
+    return Status::NotFound("collection not registered with data coord");
+  }
+  ShardAlloc& a = alloc_[{collection, shard}];
+  const bool over_rows = ctx_.config.segment_seal_rows > 0 &&
+                         a.rows + rows > ctx_.config.segment_seal_rows;
+  const bool over_bytes = a.bytes + bytes > ctx_.config.segment_seal_bytes;
+  if (a.current == kInvalidSegmentId || over_rows || over_bytes) {
+    a.current = NextSegmentId();
+    a.rows = 0;
+    a.bytes = 0;
+    allocated_[collection].push_back(a.current);
+  }
+  a.rows += rows;
+  a.bytes += bytes;
+  a.last_alloc_ms = NowMs();
+  return a.current;
+}
+
+void DataCoordinator::PublishFlush(CollectionId collection, ShardId shard,
+                                   SegmentId up_to) const {
+  LogEntry flush;
+  flush.type = LogEntryType::kFlush;
+  flush.timestamp = ctx_.tso->Allocate();
+  flush.collection = collection;
+  flush.shard = shard;
+  flush.segment = up_to;  // Seal every buffered segment with id < up_to.
+  ctx_.mq->Publish(ShardChannelName(collection, shard), std::move(flush));
+}
+
+SegmentId DataCoordinator::RollShardLocked(CollectionId collection,
+                                           ShardId shard,
+                                           SegmentId* rolled) {
+  ShardAlloc& a = alloc_[{collection, shard}];
+  *rolled = a.current;
+  a.current = kInvalidSegmentId;
+  a.rows = 0;
+  a.bytes = 0;
+  // The barrier is "every segment below the *next* id": rolling lazily means
+  // the next allocation picks a fresh id greater than anything sealed here.
+  return next_segment_id_.load(std::memory_order_relaxed);
+}
+
+Result<std::vector<SegmentId>> DataCoordinator::Flush(
+    CollectionId collection) {
+  std::vector<std::pair<ShardId, SegmentId>> barriers;
+  std::vector<SegmentId> rolled_ids;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = shards_.find(collection);
+    if (it == shards_.end()) {
+      return Status::NotFound("collection not registered with data coord");
+    }
+    for (ShardId shard = 0; shard < it->second; ++shard) {
+      SegmentId rolled = kInvalidSegmentId;
+      const SegmentId barrier = RollShardLocked(collection, shard, &rolled);
+      barriers.emplace_back(shard, barrier);
+      if (rolled != kInvalidSegmentId) rolled_ids.push_back(rolled);
+    }
+  }
+  for (const auto& [shard, up_to] : barriers) {
+    PublishFlush(collection, shard, up_to);
+  }
+  return rolled_ids;
+}
+
+void DataCoordinator::CheckIdleSegments() {
+  const int64_t now = NowMs();
+  std::vector<std::pair<std::pair<CollectionId, ShardId>, SegmentId>> idle;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [key, a] : alloc_) {
+      if (a.current == kInvalidSegmentId) continue;
+      if (now - a.last_alloc_ms < ctx_.config.segment_idle_seal_ms) continue;
+      SegmentId rolled = kInvalidSegmentId;
+      const SegmentId barrier = RollShardLocked(key.first, key.second,
+                                                &rolled);
+      if (rolled != kInvalidSegmentId) idle.emplace_back(key, barrier);
+    }
+  }
+  for (const auto& [key, up_to] : idle) {
+    PublishFlush(key.first, key.second, up_to);
+  }
+}
+
+Status DataCoordinator::RegisterSealed(const SegmentMeta& meta) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    segments_[{meta.collection, meta.id}] = meta;
+  }
+  ctx_.meta->Put(SegmentMetaKey(meta.collection, meta.id), meta.Serialize());
+  return Status::OK();
+}
+
+Status DataCoordinator::RegisterIndex(CollectionId collection,
+                                      SegmentId segment, FieldId field,
+                                      const std::string& index_path,
+                                      int32_t version) {
+  SegmentMeta copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = segments_.find({collection, segment});
+    if (it == segments_.end()) {
+      return Status::NotFound("segment not registered: " +
+                              std::to_string(segment));
+    }
+    it->second.index_paths[field] = index_path;
+    it->second.index_versions[field] = version;
+    it->second.state = SegmentState::kIndexed;
+    copy = it->second;
+  }
+  ctx_.meta->Put(SegmentMetaKey(collection, segment), copy.Serialize());
+  return Status::OK();
+}
+
+Result<SegmentMeta> DataCoordinator::GetSegment(CollectionId collection,
+                                                SegmentId segment) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = segments_.find({collection, segment});
+  if (it == segments_.end()) {
+    return Status::NotFound("segment: " + std::to_string(segment));
+  }
+  return it->second;
+}
+
+std::vector<SegmentId> DataCoordinator::AllocatedSegments(
+    CollectionId collection) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = allocated_.find(collection);
+  return it == allocated_.end() ? std::vector<SegmentId>{} : it->second;
+}
+
+std::vector<SegmentMeta> DataCoordinator::ListSegments(
+    CollectionId collection) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SegmentMeta> out;
+  for (const auto& [key, meta] : segments_) {
+    if (key.first == collection) out.push_back(meta);
+  }
+  return out;
+}
+
+Result<std::vector<SegmentId>> DataCoordinator::CompactSegments(
+    CollectionId collection, const std::vector<int64_t>& deleted_pks,
+    int64_t small_rows) {
+  const std::unordered_set<int64_t> deleted(deleted_pks.begin(),
+                                            deleted_pks.end());
+  // Candidates: sealed/indexed segments that are small, or that carry
+  // enough tombstoned rows to be worth rewriting.
+  std::vector<SegmentMeta> candidates;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, meta] : segments_) {
+      if (key.first != collection) continue;
+      if (meta.state != SegmentState::kSealed &&
+          meta.state != SegmentState::kIndexed) {
+        continue;
+      }
+      if (meta.num_rows < small_rows) {
+        candidates.push_back(meta);
+      }
+    }
+  }
+  // Deletion-driven candidates need pk inspection; piggyback on the merge
+  // read below by including any sealed segment whose manifest shows enough
+  // deleted pks.
+  if (!deleted.empty()) {
+    for (const SegmentMeta& meta : ListSegments(collection)) {
+      if (meta.state != SegmentState::kSealed &&
+          meta.state != SegmentState::kIndexed) {
+        continue;
+      }
+      if (meta.num_rows >= small_rows) {
+        auto manifest = binlog::ReadManifest(ctx_.store, meta.binlog_path);
+        if (!manifest.ok()) continue;
+        int64_t dead = 0;
+        for (int64_t pk : manifest.value().primary_keys) {
+          dead += deleted.count(pk);
+        }
+        if (static_cast<double>(dead) >
+            ctx_.config.compact_deleted_ratio *
+                static_cast<double>(meta.num_rows)) {
+          candidates.push_back(meta);
+        }
+      }
+    }
+  }
+  // Dedup candidates by id.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SegmentMeta& a, const SegmentMeta& b) {
+              return a.id < b.id;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const SegmentMeta& a,
+                                  const SegmentMeta& b) {
+                                 return a.id == b.id;
+                               }),
+                   candidates.end());
+  if (candidates.size() < 2 &&
+      (candidates.empty() || deleted.empty())) {
+    return std::vector<SegmentId>{};  // Nothing worth rewriting.
+  }
+
+  // Merge all candidates into one segment (bench scales keep this small;
+  // production would bin-pack toward the seal size).
+  struct Row {
+    Timestamp ts;
+    SegmentId source;
+    int64_t offset;
+  };
+  std::vector<EntityBatch> batches;
+  std::vector<Row> order;
+  std::vector<SegmentId> dropped;
+  for (const SegmentMeta& meta : candidates) {
+    auto batch = binlog::ReadSegment(ctx_.store, meta.binlog_path);
+    if (!batch.ok()) continue;
+    const int64_t source = static_cast<int64_t>(batches.size());
+    for (int64_t row = 0; row < batch.value().NumRows(); ++row) {
+      if (deleted.count(batch.value().primary_keys[row]) > 0) continue;
+      order.push_back({batch.value().timestamps.empty()
+                           ? 0
+                           : batch.value().timestamps[row],
+                       source, row});
+    }
+    batches.push_back(std::move(batch).value());
+    dropped.push_back(meta.id);
+  }
+  if (batches.empty()) return std::vector<SegmentId>{};
+  // Rows must stay LSN-ordered so MVCC prefix visibility keeps working.
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Row& a, const Row& b) { return a.ts < b.ts; });
+
+  EntityBatch merged;
+  Timestamp last_lsn = 0;
+  for (const Row& row : order) {
+    EntityBatch single = batches[row.source].Slice(row.offset, row.offset + 1);
+    if (merged.NumRows() == 0) {
+      merged = std::move(single);
+    } else {
+      MANU_RETURN_NOT_OK(merged.Append(single));
+    }
+    last_lsn = std::max(last_lsn, row.ts);
+  }
+
+  SegmentMeta result;
+  result.id = NextSegmentId();
+  result.collection = collection;
+  result.shard = candidates.front().shard;  // Nominal; spans shards.
+  result.state = SegmentState::kSealed;
+  result.num_rows = merged.NumRows();
+  result.binlog_path =
+      "binlog/c" + std::to_string(collection) + "/seg" +
+      std::to_string(result.id);
+  result.last_lsn = last_lsn;
+  if (merged.NumRows() > 0) {
+    MANU_RETURN_NOT_OK(
+        binlog::WriteSegment(ctx_.store, result.binlog_path, merged));
+    MANU_RETURN_NOT_OK(RegisterSealed(result));
+  }
+
+  // Mark the inputs dropped.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (SegmentId id : dropped) {
+      auto it = segments_.find({collection, id});
+      if (it != segments_.end()) it->second.state = SegmentState::kDropped;
+    }
+  }
+
+  // Pipeline events: the merged segment enters via kSegmentSealed; the
+  // kCompaction notice tells the query coordinator which segments to
+  // release once the merged one is served.
+  if (merged.NumRows() > 0) {
+    LogEntry sealed;
+    sealed.type = LogEntryType::kSegmentSealed;
+    sealed.timestamp = ctx_.tso->Allocate();
+    sealed.collection = collection;
+    sealed.segment = result.id;
+    sealed.payload = result.Serialize();
+    ctx_.mq->Publish(CoordChannelName(), std::move(sealed));
+  }
+  LogEntry note;
+  note.type = LogEntryType::kCompaction;
+  note.timestamp = ctx_.tso->Allocate();
+  note.collection = collection;
+  note.segment = merged.NumRows() > 0 ? result.id : kInvalidSegmentId;
+  BinaryWriter w;
+  w.PutVector(dropped);
+  note.payload = w.Release();
+  ctx_.mq->Publish(CoordChannelName(), std::move(note));
+
+  MANU_LOG_INFO << "compacted " << dropped.size() << " segments into "
+                << result.id << " (" << merged.NumRows() << " rows)";
+  if (merged.NumRows() == 0) return std::vector<SegmentId>{};
+  return std::vector<SegmentId>{result.id};
+}
+
+Result<std::string> DataCoordinator::WriteCheckpoint(
+    CollectionId collection) {
+  const Timestamp ts = ctx_.tso->Allocate();
+  BinaryWriter w;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<const SegmentMeta*> metas;
+    for (const auto& [key, meta] : segments_) {
+      if (key.first == collection) metas.push_back(&meta);
+    }
+    w.PutU64(ts);
+    w.PutU32(static_cast<uint32_t>(metas.size()));
+    for (const SegmentMeta* m : metas) w.PutString(m->Serialize());
+  }
+  // Zero-padded physical-ms key keeps checkpoints time-ordered in List().
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llu",
+                static_cast<unsigned long long>(PhysicalMs(ts)));
+  const std::string path =
+      "checkpoint/c" + std::to_string(collection) + "/" + name;
+  MANU_RETURN_NOT_OK(ctx_.store->Put(path, w.Release()));
+  return path;
+}
+
+Result<std::vector<SegmentMeta>> DataCoordinator::ReadCheckpoint(
+    CollectionId collection, Timestamp ts) const {
+  const std::string prefix = "checkpoint/c" + std::to_string(collection) + "/";
+  std::string best;
+  for (const std::string& path : ctx_.store->List(prefix)) {
+    const uint64_t cp_ms = std::stoull(path.substr(prefix.size()));
+    if (cp_ms <= PhysicalMs(ts)) best = path;  // List is sorted ascending.
+  }
+  if (best.empty()) {
+    return Status::NotFound("no checkpoint at or before requested time");
+  }
+  MANU_ASSIGN_OR_RETURN(std::string data, ctx_.store->Get(best));
+  BinaryReader r(data);
+  MANU_ASSIGN_OR_RETURN(uint64_t cp_ts, r.GetU64());
+  (void)cp_ts;
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  std::vector<SegmentMeta> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(std::string blob, r.GetString());
+    MANU_ASSIGN_OR_RETURN(SegmentMeta meta, SegmentMeta::Deserialize(blob));
+    out.push_back(std::move(meta));
+  }
+  return out;
+}
+
+}  // namespace manu

@@ -1,0 +1,108 @@
+#ifndef MANU_CORE_DATA_COORD_H_
+#define MANU_CORE_DATA_COORD_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/collection_meta.h"
+#include "core/context.h"
+
+namespace manu {
+
+/// Data coordinator (Section 3.2): records detailed segment information
+/// (states, binlog routes, index routes) and drives the segment life cycle.
+/// Loggers call AllocateSegment to learn which growing segment new rows
+/// target; the allocator rolls to a fresh segment id when the current one
+/// crosses the seal thresholds, and data nodes seal a segment once the WAL
+/// shows rows for a newer segment on the same shard (or a kFlush barrier).
+class DataCoordinator {
+ public:
+  explicit DataCoordinator(const CoreContext& ctx);
+
+  void OnCollectionCreated(const CollectionMeta& meta);
+  void OnCollectionDropped(CollectionId collection);
+
+  /// Returns the growing segment that should receive `rows`/`bytes` more
+  /// data on (collection, shard), rolling over when thresholds are crossed.
+  Result<SegmentId> AllocateSegment(CollectionId collection, ShardId shard,
+                                    int64_t rows, uint64_t bytes);
+
+  /// Rolls every growing segment of the collection and publishes kFlush
+  /// barriers so data nodes seal them. Returns the ids of the segments that
+  /// were growing (callers can wait for exactly those to become sealed).
+  Result<std::vector<SegmentId>> Flush(CollectionId collection);
+
+  /// Rolls over segments that have not received data for
+  /// config.segment_idle_seal_ms (the paper's 10 s idle seal). Call
+  /// periodically; publishes kFlush barriers for affected shards.
+  void CheckIdleSegments();
+
+  /// Data node reports a sealed segment's binlog.
+  Status RegisterSealed(const SegmentMeta& meta);
+
+  /// Index coordinator reports a built index (built under the collection's
+  /// `index_version` at build time).
+  Status RegisterIndex(CollectionId collection, SegmentId segment,
+                       FieldId field, const std::string& index_path,
+                       int32_t version);
+
+  Result<SegmentMeta> GetSegment(CollectionId collection,
+                                 SegmentId segment) const;
+  /// All sealed/indexed segments of a collection (growing ones live only in
+  /// allocator state and on the nodes).
+  std::vector<SegmentMeta> ListSegments(CollectionId collection) const;
+  /// Every segment id ever allocated for the collection (sealed or not);
+  /// the complete wait-set for flush barriers.
+  std::vector<SegmentId> AllocatedSegments(CollectionId collection) const;
+
+  /// Compaction (Sections 3.1/3.5): merges sealed segments smaller than
+  /// `small_rows` into larger ones and physically drops rows whose pk is in
+  /// `deleted_pks` (gathered from the query nodes' delete buffers). The
+  /// merged segment re-enters the pipeline via kSegmentSealed (index build,
+  /// load); the replaced segments are released once it is served. Returns
+  /// the merged segment ids created (empty when nothing qualified).
+  ///
+  /// Note: physically purging deleted rows bounds the time-travel horizon
+  /// for the affected segments, as in production systems.
+  Result<std::vector<SegmentId>> CompactSegments(
+      CollectionId collection, const std::vector<int64_t>& deleted_pks,
+      int64_t small_rows);
+
+  /// Time travel (Section 4.3): checkpoints the collection's segment map.
+  /// Returns the checkpoint's object path.
+  Result<std::string> WriteCheckpoint(CollectionId collection);
+  /// Segment map of the latest checkpoint taken at or before `ts`.
+  Result<std::vector<SegmentMeta>> ReadCheckpoint(CollectionId collection,
+                                                  Timestamp ts) const;
+
+ private:
+  struct ShardAlloc {
+    SegmentId current = kInvalidSegmentId;
+    int64_t rows = 0;
+    uint64_t bytes = 0;
+    int64_t last_alloc_ms = 0;
+  };
+
+  SegmentId NextSegmentId();
+  void PublishFlush(CollectionId collection, ShardId shard,
+                    SegmentId up_to) const;
+  /// Rolls the shard allocator. Outputs the previously growing segment id
+  /// via `rolled` (kInvalidSegmentId if none) and returns the barrier id
+  /// below which data nodes must seal.
+  SegmentId RollShardLocked(CollectionId collection, ShardId shard,
+                            SegmentId* rolled);
+
+  CoreContext ctx_;
+  mutable std::mutex mu_;
+  std::map<CollectionId, int32_t> shards_;  ///< Collection -> shard count.
+  std::map<std::pair<CollectionId, ShardId>, ShardAlloc> alloc_;
+  std::map<CollectionId, std::vector<SegmentId>> allocated_;
+  std::map<std::pair<CollectionId, SegmentId>, SegmentMeta> segments_;
+  std::atomic<int64_t> next_segment_id_{1};
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_DATA_COORD_H_

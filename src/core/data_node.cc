@@ -1,0 +1,161 @@
+#include "core/data_node.h"
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "storage/binlog.h"
+
+namespace manu {
+
+DataNode::DataNode(NodeId id, const CoreContext& ctx,
+                   DataCoordinator* data_coord)
+    : id_(id), ctx_(ctx), data_coord_(data_coord) {}
+
+DataNode::~DataNode() { Stop(); }
+
+void DataNode::AssignChannel(
+    CollectionId collection, ShardId shard,
+    std::shared_ptr<const CollectionSchema> schema) {
+  auto ch = std::make_shared<ChannelState>();
+  ch->sub = ctx_.mq->Subscribe(ShardChannelName(collection, shard),
+                               SubscribePosition::kEarliest);
+  ch->collection = collection;
+  ch->shard = shard;
+  ch->schema = std::move(schema);
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_.push_back(std::move(ch));
+}
+
+void DataNode::UnassignCollection(CollectionId collection) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(channels_, [&](const auto& ch) {
+    return ch->collection == collection;
+  });
+}
+
+void DataNode::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void DataNode::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void DataNode::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool idle = true;
+    // Snapshot shared channel handles so AssignChannel/UnassignCollection
+    // can run concurrently.
+    std::vector<std::shared_ptr<ChannelState>> channels;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      channels = channels_;
+    }
+    for (const auto& ch : channels) {
+      auto entries = ch->sub->TryPoll(ctx_.config.poll_batch);
+      if (!entries.empty()) idle = false;
+      for (const auto& entry : entries) {
+        HandleEntry(ch.get(), *entry);
+      }
+    }
+    if (idle) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(ctx_.config.poll_timeout_ms));
+    }
+  }
+}
+
+void DataNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
+  switch (entry.type) {
+    case LogEntryType::kInsert: {
+      Buffer& buf = ch->buffers[entry.segment];
+      if (buf.rows.NumRows() == 0 && buf.rows.columns.empty()) {
+        buf.rows = entry.batch;  // First batch defines the column layout.
+        buf.schema = ch->schema;
+      } else {
+        Status st = buf.rows.Append(entry.batch);
+        if (!st.ok()) {
+          MANU_LOG_ERROR << "data node " << id_ << " append failed: "
+                         << st.ToString();
+          return;
+        }
+      }
+      buf.last_lsn = entry.timestamp;
+      // Log order proves older segments on this shard are complete.
+      std::vector<SegmentId> done;
+      for (const auto& [seg, _] : ch->buffers) {
+        if (seg < entry.segment) done.push_back(seg);
+      }
+      for (SegmentId seg : done) {
+        Buffer b = std::move(ch->buffers[seg]);
+        ch->buffers.erase(seg);
+        SealBuffer(ch, seg, std::move(b));
+      }
+      break;
+    }
+    case LogEntryType::kFlush: {
+      std::vector<SegmentId> done;
+      for (const auto& [seg, _] : ch->buffers) {
+        if (seg < entry.segment) done.push_back(seg);
+      }
+      for (SegmentId seg : done) {
+        Buffer b = std::move(ch->buffers[seg]);
+        ch->buffers.erase(seg);
+        SealBuffer(ch, seg, std::move(b));
+      }
+      break;
+    }
+    case LogEntryType::kDelete:
+    case LogEntryType::kTimeTick:
+      // Deletes are served from the WAL by query nodes and applied
+      // physically at compaction; ticks carry no data.
+      break;
+    default:
+      break;
+  }
+}
+
+void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
+                          Buffer buffer) {
+  if (buffer.rows.NumRows() == 0) return;
+  const std::string path = "binlog/c" + std::to_string(ch->collection) +
+                           "/seg" + std::to_string(segment);
+  Status st = binlog::WriteSegment(ctx_.store, path, buffer.rows);
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "data node " << id_ << " binlog write failed: "
+                   << st.ToString();
+    return;
+  }
+
+  SegmentMeta meta;
+  meta.id = segment;
+  meta.collection = ch->collection;
+  meta.shard = ch->shard;
+  meta.state = SegmentState::kSealed;
+  meta.num_rows = buffer.rows.NumRows();
+  meta.binlog_path = path;
+  meta.last_lsn = buffer.last_lsn;
+  st = data_coord_->RegisterSealed(meta);
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "data node " << id_ << " register failed: "
+                   << st.ToString();
+    return;
+  }
+
+  LogEntry announce;
+  announce.type = LogEntryType::kSegmentSealed;
+  announce.timestamp = ctx_.tso->Allocate();
+  announce.collection = ch->collection;
+  announce.shard = ch->shard;
+  announce.segment = segment;
+  announce.payload = meta.Serialize();
+  ctx_.mq->Publish(CoordChannelName(), std::move(announce));
+
+  sealed_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global().GetCounter("data_node.segments_sealed")->Add(1);
+  MANU_LOG_DEBUG << "data node " << id_ << " sealed segment " << segment
+                 << " rows=" << meta.num_rows;
+}
+
+}  // namespace manu

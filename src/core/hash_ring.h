@@ -1,0 +1,70 @@
+#ifndef MANU_CORE_HASH_RING_H_
+#define MANU_CORE_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace manu {
+
+/// Consistent-hash ring (Section 3.3: "the loggers are organized in a hash
+/// ring, and each logger handles one or more logical buckets"). Nodes get
+/// `virtual_nodes` points on a 64-bit ring; a key maps to the first node
+/// point clockwise from its hash. Adding/removing a node moves only the
+/// keys adjacent to its points.
+class HashRing {
+ public:
+  explicit HashRing(int32_t virtual_nodes = 32)
+      : virtual_nodes_(virtual_nodes) {}
+
+  void AddNode(int64_t node_id) {
+    for (int32_t v = 0; v < virtual_nodes_; ++v) {
+      ring_[Mix(static_cast<uint64_t>(node_id) * 0x9E3779B97F4A7C15ull + v)] =
+          node_id;
+    }
+  }
+
+  void RemoveNode(int64_t node_id) {
+    for (auto it = ring_.begin(); it != ring_.end();) {
+      it = it->second == node_id ? ring_.erase(it) : std::next(it);
+    }
+  }
+
+  bool Empty() const { return ring_.empty(); }
+  size_t NumNodes() const {
+    return ring_.size() / static_cast<size_t>(virtual_nodes_);
+  }
+
+  /// Node owning `key`; ring must be non-empty.
+  int64_t Route(uint64_t key) const {
+    auto it = ring_.lower_bound(Mix(key));
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  int64_t RouteString(const std::string& key) const {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a.
+    for (char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return Route(h);
+  }
+
+ private:
+  /// SplitMix64 finalizer; cheap and well distributed.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  int32_t virtual_nodes_;
+  std::map<uint64_t, int64_t> ring_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_HASH_RING_H_

@@ -1,0 +1,93 @@
+#include "core/index_coord.h"
+
+#include "common/logging.h"
+
+namespace manu {
+
+IndexCoordinator::IndexCoordinator(const CoreContext& ctx,
+                                   DataCoordinator* data_coord,
+                                   RootCoordinator* root_coord)
+    : ctx_(ctx), data_coord_(data_coord), root_coord_(root_coord) {}
+
+IndexCoordinator::~IndexCoordinator() { Stop(); }
+
+void IndexCoordinator::AddIndexNode(IndexNode* node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  nodes_.push_back(node);
+}
+
+void IndexCoordinator::RemoveIndexNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(nodes_, [&](IndexNode* n) { return n->id() == id; });
+}
+
+void IndexCoordinator::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void IndexCoordinator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void IndexCoordinator::Run() {
+  auto sub = ctx_.mq->Subscribe(CoordChannelName(),
+                                SubscribePosition::kEarliest);
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto entries = sub->Poll(
+        ctx_.config.poll_batch,
+        std::chrono::milliseconds(ctx_.config.poll_timeout_ms));
+    for (const auto& entry : entries) {
+      if (entry->type != LogEntryType::kSegmentSealed) continue;
+      auto meta = SegmentMeta::Deserialize(entry->payload);
+      if (!meta.ok()) {
+        MANU_LOG_ERROR << "index coord: bad sealed payload";
+        continue;
+      }
+      Dispatch(meta.value());
+    }
+  }
+}
+
+void IndexCoordinator::Dispatch(const SegmentMeta& segment) {
+  auto collection = root_coord_->GetCollectionById(segment.collection);
+  if (!collection.ok()) return;  // Dropped concurrently.
+  const CollectionMeta& meta = collection.value();
+  if (meta.index_params.empty()) return;  // No index declared: stay flat.
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (nodes_.empty()) {
+    MANU_LOG_WARN << "index coord: no index nodes registered";
+    return;
+  }
+  for (const auto& [field, params] : meta.index_params) {
+    auto built = segment.index_versions.find(field);
+    if (built != segment.index_versions.end() &&
+        built->second >= meta.index_version) {
+      continue;  // Up to date under the current declaration.
+    }
+    IndexNode* node = nodes_[next_node_ % nodes_.size()];
+    ++next_node_;
+    node->SubmitBuild(segment, field, params, meta.index_version);
+  }
+}
+
+Status IndexCoordinator::RequestBuildAll(CollectionId collection) {
+  for (const SegmentMeta& segment : data_coord_->ListSegments(collection)) {
+    if (segment.state == SegmentState::kDropped) continue;
+    Dispatch(segment);
+  }
+  return Status::OK();
+}
+
+void IndexCoordinator::WaitIdle() const {
+  std::vector<IndexNode*> nodes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    nodes = nodes_;
+  }
+  for (IndexNode* node : nodes) node->WaitIdle();
+}
+
+}  // namespace manu

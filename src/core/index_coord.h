@@ -1,0 +1,60 @@
+#ifndef MANU_CORE_INDEX_COORD_H_
+#define MANU_CORE_INDEX_COORD_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+#include "core/data_coord.h"
+#include "core/index_node.h"
+#include "core/root_coord.h"
+
+namespace manu {
+
+/// Index coordinator (Sections 3.2/3.5): maintains index meta-information
+/// and dispatches build tasks to index nodes. Stream indexing: it subscribes
+/// to the coordination channel and reacts to kSegmentSealed announcements.
+/// Batch indexing: RequestBuildAll() walks every sealed segment of a
+/// collection (e.g. after the embedding model — and thus the declared index
+/// — changed) and schedules missing builds.
+class IndexCoordinator {
+ public:
+  IndexCoordinator(const CoreContext& ctx, DataCoordinator* data_coord,
+                   RootCoordinator* root_coord);
+  ~IndexCoordinator();
+
+  void AddIndexNode(IndexNode* node);
+  void RemoveIndexNode(NodeId id);
+
+  void Start();
+  void Stop();
+
+  /// Batch indexing: schedules builds for every sealed segment of the
+  /// collection that lacks the currently declared index.
+  Status RequestBuildAll(CollectionId collection);
+
+  /// Blocks until all registered index nodes drain (tests/benches).
+  void WaitIdle() const;
+
+ private:
+  void Run();
+  void Dispatch(const SegmentMeta& segment);
+
+  CoreContext ctx_;
+  DataCoordinator* data_coord_;
+  RootCoordinator* root_coord_;
+
+  mutable std::mutex mu_;
+  std::vector<IndexNode*> nodes_;
+  size_t next_node_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_INDEX_COORD_H_

@@ -1,0 +1,96 @@
+#include "core/index_node.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "index/index_factory.h"
+#include "storage/binlog.h"
+
+namespace manu {
+
+IndexNode::IndexNode(NodeId id, const CoreContext& ctx,
+                     DataCoordinator* data_coord, int32_t threads)
+    : id_(id),
+      ctx_(ctx),
+      data_coord_(data_coord),
+      pool_(std::make_unique<ThreadPool>(threads)) {}
+
+IndexNode::~IndexNode() { pool_.reset(); }
+
+void IndexNode::SubmitBuild(SegmentMeta segment, FieldId field,
+                            IndexParams params, int32_t version) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Post([this, segment = std::move(segment), field, params, version] {
+    Build(segment, field, params, version);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void IndexNode::WaitIdle() const {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void IndexNode::Build(const SegmentMeta& segment, FieldId field,
+                      const IndexParams& params, int32_t version) {
+  const int64_t start = NowMicros();
+  // Column-based binlog: fetch just the vector column.
+  auto column = binlog::ReadField(ctx_.store, segment.binlog_path, field);
+  if (!column.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " read binlog failed: "
+                   << column.status().ToString();
+    return;
+  }
+  const FieldColumn& col = column.value();
+  // Version in the path: a rebuild never clobbers the file a query node may
+  // be reading.
+  const std::string index_path =
+      "index/c" + std::to_string(segment.collection) + "/seg" +
+      std::to_string(segment.id) + "/f" + std::to_string(field) + "/v" +
+      std::to_string(version);
+  auto built = BuildVectorIndex(params, col.f32.data(), col.NumRows(),
+                                ctx_.store, index_path + "/buckets");
+  if (!built.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " build failed: "
+                   << built.status().ToString();
+    return;
+  }
+
+  BinaryWriter w;
+  built.value()->Serialize(&w);
+  Status st = ctx_.store->Put(index_path, binlog::Frame(w.Release()));
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " persist failed: "
+                   << st.ToString();
+    return;
+  }
+  st = data_coord_->RegisterIndex(segment.collection, segment.id, field,
+                                  index_path, version);
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " register failed: "
+                   << st.ToString();
+    return;
+  }
+
+  // Announce with the updated segment meta so subscribers need no extra
+  // metadata round trip.
+  auto updated = data_coord_->GetSegment(segment.collection, segment.id);
+  LogEntry announce;
+  announce.type = LogEntryType::kIndexBuilt;
+  announce.timestamp = ctx_.tso->Allocate();
+  announce.collection = segment.collection;
+  announce.shard = segment.shard;
+  announce.segment = segment.id;
+  announce.payload =
+      updated.ok() ? updated.value().Serialize() : segment.Serialize();
+  ctx_.mq->Publish(CoordChannelName(), std::move(announce));
+
+  MetricsRegistry::Global().GetCounter("index_node.indexes_built")->Add(1);
+  MetricsRegistry::Global()
+      .GetHistogram("index_node.build_latency")
+      ->Observe(static_cast<double>(NowMicros() - start));
+}
+
+}  // namespace manu

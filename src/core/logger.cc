@@ -1,0 +1,192 @@
+#include "core/logger.h"
+
+#include "common/metrics.h"
+
+namespace manu {
+
+Logger::Logger(NodeId id, const CoreContext& ctx, DataCoordinator* data_coord)
+    : id_(id), ctx_(ctx), data_coord_(data_coord) {}
+
+LsmEntityMap* Logger::MapFor(CollectionId collection, ShardId shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = maps_[{collection, shard}];
+  if (slot == nullptr) {
+    slot = std::make_unique<LsmEntityMap>(
+        ctx_.store, "logger/" + std::to_string(id_) + "/c" +
+                        std::to_string(collection) + "/s" +
+                        std::to_string(shard));
+  }
+  return slot.get();
+}
+
+Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
+                                 EntityBatch batch) {
+  MANU_RETURN_NOT_OK(batch.ValidateAgainst(meta.schema));
+  const int64_t rows = batch.NumRows();
+  if (rows == 0) return Status::InvalidArgument("empty batch");
+
+  // One TSO round trip stamps the whole batch.
+  const Timestamp first =
+      ctx_.tso->AllocateBlock(static_cast<uint32_t>(rows));
+  batch.timestamps.resize(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.timestamps[i] = first + static_cast<Timestamp>(i);
+  }
+  const Timestamp last = batch.timestamps.back();
+
+  MANU_ASSIGN_OR_RETURN(
+      SegmentId segment,
+      data_coord_->AllocateSegment(meta.id, shard, rows, batch.ByteSize()));
+
+  LsmEntityMap* map = MapFor(meta.id, shard);
+  for (int64_t pk : batch.primary_keys) {
+    MANU_RETURN_NOT_OK(map->Put(pk, segment));
+  }
+
+  LogEntry entry;
+  entry.type = LogEntryType::kInsert;
+  entry.timestamp = last;
+  entry.collection = meta.id;
+  entry.shard = shard;
+  entry.segment = segment;
+  entry.batch = std::move(batch);
+  ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry));
+  MetricsRegistry::Global().GetCounter("logger.rows_inserted")->Add(rows);
+  return last;
+}
+
+Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
+                                 std::vector<int64_t> pks) {
+  LsmEntityMap* map = MapFor(meta.id, shard);
+  std::vector<int64_t> existing;
+  existing.reserve(pks.size());
+  for (int64_t pk : pks) {
+    if (map->Lookup(pk).ok()) {
+      existing.push_back(pk);
+      MANU_RETURN_NOT_OK(map->Remove(pk));
+    }
+  }
+  if (existing.empty()) return Timestamp{0};
+
+  LogEntry entry;
+  entry.type = LogEntryType::kDelete;
+  entry.timestamp = ctx_.tso->Allocate();
+  entry.collection = meta.id;
+  entry.shard = shard;
+  entry.delete_pks = std::move(existing);
+  const Timestamp ts = entry.timestamp;
+  ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry));
+  MetricsRegistry::Global().GetCounter("logger.rows_deleted")->Add(1);
+  return ts;
+}
+
+Status Logger::FlushMaps() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [_, map] : maps_) {
+    MANU_RETURN_NOT_OK(map->Flush());
+  }
+  return Status::OK();
+}
+
+Result<SegmentId> Logger::LookupEntity(CollectionId collection, ShardId shard,
+                                       int64_t pk) {
+  return MapFor(collection, shard)->Lookup(pk);
+}
+
+LoggerFleet::LoggerFleet(const CoreContext& ctx, DataCoordinator* data_coord,
+                         int32_t num_loggers) {
+  for (int32_t i = 0; i < num_loggers; ++i) {
+    loggers_.push_back(std::make_unique<Logger>(i, ctx, data_coord));
+    ring_.AddNode(i);
+  }
+}
+
+ShardId LoggerFleet::ShardOf(int64_t pk, int32_t num_shards) {
+  // SplitMix-style scramble so sequential pks spread across shards.
+  uint64_t x = static_cast<uint64_t>(pk) + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = x ^ (x >> 27);
+  return static_cast<ShardId>(x % static_cast<uint64_t>(num_shards));
+}
+
+Logger* LoggerFleet::LoggerFor(CollectionId collection, ShardId shard) {
+  const int64_t id = ring_.RouteString(ShardChannelName(collection, shard));
+  return loggers_[static_cast<size_t>(id)].get();
+}
+
+Result<Timestamp> LoggerFleet::Insert(const CollectionMeta& meta,
+                                      EntityBatch batch) {
+  MANU_RETURN_NOT_OK(batch.ValidateAgainst(meta.schema));
+  const int32_t num_shards = meta.num_shards;
+  // Partition row indices by shard, preserving order within each shard.
+  std::vector<std::vector<int64_t>> shard_rows(num_shards);
+  for (int64_t i = 0; i < batch.NumRows(); ++i) {
+    shard_rows[ShardOf(batch.primary_keys[i], num_shards)].push_back(i);
+  }
+  Timestamp max_ts = 0;
+  for (ShardId shard = 0; shard < num_shards; ++shard) {
+    const auto& rows = shard_rows[shard];
+    if (rows.empty()) continue;
+    EntityBatch sub;
+    // Gather rows: contiguous runs use Slice for efficiency; general case
+    // is row-by-row assembly.
+    sub.primary_keys.reserve(rows.size());
+    for (int64_t r : rows) sub.primary_keys.push_back(batch.primary_keys[r]);
+    sub.columns.reserve(batch.columns.size());
+    for (const FieldColumn& col : batch.columns) {
+      FieldColumn out;
+      out.field_id = col.field_id;
+      out.type = col.type;
+      out.dim = col.dim;
+      for (int64_t r : rows) {
+        switch (col.type) {
+          case DataType::kInt64:
+            out.i64.push_back(col.i64[r]);
+            break;
+          case DataType::kFloat:
+            out.f32.push_back(col.f32[r]);
+            break;
+          case DataType::kDouble:
+            out.f64.push_back(col.f64[r]);
+            break;
+          case DataType::kBool:
+            out.b8.push_back(col.b8[r]);
+            break;
+          case DataType::kString:
+            out.str.push_back(col.str[r]);
+            break;
+          case DataType::kFloatVector:
+            out.f32.insert(out.f32.end(), col.VectorAt(r),
+                           col.VectorAt(r) + col.dim);
+            break;
+        }
+      }
+      sub.columns.push_back(std::move(out));
+    }
+    MANU_ASSIGN_OR_RETURN(
+        Timestamp ts,
+        LoggerFor(meta.id, shard)->Append(meta, shard, std::move(sub)));
+    max_ts = std::max(max_ts, ts);
+  }
+  return max_ts;
+}
+
+Result<Timestamp> LoggerFleet::Delete(const CollectionMeta& meta,
+                                      const std::vector<int64_t>& pks) {
+  std::vector<std::vector<int64_t>> shard_pks(meta.num_shards);
+  for (int64_t pk : pks) {
+    shard_pks[ShardOf(pk, meta.num_shards)].push_back(pk);
+  }
+  Timestamp max_ts = 0;
+  for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+    if (shard_pks[shard].empty()) continue;
+    MANU_ASSIGN_OR_RETURN(Timestamp ts,
+                          LoggerFor(meta.id, shard)
+                              ->Delete(meta, shard,
+                                       std::move(shard_pks[shard])));
+    max_ts = std::max(max_ts, ts);
+  }
+  return max_ts;
+}
+
+}  // namespace manu

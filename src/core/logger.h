@@ -1,0 +1,87 @@
+#ifndef MANU_CORE_LOGGER_H_
+#define MANU_CORE_LOGGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/collection_meta.h"
+#include "core/context.h"
+#include "core/data_coord.h"
+#include "core/hash_ring.h"
+#include "storage/lsm_map.h"
+
+namespace manu {
+
+/// One logger node (Section 3.3): the entry point publishing data
+/// manipulation requests into the WAL. For each request it verifies
+/// legality, fetches an LSN block from the TSO, asks the data coordinator
+/// for the target segment, records the entity->segment mapping in its local
+/// LSM tree (flushed to object storage as SSTables) and appends to the WAL
+/// channel of the shard.
+class Logger {
+ public:
+  Logger(NodeId id, const CoreContext& ctx, DataCoordinator* data_coord);
+
+  NodeId id() const { return id_; }
+
+  /// Publishes one shard's worth of rows. `batch` must contain rows of a
+  /// single shard; timestamps are assigned here. Returns the max LSN.
+  Result<Timestamp> Append(const CollectionMeta& meta, ShardId shard,
+                           EntityBatch batch);
+
+  /// Publishes tombstones for `pks` on `shard`. Unknown pks are filtered
+  /// out using the LSM map (the paper's "checking if the entity to delete
+  /// exists"). Returns the LSN (0 if everything was filtered).
+  Result<Timestamp> Delete(const CollectionMeta& meta, ShardId shard,
+                           std::vector<int64_t> pks);
+
+  /// Flushes all LSM memtables (called on shutdown / failover drills).
+  Status FlushMaps();
+
+  /// Lookup for tests: which segment holds `pk`.
+  Result<SegmentId> LookupEntity(CollectionId collection, ShardId shard,
+                                 int64_t pk);
+
+ private:
+  LsmEntityMap* MapFor(CollectionId collection, ShardId shard);
+
+  NodeId id_;
+  CoreContext ctx_;
+  DataCoordinator* data_coord_;
+  std::mutex mu_;
+  std::map<std::pair<CollectionId, ShardId>, std::unique_ptr<LsmEntityMap>>
+      maps_;
+};
+
+/// The logger fleet: routes each shard channel to a logger via consistent
+/// hashing and fans an insert/delete request out to per-shard sub-batches.
+/// This is the client-facing write API the proxies call.
+class LoggerFleet {
+ public:
+  LoggerFleet(const CoreContext& ctx, DataCoordinator* data_coord,
+              int32_t num_loggers);
+
+  /// Hash-partitions `batch` by primary key and appends every sub-batch.
+  /// Returns the max LSN across shards (the insert's visibility point).
+  Result<Timestamp> Insert(const CollectionMeta& meta, EntityBatch batch);
+
+  /// Routes deletes to shards by pk hash.
+  Result<Timestamp> Delete(const CollectionMeta& meta,
+                           const std::vector<int64_t>& pks);
+
+  /// Shard of a primary key (hash partitioning, Section 3.1).
+  static ShardId ShardOf(int64_t pk, int32_t num_shards);
+
+  Logger* LoggerFor(CollectionId collection, ShardId shard);
+  size_t NumLoggers() const { return loggers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Logger>> loggers_;
+  HashRing ring_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_LOGGER_H_

@@ -1,0 +1,348 @@
+#include "core/manu.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace manu {
+
+ManuInstance::ManuInstance(ManuConfig config,
+                           std::shared_ptr<ObjectStore> store)
+    : config_(config),
+      store_(store != nullptr ? std::move(store)
+                              : std::make_shared<MemoryObjectStore>()) {
+  ticker_ = std::make_unique<TimeTickEmitter>(
+      &mq_, &tso_, config_.time_tick_interval_ms);
+
+  CoreContext ctx;
+  ctx.config = config_;
+  ctx.meta = &meta_;
+  ctx.store = store_.get();
+  ctx.mq = &mq_;
+  ctx.tso = &tso_;
+  ctx.ticker = ticker_.get();
+
+  root_coord_ = std::make_unique<RootCoordinator>(ctx);
+  data_coord_ = std::make_unique<DataCoordinator>(ctx);
+  index_coord_ = std::make_unique<IndexCoordinator>(ctx, data_coord_.get(),
+                                                    root_coord_.get());
+  query_coord_ = std::make_unique<QueryCoordinator>(ctx, data_coord_.get(),
+                                                    root_coord_.get());
+  loggers_ = std::make_unique<LoggerFleet>(ctx, data_coord_.get(),
+                                           config_.num_loggers);
+  proxy_ = std::make_unique<Proxy>(ctx, root_coord_.get(),
+                                   query_coord_.get(), loggers_.get());
+
+  for (int32_t i = 0; i < config_.num_data_nodes; ++i) {
+    auto node = std::make_unique<DataNode>(
+        next_node_id_.fetch_add(1), ctx, data_coord_.get());
+    node->Start();
+    data_nodes_.push_back(std::move(node));
+  }
+  for (int32_t i = 0; i < config_.num_index_nodes; ++i) {
+    index_nodes_.push_back(std::make_unique<IndexNode>(
+        next_node_id_.fetch_add(1), ctx, data_coord_.get(),
+        config_.index_build_threads));
+    index_coord_->AddIndexNode(index_nodes_.back().get());
+  }
+  for (int32_t i = 0; i < config_.num_query_nodes; ++i) {
+    auto node = std::make_shared<QueryNode>(next_node_id_.fetch_add(1), ctx);
+    node->Start();
+    query_coord_->AddQueryNode(std::move(node));
+  }
+
+  index_coord_->Start();
+  query_coord_->Start();
+  background_ = std::thread([this] { BackgroundLoop(); });
+}
+
+ManuInstance::~ManuInstance() {
+  stop_.store(true, std::memory_order_release);
+  if (background_.joinable()) background_.join();
+  // Order matters: stop log consumers before the broker, producers last.
+  index_coord_->Stop();
+  query_coord_->Stop();
+  for (auto& node : query_coord_->Nodes()) node->Stop();
+  for (auto& node : data_nodes_) node->Stop();
+  index_nodes_.clear();  // Joins build pools.
+  ticker_->Stop();
+  mq_.Shutdown();
+}
+
+void ManuInstance::BackgroundLoop() {
+  const int64_t interval =
+      std::max<int64_t>(10, config_.segment_idle_seal_ms / 4);
+  int64_t next = NowMs() + interval;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Sleep in small slices so shutdown never waits out a long interval.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (NowMs() < next) continue;
+    next = NowMs() + interval;
+    data_coord_->CheckIdleSegments();
+  }
+}
+
+Result<CollectionMeta> ManuInstance::CreateCollection(
+    CollectionSchema schema) {
+  MANU_ASSIGN_OR_RETURN(
+      CollectionMeta meta,
+      root_coord_->CreateCollection(std::move(schema), config_.num_shards));
+  data_coord_->OnCollectionCreated(meta);
+
+  auto schema_ptr = std::make_shared<const CollectionSchema>(meta.schema);
+  for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+    // Shard channels: ticked by the emitter, archived by a data node.
+    ticker_->RegisterChannel(ShardChannelName(meta.id, shard), meta.id,
+                             shard);
+    data_nodes_[static_cast<size_t>(shard) % data_nodes_.size()]
+        ->AssignChannel(meta.id, shard, schema_ptr);
+  }
+  MANU_RETURN_NOT_OK(query_coord_->LoadCollection(meta));
+  return meta;
+}
+
+Status ManuInstance::DropCollection(const std::string& name) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(name));
+  MANU_RETURN_NOT_OK(root_coord_->DropCollection(name));
+  query_coord_->ReleaseCollection(meta.id);
+  for (auto& node : data_nodes_) node->UnassignCollection(meta.id);
+  for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+    ticker_->UnregisterChannel(ShardChannelName(meta.id, shard));
+  }
+  data_coord_->OnCollectionDropped(meta.id);
+  return Status::OK();
+}
+
+Status ManuInstance::CreateIndex(const std::string& collection,
+                                 const std::string& field,
+                                 IndexParams params) {
+  MANU_RETURN_NOT_OK(root_coord_->DeclareIndex(collection, field, params));
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  return index_coord_->RequestBuildAll(meta.id);
+}
+
+Result<Timestamp> ManuInstance::Insert(const std::string& collection,
+                                       EntityBatch batch) {
+  return proxy_->Insert(collection, std::move(batch));
+}
+
+Result<Timestamp> ManuInstance::Delete(const std::string& collection,
+                                       const std::vector<int64_t>& pks) {
+  return proxy_->Delete(collection, pks);
+}
+
+Result<SearchResult> ManuInstance::Search(const SearchRequest& req) {
+  return proxy_->Search(req);
+}
+
+std::vector<Result<SearchResult>> ManuInstance::BatchSearch(
+    const std::vector<SearchRequest>& reqs) {
+  return proxy_->BatchSearch(reqs);
+}
+
+Status ManuInstance::FlushAndWait(const std::string& collection,
+                                  int64_t timeout_ms) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  MANU_ASSIGN_OR_RETURN(std::vector<SegmentId> rolled,
+                        data_coord_->Flush(meta.id));
+
+  const bool wants_index = !meta.index_params.empty();
+  const int64_t deadline = NowMs() + timeout_ms;
+
+  auto segment_ready = [&](SegmentId segment) {
+    auto seg = data_coord_->GetSegment(meta.id, segment);
+    if (!seg.ok()) return false;
+    if (seg.value().state == SegmentState::kDropped) return true;
+    if (wants_index) {
+      // Every declared field must be indexed at the current declaration
+      // version (covers re-index after CreateIndex with new params).
+      for (const auto& [field, _] : meta.index_params) {
+        auto v = seg.value().index_versions.find(field);
+        if (v == seg.value().index_versions.end() ||
+            v->second < meta.index_version) {
+          return false;
+        }
+      }
+    }
+    for (const auto& node : query_coord_->Nodes()) {
+      for (SegmentId s : node->SealedSegments(meta.id)) {
+        if (s == segment) return true;  // Loaded somewhere.
+      }
+    }
+    return false;
+  };
+
+  // Wait for every segment ever allocated for the collection (including
+  // ones the data nodes have not yet registered — their index builds may
+  // still be queued) plus registered extras (e.g. compaction results) to
+  // reach sealed -> indexed(current version) -> loaded (or dropped).
+  std::vector<SegmentId> targets = rolled;
+  for (SegmentId id : data_coord_->AllocatedSegments(meta.id)) {
+    targets.push_back(id);
+  }
+  for (const SegmentMeta& seg : data_coord_->ListSegments(meta.id)) {
+    if (seg.state != SegmentState::kDropped) targets.push_back(seg.id);
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (SegmentId segment : targets) {
+    while (!segment_ready(segment)) {
+      if (NowMs() > deadline) {
+        return Status::Timeout("flush wait timed out on segment " +
+                               std::to_string(segment));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return Status::OK();
+}
+
+Status ManuInstance::WaitUntilVisible(const std::string& collection,
+                                      Timestamp ts, int64_t timeout_ms) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  for (const auto& node : query_coord_->NodesFor(meta.id)) {
+    if (!node->WaitServiceTs(meta.id, ts, timeout_ms)) {
+      return Status::Timeout("WAL consumption lagging");
+    }
+  }
+  return Status::OK();
+}
+
+Status ManuInstance::Compact(const std::string& collection,
+                             int64_t timeout_ms) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  // Gather tombstones from the query nodes' delete buffers.
+  std::vector<int64_t> deleted;
+  for (const auto& node : query_coord_->Nodes()) {
+    for (int64_t pk : node->DeletedPks(meta.id)) deleted.push_back(pk);
+  }
+  std::sort(deleted.begin(), deleted.end());
+  deleted.erase(std::unique(deleted.begin(), deleted.end()), deleted.end());
+
+  const int64_t small_rows =
+      config_.segment_seal_rows > 0
+          ? static_cast<int64_t>(config_.small_segment_ratio *
+                                 static_cast<double>(
+                                     config_.segment_seal_rows))
+          : 0;
+  MANU_ASSIGN_OR_RETURN(
+      std::vector<SegmentId> merged,
+      data_coord_->CompactSegments(meta.id, deleted, small_rows));
+
+  // Wait until every merged segment is served (and so its inputs are
+  // released).
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (SegmentId segment : merged) {
+    while (true) {
+      bool loaded = false;
+      for (const auto& node : query_coord_->Nodes()) {
+        for (SegmentId s : node->SealedSegments(meta.id)) {
+          if (s == segment) loaded = true;
+        }
+      }
+      if (loaded) break;
+      if (NowMs() > deadline) {
+        return Status::Timeout("compaction wait timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return Status::OK();
+}
+
+Status ManuInstance::Checkpoint(const std::string& collection) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  return data_coord_->WriteCheckpoint(meta.id).status();
+}
+
+Status ManuInstance::TruncateLogBefore(const std::string& collection,
+                                       Timestamp ts) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+    const std::string channel = ShardChannelName(meta.id, shard);
+    mq_.TruncateBefore(channel, mq_.FirstOffsetAtOrAfter(channel, ts));
+  }
+  return Status::OK();
+}
+
+Status ManuInstance::ScaleQueryNodes(int32_t target) {
+  if (target < 1) return Status::InvalidArgument("need >= 1 query node");
+  while (static_cast<int32_t>(query_coord_->NumQueryNodes()) < target) {
+    CoreContext ctx;
+    ctx.config = config_;
+    ctx.meta = &meta_;
+    ctx.store = store_.get();
+    ctx.mq = &mq_;
+    ctx.tso = &tso_;
+    ctx.ticker = ticker_.get();
+    auto node = std::make_shared<QueryNode>(next_node_id_.fetch_add(1), ctx);
+    node->Start();
+    query_coord_->AddQueryNode(std::move(node));
+  }
+  while (static_cast<int32_t>(query_coord_->NumQueryNodes()) > target) {
+    auto nodes = query_coord_->Nodes();
+    MANU_RETURN_NOT_OK(query_coord_->RemoveQueryNode(nodes.back()->id()));
+  }
+  return query_coord_->Rebalance();
+}
+
+Status ManuInstance::KillQueryNode(NodeId id) {
+  return query_coord_->KillQueryNode(id);
+}
+
+std::string ManuInstance::DescribeCluster() {
+  std::ostringstream out;
+  out << "=== Manu cluster ===\n";
+  out << "workers: " << query_coord_->NumQueryNodes() << " query, "
+      << data_nodes_.size() << " data, " << index_nodes_.size()
+      << " index, " << loggers_->NumLoggers() << " logger\n";
+
+  for (const CollectionMeta& meta : root_coord_->ListCollections()) {
+    int64_t sealed_rows = 0;
+    int32_t sealed = 0, indexed = 0, dropped = 0;
+    for (const SegmentMeta& seg : data_coord_->ListSegments(meta.id)) {
+      switch (seg.state) {
+        case SegmentState::kSealed:
+          ++sealed;
+          sealed_rows += seg.num_rows;
+          break;
+        case SegmentState::kIndexed:
+          ++indexed;
+          sealed_rows += seg.num_rows;
+          break;
+        case SegmentState::kDropped:
+          ++dropped;
+          break;
+        default:
+          break;
+      }
+    }
+    int64_t growing_rows = 0;
+    for (const auto& node : query_coord_->Nodes()) {
+      growing_rows += node->NumGrowingRows(meta.id);
+    }
+    out << "collection '" << meta.schema.name() << "' (id=" << meta.id
+        << "): shards=" << meta.num_shards << " segments(sealed=" << sealed
+        << " indexed=" << indexed << " dropped=" << dropped
+        << ") rows(sealed=" << sealed_rows << " growing=" << growing_rows
+        << ") declared_indexes=" << meta.index_params.size() << "\n";
+  }
+
+  out << "query nodes:\n";
+  for (const auto& node : query_coord_->Nodes()) {
+    out << "  node " << node->id() << ": mem="
+        << node->MemoryBytes() / (1 << 20) << "MB\n";
+  }
+  out << "--- metrics ---\n" << MetricsRegistry::Global().Dump();
+  return out.str();
+}
+
+}  // namespace manu

@@ -1,0 +1,139 @@
+#ifndef MANU_CORE_MANU_H_
+#define MANU_CORE_MANU_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/data_coord.h"
+#include "core/data_node.h"
+#include "core/index_coord.h"
+#include "core/index_node.h"
+#include "core/logger.h"
+#include "core/proxy.h"
+#include "core/query_coord.h"
+#include "core/query_node.h"
+#include "core/root_coord.h"
+
+namespace manu {
+
+/// The whole Manu deployment in one process: storage layer (meta store +
+/// object store), log backbone (broker, TSO, time-tick emitter), the four
+/// coordinators, and the worker fleets (loggers, data / index / query
+/// nodes). Nodes are real objects with their own threads communicating only
+/// through the interfaces a networked deployment would use, so the
+/// architecture of the paper — not its network stack — is what runs.
+///
+/// The public surface mirrors the PyManu API (Table 2): CreateCollection,
+/// Insert, Delete, CreateIndex, Search (with filters, multi-vector search,
+/// consistency levels and time travel).
+class ManuInstance {
+ public:
+  /// `store` defaults to an in-memory object store when null.
+  explicit ManuInstance(ManuConfig config,
+                        std::shared_ptr<ObjectStore> store = nullptr);
+  ~ManuInstance();
+
+  ManuInstance(const ManuInstance&) = delete;
+  ManuInstance& operator=(const ManuInstance&) = delete;
+
+  // --- DDL ---
+  Result<CollectionMeta> CreateCollection(CollectionSchema schema);
+  Status DropCollection(const std::string& name);
+  /// Declares the index for a vector field and schedules builds for already
+  /// sealed segments (batch indexing) as well as future ones (stream
+  /// indexing).
+  Status CreateIndex(const std::string& collection, const std::string& field,
+                     IndexParams params);
+
+  // --- DML ---
+  Result<Timestamp> Insert(const std::string& collection, EntityBatch batch);
+  Result<Timestamp> Delete(const std::string& collection,
+                           const std::vector<int64_t>& pks);
+
+  // --- Query ---
+  Result<SearchResult> Search(const SearchRequest& req);
+  /// Batched search: see Proxy::BatchSearch.
+  std::vector<Result<SearchResult>> BatchSearch(
+      const std::vector<SearchRequest>& reqs);
+
+  // --- Segment life cycle ---
+  /// Seals all growing segments now (rather than waiting for size/idle
+  /// triggers) and returns once data nodes have archived them and index
+  /// nodes are idle. The synchronous barrier is for tests and benches; the
+  /// production path is fully asynchronous.
+  Status FlushAndWait(const std::string& collection, int64_t timeout_ms = 30000);
+
+  /// Blocks until every query node serving the collection has consumed the
+  /// WAL up to `ts` (tests).
+  Status WaitUntilVisible(const std::string& collection, Timestamp ts,
+                          int64_t timeout_ms = 10000);
+
+  // --- Segment maintenance ---
+  /// Merges small sealed segments and physically drops tombstoned rows
+  /// (Sections 3.1/3.5). Returns once the merged segments are indexed and
+  /// serving and the inputs are released.
+  Status Compact(const std::string& collection, int64_t timeout_ms = 60000);
+
+  // --- Time travel (Section 4.3) ---
+  Status Checkpoint(const std::string& collection);
+  /// Log expiration: drops WAL entries older than `ts` from the
+  /// collection's shard channels ("users can also specify an expiration
+  /// period to delete outdated log"). Bounds the time-travel/replay
+  /// horizon; data sealed into binlogs is unaffected.
+  Status TruncateLogBefore(const std::string& collection, Timestamp ts);
+
+  // --- Elasticity (Section 3.6 / Figure 9) ---
+  Status ScaleQueryNodes(int32_t target);
+  Status KillQueryNode(NodeId id);
+  size_t NumQueryNodes() const { return query_coord_->NumQueryNodes(); }
+
+  // --- Introspection ---
+  /// Snapshot of cluster state: node fleet, per-collection segments and
+  /// rows, memory, cumulative QPS counters and latency percentiles — the
+  /// data behind the Attu GUI's "system view" (Section 4.2). Formatted as
+  /// human-readable text.
+  std::string DescribeCluster();
+
+  // --- Component access (benches, tuner, advanced callers) ---
+  RootCoordinator* root_coord() { return root_coord_.get(); }
+  DataCoordinator* data_coord() { return data_coord_.get(); }
+  IndexCoordinator* index_coord() { return index_coord_.get(); }
+  QueryCoordinator* query_coord() { return query_coord_.get(); }
+  Proxy* proxy() { return proxy_.get(); }
+  ObjectStore* object_store() { return store_.get(); }
+  MessageQueue* mq() { return &mq_; }
+  Tso* tso() { return &tso_; }
+  const ManuConfig& config() const { return config_; }
+
+ private:
+  void BackgroundLoop();
+
+  ManuConfig config_;
+  std::shared_ptr<ObjectStore> store_;
+  MetaStore meta_;
+  MessageQueue mq_;
+  Tso tso_;
+  std::unique_ptr<TimeTickEmitter> ticker_;
+
+  std::unique_ptr<RootCoordinator> root_coord_;
+  std::unique_ptr<DataCoordinator> data_coord_;
+  std::unique_ptr<IndexCoordinator> index_coord_;
+  std::unique_ptr<QueryCoordinator> query_coord_;
+  std::unique_ptr<LoggerFleet> loggers_;
+  std::unique_ptr<Proxy> proxy_;
+
+  std::vector<std::unique_ptr<DataNode>> data_nodes_;
+  std::vector<std::unique_ptr<IndexNode>> index_nodes_;
+
+  std::atomic<int64_t> next_node_id_{100};
+  std::atomic<bool> stop_{false};
+  std::thread background_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_MANU_H_

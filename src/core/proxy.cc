@@ -1,0 +1,224 @@
+#include "core/proxy.h"
+
+#include <future>
+#include <map>
+
+#include "common/metrics.h"
+
+namespace manu {
+
+Proxy::Proxy(const CoreContext& ctx, RootCoordinator* root_coord,
+             QueryCoordinator* query_coord, LoggerFleet* loggers)
+    : ctx_(ctx),
+      root_coord_(root_coord),
+      query_coord_(query_coord),
+      loggers_(loggers),
+      // Fan-out workers mostly wait on node executors; size generously so
+      // the proxy never serializes multi-node dispatch.
+      pool_(64) {}
+
+Result<Proxy::Prepared> Proxy::Prepare(const SearchRequest& req) {
+  Prepared out;
+  // --- Request verification against cached metadata (cheap, early). ---
+  MANU_ASSIGN_OR_RETURN(out.meta, root_coord_->GetCollection(req.collection));
+  std::vector<SearchTarget> targets;
+  if (req.multi.empty()) {
+    const FieldSchema* field =
+        req.field.empty()
+            ? (out.meta.schema.VectorFields().empty()
+                   ? nullptr
+                   : out.meta.schema.VectorFields().front())
+            : out.meta.schema.FieldByName(req.field);
+    if (field == nullptr || !field->IsVector()) {
+      return Status::InvalidArgument("no such vector field");
+    }
+    if (static_cast<int32_t>(req.query.size()) != field->dim) {
+      return Status::InvalidArgument("query dim mismatch");
+    }
+    targets.push_back({field->id, req.query.data(), 1.0f});
+  } else {
+    for (const auto& target : req.multi) {
+      const FieldSchema* field = out.meta.schema.FieldByName(target.field);
+      if (field == nullptr || !field->IsVector()) {
+        return Status::InvalidArgument("no such vector field: " +
+                                       target.field);
+      }
+      if (static_cast<int32_t>(target.query.size()) != field->dim) {
+        return Status::InvalidArgument("query dim mismatch: " + target.field);
+      }
+      targets.push_back({field->id, target.query.data(), target.weight});
+    }
+  }
+  if (req.k == 0) return Status::InvalidArgument("k must be positive");
+
+  if (!req.filter.empty()) {
+    MANU_ASSIGN_OR_RETURN(out.filter,
+                          FilterExpr::Parse(req.filter, out.meta.schema));
+  }
+
+  // --- Consistency setup (Section 3.4); read_ts stamped by the caller. ---
+  out.nreq.collection = out.meta.id;
+  out.nreq.targets = std::move(targets);
+  out.nreq.params.k = req.k;
+  out.nreq.params.nprobe = req.nprobe;
+  out.nreq.params.ef_search = req.ef_search;
+  out.nreq.filter = out.filter.get();
+  switch (req.consistency) {
+    case ConsistencyLevel::kStrong:
+      out.nreq.staleness_ms = 0;
+      break;
+    case ConsistencyLevel::kBounded:
+      out.nreq.staleness_ms = req.staleness_ms >= 0
+                                  ? req.staleness_ms
+                                  : ctx_.config.default_staleness_ms;
+      break;
+    case ConsistencyLevel::kEventually:
+      out.nreq.staleness_ms = -1;
+      break;
+  }
+  // Time-travel reads never wait: the past is already consistent.
+  if (req.travel_ts != 0) {
+    out.nreq.read_ts = req.travel_ts;
+    out.nreq.staleness_ms = -1;
+  }
+  return out;
+}
+
+SearchResult Proxy::ToResult(std::vector<Neighbor> merged) {
+  SearchResult out;
+  out.ids.reserve(merged.size());
+  out.scores.reserve(merged.size());
+  for (const Neighbor& n : merged) {
+    out.ids.push_back(n.id);
+    out.scores.push_back(n.score);
+  }
+  return out;
+}
+
+Result<SearchResult> Proxy::Search(const SearchRequest& req) {
+  const int64_t t0 = NowMicros();
+  MANU_ASSIGN_OR_RETURN(Prepared prep, Prepare(req));
+  if (req.travel_ts == 0) prep.nreq.read_ts = ctx_.tso->Allocate();
+
+  // --- Fan out to the nodes serving this collection. ---
+  auto nodes = query_coord_->NodesFor(prep.meta.id);
+  if (nodes.empty()) {
+    return Status::Unavailable("collection is not loaded on any query node");
+  }
+  std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
+  futures.reserve(nodes.size());
+  for (auto& node : nodes) {
+    futures.push_back(pool_.Submit(
+        [node, &prep]() { return node->Search(prep.nreq); }));
+  }
+  std::vector<std::vector<Neighbor>> lists;
+  lists.reserve(nodes.size());
+  for (auto& fut : futures) {
+    Result<std::vector<SegmentHit>> hits = fut.get();
+    MANU_RETURN_NOT_OK(hits.status());
+    std::vector<Neighbor> list;
+    list.reserve(hits.value().size());
+    for (const auto& h : hits.value()) list.push_back({h.pk, h.score});
+    lists.push_back(std::move(list));
+  }
+
+  // --- Global reduce with pk dedup. ---
+  SearchResult out = ToResult(MergeTopK(lists, req.k, /*dedup_ids=*/true));
+  MetricsRegistry::Global().GetCounter("proxy.searches")->Add(1);
+  MetricsRegistry::Global()
+      .GetHistogram("proxy.search_latency")
+      ->Observe(static_cast<double>(NowMicros() - t0));
+  return out;
+}
+
+std::vector<Result<SearchResult>> Proxy::BatchSearch(
+    const std::vector<SearchRequest>& reqs) {
+  const int64_t t0 = NowMicros();
+  std::vector<Result<SearchResult>> results(reqs.size());
+  std::vector<Prepared> prepared(reqs.size());
+
+  // One query timestamp for the whole batch.
+  const Timestamp batch_ts = ctx_.tso->Allocate();
+  std::map<CollectionId, std::vector<size_t>> by_collection;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    auto prep = Prepare(reqs[i]);
+    if (!prep.ok()) {
+      results[i] = prep.status();
+      continue;
+    }
+    prepared[i] = std::move(prep).value();
+    if (reqs[i].travel_ts == 0) prepared[i].nreq.read_ts = batch_ts;
+    by_collection[prepared[i].meta.id].push_back(i);
+  }
+
+  for (const auto& [collection, indices] : by_collection) {
+    auto nodes = query_coord_->NodesFor(collection);
+    if (nodes.empty()) {
+      for (size_t i : indices) {
+        results[i] = Status::Unavailable("collection not loaded");
+      }
+      continue;
+    }
+    std::vector<NodeSearchRequest> batch;
+    batch.reserve(indices.size());
+    for (size_t i : indices) batch.push_back(prepared[i].nreq);
+
+    // One dispatch per node for the whole group.
+    std::vector<
+        std::future<std::vector<Result<std::vector<SegmentHit>>>>>
+        futures;
+    futures.reserve(nodes.size());
+    for (auto& node : nodes) {
+      futures.push_back(pool_.Submit(
+          [node, &batch]() { return node->SearchBatch(batch); }));
+    }
+    std::vector<std::vector<Result<std::vector<SegmentHit>>>> per_node;
+    per_node.reserve(nodes.size());
+    for (auto& fut : futures) per_node.push_back(fut.get());
+
+    for (size_t pos = 0; pos < indices.size(); ++pos) {
+      const size_t i = indices[pos];
+      std::vector<std::vector<Neighbor>> lists;
+      Status failure;
+      for (const auto& node_results : per_node) {
+        const auto& hits = node_results[pos];
+        if (!hits.ok()) {
+          failure = hits.status();
+          break;
+        }
+        std::vector<Neighbor> list;
+        list.reserve(hits.value().size());
+        for (const auto& h : hits.value()) list.push_back({h.pk, h.score});
+        lists.push_back(std::move(list));
+      }
+      results[i] = failure.ok()
+                       ? Result<SearchResult>(ToResult(
+                             MergeTopK(lists, reqs[i].k, true)))
+                       : Result<SearchResult>(failure);
+    }
+  }
+
+  MetricsRegistry::Global()
+      .GetCounter("proxy.searches")
+      ->Add(static_cast<int64_t>(reqs.size()));
+  MetricsRegistry::Global()
+      .GetHistogram("proxy.batch_latency")
+      ->Observe(static_cast<double>(NowMicros() - t0));
+  return results;
+}
+
+Result<Timestamp> Proxy::Insert(const std::string& collection,
+                                EntityBatch batch) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  return loggers_->Insert(meta, std::move(batch));
+}
+
+Result<Timestamp> Proxy::Delete(const std::string& collection,
+                                const std::vector<int64_t>& pks) {
+  MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
+                        root_coord_->GetCollection(collection));
+  return loggers_->Delete(meta, pks);
+}
+
+}  // namespace manu

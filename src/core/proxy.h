@@ -1,0 +1,107 @@
+#ifndef MANU_CORE_PROXY_H_
+#define MANU_CORE_PROXY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/context.h"
+#include "core/expr.h"
+#include "core/logger.h"
+#include "core/query_coord.h"
+#include "core/root_coord.h"
+
+namespace manu {
+
+/// Client-facing search request (the PyManu `Collection.search` /
+/// `Collection.query` surface, Table 2).
+struct SearchRequest {
+  std::string collection;
+  /// Vector field to search; empty = the collection's first vector field.
+  std::string field;
+  std::vector<float> query;
+
+  /// Multi-vector search: when non-empty, `field`/`query` are ignored and
+  /// the entity score is sum(weight_i * canonical_score_i).
+  struct MultiTarget {
+    std::string field;
+    std::vector<float> query;
+    float weight = 1.0f;
+  };
+  std::vector<MultiTarget> multi;
+
+  size_t k = 10;
+  int32_t nprobe = 16;
+  int32_t ef_search = 64;
+
+  /// Boolean filter over scalar fields, e.g. "price > 0 && label == 'book'".
+  std::string filter;
+
+  ConsistencyLevel consistency = ConsistencyLevel::kBounded;
+  /// Staleness tolerance tau in ms for kBounded; <0 uses the instance
+  /// default.
+  int64_t staleness_ms = -1;
+
+  /// Time travel: non-zero = search the collection as of this timestamp.
+  Timestamp travel_ts = 0;
+};
+
+struct SearchResult {
+  std::vector<int64_t> ids;
+  std::vector<float> scores;  ///< Canonical scores, best first.
+};
+
+/// Stateless access-layer proxy (Section 3.2): verifies requests against
+/// cached metadata (rejecting bad requests before they cost anything
+/// downstream), assigns the query timestamp, fans out to the query nodes
+/// holding the collection's segments, and runs the final phase of the
+/// two-phase top-k reduce (with pk dedup, since rebalancing may briefly
+/// duplicate a segment).
+class Proxy {
+ public:
+  Proxy(const CoreContext& ctx, RootCoordinator* root_coord,
+        QueryCoordinator* query_coord, LoggerFleet* loggers);
+
+  Result<SearchResult> Search(const SearchRequest& req);
+
+  /// Batched search (Section 3.6: "requests of the same type are organized
+  /// into one batch and handled together"): requests sharing a collection
+  /// share one query timestamp and one dispatch per query node, amortizing
+  /// validation, the consistency gate and executor scheduling. Returns one
+  /// result per request, in order; per-request failures don't fail the
+  /// batch.
+  std::vector<Result<SearchResult>> BatchSearch(
+      const std::vector<SearchRequest>& reqs);
+
+  /// Write path: validates and forwards to the logger fleet. Returns the
+  /// operation's LSN (its visibility point).
+  Result<Timestamp> Insert(const std::string& collection, EntityBatch batch);
+  Result<Timestamp> Delete(const std::string& collection,
+                           const std::vector<int64_t>& pks);
+
+ private:
+  /// Validated request, ready for fan-out. Owns the parsed filter the
+  /// NodeSearchRequest points into.
+  struct Prepared {
+    CollectionMeta meta;
+    NodeSearchRequest nreq;
+    std::unique_ptr<FilterExpr> filter;
+  };
+
+  /// Runs verification + consistency setup; read_ts is left for the caller
+  /// (single searches and batches stamp differently).
+  Result<Prepared> Prepare(const SearchRequest& req);
+
+  static SearchResult ToResult(std::vector<Neighbor> merged);
+
+  CoreContext ctx_;
+  RootCoordinator* root_coord_;
+  QueryCoordinator* query_coord_;
+  LoggerFleet* loggers_;
+  ThreadPool pool_;  ///< Fan-out workers for multi-node dispatch.
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_PROXY_H_

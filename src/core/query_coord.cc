@@ -1,0 +1,385 @@
+#include "core/query_coord.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace manu {
+
+QueryCoordinator::QueryCoordinator(const CoreContext& ctx,
+                                   DataCoordinator* data_coord,
+                                   RootCoordinator* root_coord)
+    : ctx_(ctx), data_coord_(data_coord), root_coord_(root_coord) {}
+
+QueryCoordinator::~QueryCoordinator() { Stop(); }
+
+void QueryCoordinator::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void QueryCoordinator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void QueryCoordinator::Run() {
+  auto sub = ctx_.mq->Subscribe(CoordChannelName(),
+                                SubscribePosition::kEarliest);
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto entries = sub->Poll(
+        ctx_.config.poll_batch,
+        std::chrono::milliseconds(ctx_.config.poll_timeout_ms));
+    for (const auto& entry : entries) {
+      switch (entry->type) {
+        case LogEntryType::kIndexBuilt: {
+          auto meta = SegmentMeta::Deserialize(entry->payload);
+          if (meta.ok()) OnSegmentReady(meta.value());
+          break;
+        }
+        case LogEntryType::kSegmentSealed: {
+          // Collections without a declared index still hand sealed segments
+          // off to a query node (binlog only) so growing memory is bounded.
+          auto meta = SegmentMeta::Deserialize(entry->payload);
+          if (!meta.ok()) break;
+          auto coll = root_coord_->GetCollectionById(meta.value().collection);
+          if (coll.ok() && coll.value().index_params.empty()) {
+            OnSegmentReady(meta.value());
+          }
+          break;
+        }
+        case LogEntryType::kCompaction: {
+          BinaryReader r(entry->payload);
+          auto dropped = r.GetVector<SegmentId>();
+          if (!dropped.ok()) break;
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = serving_.find(entry->collection);
+          if (it == serving_.end()) break;
+          if (entry->segment == kInvalidSegmentId ||
+              it->second.segment_owner.count(entry->segment) > 0) {
+            // Merged result already serving (or everything was deleted):
+            // release the inputs now.
+            ReleaseSegmentsLocked(entry->collection, dropped.value());
+          } else {
+            it->second.pending_drops[entry->segment] = dropped.value();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+std::shared_ptr<QueryNode> QueryCoordinator::NodeById(NodeId id) const {
+  for (const auto& node : nodes_) {
+    if (node->id() == id) return node;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<QueryNode> QueryCoordinator::LeastLoadedLocked() const {
+  std::shared_ptr<QueryNode> best;
+  uint64_t best_bytes = 0;
+  for (const auto& node : nodes_) {
+    const uint64_t bytes = node->MemoryBytes();
+    if (best == nullptr || bytes < best_bytes) {
+      best = node;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+void QueryCoordinator::AddQueryNode(std::shared_ptr<QueryNode> node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Follow every serving collection's channels (deletes + ticks) so the
+  // node can immediately host sealed segments of any shard.
+  for (const auto& [collection, serving] : serving_) {
+    for (ShardId shard = 0; shard < serving.num_shards; ++shard) {
+      node->AddChannel(collection, shard, serving.schema, /*primary=*/false);
+    }
+  }
+  nodes_.push_back(std::move(node));
+}
+
+Status QueryCoordinator::RemoveQueryNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (nodes_.size() <= 1) {
+    return Status::InvalidArgument("cannot remove the last query node");
+  }
+  auto victim = NodeById(id);
+  if (victim == nullptr) return Status::NotFound("query node");
+
+  for (auto& [collection, serving] : serving_) {
+    // Reassign primary channels.
+    for (auto& [shard, owner] : serving.channel_owner) {
+      if (owner != id) continue;
+      // Round-robin over the survivors.
+      for (const auto& node : nodes_) {
+        if (node->id() == id) continue;
+        node->PromoteChannel(collection, shard);
+        victim->DemoteChannel(collection, shard);
+        owner = node->id();
+        break;
+      }
+    }
+    // Move sealed segments: survivors load from object storage first, then
+    // the victim releases (paper: "a query node can be removed once other
+    // query nodes load the indexes for the segments it handles"). A replica
+    // set that still has survivors needs no reload at all.
+    for (auto& [segment, owners] : serving.segment_owner) {
+      auto victim_it = std::find(owners.begin(), owners.end(), id);
+      if (victim_it == owners.end()) continue;
+      owners.erase(victim_it);
+      victim->ReleaseSegment(collection, segment);
+      if (!owners.empty()) continue;  // Other replicas keep serving.
+      auto meta = data_coord_->GetSegment(collection, segment);
+      if (!meta.ok()) continue;
+      std::shared_ptr<QueryNode> target;
+      for (const auto& node : nodes_) {
+        if (node->id() != id &&
+            (target == nullptr ||
+             node->MemoryBytes() < target->MemoryBytes())) {
+          target = node;
+        }
+      }
+      if (target == nullptr) continue;
+      MANU_RETURN_NOT_OK(
+          target->LoadSealedSegment(meta.value(), serving.schema));
+      owners.push_back(target->id());
+    }
+    victim->RemoveCollection(collection);
+  }
+  victim->Stop();
+  std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+  MANU_LOG_INFO << "query node " << id << " removed (scale-down)";
+  return Status::OK();
+}
+
+Status QueryCoordinator::KillQueryNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto victim = NodeById(id);
+  if (victim == nullptr) return Status::NotFound("query node");
+  if (nodes_.size() <= 1) {
+    return Status::InvalidArgument("cannot kill the last query node");
+  }
+  // Crash first: no cooperation from the victim.
+  victim->Stop();
+  std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+
+  for (auto& [collection, serving] : serving_) {
+    for (auto& [shard, owner] : serving.channel_owner) {
+      if (owner != id) continue;
+      auto target = nodes_[static_cast<size_t>(shard) % nodes_.size()];
+      target->PromoteChannel(collection, shard);
+      owner = target->id();
+    }
+    for (auto& [segment, owners] : serving.segment_owner) {
+      auto victim_it = std::find(owners.begin(), owners.end(), id);
+      if (victim_it == owners.end()) continue;
+      owners.erase(victim_it);
+      if (!owners.empty()) continue;  // A hot replica already serves it.
+      auto meta = data_coord_->GetSegment(collection, segment);
+      if (!meta.ok()) continue;
+      auto target = LeastLoadedLocked();
+      if (target == nullptr) continue;
+      Status st = target->LoadSealedSegment(meta.value(), serving.schema);
+      if (st.ok()) owners.push_back(target->id());
+    }
+  }
+  MANU_LOG_INFO << "query node " << id << " killed and recovered";
+  return Status::OK();
+}
+
+size_t QueryCoordinator::NumQueryNodes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return nodes_.size();
+}
+
+std::vector<std::shared_ptr<QueryNode>> QueryCoordinator::Nodes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return nodes_;
+}
+
+Status QueryCoordinator::LoadCollection(const CollectionMeta& meta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (nodes_.empty()) return Status::Unavailable("no query nodes");
+  CollectionServing& serving = serving_[meta.id];
+  serving.schema = std::make_shared<CollectionSchema>(meta.schema);
+  serving.index_params = meta.index_params;
+  serving.num_shards = meta.num_shards;
+  for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+    auto primary = nodes_[static_cast<size_t>(shard) % nodes_.size()];
+    serving.channel_owner[shard] = primary->id();
+    for (const auto& node : nodes_) {
+      node->AddChannel(meta.id, shard, serving.schema,
+                       /*primary=*/node == primary);
+    }
+  }
+
+  LogEntry announce;
+  announce.type = LogEntryType::kLoadCollection;
+  announce.timestamp = ctx_.tso->Allocate();
+  announce.collection = meta.id;
+  ctx_.mq->Publish(CoordChannelName(), std::move(announce));
+  return Status::OK();
+}
+
+Status QueryCoordinator::ReleaseCollection(CollectionId collection) {
+  std::lock_guard<std::mutex> lk(mu_);
+  serving_.erase(collection);
+  // Announced via log; nodes release asynchronously (Section 3.3's example
+  // of log-based coordination) — here we also release synchronously since
+  // nodes are in-process.
+  LogEntry announce;
+  announce.type = LogEntryType::kReleaseCollection;
+  announce.timestamp = ctx_.tso->Allocate();
+  announce.collection = collection;
+  ctx_.mq->Publish(CoordChannelName(), std::move(announce));
+  for (const auto& node : nodes_) node->RemoveCollection(collection);
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<QueryNode>> QueryCoordinator::NodesFor(
+    CollectionId collection) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<QueryNode>> out;
+  auto it = serving_.find(collection);
+  if (it == serving_.end()) return out;
+  for (const auto& node : nodes_) {
+    const NodeId id = node->id();
+    bool involved = false;
+    for (const auto& [_, owner] : it->second.channel_owner) {
+      if (owner == id) involved = true;
+    }
+    for (const auto& [_, owners] : it->second.segment_owner) {
+      if (std::find(owners.begin(), owners.end(), id) != owners.end()) {
+        involved = true;
+      }
+    }
+    if (involved) out.push_back(node);
+  }
+  return out;
+}
+
+void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = serving_.find(meta.collection);
+  if (it == serving_.end()) return;
+  CollectionServing& serving = it->second;
+
+  // Pick the replica set: existing owners reload in place (new index
+  // version); missing replicas go to the least-loaded remaining nodes.
+  std::vector<std::shared_ptr<QueryNode>> targets;
+  auto owner = serving.segment_owner.find(meta.id);
+  if (owner != serving.segment_owner.end()) {
+    for (NodeId id : owner->second) {
+      auto node = NodeById(id);
+      if (node != nullptr) targets.push_back(node);
+    }
+  }
+  const size_t want = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(ctx_.config.replica_factor),
+                          nodes_.size()));
+  std::vector<std::shared_ptr<QueryNode>> candidates = nodes_;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a->MemoryBytes() < b->MemoryBytes();
+            });
+  for (const auto& node : candidates) {
+    if (targets.size() >= want) break;
+    if (std::find(targets.begin(), targets.end(), node) == targets.end()) {
+      targets.push_back(node);
+    }
+  }
+  if (targets.empty()) return;
+
+  std::vector<NodeId> loaded;
+  for (const auto& target : targets) {
+    Status st = target->LoadSealedSegment(meta, serving.schema);
+    if (!st.ok()) {
+      MANU_LOG_ERROR << "segment load failed: " << st.ToString();
+      continue;
+    }
+    loaded.push_back(target->id());
+  }
+  if (loaded.empty()) return;
+  serving.segment_owner[meta.id] = std::move(loaded);
+  // Every node drops the growing twin (the loader already did).
+  for (const auto& node : nodes_) {
+    node->DropGrowing(meta.collection, meta.id);
+  }
+  // If this segment is a compaction result, its inputs can go now.
+  auto pending = serving.pending_drops.find(meta.id);
+  if (pending != serving.pending_drops.end()) {
+    ReleaseSegmentsLocked(meta.collection, pending->second);
+    serving.pending_drops.erase(pending);
+  }
+}
+
+void QueryCoordinator::ReleaseSegmentsLocked(
+    CollectionId collection, const std::vector<SegmentId>& segments) {
+  auto it = serving_.find(collection);
+  if (it == serving_.end()) return;
+  for (SegmentId segment : segments) {
+    auto owner = it->second.segment_owner.find(segment);
+    if (owner == it->second.segment_owner.end()) continue;
+    for (NodeId id : owner->second) {
+      auto node = NodeById(id);
+      if (node != nullptr) node->ReleaseSegment(collection, segment);
+    }
+    it->second.segment_owner.erase(owner);
+  }
+}
+
+Status QueryCoordinator::Rebalance() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (nodes_.size() < 2) return Status::OK();
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    // Count segment replicas per node across collections.
+    std::map<NodeId, int64_t> load;
+    for (const auto& node : nodes_) load[node->id()] = 0;
+    for (const auto& [_, serving] : serving_) {
+      for (const auto& [__, owners] : serving.segment_owner) {
+        for (NodeId id : owners) ++load[id];
+      }
+    }
+    auto [min_it, max_it] = std::minmax_element(
+        load.begin(), load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (max_it->second - min_it->second <= 1) break;
+
+    // Move one replica from the max node to the min node (only if the min
+    // node does not already hold one).
+    for (auto& [collection, serving] : serving_) {
+      for (auto& [segment, owners] : serving.segment_owner) {
+        auto source_it =
+            std::find(owners.begin(), owners.end(), max_it->first);
+        if (source_it == owners.end()) continue;
+        if (std::find(owners.begin(), owners.end(), min_it->first) !=
+            owners.end()) {
+          continue;
+        }
+        auto meta = data_coord_->GetSegment(collection, segment);
+        if (!meta.ok()) continue;
+        auto target = NodeById(min_it->first);
+        auto source = NodeById(max_it->first);
+        if (target == nullptr || source == nullptr) continue;
+        MANU_RETURN_NOT_OK(
+            target->LoadSealedSegment(meta.value(), serving.schema));
+        source->ReleaseSegment(collection, segment);
+        *source_it = target->id();
+        moved = true;
+        break;
+      }
+      if (moved) break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace manu

@@ -1,0 +1,104 @@
+#ifndef MANU_CORE_QUERY_COORD_H_
+#define MANU_CORE_QUERY_COORD_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/collection_meta.h"
+#include "core/context.h"
+#include "core/data_coord.h"
+#include "core/query_node.h"
+#include "core/root_coord.h"
+
+namespace manu {
+
+/// Query coordinator (Sections 3.2/3.6): manages the fleet of query nodes,
+/// assigns shard channels (growing data) and sealed segments to nodes, and
+/// handles scaling, rebalancing and failure recovery. It subscribes to the
+/// coordination channel; on kIndexBuilt it directs the least-loaded node to
+/// load the segment's index + binlog and every node to drop the growing
+/// twin. Segment redistribution is not atomic — a segment may briefly live
+/// on two nodes — which is safe because proxies dedup results by pk.
+class QueryCoordinator {
+ public:
+  QueryCoordinator(const CoreContext& ctx, DataCoordinator* data_coord,
+                   RootCoordinator* root_coord);
+  ~QueryCoordinator();
+
+  void Start();
+  void Stop();
+
+  // --- Fleet management ---
+
+  /// Registers and starts serving through a node. New nodes receive
+  /// segments on the next Rebalance().
+  void AddQueryNode(std::shared_ptr<QueryNode> node);
+
+  /// Graceful scale-down: moves the node's sealed segments and channels to
+  /// the remaining nodes, then removes it.
+  Status RemoveQueryNode(NodeId id);
+
+  /// Simulated crash: drops the node without cooperation and restores its
+  /// segments on healthy nodes from object storage (failure recovery).
+  Status KillQueryNode(NodeId id);
+
+  size_t NumQueryNodes() const;
+  std::vector<std::shared_ptr<QueryNode>> Nodes() const;
+
+  // --- Collection serving ---
+
+  /// Starts serving a collection: shard channels are spread over the
+  /// current nodes; announces kLoadCollection.
+  Status LoadCollection(const CollectionMeta& meta);
+  Status ReleaseCollection(CollectionId collection);
+
+  /// Nodes currently serving `collection` (the proxy's routing snapshot).
+  std::vector<std::shared_ptr<QueryNode>> NodesFor(
+      CollectionId collection) const;
+
+  /// Moves sealed segments from overloaded to underloaded nodes until
+  /// segment counts differ by at most one.
+  Status Rebalance();
+
+ private:
+  struct CollectionServing {
+    std::shared_ptr<const CollectionSchema> schema;
+    std::map<FieldId, IndexParams> index_params;
+    int32_t num_shards = 0;
+    /// shard -> node id currently pumping that channel.
+    std::map<ShardId, NodeId> channel_owner;
+    /// sealed segment -> hot-replica set (size = min(replica_factor,
+    /// nodes)). Proxies dedup results by pk, so replicas are free to
+    /// overlap in what they return.
+    std::map<SegmentId, std::vector<NodeId>> segment_owner;
+    /// Compaction: merged segment -> segments to release once it serves.
+    std::map<SegmentId, std::vector<SegmentId>> pending_drops;
+  };
+
+  void Run();
+  void OnSegmentReady(const SegmentMeta& meta);
+  /// Releases `segments` from their owners (mu_ held by caller).
+  void ReleaseSegmentsLocked(CollectionId collection,
+                             const std::vector<SegmentId>& segments);
+  std::shared_ptr<QueryNode> NodeById(NodeId id) const;
+  std::shared_ptr<QueryNode> LeastLoadedLocked() const;
+
+  CoreContext ctx_;
+  DataCoordinator* data_coord_;
+  RootCoordinator* root_coord_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<QueryNode>> nodes_;
+  std::map<CollectionId, CollectionServing> serving_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_QUERY_COORD_H_

@@ -1,0 +1,448 @@
+#include "core/query_node.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "index/index_factory.h"
+#include "storage/binlog.h"
+
+namespace manu {
+
+QueryNode::QueryNode(NodeId id, const CoreContext& ctx)
+    : id_(id),
+      ctx_(ctx),
+      executor_(std::make_unique<ThreadPool>(
+          std::max(1, ctx.config.query_threads))) {}
+
+QueryNode::~QueryNode() {
+  Stop();
+  executor_.reset();
+}
+
+Result<std::vector<SegmentHit>> QueryNode::Search(
+    const NodeSearchRequest& req) {
+  return executor_->Submit([this, &req] { return SearchInternal(req); })
+      .get();
+}
+
+std::vector<Result<std::vector<SegmentHit>>> QueryNode::SearchBatch(
+    const std::vector<NodeSearchRequest>& reqs) {
+  return executor_
+      ->Submit([this, &reqs] {
+        std::vector<Result<std::vector<SegmentHit>>> out;
+        out.reserve(reqs.size());
+        for (const NodeSearchRequest& req : reqs) {
+          out.push_back(SearchInternal(req));
+        }
+        return out;
+      })
+      .get();
+}
+
+void QueryNode::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void QueryNode::Stop() {
+  stop_.store(true, std::memory_order_release);
+  tick_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void QueryNode::AddChannel(CollectionId collection, ShardId shard,
+                           std::shared_ptr<const CollectionSchema> schema,
+                           bool primary) {
+  auto ch = std::make_shared<ChannelState>();
+  ch->sub = ctx_.mq->Subscribe(ShardChannelName(collection, shard),
+                               SubscribePosition::kEarliest);
+  ch->collection = collection;
+  ch->shard = shard;
+  ch->primary = primary;
+  std::unique_lock lk(mu_);
+  collections_[collection].schema = std::move(schema);
+  channels_.push_back(std::move(ch));
+}
+
+void QueryNode::PromoteChannel(CollectionId collection, ShardId shard) {
+  std::unique_lock lk(mu_);
+  for (auto& ch : channels_) {
+    if (ch->collection != collection || ch->shard != shard) continue;
+    if (ch->primary) return;
+    ch->primary = true;
+    // Replay from the start to rebuild growing state; sealed twins are
+    // skipped and deletes/tombstones are idempotent.
+    ch->sub->Seek(ctx_.mq->BeginOffset(ch->sub->channel()));
+    return;
+  }
+}
+
+void QueryNode::DemoteChannel(CollectionId collection, ShardId shard) {
+  std::unique_lock lk(mu_);
+  for (auto& ch : channels_) {
+    if (ch->collection == collection && ch->shard == shard) {
+      ch->primary = false;
+    }
+  }
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return;
+  std::vector<SegmentId> drop;
+  for (const auto& [seg, s] : it->second.growing_shard) {
+    if (s == shard) drop.push_back(seg);
+  }
+  for (SegmentId seg : drop) {
+    it->second.growing.erase(seg);
+    it->second.growing_shard.erase(seg);
+  }
+}
+
+void QueryNode::RemoveCollection(CollectionId collection) {
+  std::unique_lock lk(mu_);
+  std::erase_if(channels_, [&](const auto& ch) {
+    return ch->collection == collection;
+  });
+  collections_.erase(collection);
+}
+
+void QueryNode::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool idle = true;
+    std::vector<std::shared_ptr<ChannelState>> channels;
+    {
+      std::shared_lock lk(mu_);
+      channels = channels_;
+    }
+    for (const auto& ch : channels) {
+      auto entries = ch->sub->TryPoll(ctx_.config.poll_batch);
+      if (entries.empty()) continue;
+      idle = false;
+      std::unique_lock lk(mu_);
+      for (const auto& entry : entries) {
+        HandleEntry(ch.get(), *entry);
+      }
+      lk.unlock();
+      tick_cv_.notify_all();
+    }
+    if (idle) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void QueryNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
+  auto cit = collections_.find(ch->collection);
+  if (cit == collections_.end()) return;  // Released concurrently.
+  CollectionState& coll = cit->second;
+  switch (entry.type) {
+    case LogEntryType::kInsert: {
+      if (!ch->primary) break;  // Followers consume deletes/ticks only.
+      // A sealed twin already covers this data (late replay after load).
+      if (coll.sealed.count(entry.segment) > 0) break;
+      auto& growing = coll.growing[entry.segment];
+      if (growing == nullptr) {
+        growing = std::make_shared<GrowingSegment>(
+            entry.segment, coll.schema.get(), ctx_.config.slice_rows);
+        coll.growing_shard[entry.segment] = ch->shard;
+      }
+      Status st = growing->Append(entry.batch);
+      if (!st.ok()) {
+        MANU_LOG_ERROR << "query node " << id_ << " growing append: "
+                       << st.ToString();
+      }
+      break;
+    }
+    case LogEntryType::kDelete: {
+      for (int64_t pk : entry.delete_pks) {
+        coll.deletes.emplace_back(pk, entry.timestamp);
+        for (auto& [_, seg] : coll.growing) seg->Delete(pk, entry.timestamp);
+        for (auto& [_, seg] : coll.sealed) seg->Delete(pk, entry.timestamp);
+      }
+      break;
+    }
+    case LogEntryType::kTimeTick:
+    case LogEntryType::kFlush:
+      break;  // Progress markers; service_ts update below covers them.
+    default:
+      break;
+  }
+  ch->service_ts = std::max(ch->service_ts, entry.timestamp);
+}
+
+Status QueryNode::LoadSealedSegment(
+    const SegmentMeta& meta, std::shared_ptr<const CollectionSchema> schema) {
+  // Load outside the lock (object-store IO), install under the lock.
+  MANU_ASSIGN_OR_RETURN(EntityBatch rows,
+                        binlog::ReadSegment(ctx_.store, meta.binlog_path));
+  auto segment = std::make_shared<SealedSegment>(meta.id, schema.get());
+  MANU_RETURN_NOT_OK(segment->SetRows(rows));
+  MANU_RETURN_NOT_OK(segment->BuildScalarIndexes());
+  for (const auto& [field, path] : meta.index_paths) {
+    MANU_ASSIGN_OR_RETURN(std::string framed, ctx_.store->Get(path));
+    MANU_ASSIGN_OR_RETURN(std::string payload, binlog::Unframe(framed));
+    MANU_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
+                          DeserializeVectorIndex(payload, ctx_.store));
+    MANU_RETURN_NOT_OK(segment->SetIndex(field, std::move(index)));
+  }
+
+  std::unique_lock lk(mu_);
+  CollectionState& coll = collections_[meta.collection];
+  if (coll.schema == nullptr) coll.schema = schema;
+  // Re-apply deletes consumed before this load (sealed binlog has inserts
+  // only).
+  for (const auto& [pk, ts] : coll.deletes) segment->Delete(pk, ts);
+  coll.sealed[meta.id] = std::move(segment);
+  coll.sealed_meta[meta.id] = meta;
+  // The growing twin is now redundant on *this* node.
+  coll.growing.erase(meta.id);
+  coll.growing_shard.erase(meta.id);
+  MetricsRegistry::Global().GetCounter("query_node.segments_loaded")->Add(1);
+  return Status::OK();
+}
+
+void QueryNode::DropGrowing(CollectionId collection, SegmentId segment) {
+  std::unique_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it != collections_.end()) {
+    it->second.growing.erase(segment);
+    it->second.growing_shard.erase(segment);
+  }
+}
+
+void QueryNode::ReleaseSegment(CollectionId collection, SegmentId segment) {
+  std::unique_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it != collections_.end()) {
+    it->second.sealed.erase(segment);
+    it->second.sealed_meta.erase(segment);
+  }
+}
+
+Timestamp QueryNode::ServiceTsLocked(CollectionId collection) const {
+  Timestamp min_ts = kMaxTimestamp;
+  bool any = false;
+  for (const auto& ch : channels_) {
+    if (ch->collection != collection) continue;
+    min_ts = std::min(min_ts, ch->service_ts);
+    any = true;
+  }
+  return any ? min_ts : 0;
+}
+
+Timestamp QueryNode::ServiceTs(CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  return ServiceTsLocked(collection);
+}
+
+bool QueryNode::WaitServiceTs(CollectionId collection, Timestamp ts,
+                              int64_t max_ms) {
+  std::shared_lock lk(mu_);
+  return tick_cv_.wait_for(lk, std::chrono::milliseconds(max_ms), [&] {
+    return ServiceTsLocked(collection) >= ts ||
+           stop_.load(std::memory_order_acquire);
+  });
+}
+
+bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
+                                int64_t staleness_ms) {
+  if (staleness_ms < 0) return true;  // Eventual: never wait.
+  const int64_t target_ms =
+      static_cast<int64_t>(PhysicalMs(read_ts)) - staleness_ms;
+  std::shared_lock lk(mu_);
+  // Lr - Ls < tau  <=>  physical(Ls) > physical(Lr) - tau.
+  return tick_cv_.wait_for(
+      lk, std::chrono::milliseconds(ctx_.config.max_consistency_wait_ms),
+      [&] {
+        return static_cast<int64_t>(
+                   PhysicalMs(ServiceTsLocked(collection))) >= target_ms ||
+               stop_.load(std::memory_order_acquire);
+      });
+}
+
+Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
+    const NodeSearchRequest& req) {
+  auto* wait_hist =
+      MetricsRegistry::Global().GetHistogram("query_node.consistency_wait");
+  {
+    const int64_t t0 = NowMicros();
+    if (!WaitConsistency(req.collection, req.read_ts, req.staleness_ms)) {
+      return Status::Timeout("consistency wait exceeded bound");
+    }
+    wait_hist->Observe(static_cast<double>(NowMicros() - t0));
+  }
+
+  // The shared lock is held for the whole search phase: the WAL pump
+  // mutates segments only under the unique lock, so readers see a
+  // consistent snapshot without per-segment synchronization.
+  std::shared_lock lk(mu_);
+  std::vector<std::shared_ptr<GrowingSegment>> growing;
+  std::vector<std::shared_ptr<SealedSegment>> sealed;
+  {
+    auto it = collections_.find(req.collection);
+    if (it == collections_.end()) {
+      return Status::NotFound("collection not served by node " +
+                              std::to_string(id_));
+    }
+    for (const auto& [seg_id, seg] : it->second.growing) {
+      if (it->second.sealed.count(seg_id) > 0) continue;  // Sealed twin wins.
+      growing.push_back(seg);
+    }
+    for (const auto& [_, seg] : it->second.sealed) sealed.push_back(seg);
+  }
+
+  if (req.targets.empty()) {
+    return Status::InvalidArgument("no search targets");
+  }
+
+  const int64_t t0 = NowMicros();
+  std::vector<std::vector<Neighbor>> per_segment;
+
+  if (req.targets.size() == 1) {
+    const SearchTarget& target = req.targets[0];
+    SegmentSearchRequest sreq;
+    sreq.field = target.field;
+    sreq.query = target.query;
+    sreq.params = req.params;
+    sreq.read_ts = req.read_ts;
+    sreq.filter = req.filter;
+    for (const auto& seg : sealed) {
+      MANU_ASSIGN_OR_RETURN(std::vector<SegmentHit> hits, seg->Search(sreq));
+      std::vector<Neighbor> list;
+      list.reserve(hits.size());
+      for (const auto& h : hits) list.push_back({h.pk, h.score});
+      per_segment.push_back(std::move(list));
+    }
+    for (const auto& seg : growing) {
+      MANU_ASSIGN_OR_RETURN(std::vector<SegmentHit> hits, seg->Search(sreq));
+      std::vector<Neighbor> list;
+      list.reserve(hits.size());
+      for (const auto& h : hits) list.push_back({h.pk, h.score});
+      per_segment.push_back(std::move(list));
+    }
+  } else {
+    // Multi-vector search, "vector fusion" strategy: per-field searches
+    // gather candidates, exact weighted re-ranking scores them (the
+    // decomposable-similarity strategy; Section 3.6).
+    const size_t cand_k = req.params.k * 2 + 16;
+    auto search_segment = [&](auto& seg,
+                              const SegmentCore& core) -> Status {
+      std::unordered_set<int64_t> candidates;
+      for (const SearchTarget& target : req.targets) {
+        SegmentSearchRequest sreq;
+        sreq.field = target.field;
+        sreq.query = target.query;
+        sreq.params = req.params;
+        sreq.params.k = cand_k;
+        sreq.read_ts = req.read_ts;
+        sreq.filter = req.filter;
+        auto hits = seg->Search(sreq);
+        if (!hits.ok()) return hits.status();
+        for (const auto& h : hits.value()) candidates.insert(h.pk);
+      }
+      std::vector<Neighbor> list;
+      for (int64_t pk : candidates) {
+        float combined = 0;
+        bool ok = true;
+        for (const SearchTarget& target : req.targets) {
+          auto score = core.ScoreByPk(pk, target.field, target.query,
+                                      req.read_ts);
+          if (!score.ok()) {
+            ok = false;
+            break;
+          }
+          combined += target.weight * score.value();
+        }
+        if (ok) list.push_back({pk, combined});
+      }
+      std::sort(list.begin(), list.end());
+      if (list.size() > req.params.k) list.resize(req.params.k);
+      per_segment.push_back(std::move(list));
+      return Status::OK();
+    };
+    for (const auto& seg : sealed) {
+      MANU_RETURN_NOT_OK(search_segment(seg, seg->core()));
+    }
+    for (const auto& seg : growing) {
+      MANU_RETURN_NOT_OK(search_segment(seg, seg->core()));
+    }
+  }
+
+  // Node-level reduce (phase one of the two-phase reduce).
+  std::vector<Neighbor> merged = MergeTopK(per_segment, req.params.k,
+                                           /*dedup_ids=*/true);
+  // Calibrated service-time model (see ManuConfig::sim_segment_search_us):
+  // pad real compute up to the per-segment service target.
+  if (ctx_.config.sim_segment_search_us > 0) {
+    const int64_t target = ctx_.config.sim_segment_search_us *
+                           static_cast<int64_t>(per_segment.size());
+    const int64_t elapsed = NowMicros() - t0;
+    if (elapsed < target) {
+      lk.unlock();  // Don't block the WAL pump while sleeping.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(target - elapsed));
+    }
+  }
+  MetricsRegistry::Global()
+      .GetHistogram("query_node.search_latency")
+      ->Observe(static_cast<double>(NowMicros() - t0));
+
+  std::vector<SegmentHit> out;
+  out.reserve(merged.size());
+  for (const Neighbor& n : merged) out.push_back({n.id, n.score});
+  return out;
+}
+
+std::vector<SegmentId> QueryNode::SealedSegments(
+    CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  std::vector<SegmentId> out;
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return out;
+  for (const auto& [seg_id, _] : it->second.sealed) out.push_back(seg_id);
+  return out;
+}
+
+Result<SegmentMeta> QueryNode::SealedMeta(CollectionId collection,
+                                          SegmentId segment) const {
+  std::shared_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return Status::NotFound("collection");
+  auto sit = it->second.sealed_meta.find(segment);
+  if (sit == it->second.sealed_meta.end()) {
+    return Status::NotFound("segment meta");
+  }
+  return sit->second;
+}
+
+std::vector<int64_t> QueryNode::DeletedPks(CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  std::vector<int64_t> out;
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return out;
+  out.reserve(it->second.deletes.size());
+  for (const auto& [pk, _] : it->second.deletes) out.push_back(pk);
+  return out;
+}
+
+int64_t QueryNode::NumGrowingRows(CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return 0;
+  int64_t rows = 0;
+  for (const auto& [_, seg] : it->second.growing) rows += seg->NumRows();
+  return rows;
+}
+
+uint64_t QueryNode::MemoryBytes() const {
+  std::shared_lock lk(mu_);
+  uint64_t bytes = 0;
+  for (const auto& [_, coll] : collections_) {
+    for (const auto& [__, seg] : coll.growing) bytes += seg->ByteSize();
+    for (const auto& [__, seg] : coll.sealed) bytes += seg->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace manu

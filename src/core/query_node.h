@@ -1,0 +1,166 @@
+#ifndef MANU_CORE_QUERY_NODE_H_
+#define MANU_CORE_QUERY_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/collection_meta.h"
+#include "core/context.h"
+#include "core/segment.h"
+
+namespace manu {
+
+/// One (field, query vector, weight) search target. A single target is a
+/// classic vector search; several targets form a multi-vector search whose
+/// entity score is the weighted sum of per-field canonical scores.
+struct SearchTarget {
+  FieldId field = 0;
+  const float* query = nullptr;
+  float weight = 1.0f;
+};
+
+/// Node-level search request, produced by the proxy.
+struct NodeSearchRequest {
+  CollectionId collection = kInvalidCollectionId;
+  std::vector<SearchTarget> targets;
+  SearchParams params;
+  /// Query issue LSN Lr: both the MVCC read point and the consistency
+  /// reference (time-travel queries pass a historical value).
+  Timestamp read_ts = kMaxTimestamp;
+  /// Staleness tolerance tau in ms; <0 means infinity (eventual).
+  int64_t staleness_ms = -1;
+  const FilterExpr* filter = nullptr;
+};
+
+/// Query node (Sections 3.2/3.6): serves vector searches over its local
+/// share of segments. Data arrives from the three sources the paper names:
+/// the WAL (growing segments, consumed by this node's pump thread), index
+/// files and binlog (sealed segments loaded from object storage on index
+/// completion, rebalances and recovery).
+class QueryNode {
+ public:
+  QueryNode(NodeId id, const CoreContext& ctx);
+  ~QueryNode();
+
+  NodeId id() const { return id_; }
+
+  void Start();
+  void Stop();
+
+  // --- Serving assignments (driven by the query coordinator) ---
+
+  /// Subscribes to a shard channel (from the earliest retained offset, so a
+  /// late subscriber replays history — the recovery path). Only the shard's
+  /// *primary* node materializes growing segments from inserts; every
+  /// serving node still consumes the channel for deletes and time-ticks,
+  /// which keeps tombstones and the consistency gate correct on nodes that
+  /// hold only sealed segments of that shard.
+  void AddChannel(CollectionId collection, ShardId shard,
+                  std::shared_ptr<const CollectionSchema> schema,
+                  bool primary);
+  /// Promotes this node to primary for a shard it already follows,
+  /// replaying the channel from the start to rebuild growing state.
+  void PromoteChannel(CollectionId collection, ShardId shard);
+  /// Demotes and drops growing segments of the shard (primary moved away).
+  void DemoteChannel(CollectionId collection, ShardId shard);
+  void RemoveCollection(CollectionId collection);
+
+  /// Loads a sealed segment (binlog + index if present) from object
+  /// storage; applies buffered deletes; replaces any growing twin.
+  Status LoadSealedSegment(const SegmentMeta& meta,
+                           std::shared_ptr<const CollectionSchema> schema);
+
+  /// Drops the growing copy of `segment` (after its sealed twin is loaded
+  /// somewhere).
+  void DropGrowing(CollectionId collection, SegmentId segment);
+  /// Releases a sealed segment (scale-down / rebalance).
+  void ReleaseSegment(CollectionId collection, SegmentId segment);
+
+  // --- Search ---
+
+  /// Node-local search with the delta-consistency gate: waits until this
+  /// node's consumed time-ticks satisfy Lr - Ls < tau, then runs segment
+  /// searches and reduces to a node-level top-k (Section 3.6 two-phase
+  /// reduce; the proxy does the final phase).
+  ///
+  /// Executes on the node's private executor pool (config.query_threads
+  /// wide): a node's compute capacity is bounded, which is what makes
+  /// query-node scaling (Figures 9/10) meaningful in an in-process
+  /// simulation — callers beyond the pool width queue.
+  Result<std::vector<SegmentHit>> Search(const NodeSearchRequest& req);
+
+  /// Batched variant (Section 3.6: proxies batch requests of the same
+  /// type): the whole batch occupies one executor slot, amortizing
+  /// dispatch, the consistency gate and lock acquisition across requests.
+  std::vector<Result<std::vector<SegmentHit>>> SearchBatch(
+      const std::vector<NodeSearchRequest>& reqs);
+
+  // --- Introspection for the coordinator / autoscaler ---
+
+  std::vector<SegmentId> SealedSegments(CollectionId collection) const;
+  /// All delete tombstones this node has consumed for the collection
+  /// (compaction input).
+  std::vector<int64_t> DeletedPks(CollectionId collection) const;
+  Result<SegmentMeta> SealedMeta(CollectionId collection,
+                                 SegmentId segment) const;
+  int64_t NumGrowingRows(CollectionId collection) const;
+  uint64_t MemoryBytes() const;
+  /// Min last-consumed tick LSN across this node's channels of the
+  /// collection (Ls of Section 3.4).
+  Timestamp ServiceTs(CollectionId collection) const;
+  /// Blocks until every channel of the collection has consumed entries up
+  /// to `ts` (tests use this instead of sleeping).
+  bool WaitServiceTs(CollectionId collection, Timestamp ts, int64_t max_ms);
+
+ private:
+  struct ChannelState {
+    std::shared_ptr<MessageQueue::Subscription> sub;
+    CollectionId collection;
+    ShardId shard;
+    bool primary = false;
+    Timestamp service_ts = 0;
+  };
+
+  struct CollectionState {
+    std::shared_ptr<const CollectionSchema> schema;
+    std::map<SegmentId, std::shared_ptr<GrowingSegment>> growing;
+    std::map<SegmentId, ShardId> growing_shard;
+    std::map<SegmentId, std::shared_ptr<SealedSegment>> sealed;
+    std::map<SegmentId, SegmentMeta> sealed_meta;
+    /// All deletes consumed so far, re-applied to late-loaded segments.
+    std::vector<std::pair<int64_t, Timestamp>> deletes;
+  };
+
+  void Run();
+  void HandleEntry(ChannelState* ch, const LogEntry& entry);
+  Timestamp ServiceTsLocked(CollectionId collection) const;
+  bool WaitConsistency(CollectionId collection, Timestamp read_ts,
+                       int64_t staleness_ms);
+  Result<std::vector<SegmentHit>> SearchInternal(
+      const NodeSearchRequest& req);
+
+  NodeId id_;
+  CoreContext ctx_;
+
+  mutable std::shared_mutex mu_;
+  std::condition_variable_any tick_cv_;
+  /// shared_ptr: the pump thread snapshots channels outside the lock while
+  /// coordinator calls may erase them concurrently.
+  std::vector<std::shared_ptr<ChannelState>> channels_;
+  std::map<CollectionId, CollectionState> collections_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::unique_ptr<ThreadPool> executor_;  ///< Per-node search capacity.
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_QUERY_NODE_H_

@@ -1,0 +1,123 @@
+#include "core/root_coord.h"
+
+#include "common/logging.h"
+
+namespace manu {
+
+RootCoordinator::RootCoordinator(const CoreContext& ctx) : ctx_(ctx) {}
+
+CollectionId RootCoordinator::NextId() {
+  // CAS loop on the persisted id counter (etcd pattern).
+  while (true) {
+    auto entry = ctx_.meta->Get("id/next_collection");
+    int64_t next = 1;
+    int64_t rev = 0;
+    if (entry.ok()) {
+      next = std::stoll(entry.value().value);
+      rev = entry.value().mod_revision;
+    }
+    auto cas = ctx_.meta->CompareAndSwap("id/next_collection", rev,
+                                         std::to_string(next + 1));
+    if (cas.ok()) return next;
+  }
+}
+
+Result<CollectionMeta> RootCoordinator::CreateCollection(
+    CollectionSchema schema, int32_t num_shards) {
+  MANU_RETURN_NOT_OK(schema.Finalize());
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (by_name_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("collection: " + schema.name());
+  }
+  CollectionMeta meta;
+  meta.id = NextId();
+  meta.schema = std::move(schema);
+  meta.num_shards = num_shards;
+  meta.created_at = ctx_.tso->Allocate();
+  ctx_.meta->Put(CollectionMetaKey(meta.id), meta.Serialize());
+
+  LogEntry ddl;
+  ddl.type = LogEntryType::kCreateCollection;
+  ddl.timestamp = meta.created_at;
+  ddl.collection = meta.id;
+  ddl.payload = meta.Serialize();
+  ctx_.mq->Publish(DdlChannelName(), std::move(ddl));
+
+  by_name_[meta.schema.name()] = meta.id;
+  cache_[meta.id] = meta;
+  MANU_LOG_INFO << "created collection '" << meta.schema.name() << "' id="
+                << meta.id << " shards=" << num_shards;
+  return meta;
+}
+
+Status RootCoordinator::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("collection: " + name);
+  CollectionMeta& meta = cache_[it->second];
+  meta.dropped = true;
+  ctx_.meta->Put(CollectionMetaKey(meta.id), meta.Serialize());
+
+  LogEntry ddl;
+  ddl.type = LogEntryType::kDropCollection;
+  ddl.timestamp = ctx_.tso->Allocate();
+  ddl.collection = meta.id;
+  ctx_.mq->Publish(DdlChannelName(), std::move(ddl));
+
+  by_name_.erase(it);
+  cache_.erase(meta.id);
+  return Status::OK();
+}
+
+Status RootCoordinator::DeclareIndex(const std::string& collection,
+                                     const std::string& field,
+                                     IndexParams params) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_name_.find(collection);
+  if (it == by_name_.end()) {
+    return Status::NotFound("collection: " + collection);
+  }
+  CollectionMeta& meta = cache_[it->second];
+  const FieldSchema* f = meta.schema.FieldByName(field);
+  if (f == nullptr) return Status::NotFound("field: " + field);
+  if (!f->IsVector()) {
+    return Status::InvalidArgument("index target must be a vector field");
+  }
+  params.dim = f->dim;
+  params.metric = f->metric;
+  meta.index_params[f->id] = params;
+  ++meta.index_version;
+  ctx_.meta->Put(CollectionMetaKey(meta.id), meta.Serialize());
+  return Status::OK();
+}
+
+Result<CollectionMeta> RootCoordinator::GetCollection(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("collection: " + name);
+  return cache_.at(it->second);
+}
+
+Result<CollectionMeta> RootCoordinator::GetCollectionById(
+    CollectionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    return Status::NotFound("collection id: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<CollectionMeta> RootCoordinator::ListCollections() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CollectionMeta> out;
+  out.reserve(cache_.size());
+  for (const auto& [_, meta] : cache_) out.push_back(meta);
+  return out;
+}
+
+}  // namespace manu

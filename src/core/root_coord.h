@@ -1,0 +1,48 @@
+#ifndef MANU_CORE_ROOT_COORD_H_
+#define MANU_CORE_ROOT_COORD_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/collection_meta.h"
+#include "core/context.h"
+
+namespace manu {
+
+/// Root coordinator (Section 3.2): handles data-definition requests and owns
+/// collection metadata. Every mutation is persisted to the MetaStore first
+/// and published to the DDL log channel, so other components (and a restore
+/// pass) can follow DDL history.
+class RootCoordinator {
+ public:
+  explicit RootCoordinator(const CoreContext& ctx);
+
+  /// Creates a collection; the schema is finalized (auto primary key) here.
+  Result<CollectionMeta> CreateCollection(CollectionSchema schema,
+                                          int32_t num_shards);
+
+  Status DropCollection(const std::string& name);
+
+  /// Declares the index to build on `field` (used by both stream and batch
+  /// indexing). Persists updated metadata; the index coordinator reads it.
+  Status DeclareIndex(const std::string& collection, const std::string& field,
+                      IndexParams params);
+
+  Result<CollectionMeta> GetCollection(const std::string& name) const;
+  Result<CollectionMeta> GetCollectionById(CollectionId id) const;
+  std::vector<CollectionMeta> ListCollections() const;
+
+ private:
+  CollectionId NextId();
+
+  CoreContext ctx_;
+  mutable std::mutex mu_;
+  std::map<CollectionId, CollectionMeta> cache_;
+  std::map<std::string, CollectionId> by_name_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_ROOT_COORD_H_

@@ -1,0 +1,415 @@
+#include "core/segment.h"
+
+#include <algorithm>
+
+#include "index/metric_util.h"
+
+namespace manu {
+
+namespace {
+/// Strategy thresholds for attribute filtering (Section 3.6: "Manu supports
+/// three strategies for attribute filtering and uses a cost-based model to
+/// choose the most suitable strategy for each segment"):
+///   sel < kScanThreshold      -> (C) predicate-first: brute-force only the
+///                                matching rows (few matches, exact).
+///   graph index & sel < 0.5   -> (B) widened beam: pre-filter mask plus an
+///                                ef inflated by ~1/sel so the beam still
+///                                reaches k passing results.
+///   otherwise                 -> (A) pre-filter mask straight into the
+///                                index scan.
+constexpr double kScanThreshold = 0.05;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SegmentCore
+// ---------------------------------------------------------------------------
+
+SegmentCore::SegmentCore(SegmentId id, const CollectionSchema* schema)
+    : id_(id), schema_(schema) {
+  for (const auto& field : schema_->fields()) {
+    if (field.is_primary) continue;
+    FieldColumn col;
+    col.field_id = field.id;
+    col.type = field.type;
+    col.dim = field.dim;
+    rows_.columns.push_back(std::move(col));
+  }
+}
+
+int64_t SegmentCore::NumRows() const { return rows_.NumRows(); }
+
+Timestamp SegmentCore::MinTimestamp() const {
+  return rows_.timestamps.empty() ? 0 : rows_.timestamps.front();
+}
+
+Timestamp SegmentCore::MaxTimestamp() const {
+  return rows_.timestamps.empty() ? 0 : rows_.timestamps.back();
+}
+
+Status SegmentCore::Append(const EntityBatch& batch) {
+  const int64_t base = NumRows();
+  MANU_RETURN_NOT_OK(rows_.Append(batch));
+  for (int64_t i = 0; i < batch.NumRows(); ++i) {
+    pk_rows_[batch.primary_keys[i]].push_back(base + i);
+  }
+  return Status::OK();
+}
+
+void SegmentCore::Delete(int64_t pk, Timestamp ts) {
+  auto it = pk_rows_.find(pk);
+  if (it == pk_rows_.end()) return;
+  for (int64_t row : it->second) {
+    tombstones_.emplace_back(row, ts);
+  }
+}
+
+int64_t SegmentCore::VisibleRows(Timestamp ts) const {
+  if (ts == kMaxTimestamp) return NumRows();
+  const auto& t = rows_.timestamps;
+  return std::upper_bound(t.begin(), t.end(), ts) - t.begin();
+}
+
+double SegmentCore::DeletedRatio() const {
+  const int64_t n = NumRows();
+  if (n == 0) return 0;
+  // Tombstones may repeat a row (re-deleted pk); count unique lazily only
+  // when it matters. Upper bound is fine for the compaction policy.
+  return std::min(1.0, static_cast<double>(tombstones_.size()) /
+                           static_cast<double>(n));
+}
+
+void SegmentCore::FillDeleted(Timestamp ts, ConcurrentBitset* out) const {
+  for (const auto& [row, lsn] : tombstones_) {
+    if (lsn <= ts) out->Set(static_cast<size_t>(row));
+  }
+}
+
+FilterContext SegmentCore::MakeFilterContext() const {
+  FilterContext ctx;
+  ctx.num_rows = NumRows();
+  ctx.column = [this](FieldId id) { return rows_.ColumnByFieldId(id); };
+  ctx.scalar_index = [this](FieldId id) -> const ScalarSortedIndex* {
+    auto it = scalar_indexes_.find(id);
+    return it == scalar_indexes_.end() ? nullptr : &it->second;
+  };
+  ctx.label_index = [this](FieldId id) -> const LabelIndex* {
+    auto it = label_indexes_.find(id);
+    return it == label_indexes_.end() ? nullptr : &it->second;
+  };
+  return ctx;
+}
+
+Result<std::vector<SegmentHit>> SegmentCore::Search(
+    const SegmentSearchRequest& req, const VectorIndex* index) const {
+  const int64_t visible = VisibleRows(req.read_ts);
+  if (visible == 0) return std::vector<SegmentHit>{};
+
+  const FieldColumn* vec_col = rows_.ColumnByFieldId(req.field);
+  if (vec_col == nullptr || vec_col->type != DataType::kFloatVector) {
+    return Status::InvalidArgument("segment: bad vector field");
+  }
+  const FieldSchema* field = schema_->FieldById(req.field);
+  const MetricType metric = field->metric;
+
+  SearchParams sp = req.params;
+  sp.visible_rows = visible;
+
+  std::unique_ptr<ConcurrentBitset> deleted;
+  if (!tombstones_.empty()) {
+    deleted = std::make_unique<ConcurrentBitset>(
+        static_cast<size_t>(NumRows()));
+    FillDeleted(req.read_ts, deleted.get());
+    sp.deleted = deleted.get();
+  }
+
+  std::unique_ptr<ConcurrentBitset> allowed;
+  bool scan_allowed_only = false;
+  if (req.filter != nullptr) {
+    const FilterContext ctx = MakeFilterContext();
+    const double sel = req.filter->EstimateSelectivity(ctx);
+    allowed =
+        std::make_unique<ConcurrentBitset>(static_cast<size_t>(NumRows()));
+    MANU_RETURN_NOT_OK(req.filter->Evaluate(ctx, allowed.get()));
+    sp.allowed = allowed.get();
+    if (sel < kScanThreshold || index == nullptr) {
+      scan_allowed_only = true;  // Strategy C.
+    } else if (index->type() == IndexType::kHnsw) {
+      // Strategy B: widen the beam so ~k passing hits survive the mask.
+      const double inflate = std::min(16.0, 1.0 / std::max(sel, 1e-3));
+      sp.ef_search = static_cast<int32_t>(sp.ef_search * inflate);
+    }
+    // Else strategy A: mask only.
+  }
+
+  std::vector<Neighbor> neighbors;
+  if (scan_allowed_only && allowed != nullptr) {
+    // Scan exactly the allowed rows.
+    TopKHeap heap(sp.k);
+    for (int64_t row = 0; row < visible; ++row) {
+      if (!allowed->Test(static_cast<size_t>(row))) continue;
+      if (sp.deleted != nullptr &&
+          sp.deleted->Test(static_cast<size_t>(row))) {
+        continue;
+      }
+      heap.Push(row, MetricScore(req.query, vec_col->VectorAt(row),
+                                 vec_col->dim, metric));
+    }
+    neighbors = heap.TakeSorted();
+  } else if (index != nullptr && index->Size() == NumRows()) {
+    MANU_ASSIGN_OR_RETURN(neighbors, index->Search(req.query, sp));
+  } else {
+    // Brute force over the visible prefix.
+    TopKHeap heap(sp.k);
+    constexpr int64_t kBlock = 1024;
+    float scores[kBlock];
+    for (int64_t begin = 0; begin < visible; begin += kBlock) {
+      const int64_t len = std::min(kBlock, visible - begin);
+      MetricScoreBatch(req.query, vec_col->f32.data() + begin * vec_col->dim,
+                       static_cast<size_t>(len), vec_col->dim, metric,
+                       scores);
+      for (int64_t i = 0; i < len; ++i) {
+        const int64_t row = begin + i;
+        if (!PassesFilters(row, sp)) continue;
+        heap.Push(row, scores[i]);
+      }
+    }
+    neighbors = heap.TakeSorted();
+  }
+
+  std::vector<SegmentHit> hits;
+  hits.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    hits.push_back({rows_.primary_keys[n.id], n.score});
+  }
+  return hits;
+}
+
+Result<float> SegmentCore::ScoreByPk(int64_t pk, FieldId field,
+                                     const float* query,
+                                     Timestamp read_ts) const {
+  auto it = pk_rows_.find(pk);
+  if (it == pk_rows_.end()) return Status::NotFound("pk not in segment");
+  const FieldColumn* col = rows_.ColumnByFieldId(field);
+  const FieldSchema* fs = schema_->FieldById(field);
+  if (col == nullptr || fs == nullptr) {
+    return Status::InvalidArgument("bad field for ScoreByPk");
+  }
+  const int64_t visible = VisibleRows(read_ts);
+  float best = std::numeric_limits<float>::max();
+  bool found = false;
+  for (int64_t row : it->second) {
+    if (row >= visible) continue;
+    bool dead = false;
+    for (const auto& [trow, tlsn] : tombstones_) {
+      if (trow == row && tlsn <= read_ts) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) continue;
+    best = std::min(best, MetricScore(query, col->VectorAt(row), col->dim,
+                                      fs->metric));
+    found = true;
+  }
+  if (!found) return Status::NotFound("pk not visible");
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// GrowingSegment
+// ---------------------------------------------------------------------------
+
+GrowingSegment::GrowingSegment(SegmentId id, const CollectionSchema* schema,
+                               int64_t slice_rows)
+    : core_(id, schema), slice_rows_(slice_rows) {}
+
+Status GrowingSegment::Append(const EntityBatch& batch) {
+  MANU_RETURN_NOT_OK(core_.Append(batch));
+  MaybeBuildSliceIndexes();
+  return Status::OK();
+}
+
+void GrowingSegment::MaybeBuildSliceIndexes() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int64_t rows = core_.NumRows();
+  for (const FieldSchema* field : core_.schema().VectorFields()) {
+    // Last slice boundary already indexed for this field.
+    int64_t covered = 0;
+    for (const auto& slice : slices_) {
+      if (slice.field == field->id) covered = std::max(covered, slice.end);
+    }
+    const FieldColumn* col = core_.rows().ColumnByFieldId(field->id);
+    while (rows - covered >= slice_rows_) {
+      Slice slice;
+      slice.begin = covered;
+      slice.end = covered + slice_rows_;
+      slice.field = field->id;
+      IndexParams params;
+      params.type = IndexType::kIvfFlat;
+      params.metric = field->metric;
+      params.dim = field->dim;
+      // Fine-grained lists: a probe touches ~1-5% of the slice, which is
+      // where the paper's "up to 10X" growing-segment speedup comes from.
+      params.nlist = static_cast<int32_t>(
+          std::max<int64_t>(16, slice_rows_ / 64));
+      params.train_iters = 2;  // Temporary index: cheap build wins.
+      auto built = BuildVectorIndex(
+          params, col->f32.data() + slice.begin * field->dim, slice_rows_);
+      if (built.ok()) slice.temp_index = std::move(built).value();
+      covered = slice.end;
+      slices_.push_back(std::move(slice));
+    }
+  }
+}
+
+int64_t GrowingSegment::NumSlicesIndexed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int64_t>(slices_.size());
+}
+
+Result<std::vector<SegmentHit>> GrowingSegment::Search(
+    const SegmentSearchRequest& req) const {
+  const int64_t visible = core_.VisibleRows(req.read_ts);
+  if (visible == 0) return std::vector<SegmentHit>{};
+
+  // Snapshot slice list under the lock; index objects are immutable once
+  // installed.
+  std::vector<const Slice*> slices;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& s : slices_) {
+      if (s.field == req.field && s.temp_index != nullptr) {
+        slices.push_back(&s);
+      }
+    }
+  }
+
+  const FieldColumn* vec_col = core_.rows().ColumnByFieldId(req.field);
+  const FieldSchema* field = core_.schema().FieldById(req.field);
+  if (vec_col == nullptr || field == nullptr) {
+    return Status::InvalidArgument("growing: bad vector field");
+  }
+
+  std::unique_ptr<ConcurrentBitset> deleted;
+  if (!core_.tombstones_.empty()) {
+    deleted = std::make_unique<ConcurrentBitset>(
+        static_cast<size_t>(core_.NumRows()));
+    core_.FillDeleted(req.read_ts, deleted.get());
+  }
+  std::unique_ptr<ConcurrentBitset> allowed;
+  if (req.filter != nullptr) {
+    const FilterContext ctx = core_.MakeFilterContext();
+    allowed = std::make_unique<ConcurrentBitset>(
+        static_cast<size_t>(core_.NumRows()));
+    MANU_RETURN_NOT_OK(req.filter->Evaluate(ctx, allowed.get()));
+  }
+  const auto passes = [&](int64_t row) {
+    if (row >= visible) return false;
+    if (deleted != nullptr && deleted->Test(static_cast<size_t>(row))) {
+      return false;
+    }
+    if (allowed != nullptr && !allowed->Test(static_cast<size_t>(row))) {
+      return false;
+    }
+    return true;
+  };
+
+  TopKHeap heap(req.params.k);
+  int64_t covered = 0;
+  // Indexed slices: slice-local ids are offset by slice.begin; masks are
+  // applied post-search (slices are small, so over-fetch is cheap and the
+  // temporary index is approximate by design).
+  for (const Slice* slice : slices) {
+    covered = std::max(covered, slice->end);
+    if (slice->begin >= visible) continue;
+    SearchParams sp = req.params;
+    sp.k = req.params.k * 2 + 16;
+    sp.deleted = nullptr;
+    sp.allowed = nullptr;
+    sp.visible_rows = std::min(visible - slice->begin,
+                               slice->end - slice->begin);
+    MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
+                          slice->temp_index->Search(req.query, sp));
+    for (const Neighbor& n : hits) {
+      const int64_t row = n.id + slice->begin;
+      if (passes(row)) heap.Push(row, n.score);
+    }
+  }
+  // Brute-force tail beyond the last indexed slice.
+  for (int64_t row = covered; row < visible; ++row) {
+    if (!passes(row)) continue;
+    heap.Push(row, MetricScore(req.query, vec_col->VectorAt(row),
+                               field->dim, field->metric));
+  }
+
+  std::vector<Neighbor> merged = heap.TakeSorted();
+  std::vector<SegmentHit> out;
+  out.reserve(merged.size());
+  for (const Neighbor& n : merged) {
+    out.push_back({core_.rows().primary_keys[n.id], n.score});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SealedSegment
+// ---------------------------------------------------------------------------
+
+SealedSegment::SealedSegment(SegmentId id, const CollectionSchema* schema)
+    : core_(id, schema) {}
+
+Status SealedSegment::SetRows(const EntityBatch& batch) {
+  if (core_.NumRows() != 0) {
+    return Status::InvalidArgument("sealed segment already populated");
+  }
+  return core_.Append(batch);
+}
+
+Status SealedSegment::SetIndex(FieldId field,
+                               std::unique_ptr<VectorIndex> index) {
+  if (index->Size() != core_.NumRows()) {
+    return Status::InvalidArgument("index row count mismatch");
+  }
+  indexes_[field] = std::move(index);
+  return Status::OK();
+}
+
+bool SealedSegment::HasIndex(FieldId field) const {
+  return indexes_.count(field) > 0;
+}
+
+Status SealedSegment::BuildScalarIndexes() {
+  for (const auto& field : core_.schema().fields()) {
+    if (field.is_primary || field.IsVector()) continue;
+    const FieldColumn* col = core_.rows().ColumnByFieldId(field.id);
+    if (col == nullptr) continue;
+    if (field.type == DataType::kString) {
+      LabelIndex index;
+      MANU_RETURN_NOT_OK(index.Build(*col));
+      core_.label_indexes_[field.id] = std::move(index);
+    } else if (field.type == DataType::kInt64 ||
+               field.type == DataType::kFloat ||
+               field.type == DataType::kDouble) {
+      ScalarSortedIndex index;
+      MANU_RETURN_NOT_OK(index.Build(*col));
+      core_.scalar_indexes_[field.id] = std::move(index);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SegmentHit>> SealedSegment::Search(
+    const SegmentSearchRequest& req) const {
+  auto it = indexes_.find(req.field);
+  const VectorIndex* index = it == indexes_.end() ? nullptr
+                                                  : it->second.get();
+  return core_.Search(req, index);
+}
+
+uint64_t SealedSegment::MemoryBytes() const {
+  uint64_t bytes = core_.ByteSize();
+  for (const auto& [_, index] : indexes_) bytes += index->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace manu

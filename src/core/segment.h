@@ -1,0 +1,186 @@
+#ifndef MANU_CORE_SEGMENT_H_
+#define MANU_CORE_SEGMENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/dataset.h"
+#include "common/schema.h"
+#include "core/config.h"
+#include "core/expr.h"
+#include "index/index_factory.h"
+#include "index/scalar_index.h"
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// A segment-level search request (one vector field, one query vector).
+struct SegmentSearchRequest {
+  FieldId field = 0;
+  const float* query = nullptr;
+  SearchParams params;
+  /// MVCC read timestamp: rows with LSN > read_ts are invisible, deletes
+  /// with LSN > read_ts are ignored (Section 3.4).
+  Timestamp read_ts = kMaxTimestamp;
+  /// Optional attribute filter (pre-parsed); null = no filtering.
+  const FilterExpr* filter = nullptr;
+};
+
+/// A search hit at segment scope, already mapped to the primary key.
+struct SegmentHit {
+  int64_t pk = -1;
+  float score = 0;
+};
+
+/// Shared search logic over an in-memory row store: MVCC prefix visibility,
+/// delete-bitmap filtering, attribute filtering with the cost-based
+/// pre/post-filter choice (Section 3.6).
+///
+/// Both segment flavors hold their rows in LSN-append order, so visibility
+/// at read_ts is a prefix found by binary search over the timestamp column.
+class SegmentCore {
+ public:
+  SegmentCore(SegmentId id, const CollectionSchema* schema);
+
+  SegmentId id() const { return id_; }
+  int64_t NumRows() const;
+  uint64_t ByteSize() const { return rows_.ByteSize(); }
+  Timestamp MinTimestamp() const;
+  Timestamp MaxTimestamp() const;
+
+  /// Appends rows (LSN order is the caller's responsibility).
+  Status Append(const EntityBatch& batch);
+
+  /// Tombstones a primary key at `ts` (idempotent; unknown pk is a no-op).
+  /// Deletions are timestamped so MVCC reads before `ts` still see the row.
+  void Delete(int64_t pk, Timestamp ts);
+
+  /// Rows visible at `ts` (prefix length).
+  int64_t VisibleRows(Timestamp ts) const;
+
+  /// Fraction of rows tombstoned (drives compaction policy).
+  double DeletedRatio() const;
+
+  /// Core search over the raw rows using `index` if provided (covering all
+  /// rows) or brute force otherwise.
+  Result<std::vector<SegmentHit>> Search(const SegmentSearchRequest& req,
+                                         const VectorIndex* index) const;
+
+  /// Exact canonical score of `pk`'s vector on `field` against `query` at
+  /// `read_ts` (best score across visible non-deleted rows of the pk).
+  /// NotFound when the pk has no visible row. Used by multi-vector search
+  /// re-ranking (Section 3.6).
+  Result<float> ScoreByPk(int64_t pk, FieldId field, const float* query,
+                          Timestamp read_ts) const;
+
+  const EntityBatch& rows() const { return rows_; }
+  const CollectionSchema& schema() const { return *schema_; }
+
+  /// Direct accessors used by the data-node flush path.
+  const std::vector<int64_t>& primary_keys() const {
+    return rows_.primary_keys;
+  }
+
+ protected:
+  friend class GrowingSegment;
+  friend class SealedSegment;
+
+  /// Builds the delete bitset view at `ts` (rows deleted with LSN <= ts).
+  void FillDeleted(Timestamp ts, ConcurrentBitset* out) const;
+
+  FilterContext MakeFilterContext() const;
+
+  SegmentId id_;
+  const CollectionSchema* schema_;
+  EntityBatch rows_;
+  /// pk -> row offsets (duplicate pks allowed across time).
+  std::unordered_map<int64_t, std::vector<int64_t>> pk_rows_;
+  /// Parallel arrays of tombstones: (row, delete LSN).
+  std::vector<std::pair<int64_t, Timestamp>> tombstones_;
+  /// Attribute indexes (built for sealed segments).
+  std::map<FieldId, ScalarSortedIndex> scalar_indexes_;
+  std::map<FieldId, LabelIndex> label_indexes_;
+};
+
+/// A growing segment on a query node (Section 3.6): consumes WAL inserts,
+/// divides rows into slices of `slice_rows`; full slices get a light-weight
+/// temporary IVF-Flat index (the paper reports ~10x speedup), the tail is
+/// brute-forced.
+class GrowingSegment {
+ public:
+  GrowingSegment(SegmentId id, const CollectionSchema* schema,
+                 int64_t slice_rows);
+
+  SegmentId id() const { return core_.id(); }
+  int64_t NumRows() const { return core_.NumRows(); }
+  uint64_t ByteSize() const { return core_.ByteSize(); }
+  SegmentCore& core() { return core_; }
+  const SegmentCore& core() const { return core_; }
+
+  /// Appends WAL rows; seals completed slices with temporary indexes.
+  Status Append(const EntityBatch& batch);
+  void Delete(int64_t pk, Timestamp ts) { core_.Delete(pk, ts); }
+
+  Result<std::vector<SegmentHit>> Search(
+      const SegmentSearchRequest& req) const;
+
+  int64_t NumSlicesIndexed() const;
+
+ private:
+  struct Slice {
+    int64_t begin = 0;
+    int64_t end = 0;
+    std::unique_ptr<VectorIndex> temp_index;  ///< Over rows [begin, end).
+    FieldId field = 0;
+  };
+
+  void MaybeBuildSliceIndexes();
+
+  SegmentCore core_;
+  int64_t slice_rows_;
+  mutable std::mutex mu_;  ///< Guards slices_ growth vs concurrent search.
+  std::vector<Slice> slices_;
+};
+
+/// A sealed, optionally indexed segment on a query node. Construction paths:
+/// from a handed-off growing segment (stream indexing) or from binlog +
+/// index files in object storage (load balancing / recovery, Section 3.6).
+class SealedSegment {
+ public:
+  SealedSegment(SegmentId id, const CollectionSchema* schema);
+
+  SegmentId id() const { return core_.id(); }
+  int64_t NumRows() const { return core_.NumRows(); }
+  SegmentCore& core() { return core_; }
+  const SegmentCore& core() const { return core_; }
+
+  /// Populates rows from a full batch (binlog read or handoff).
+  Status SetRows(const EntityBatch& batch);
+
+  /// Installs the built vector index for `field` (covers all rows).
+  Status SetIndex(FieldId field, std::unique_ptr<VectorIndex> index);
+  bool HasIndex(FieldId field) const;
+
+  /// Builds attribute indexes over all scalar fields.
+  Status BuildScalarIndexes();
+
+  void Delete(int64_t pk, Timestamp ts) { core_.Delete(pk, ts); }
+
+  Result<std::vector<SegmentHit>> Search(
+      const SegmentSearchRequest& req) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  SegmentCore core_;
+  std::map<FieldId, std::unique_ptr<VectorIndex>> indexes_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_SEGMENT_H_

@@ -1,0 +1,243 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+#include "index/index_factory.h"
+
+namespace manu {
+
+namespace {
+double DefaultUtility(const TunerTrial& t) {
+  // Throughput weighted by a steep recall gate: configurations below ~0.8
+  // recall are nearly worthless no matter how fast (the paper's example
+  // utility combines recall and throughput).
+  const double gate = 1.0 / (1.0 + std::exp(-40.0 * (t.recall - 0.8)));
+  return t.qps * gate;
+}
+
+int32_t ClampPow2(double v, int32_t lo, int32_t hi) {
+  int32_t x = static_cast<int32_t>(std::lround(v));
+  return std::clamp(x, lo, hi);
+}
+}  // namespace
+
+IndexAutoTuner::IndexAutoTuner(TunerOptions options, UtilityFn utility)
+    : options_(options),
+      utility_(utility ? std::move(utility) : DefaultUtility),
+      rng_(options.seed) {}
+
+TunerTrial IndexAutoTuner::SampleConfig(
+    const std::vector<TunerTrial>& elites, const VectorDataset& data) {
+  TunerTrial trial;
+  trial.params.type = options_.type;
+  trial.params.metric = data.metric;
+  trial.params.dim = data.dim;
+  trial.params.seed = rng_();
+
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const bool from_model = !elites.empty() && uni(rng_) < options_.model_fraction;
+
+  auto jitter = [&](double value, double rel) {
+    std::normal_distribution<double> noise(0.0, rel);
+    return value * std::exp(noise(rng_));
+  };
+
+  if (from_model) {
+    // KDE-lite: perturb a random elite multiplicatively.
+    std::uniform_int_distribution<size_t> pick(0, elites.size() - 1);
+    const TunerTrial& e = elites[pick(rng_)];
+    trial.params.nlist = ClampPow2(jitter(e.params.nlist, 0.3), 4, 4096);
+    trial.nprobe = ClampPow2(jitter(e.nprobe, 0.3), 1, trial.params.nlist);
+    trial.params.hnsw_m = ClampPow2(jitter(e.params.hnsw_m, 0.25), 4, 64);
+    trial.params.hnsw_ef_construction =
+        ClampPow2(jitter(e.params.hnsw_ef_construction, 0.3), 16, 512);
+    trial.ef_search = ClampPow2(jitter(e.ef_search, 0.3), 8, 1024);
+    trial.params.pq_m = e.params.pq_m;
+  } else {
+    std::uniform_real_distribution<double> log_nlist(std::log(16.0),
+                                                     std::log(1024.0));
+    std::uniform_real_distribution<double> log_nprobe(std::log(1.0),
+                                                      std::log(128.0));
+    std::uniform_real_distribution<double> log_m(std::log(4.0),
+                                                 std::log(48.0));
+    std::uniform_real_distribution<double> log_ef(std::log(16.0),
+                                                  std::log(512.0));
+    trial.params.nlist = ClampPow2(std::exp(log_nlist(rng_)), 4, 4096);
+    trial.nprobe =
+        ClampPow2(std::exp(log_nprobe(rng_)), 1, trial.params.nlist);
+    trial.params.hnsw_m = ClampPow2(std::exp(log_m(rng_)), 4, 64);
+    trial.params.hnsw_ef_construction =
+        ClampPow2(std::exp(log_ef(rng_)), 16, 512);
+    trial.ef_search = ClampPow2(std::exp(log_ef(rng_)), 8, 1024);
+    // pq_m must divide dim; pick among divisors <= 64.
+    std::vector<int32_t> divisors;
+    for (int32_t m = 2; m <= std::min(64, data.dim); ++m) {
+      if (data.dim % m == 0) divisors.push_back(m);
+    }
+    if (!divisors.empty()) {
+      std::uniform_int_distribution<size_t> pick(0, divisors.size() - 1);
+      trial.params.pq_m = divisors[pick(rng_)];
+    }
+  }
+  return trial;
+}
+
+Status IndexAutoTuner::EvaluateTrial(
+    const VectorDataset& data, const VectorDataset& queries,
+    const std::vector<std::vector<Neighbor>>& truth, TunerTrial* trial) {
+  const int64_t rows = std::min<int64_t>(trial->budget_rows, data.NumRows());
+  MANU_ASSIGN_OR_RETURN(
+      std::unique_ptr<VectorIndex> index,
+      BuildVectorIndex(trial->params, data.data.data(), rows));
+
+  SearchParams sp;
+  sp.k = options_.k;
+  sp.nprobe = trial->nprobe;
+  sp.ef_search = trial->ef_search;
+
+  // Ground truth was computed on the full sample; restrict to rows < budget
+  // by recomputing truth hits within the prefix.
+  double recall_sum = 0;
+  const int64_t t0 = NowMicros();
+  for (int64_t q = 0; q < queries.NumRows(); ++q) {
+    MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> got,
+                          index->Search(queries.Row(q), sp));
+    // Prefix-restricted truth.
+    std::vector<Neighbor> t;
+    for (const Neighbor& n : truth[q]) {
+      if (n.id < rows) t.push_back(n);
+      if (t.size() == options_.k) break;
+    }
+    recall_sum += RecallAtK(got, t, options_.k);
+  }
+  const int64_t elapsed = NowMicros() - t0;
+  trial->recall = recall_sum / static_cast<double>(queries.NumRows());
+  trial->qps = elapsed > 0 ? 1e6 * static_cast<double>(queries.NumRows()) /
+                                 static_cast<double>(elapsed)
+                           : 0;
+  trial->utility = utility_(*trial);
+  return Status::OK();
+}
+
+Result<std::vector<TunerTrial>> IndexAutoTuner::Tune(
+    const VectorDataset& data) {
+  // Shared evaluation set: queries from the same mixture + full-sample
+  // exact ground truth (trimmed per budget in EvaluateTrial).
+  SyntheticOptions qopts;
+  qopts.dim = data.dim;
+  qopts.metric = data.metric;
+  qopts.seed = options_.seed;
+  VectorDataset queries = MakeQueries(qopts, options_.eval_queries,
+                                      options_.seed + 13);
+  // Truth must rank *all* rows so prefix trimming works.
+  std::vector<std::vector<Neighbor>> truth;
+  {
+    VectorDataset sample = data;
+    const int64_t cap =
+        std::min<int64_t>(data.NumRows(), options_.max_budget_rows);
+    sample.data.resize(static_cast<size_t>(cap) * data.dim);
+    truth.resize(queries.NumRows());
+    for (int64_t q = 0; q < queries.NumRows(); ++q) {
+      TopKHeap heap(options_.k * 8);
+      for (int64_t r = 0; r < sample.NumRows(); ++r) {
+        heap.Push(r, CanonicalScore(queries.Row(q), sample.Row(r), data.dim,
+                                    data.metric));
+      }
+      truth[q] = heap.TakeSorted();
+    }
+  }
+
+  // Hyperband rungs: trials start at min budget; the top 1/eta advance.
+  std::vector<TunerTrial> all;
+  std::vector<TunerTrial> elites;
+  int32_t remaining = options_.max_trials;
+  while (remaining > 0) {
+    // Bracket: n0 configs at the lowest rung.
+    int64_t budget = options_.min_budget_rows;
+    int32_t n = std::min<int32_t>(
+        remaining,
+        static_cast<int32_t>(std::round(options_.eta * options_.eta)));
+    std::vector<TunerTrial> rung;
+    for (int32_t i = 0; i < n; ++i) {
+      TunerTrial t = SampleConfig(elites, data);
+      t.budget_rows = budget;
+      rung.push_back(std::move(t));
+    }
+    while (!rung.empty() && remaining > 0) {
+      for (TunerTrial& t : rung) {
+        if (remaining <= 0) break;
+        Status st = EvaluateTrial(data, queries, truth, &t);
+        --remaining;
+        if (st.ok()) all.push_back(t);
+      }
+      std::sort(rung.begin(), rung.end(),
+                [](const TunerTrial& a, const TunerTrial& b) {
+                  return a.utility > b.utility;
+                });
+      // Refresh elites with the global top quartile.
+      std::sort(all.begin(), all.end(),
+                [](const TunerTrial& a, const TunerTrial& b) {
+                  return a.utility > b.utility;
+                });
+      elites.assign(all.begin(),
+                    all.begin() + std::max<size_t>(1, all.size() / 4));
+      // Promote survivors to the next rung with eta-times the budget.
+      budget = static_cast<int64_t>(budget * options_.eta);
+      if (budget > options_.max_budget_rows) break;
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(rung.size() / options_.eta));
+      if (keep >= rung.size()) break;
+      rung.resize(keep);
+      for (TunerTrial& t : rung) t.budget_rows = budget;
+    }
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const TunerTrial& a, const TunerTrial& b) {
+              return a.utility > b.utility;
+            });
+  if (all.empty()) return Status::Internal("no successful tuner trials");
+  return all;
+}
+
+Result<std::vector<TunerTrial>> IndexAutoTuner::RandomSearch(
+    const VectorDataset& data) {
+  TunerOptions saved = options_;
+  options_.model_fraction = 0.0;  // Uniform sampling only.
+  SyntheticOptions qopts;
+  qopts.dim = data.dim;
+  qopts.metric = data.metric;
+  qopts.seed = options_.seed;
+  VectorDataset queries = MakeQueries(qopts, options_.eval_queries,
+                                      options_.seed + 13);
+  std::vector<std::vector<Neighbor>> truth;
+  truth.resize(queries.NumRows());
+  const int64_t cap =
+      std::min<int64_t>(data.NumRows(), options_.max_budget_rows);
+  for (int64_t q = 0; q < queries.NumRows(); ++q) {
+    TopKHeap heap(options_.k * 8);
+    for (int64_t r = 0; r < cap; ++r) {
+      heap.Push(r, CanonicalScore(queries.Row(q), data.Row(r), data.dim,
+                                  data.metric));
+    }
+    truth[q] = heap.TakeSorted();
+  }
+
+  std::vector<TunerTrial> all;
+  for (int32_t i = 0; i < options_.max_trials; ++i) {
+    TunerTrial t = SampleConfig({}, data);
+    t.budget_rows = options_.max_budget_rows;  // Full budget every time.
+    if (EvaluateTrial(data, queries, truth, &t).ok()) all.push_back(t);
+  }
+  options_ = saved;
+  std::sort(all.begin(), all.end(),
+            [](const TunerTrial& a, const TunerTrial& b) {
+              return a.utility > b.utility;
+            });
+  if (all.empty()) return Status::Internal("no successful tuner trials");
+  return all;
+}
+
+}  // namespace manu

@@ -1,0 +1,81 @@
+#ifndef MANU_CORE_TUNER_H_
+#define MANU_CORE_TUNER_H_
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "common/synthetic.h"
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// One evaluated configuration: build params plus the query-time knob.
+struct TunerTrial {
+  IndexParams params;
+  int32_t nprobe = 8;     ///< IVF families.
+  int32_t ef_search = 64; ///< HNSW.
+  int64_t budget_rows = 0;
+  double utility = 0;
+  double recall = 0;
+  double qps = 0;
+};
+
+/// Utility function scoring a finished trial; higher is better. The default
+/// (recall-bounded throughput) mirrors the paper's example "score the
+/// configurations according to search recall, query throughput".
+using UtilityFn = std::function<double(const TunerTrial&)>;
+
+struct TunerOptions {
+  /// Index family to tune (kIvfFlat, kIvfPq, kIvfSq or kHnsw).
+  IndexType type = IndexType::kIvfFlat;
+  /// Total build evaluations allowed (the user's cost budget).
+  int32_t max_trials = 24;
+  /// Hyperband: smallest/largest data sample used for cheap/full trials,
+  /// and the downsampling factor eta between rungs.
+  int64_t min_budget_rows = 2000;
+  int64_t max_budget_rows = 20000;
+  double eta = 3.0;
+  /// Fraction of trials drawn from the model (around elite configs) rather
+  /// than uniformly — the "Bayesian Optimization" half of BOHB.
+  double model_fraction = 0.6;
+  size_t eval_queries = 64;
+  size_t k = 10;
+  uint64_t seed = 42;
+};
+
+/// BOHB-style automatic index-parameter configuration (Section 4.2):
+/// Hyperband successive-halving allocates data-sample budgets across rungs;
+/// candidate configurations are drawn either uniformly or from a kernel
+/// density around the best trials so far ("prioritize the exploration of
+/// areas close to high utility configurations"). The sampling budget knob
+/// is the number of rows used for the trial build, matching the paper's
+/// "sampling a subset of the collection for the trials".
+class IndexAutoTuner {
+ public:
+  IndexAutoTuner(TunerOptions options, UtilityFn utility = nullptr);
+
+  /// Runs the tuning loop on `data` (ground truth is computed on a sample)
+  /// and returns all trials, best first.
+  Result<std::vector<TunerTrial>> Tune(const VectorDataset& data);
+
+  /// Pure random search at equal trial budget — the ablation baseline the
+  /// tuner bench compares against.
+  Result<std::vector<TunerTrial>> RandomSearch(const VectorDataset& data);
+
+ private:
+  TunerTrial SampleConfig(const std::vector<TunerTrial>& elites,
+                          const VectorDataset& data);
+  Status EvaluateTrial(const VectorDataset& data,
+                       const VectorDataset& queries,
+                       const std::vector<std::vector<Neighbor>>& truth,
+                       TunerTrial* trial);
+
+  TunerOptions options_;
+  UtilityFn utility_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_TUNER_H_

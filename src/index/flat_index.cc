@@ -1,0 +1,51 @@
+#include "index/flat_index.h"
+
+#include "index/metric_util.h"
+
+namespace manu {
+
+Status FlatIndex::Build(const float* data, int64_t n) {
+  data_.clear();
+  return Add(data, n);
+}
+
+Status FlatIndex::Add(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("flat: dim not set");
+  data_.insert(data_.end(), data, data + n * params_.dim);
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> FlatIndex::Search(
+    const float* query, const SearchParams& sp) const {
+  const int64_t n = Size();
+  TopKHeap heap(sp.k);
+  // Score in blocks so the scores buffer stays cache-resident.
+  constexpr int64_t kBlock = 1024;
+  float scores[kBlock];
+  for (int64_t begin = 0; begin < n; begin += kBlock) {
+    const int64_t len = std::min(kBlock, n - begin);
+    MetricScoreBatch(query, data_.data() + begin * params_.dim,
+                     static_cast<size_t>(len), params_.dim, params_.metric,
+                     scores);
+    for (int64_t i = 0; i < len; ++i) {
+      const int64_t row = begin + i;
+      if (!PassesFilters(row, sp)) continue;
+      heap.Push(row, scores[i]);
+    }
+  }
+  return heap.TakeSorted();
+}
+
+void FlatIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutVector(data_);
+}
+
+Result<std::unique_ptr<FlatIndex>> FlatIndex::Deserialize(IndexParams params,
+                                                          BinaryReader* r) {
+  auto index = std::make_unique<FlatIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->data_, r->GetVector<float>());
+  return index;
+}
+
+}  // namespace manu

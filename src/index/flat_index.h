@@ -1,0 +1,51 @@
+#ifndef MANU_INDEX_FLAT_INDEX_H_
+#define MANU_INDEX_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Brute-force index: stores raw vectors and scans them with the batched
+/// kernels. Exact (recall 1.0); also the search path for growing-segment
+/// data that has no temporary index yet (Section 3.6).
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kFlat;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override {
+    return params_.dim > 0
+               ? static_cast<int64_t>(data_.size()) / params_.dim
+               : 0;
+  }
+
+  Status Build(const float* data, int64_t n) override;
+  /// Incremental append (growing segments).
+  Status Add(const float* data, int64_t n);
+
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+
+  uint64_t MemoryBytes() const override {
+    return data_.size() * sizeof(float);
+  }
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<FlatIndex>> Deserialize(IndexParams params,
+                                                        BinaryReader* r);
+
+  /// Raw vector access (used when reconstructing results or re-ranking).
+  const float* Row(int64_t i) const { return data_.data() + i * params_.dim; }
+
+ private:
+  IndexParams params_;
+  std::vector<float> data_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_FLAT_INDEX_H_

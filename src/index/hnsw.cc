@@ -1,0 +1,249 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "index/metric_util.h"
+
+namespace manu {
+
+HnswIndex::HnswIndex(IndexParams params)
+    : params_(std::move(params)), rng_(params_.seed) {
+  params_.type = IndexType::kHnsw;
+  level_mult_ = 1.0 / std::log(std::max(2, params_.hnsw_m));
+}
+
+float HnswIndex::Dist(const float* a, const float* b) const {
+  return MetricScore(a, b, params_.dim, params_.metric);
+}
+
+Status HnswIndex::Build(const float* data, int64_t n) {
+  data_.clear();
+  levels_.clear();
+  links_.clear();
+  entry_point_ = -1;
+  max_level_ = -1;
+  return Add(data, n);
+}
+
+Status HnswIndex::Add(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("hnsw: dim not set");
+  const int32_t first = static_cast<int32_t>(levels_.size());
+  data_.insert(data_.end(), data, data + n * params_.dim);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double u = uni(rng_);
+    if (u <= 0) u = 1e-12;
+    const int32_t level =
+        static_cast<int32_t>(std::floor(-std::log(u) * level_mult_));
+    levels_.push_back(level);
+    links_.emplace_back(static_cast<size_t>(level) + 1);
+    InsertNode(first + static_cast<int32_t>(i));
+  }
+  return Status::OK();
+}
+
+int32_t HnswIndex::GreedyStep(const float* query, int32_t entry,
+                              int32_t level) const {
+  int32_t current = entry;
+  float best = Dist(query, Vec(current));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int32_t nb : links_[current][level]) {
+      const float d = Dist(query, Vec(nb));
+      if (d < best) {
+        best = d;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(
+    const float* query, int32_t entry, int32_t ef, int32_t level,
+    std::vector<uint8_t>* visited) const {
+  // `candidates`: min-heap by score (closest expanded first).
+  // `best`: bounded max-heap of ef results (worst on top).
+  struct CloserFirst {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return b < a;
+    }
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, CloserFirst>
+      candidates;
+  TopKHeap best(ef);
+
+  const float d0 = Dist(query, Vec(entry));
+  candidates.push({entry, d0});
+  best.Push(entry, d0);
+  (*visited)[entry] = 1;
+
+  while (!candidates.empty()) {
+    const Neighbor cur = candidates.top();
+    if (best.Full() && cur.score > best.Worst()) break;
+    candidates.pop();
+    for (int32_t nb : links_[cur.id][level]) {
+      if ((*visited)[nb]) continue;
+      (*visited)[nb] = 1;
+      const float d = Dist(query, Vec(nb));
+      if (!best.Full() || d < best.Worst()) {
+        candidates.push({nb, d});
+        best.Push(nb, d);
+      }
+    }
+  }
+  return best.TakeSorted();
+}
+
+void HnswIndex::SelectNeighbors(std::vector<Neighbor>* candidates,
+                                int32_t max_m) const {
+  // Heuristic from the HNSW paper: keep a candidate only if it is closer to
+  // the query point than to every already-kept neighbor; this spreads links
+  // across directions instead of clustering them.
+  if (static_cast<int32_t>(candidates->size()) <= max_m) return;
+  std::vector<Neighbor> kept;
+  kept.reserve(max_m);
+  for (const Neighbor& c : *candidates) {
+    if (static_cast<int32_t>(kept.size()) >= max_m) break;
+    bool ok = true;
+    for (const Neighbor& k : kept) {
+      if (Dist(Vec(c.id), Vec(k.id)) < c.score) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(c);
+  }
+  // Backfill with closest skipped candidates if the heuristic was too picky.
+  for (const Neighbor& c : *candidates) {
+    if (static_cast<int32_t>(kept.size()) >= max_m) break;
+    if (std::find(kept.begin(), kept.end(), c) == kept.end()) {
+      kept.push_back(c);
+    }
+  }
+  *candidates = std::move(kept);
+}
+
+void HnswIndex::InsertNode(int32_t node) {
+  const int32_t level = levels_[node];
+  if (entry_point_ < 0) {
+    entry_point_ = node;
+    max_level_ = level;
+    return;
+  }
+
+  const float* query = Vec(node);
+  int32_t entry = entry_point_;
+  // Greedy descent through levels above the node's level.
+  for (int32_t l = max_level_; l > level; --l) {
+    entry = GreedyStep(query, entry, std::min(l, max_level_));
+  }
+
+  std::vector<uint8_t> visited(levels_.size(), 0);
+  for (int32_t l = std::min(level, max_level_); l >= 0; --l) {
+    std::fill(visited.begin(), visited.end(), 0);
+    std::vector<Neighbor> candidates =
+        SearchLayer(query, entry, params_.hnsw_ef_construction, l, &visited);
+    // Drop self-matches (duplicate vectors give score 0 but self never
+    // appears since `node` has no links yet and wasn't the entry).
+    SelectNeighbors(&candidates, params_.hnsw_m);
+    auto& my_links = links_[node][l];
+    for (const Neighbor& c : candidates) {
+      my_links.push_back(static_cast<int32_t>(c.id));
+      // Bidirectional link with pruning on the peer.
+      auto& peer = links_[c.id][l];
+      peer.push_back(node);
+      const int32_t max_m = MaxLinks(l);
+      if (static_cast<int32_t>(peer.size()) > max_m) {
+        std::vector<Neighbor> peer_cands;
+        peer_cands.reserve(peer.size());
+        const float* pv = Vec(static_cast<int32_t>(c.id));
+        for (int32_t nb : peer) {
+          peer_cands.push_back({nb, Dist(pv, Vec(nb))});
+        }
+        std::sort(peer_cands.begin(), peer_cands.end());
+        SelectNeighbors(&peer_cands, max_m);
+        peer.clear();
+        for (const Neighbor& pc : peer_cands) {
+          peer.push_back(static_cast<int32_t>(pc.id));
+        }
+      }
+    }
+    if (!candidates.empty()) {
+      entry = static_cast<int32_t>(candidates.front().id);
+    }
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+Result<std::vector<Neighbor>> HnswIndex::Search(
+    const float* query, const SearchParams& sp) const {
+  if (entry_point_ < 0) return std::vector<Neighbor>{};
+  int32_t entry = entry_point_;
+  for (int32_t l = max_level_; l > 0; --l) {
+    entry = GreedyStep(query, entry, l);
+  }
+  const int32_t ef =
+      std::max<int32_t>(sp.ef_search, static_cast<int32_t>(sp.k));
+  std::vector<uint8_t> visited(levels_.size(), 0);
+  std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0, &visited);
+  // Filters are applied post-traversal: the beam explores the graph
+  // unfiltered (filtered nodes still route), only results are masked.
+  std::vector<Neighbor> out;
+  out.reserve(sp.k);
+  for (const Neighbor& n : found) {
+    if (!PassesFilters(n.id, sp)) continue;
+    out.push_back(n);
+    if (out.size() >= sp.k) break;
+  }
+  return out;
+}
+
+uint64_t HnswIndex::MemoryBytes() const {
+  uint64_t bytes = data_.size() * sizeof(float) +
+                   levels_.size() * sizeof(int32_t);
+  for (const auto& node : links_) {
+    for (const auto& level : node) bytes += level.size() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+void HnswIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutVector(data_);
+  w->PutVector(levels_);
+  w->PutI32(entry_point_);
+  w->PutI32(max_level_);
+  for (const auto& node : links_) {
+    w->PutU32(static_cast<uint32_t>(node.size()));
+    for (const auto& level : node) w->PutVector(level);
+  }
+}
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(IndexParams params,
+                                                          BinaryReader* r) {
+  auto index = std::make_unique<HnswIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->data_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(index->levels_, r->GetVector<int32_t>());
+  MANU_ASSIGN_OR_RETURN(index->entry_point_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(index->max_level_, r->GetI32());
+  index->links_.resize(index->levels_.size());
+  for (auto& node : index->links_) {
+    MANU_ASSIGN_OR_RETURN(uint32_t n_levels, r->GetU32());
+    node.resize(n_levels);
+    for (auto& level : node) {
+      MANU_ASSIGN_OR_RETURN(level, r->GetVector<int32_t>());
+    }
+  }
+  return index;
+}
+
+}  // namespace manu

@@ -1,0 +1,78 @@
+#ifndef MANU_INDEX_HNSW_H_
+#define MANU_INDEX_HNSW_H_
+
+#include <random>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Hierarchical navigable small world graph (Malkov & Yashunin, ref [61] of
+/// the paper): layered proximity graph, greedy descent through sparse upper
+/// layers, beam search (ef) at layer 0. High recall and low latency at the
+/// cost of memory — the trade-off Table 1 and Figure 8 exercise.
+///
+/// Supports incremental Add, which also serves the growing-segment slice
+/// path. Build/Add are not thread-safe (callers serialize writes);
+/// Search is const and safe to run concurrently with other Searches.
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(IndexParams params);
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return static_cast<int64_t>(levels_.size()); }
+
+  Status Build(const float* data, int64_t n) override;
+  /// Appends `n` rows to the graph.
+  Status Add(const float* data, int64_t n);
+
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<HnswIndex>> Deserialize(IndexParams params,
+                                                        BinaryReader* r);
+
+ private:
+  /// Neighbor lists for one node, one vector per level [0..node_level].
+  using NodeLinks = std::vector<std::vector<int32_t>>;
+
+  float Dist(const float* a, const float* b) const;
+  const float* Vec(int32_t node) const {
+    return data_.data() + static_cast<size_t>(node) * params_.dim;
+  }
+
+  /// Greedy single-entry descent at `level`, returns the local minimum.
+  int32_t GreedyStep(const float* query, int32_t entry, int32_t level) const;
+
+  /// Beam search at one level: returns up to `ef` candidates, best first.
+  std::vector<Neighbor> SearchLayer(const float* query, int32_t entry,
+                                    int32_t ef, int32_t level,
+                                    std::vector<uint8_t>* visited) const;
+
+  /// Keeps at most `max_m` links, preferring diverse neighbors (the HNSW
+  /// select-neighbors heuristic).
+  void SelectNeighbors(std::vector<Neighbor>* candidates, int32_t max_m) const;
+
+  void InsertNode(int32_t node);
+
+  int32_t MaxLinks(int32_t level) const {
+    return level == 0 ? params_.hnsw_m * 2 : params_.hnsw_m;
+  }
+
+  IndexParams params_;
+  double level_mult_ = 0;
+  std::mt19937_64 rng_;
+
+  std::vector<float> data_;
+  std::vector<int32_t> levels_;
+  std::vector<NodeLinks> links_;
+  int32_t entry_point_ = -1;
+  int32_t max_level_ = -1;
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_HNSW_H_

@@ -1,0 +1,185 @@
+#include "index/imi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+Status ImiIndex::Build(const float* data, int64_t n) {
+  if (params_.dim < 2) return Status::InvalidArgument("imi: dim too small");
+  if (n == 0) return Status::InvalidArgument("imi: empty build input");
+  // K per half ~ sqrt of the flat nlist budget, floor 4: K*K cells total.
+  k_ = std::max<int32_t>(
+      4, static_cast<int32_t>(std::lround(std::sqrt(params_.nlist))) * 4);
+  half_ = params_.dim / 2;
+  const int32_t rest = params_.dim - half_;
+
+  // Split columns into two halves.
+  std::vector<float> h1(static_cast<size_t>(n) * half_);
+  std::vector<float> h2(static_cast<size_t>(n) * rest);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* v = data + i * params_.dim;
+    std::copy(v, v + half_, h1.data() + i * half_);
+    std::copy(v + half_, v + params_.dim, h2.data() + i * rest);
+  }
+  KMeansOptions opts;
+  opts.k = k_;
+  opts.max_iters = params_.train_iters;
+  opts.seed = params_.seed;
+  opts.max_train_rows =
+      std::max<int64_t>(static_cast<int64_t>(64) * k_, 20000);
+  KMeansResult km1 = KMeans(h1.data(), n, half_, opts);
+  opts.seed = params_.seed + 1;
+  KMeansResult km2 = KMeans(h2.data(), n, rest, opts);
+  k_ = std::min(km1.k, km2.k);  // Tiny inputs may shrink k.
+  centroids1_ = std::move(km1.centroids);
+  centroids2_ = std::move(km2.centroids);
+
+  // Sparse cell assembly (most of the K*K cells are empty).
+  std::map<int32_t, std::vector<int64_t>> cells;
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t c1 = std::min(km1.assignments[i], k_ - 1);
+    const int32_t c2 = std::min(km2.assignments[i], k_ - 1);
+    cells[CellOf(c1, c2)].push_back(i);
+  }
+  cell_ids_.clear();
+  ids_.clear();
+  vectors_.clear();
+  for (auto& [cell, rows] : cells) {
+    cell_ids_.push_back(cell);
+    std::vector<float> vecs;
+    vecs.reserve(rows.size() * params_.dim);
+    for (int64_t row : rows) {
+      const float* v = data + row * params_.dim;
+      vecs.insert(vecs.end(), v, v + params_.dim);
+    }
+    ids_.push_back(std::move(rows));
+    vectors_.push_back(std::move(vecs));
+  }
+  size_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> ImiIndex::Search(const float* query,
+                                               const SearchParams& sp) const {
+  if (size_ == 0) return std::vector<Neighbor>{};
+  const int32_t rest = params_.dim - half_;
+
+  // Rank half-centroids by distance to the query halves.
+  std::vector<std::pair<float, int32_t>> d1(k_), d2(k_);
+  for (int32_t c = 0; c < k_; ++c) {
+    d1[c] = {simd::L2Sqr(query,
+                         centroids1_.data() + static_cast<size_t>(c) * half_,
+                         half_),
+             c};
+    d2[c] = {simd::L2Sqr(query + half_,
+                         centroids2_.data() + static_cast<size_t>(c) * rest,
+                         rest),
+             c};
+  }
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+
+  // Multi-sequence traversal: cells (i, j) — indices into the sorted half
+  // rankings — popped in increasing d1[i] + d2[j].
+  struct Frontier {
+    float dist;
+    int32_t i, j;
+    bool operator>(const Frontier& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> pq;
+  std::vector<uint8_t> pushed(static_cast<size_t>(k_) * k_, 0);
+  auto push = [&](int32_t i, int32_t j) {
+    if (i >= k_ || j >= k_) return;
+    uint8_t& flag = pushed[static_cast<size_t>(i) * k_ + j];
+    if (flag) return;
+    flag = 1;
+    pq.push({d1[i].first + d2[j].first, i, j});
+  };
+  push(0, 0);
+
+  // Scan budget: nprobe "average cells" worth of rows.
+  const int64_t avg_cell =
+      std::max<int64_t>(1, size_ / std::max<size_t>(1, ids_.size()));
+  const int64_t budget_rows =
+      std::max<int64_t>(static_cast<int64_t>(sp.k),
+                        static_cast<int64_t>(sp.nprobe) * avg_cell * 4);
+
+  TopKHeap heap(sp.k);
+  std::vector<float> scores;
+  int64_t scanned = 0;
+  while (!pq.empty() && scanned < budget_rows) {
+    const Frontier f = pq.top();
+    pq.pop();
+    push(f.i + 1, f.j);
+    push(f.i, f.j + 1);
+    const int32_t cell = CellOf(d1[f.i].second, d2[f.j].second);
+    const auto it =
+        std::lower_bound(cell_ids_.begin(), cell_ids_.end(), cell);
+    if (it == cell_ids_.end() || *it != cell) continue;  // Empty cell.
+    const size_t slot = it - cell_ids_.begin();
+    const auto& rows = ids_[slot];
+    scores.resize(rows.size());
+    MetricScoreBatch(query, vectors_[slot].data(), rows.size(), params_.dim,
+                     params_.metric, scores.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!PassesFilters(rows[i], sp)) continue;
+      heap.Push(rows[i], scores[i]);
+    }
+    scanned += static_cast<int64_t>(rows.size());
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t ImiIndex::MemoryBytes() const {
+  uint64_t bytes = (centroids1_.size() + centroids2_.size()) * sizeof(float) +
+                   cell_ids_.size() * sizeof(int32_t);
+  for (const auto& ids : ids_) bytes += ids.size() * sizeof(int64_t);
+  for (const auto& v : vectors_) bytes += v.size() * sizeof(float);
+  return bytes;
+}
+
+int64_t ImiIndex::NumNonEmptyCells() const {
+  return static_cast<int64_t>(cell_ids_.size());
+}
+
+void ImiIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  w->PutI32(k_);
+  w->PutI32(half_);
+  w->PutVector(centroids1_);
+  w->PutVector(centroids2_);
+  w->PutVector(cell_ids_);
+  w->PutU32(static_cast<uint32_t>(ids_.size()));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    w->PutVector(ids_[i]);
+    w->PutVector(vectors_[i]);
+  }
+}
+
+Result<std::unique_ptr<ImiIndex>> ImiIndex::Deserialize(IndexParams params,
+                                                        BinaryReader* r) {
+  auto index = std::make_unique<ImiIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->k_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(index->half_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(index->centroids1_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(index->centroids2_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(index->cell_ids_, r->GetVector<int32_t>());
+  MANU_ASSIGN_OR_RETURN(uint32_t cells, r->GetU32());
+  index->ids_.resize(cells);
+  index->vectors_.resize(cells);
+  for (uint32_t i = 0; i < cells; ++i) {
+    MANU_ASSIGN_OR_RETURN(index->ids_[i], r->GetVector<int64_t>());
+    MANU_ASSIGN_OR_RETURN(index->vectors_[i], r->GetVector<float>());
+  }
+  return index;
+}
+
+}  // namespace manu

@@ -1,0 +1,57 @@
+#ifndef MANU_INDEX_IMI_H_
+#define MANU_INDEX_IMI_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Inverted multi-index (Babenko & Lempitsky, ref [24] of the paper): the
+/// vector space is split into two halves, each coarse-quantized with K
+/// centroids, giving K*K cells — a much finer coarse partition than flat
+/// IVF at the same training cost. A query ranks half-centroids
+/// independently and visits cells in increasing combined distance using
+/// the multi-sequence algorithm, scanning raw vectors in each visited cell
+/// until enough candidates are seen.
+///
+/// `nlist` is interpreted as K (centroids per half); nprobe as the number
+/// of candidate rows to scan, scaled by the average cell size.
+class ImiIndex : public VectorIndex {
+ public:
+  explicit ImiIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kImi;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<ImiIndex>> Deserialize(IndexParams params,
+                                                       BinaryReader* r);
+
+  int64_t NumNonEmptyCells() const;
+
+ private:
+  int32_t CellOf(int32_t c1, int32_t c2) const { return c1 * k_ + c2; }
+
+  IndexParams params_;
+  int64_t size_ = 0;
+  int32_t k_ = 0;      ///< Centroids per half.
+  int32_t half_ = 0;   ///< Dim of the first half (second = dim - half).
+  std::vector<float> centroids1_;  ///< k * half_.
+  std::vector<float> centroids2_;  ///< k * (dim - half_).
+  /// Sparse cells: sorted by cell id, with ids/vectors per cell.
+  std::vector<int32_t> cell_ids_;
+  std::vector<std::vector<int64_t>> ids_;
+  std::vector<std::vector<float>> vectors_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_IMI_H_

@@ -1,0 +1,120 @@
+#include "index/index_factory.h"
+
+#include "index/flat_index.h"
+#include "index/hnsw.h"
+#include "index/imi.h"
+#include "index/ivf_flat.h"
+#include "index/pq.h"
+#include "index/rq.h"
+#include "index/sq.h"
+#include "index/ssd_index.h"
+
+namespace manu {
+
+Result<std::unique_ptr<VectorIndex>> CreateVectorIndex(
+    const IndexParams& params, ObjectStore* store,
+    const std::string& ssd_path) {
+  switch (params.type) {
+    case IndexType::kFlat:
+      return std::unique_ptr<VectorIndex>(new FlatIndex(params));
+    case IndexType::kIvfFlat:
+    case IndexType::kIvfHnsw:
+      return std::unique_ptr<VectorIndex>(new IvfFlatIndex(params));
+    case IndexType::kRq:
+      return std::unique_ptr<VectorIndex>(new RqIndex(params));
+    case IndexType::kImi:
+      return std::unique_ptr<VectorIndex>(new ImiIndex(params));
+    case IndexType::kIvfSq:
+      return std::unique_ptr<VectorIndex>(new IvfSqIndex(params));
+    case IndexType::kSq8:
+      return std::unique_ptr<VectorIndex>(new Sq8Index(params));
+    case IndexType::kPq:
+      return std::unique_ptr<VectorIndex>(new PqIndex(params));
+    case IndexType::kIvfPq:
+      return std::unique_ptr<VectorIndex>(new IvfPqIndex(params));
+    case IndexType::kHnsw:
+      return std::unique_ptr<VectorIndex>(new HnswIndex(params));
+    case IndexType::kSsdBucket:
+      if (store == nullptr) {
+        return Status::InvalidArgument("ssd_bucket index needs a store");
+      }
+      return std::unique_ptr<VectorIndex>(
+          new SsdBucketIndex(params, store, ssd_path));
+  }
+  return Status::InvalidArgument("unknown index type");
+}
+
+Result<std::unique_ptr<VectorIndex>> BuildVectorIndex(
+    const IndexParams& params, const float* data, int64_t n,
+    ObjectStore* store, const std::string& ssd_path) {
+  MANU_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
+                        CreateVectorIndex(params, store, ssd_path));
+  MANU_RETURN_NOT_OK(index->Build(data, n));
+  return index;
+}
+
+Result<std::unique_ptr<VectorIndex>> DeserializeVectorIndex(
+    std::string_view data, ObjectStore* store) {
+  BinaryReader r(data);
+  MANU_ASSIGN_OR_RETURN(IndexParams params, IndexParams::Deserialize(&r));
+  switch (params.type) {
+    case IndexType::kFlat: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            FlatIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kIvfFlat:
+    case IndexType::kIvfHnsw: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            IvfFlatIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kRq: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            RqIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kImi: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            ImiIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kIvfSq: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            IvfSqIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kSq8: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            Sq8Index::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kPq: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            PqIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kIvfPq: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            IvfPqIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kHnsw: {
+      MANU_ASSIGN_OR_RETURN(auto index,
+                            HnswIndex::Deserialize(std::move(params), &r));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+    case IndexType::kSsdBucket: {
+      if (store == nullptr) {
+        return Status::InvalidArgument("ssd_bucket index needs a store");
+      }
+      MANU_ASSIGN_OR_RETURN(
+          auto index, SsdBucketIndex::Deserialize(std::move(params), &r,
+                                                  store));
+      return std::unique_ptr<VectorIndex>(std::move(index));
+    }
+  }
+  return Status::InvalidArgument("unknown index type");
+}
+
+}  // namespace manu

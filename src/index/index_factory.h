@@ -1,0 +1,30 @@
+#ifndef MANU_INDEX_INDEX_FACTORY_H_
+#define MANU_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "index/vector_index.h"
+#include "storage/object_store.h"
+
+namespace manu {
+
+/// Creates an empty index of the type named in `params`. For kSsdBucket,
+/// `store` must be non-null and `ssd_path` names the bucket object; other
+/// types ignore both.
+Result<std::unique_ptr<VectorIndex>> CreateVectorIndex(
+    const IndexParams& params, ObjectStore* store = nullptr,
+    const std::string& ssd_path = "");
+
+/// Builds an index over `n` rows in one call.
+Result<std::unique_ptr<VectorIndex>> BuildVectorIndex(
+    const IndexParams& params, const float* data, int64_t n,
+    ObjectStore* store = nullptr, const std::string& ssd_path = "");
+
+/// Reconstructs an index from bytes produced by VectorIndex::Serialize.
+Result<std::unique_ptr<VectorIndex>> DeserializeVectorIndex(
+    std::string_view data, ObjectStore* store = nullptr);
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_INDEX_FACTORY_H_

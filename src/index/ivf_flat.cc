@@ -1,0 +1,155 @@
+#include "index/ivf_flat.h"
+
+#include <algorithm>
+
+#include "index/hnsw.h"
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+namespace {
+IndexParams CentroidHnswParams(const IndexParams& params) {
+  IndexParams cp;
+  cp.type = IndexType::kHnsw;
+  cp.metric = MetricType::kL2;  // Coarse probing is geometric.
+  cp.dim = params.dim;
+  cp.hnsw_m = 16;
+  cp.hnsw_ef_construction = 100;
+  cp.seed = params.seed;
+  return cp;
+}
+}  // namespace
+
+IvfFlatIndex::~IvfFlatIndex() = default;
+
+Status IvfFlatIndex::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("ivf: dim not set");
+  if (n == 0) return Status::InvalidArgument("ivf: empty build input");
+
+  KMeansOptions opts;
+  opts.k = params_.nlist;
+  opts.max_iters = params_.train_iters;
+  opts.seed = params_.seed;
+  // Faiss-style training budget: Lloyd runs on a bounded sample (64 points
+  // per centroid, floor 20k) so build cost stays linear in nlist, not rows.
+  opts.max_train_rows =
+      std::max<int64_t>(static_cast<int64_t>(64) * opts.k, 20000);
+  KMeansResult km = KMeans(data, n, params_.dim, opts);
+
+  centroids_ = std::move(km.centroids);
+  const int32_t nlist = km.k;
+  ids_.assign(nlist, {});
+  vectors_.assign(nlist, {});
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t list = km.assignments[i];
+    ids_[list].push_back(i);
+    const float* v = data + i * params_.dim;
+    vectors_[list].insert(vectors_[list].end(), v, v + params_.dim);
+  }
+  size_ = n;
+  if (params_.type == IndexType::kIvfHnsw) {
+    centroid_hnsw_ = std::make_unique<HnswIndex>(CentroidHnswParams(params_));
+    MANU_RETURN_NOT_OK(
+        centroid_hnsw_->Build(centroids_.data(), nlist));
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> IvfFlatIndex::ProbeLists(const float* query,
+                                              int32_t nprobe) const {
+  const int32_t nlist = static_cast<int32_t>(ids_.size());
+  nprobe = std::min(nprobe, nlist);
+  if (centroid_hnsw_ != nullptr) {
+    // Sub-linear coarse probe through the centroid graph.
+    SearchParams sp;
+    sp.k = static_cast<size_t>(nprobe);
+    sp.ef_search = std::max(64, nprobe * 2);
+    auto hits = centroid_hnsw_->Search(query, sp);
+    if (hits.ok()) {
+      std::vector<int32_t> out;
+      out.reserve(hits.value().size());
+      for (const Neighbor& n : hits.value()) {
+        out.push_back(static_cast<int32_t>(n.id));
+      }
+      return out;
+    }
+    // Fall through to the exact scan on error.
+  }
+  // Coarse assignment is always L2 (see KMeans doc).
+  std::vector<std::pair<float, int32_t>> scored(nlist);
+  for (int32_t c = 0; c < nlist; ++c) {
+    scored[c] = {simd::L2Sqr(query,
+                             centroids_.data() +
+                                 static_cast<size_t>(c) * params_.dim,
+                             params_.dim),
+                 c};
+  }
+  std::partial_sort(scored.begin(), scored.begin() + nprobe, scored.end());
+  std::vector<int32_t> out(nprobe);
+  for (int32_t i = 0; i < nprobe; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::Search(
+    const float* query, const SearchParams& sp) const {
+  if (size_ == 0) return std::vector<Neighbor>{};
+  TopKHeap heap(sp.k);
+  std::vector<float> scores;
+  for (int32_t list : ProbeLists(query, sp.nprobe)) {
+    const auto& ids = ids_[list];
+    if (ids.empty()) continue;
+    scores.resize(ids.size());
+    MetricScoreBatch(query, vectors_[list].data(), ids.size(), params_.dim,
+                     params_.metric, scores.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!PassesFilters(ids[i], sp)) continue;
+      heap.Push(ids[i], scores[i]);
+    }
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t IvfFlatIndex::MemoryBytes() const {
+  uint64_t bytes = centroids_.size() * sizeof(float);
+  for (const auto& ids : ids_) bytes += ids.size() * sizeof(int64_t);
+  for (const auto& v : vectors_) bytes += v.size() * sizeof(float);
+  if (centroid_hnsw_ != nullptr) bytes += centroid_hnsw_->MemoryBytes();
+  return bytes;
+}
+
+void IvfFlatIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  w->PutVector(centroids_);
+  w->PutU32(static_cast<uint32_t>(ids_.size()));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    w->PutVector(ids_[i]);
+    w->PutVector(vectors_[i]);
+  }
+  w->PutBool(centroid_hnsw_ != nullptr);
+  if (centroid_hnsw_ != nullptr) centroid_hnsw_->Serialize(w);
+}
+
+Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::Deserialize(
+    IndexParams params, BinaryReader* r) {
+  auto index = std::make_unique<IvfFlatIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->centroids_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(uint32_t nlist, r->GetU32());
+  index->ids_.resize(nlist);
+  index->vectors_.resize(nlist);
+  for (uint32_t i = 0; i < nlist; ++i) {
+    MANU_ASSIGN_OR_RETURN(index->ids_[i], r->GetVector<int64_t>());
+    MANU_ASSIGN_OR_RETURN(index->vectors_[i], r->GetVector<float>());
+  }
+  MANU_ASSIGN_OR_RETURN(bool has_hnsw, r->GetBool());
+  if (has_hnsw) {
+    MANU_ASSIGN_OR_RETURN(IndexParams cp, IndexParams::Deserialize(r));
+    MANU_ASSIGN_OR_RETURN(index->centroid_hnsw_,
+                          HnswIndex::Deserialize(std::move(cp), r));
+  }
+  return index;
+}
+
+}  // namespace manu

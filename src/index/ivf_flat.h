@@ -1,0 +1,63 @@
+#ifndef MANU_INDEX_IVF_FLAT_H_
+#define MANU_INDEX_IVF_FLAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+class HnswIndex;
+
+/// Inverted file with raw vectors: k-means partitions rows into nlist
+/// clusters; a query scans only the nprobe most promising clusters
+/// (Section 3.5 "inverted indexes group vectors into clusters, and only
+/// scan the most promising clusters for a query"). Also the paper's choice
+/// of "light-weight temporary index" for full growing-segment slices.
+///
+/// The kIvfHnsw variant (Table 1) organizes the centroids themselves in an
+/// HNSW graph, making coarse probing sub-linear in nlist — the win shows
+/// once nlist reaches the tens of thousands.
+class IvfFlatIndex : public VectorIndex {
+ public:
+  explicit IvfFlatIndex(IndexParams params) : params_(std::move(params)) {
+    if (params_.type != IndexType::kIvfHnsw) {
+      params_.type = IndexType::kIvfFlat;
+    }
+  }
+  ~IvfFlatIndex() override;
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<IvfFlatIndex>> Deserialize(IndexParams params,
+                                                           BinaryReader* r);
+
+  int32_t num_lists() const { return static_cast<int32_t>(ids_.size()); }
+
+ private:
+  friend class IvfSqIndex;  // Shares the coarse-probe helper.
+
+  /// Indexes of the `nprobe` closest centroids to `query`, best first.
+  std::vector<int32_t> ProbeLists(const float* query, int32_t nprobe) const;
+
+  IndexParams params_;
+  int64_t size_ = 0;
+  std::vector<float> centroids_;             ///< nlist * dim.
+  std::vector<std::vector<int64_t>> ids_;    ///< Row ids per list.
+  std::vector<std::vector<float>> vectors_;  ///< Raw vectors per list.
+  /// Present only for kIvfHnsw: graph over the centroids (ids are list
+  /// indices).
+  std::unique_ptr<HnswIndex> centroid_hnsw_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_IVF_FLAT_H_

@@ -1,0 +1,235 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+
+#include "simd/distances.h"
+
+namespace manu {
+
+namespace {
+
+/// k-means++ seeding over `rows` (indices into data).
+std::vector<float> SeedPlusPlus(const float* data, const std::vector<int64_t>& rows,
+                                int32_t dim, int32_t k, std::mt19937_64* rng) {
+  std::vector<float> centroids;
+  centroids.reserve(static_cast<size_t>(k) * dim);
+  std::uniform_int_distribution<size_t> pick(0, rows.size() - 1);
+  const float* first = data + rows[pick(*rng)] * dim;
+  centroids.insert(centroids.end(), first, first + dim);
+
+  std::vector<float> dist2(rows.size(), std::numeric_limits<float>::max());
+  for (int32_t c = 1; c < k; ++c) {
+    const float* last = centroids.data() + static_cast<size_t>(c - 1) * dim;
+    double total = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float d = simd::L2Sqr(data + rows[i] * dim, last, dim);
+      dist2[i] = std::min(dist2[i], d);
+      total += dist2[i];
+    }
+    if (total == 0) {
+      // All remaining points coincide with chosen centers; duplicate one.
+      centroids.insert(centroids.end(), last, last + dim);
+      continue;
+    }
+    std::uniform_real_distribution<double> uni(0, total);
+    double target = uni(*rng);
+    size_t chosen = rows.size() - 1;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    const float* v = data + rows[chosen] * dim;
+    centroids.insert(centroids.end(), v, v + dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<int32_t> AssignToCentroids(const float* data, int64_t n,
+                                       int32_t dim, const float* centroids,
+                                       int32_t k) {
+  std::vector<int32_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* v = data + i * dim;
+    float best = std::numeric_limits<float>::max();
+    int32_t best_c = 0;
+    for (int32_t c = 0; c < k; ++c) {
+      const float d = simd::L2Sqr(v, centroids + static_cast<size_t>(c) * dim,
+                                  dim);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    out[i] = best_c;
+  }
+  return out;
+}
+
+KMeansResult KMeans(const float* data, int64_t n, int32_t dim,
+                    const KMeansOptions& opts) {
+  KMeansResult result;
+  result.dim = dim;
+  result.k = static_cast<int32_t>(std::min<int64_t>(opts.k, n));
+  if (n == 0 || result.k == 0) return result;
+
+  std::mt19937_64 rng(opts.seed);
+
+  // Training sample.
+  const int64_t train_n =
+      std::min(n, std::max<int64_t>(opts.max_train_rows,
+                                    static_cast<int64_t>(64) * result.k));
+  std::vector<int64_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  if (train_n < n) {
+    std::shuffle(rows.begin(), rows.end(), rng);
+    rows.resize(train_n);
+  }
+
+  result.centroids = SeedPlusPlus(data, rows, dim, result.k, &rng);
+
+  std::vector<int32_t> assign(rows.size(), 0);
+  std::vector<double> sums(static_cast<size_t>(result.k) * dim);
+  std::vector<int64_t> counts(result.k);
+  for (int32_t iter = 0; iter < opts.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float* v = data + rows[i] * dim;
+      float best = std::numeric_limits<float>::max();
+      int32_t best_c = 0;
+      for (int32_t c = 0; c < result.k; ++c) {
+        const float d = simd::L2Sqr(
+            v, result.centroids.data() + static_cast<size_t>(c) * dim, dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assign[i] != best_c) {
+        assign[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float* v = data + rows[i] * dim;
+      double* s = sums.data() + static_cast<size_t>(assign[i]) * dim;
+      for (int32_t d = 0; d < dim; ++d) s[d] += v[d];
+      ++counts[assign[i]];
+    }
+    for (int32_t c = 0; c < result.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random training row.
+        std::uniform_int_distribution<size_t> pick(0, rows.size() - 1);
+        const float* v = data + rows[pick(rng)] * dim;
+        std::copy(v, v + dim,
+                  result.centroids.begin() + static_cast<size_t>(c) * dim);
+        continue;
+      }
+      float* ctr = result.centroids.data() + static_cast<size_t>(c) * dim;
+      const double* s = sums.data() + static_cast<size_t>(c) * dim;
+      for (int32_t d = 0; d < dim; ++d) {
+        ctr[d] = static_cast<float>(s[d] / static_cast<double>(counts[c]));
+      }
+    }
+  }
+
+  result.assignments =
+      AssignToCentroids(data, n, dim, result.centroids.data(), result.k);
+  return result;
+}
+
+KMeansResult HierarchicalKMeans(const float* data, int64_t n, int32_t dim,
+                                int64_t max_leaf_rows, int32_t branch,
+                                uint64_t seed) {
+  KMeansResult result;
+  result.dim = dim;
+  result.assignments.assign(n, -1);
+  if (n == 0) return result;
+
+  struct Node {
+    std::vector<int64_t> rows;
+    int depth;
+  };
+  std::vector<Node> stack;
+  {
+    Node root;
+    root.rows.resize(n);
+    std::iota(root.rows.begin(), root.rows.end(), 0);
+    root.depth = 0;
+    stack.push_back(std::move(root));
+  }
+
+  uint64_t salt = 0;
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    const int64_t size = static_cast<int64_t>(node.rows.size());
+    // Depth cap guards against degenerate (all-duplicate) data.
+    if (size <= max_leaf_rows || node.depth >= 24) {
+      const int32_t leaf = result.k++;
+      // Leaf centroid = mean of members.
+      std::vector<double> mean(dim, 0.0);
+      for (int64_t r : node.rows) {
+        const float* v = data + r * dim;
+        for (int32_t d = 0; d < dim; ++d) mean[d] += v[d];
+        result.assignments[r] = leaf;
+      }
+      for (int32_t d = 0; d < dim; ++d) {
+        result.centroids.push_back(
+            static_cast<float>(mean[d] / static_cast<double>(size)));
+      }
+      continue;
+    }
+
+    // Cluster this node's rows into `branch` children.
+    std::vector<float> sub(static_cast<size_t>(size) * dim);
+    for (int64_t i = 0; i < size; ++i) {
+      const float* v = data + node.rows[i] * dim;
+      std::copy(v, v + dim, sub.data() + static_cast<size_t>(i) * dim);
+    }
+    KMeansOptions opts;
+    opts.k = branch;
+    opts.max_iters = 6;
+    opts.seed = seed + (salt++) * 1000003;
+    KMeansResult split = KMeans(sub.data(), size, dim, opts);
+
+    std::vector<Node> children(split.k);
+    for (auto& c : children) c.depth = node.depth + 1;
+    for (int64_t i = 0; i < size; ++i) {
+      children[split.assignments[i]].rows.push_back(node.rows[i]);
+    }
+    bool degenerate = false;
+    for (const auto& c : children) {
+      if (static_cast<int64_t>(c.rows.size()) == size) degenerate = true;
+    }
+    if (degenerate || split.k <= 1) {
+      // Could not split (duplicates); force-cut into equal chunks.
+      for (int64_t begin = 0; begin < size; begin += max_leaf_rows) {
+        const int64_t end = std::min(size, begin + max_leaf_rows);
+        Node chunk;
+        chunk.depth = 25;  // Terminal.
+        chunk.rows.assign(node.rows.begin() + begin, node.rows.begin() + end);
+        stack.push_back(std::move(chunk));
+      }
+      continue;
+    }
+    for (auto& c : children) {
+      if (!c.rows.empty()) stack.push_back(std::move(c));
+    }
+  }
+  return result;
+}
+
+}  // namespace manu

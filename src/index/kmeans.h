@@ -1,0 +1,46 @@
+#ifndef MANU_INDEX_KMEANS_H_
+#define MANU_INDEX_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace manu {
+
+struct KMeansResult {
+  int32_t k = 0;
+  int32_t dim = 0;
+  std::vector<float> centroids;     ///< k * dim, row-major.
+  std::vector<int32_t> assignments; ///< One per input row.
+};
+
+struct KMeansOptions {
+  int32_t k = 8;
+  int32_t max_iters = 10;
+  uint64_t seed = 42;
+  /// Training sample cap: with n rows and cap s, Lloyd runs on
+  /// min(n, max(s, 64*k)) rows, then all rows are assigned once at the end.
+  int64_t max_train_rows = 200000;
+};
+
+/// Lloyd's k-means with k-means++ seeding (always L2 space; inverted files
+/// over IP/cosine data still cluster in L2, the standard Faiss convention).
+/// Empty clusters are re-seeded from the largest cluster's farthest member.
+KMeansResult KMeans(const float* data, int64_t n, int32_t dim,
+                    const KMeansOptions& opts);
+
+/// Assigns each of `n` rows to its nearest centroid.
+std::vector<int32_t> AssignToCentroids(const float* data, int64_t n,
+                                       int32_t dim, const float* centroids,
+                                       int32_t k);
+
+/// Hierarchical (recursive bisecting-style) k-means used by the SSD bucket
+/// index (Section 4.4): splits clusters with `branch` children until every
+/// leaf holds <= max_leaf_rows rows, controlling bucket byte size. Returns
+/// flat leaf centroids and per-row leaf assignments.
+KMeansResult HierarchicalKMeans(const float* data, int64_t n, int32_t dim,
+                                int64_t max_leaf_rows, int32_t branch,
+                                uint64_t seed);
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_KMEANS_H_

@@ -1,0 +1,42 @@
+#ifndef MANU_INDEX_METRIC_UTIL_H_
+#define MANU_INDEX_METRIC_UTIL_H_
+
+#include "common/types.h"
+#include "simd/distances.h"
+
+namespace manu {
+
+/// Canonical score (smaller is better) under `metric`; see Neighbor.
+inline float MetricScore(const float* a, const float* b, int32_t dim,
+                         MetricType metric) {
+  switch (metric) {
+    case MetricType::kL2:
+      return simd::L2Sqr(a, b, dim);
+    case MetricType::kInnerProduct:
+      return -simd::InnerProduct(a, b, dim);
+    case MetricType::kCosine:
+      return -simd::CosineSimilarity(a, b, dim);
+  }
+  return 0;
+}
+
+/// Batch variant: out[i] = MetricScore(query, base + i*dim).
+inline void MetricScoreBatch(const float* query, const float* base, size_t n,
+                             size_t dim, MetricType metric, float* out) {
+  switch (metric) {
+    case MetricType::kL2:
+      simd::L2SqrBatch(query, base, n, dim, out);
+      return;
+    case MetricType::kInnerProduct:
+      simd::InnerProductBatch(query, base, n, dim, out);
+      break;
+    case MetricType::kCosine:
+      simd::CosineBatch(query, base, n, dim, out);
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+}
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_METRIC_UTIL_H_

@@ -1,0 +1,334 @@
+#include "index/pq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+namespace {
+/// Copies rows normalized to unit length (cosine -> IP reduction).
+std::vector<float> NormalizedCopy(const float* data, int64_t n, int32_t dim) {
+  std::vector<float> out(data, data + n * dim);
+  for (int64_t i = 0; i < n; ++i) {
+    float* v = out.data() + i * dim;
+    const float norm = std::sqrt(simd::L2NormSqr(v, dim));
+    if (norm > 0) {
+      for (int32_t d = 0; d < dim; ++d) v[d] /= norm;
+    }
+  }
+  return out;
+}
+
+/// Effective metric after the cosine->IP reduction.
+MetricType EffectiveMetric(MetricType metric) {
+  return metric == MetricType::kCosine ? MetricType::kInnerProduct : metric;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProductQuantizer
+// ---------------------------------------------------------------------------
+
+Status ProductQuantizer::Train(const float* data, int64_t n, int32_t dim,
+                               int32_t m, int32_t iters, uint64_t seed) {
+  if (m <= 0 || dim % m != 0) {
+    return Status::InvalidArgument("pq: dim must be divisible by m");
+  }
+  dim_ = dim;
+  m_ = m;
+  sub_dim_ = dim / m;
+  codebooks_.assign(
+      static_cast<size_t>(m_) * kCodebookSize * sub_dim_, 0.0f);
+
+  std::vector<float> sub(static_cast<size_t>(n) * sub_dim_);
+  for (int32_t s = 0; s < m_; ++s) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* src = data + i * dim_ + s * sub_dim_;
+      std::copy(src, src + sub_dim_, sub.data() + i * sub_dim_);
+    }
+    KMeansOptions opts;
+    opts.k = kCodebookSize;
+    opts.max_iters = iters;
+    opts.seed = seed + s;
+    KMeansResult km = KMeans(sub.data(), n, sub_dim_, opts);
+    // km.k may be < 256 for tiny training sets; pad by repeating centroids.
+    float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * sub_dim_;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      const float* src =
+          km.centroids.data() + static_cast<size_t>(c % km.k) * sub_dim_;
+      std::copy(src, src + sub_dim_, book + static_cast<size_t>(c) * sub_dim_);
+    }
+  }
+  return Status::OK();
+}
+
+void ProductQuantizer::Encode(const float* vec, uint8_t* code) const {
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* sub = vec + s * sub_dim_;
+    const float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * sub_dim_;
+    float best = std::numeric_limits<float>::max();
+    int32_t best_c = 0;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      const float d =
+          simd::L2Sqr(sub, book + static_cast<size_t>(c) * sub_dim_, sub_dim_);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    code[s] = static_cast<uint8_t>(best_c);
+  }
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* vec) const {
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * sub_dim_;
+    const float* c = book + static_cast<size_t>(code[s]) * sub_dim_;
+    std::copy(c, c + sub_dim_, vec + s * sub_dim_);
+  }
+}
+
+void ProductQuantizer::BuildAdcTable(const float* query, MetricType metric,
+                                     float* table) const {
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* sub = query + s * sub_dim_;
+    const float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * sub_dim_;
+    float* row = table + static_cast<size_t>(s) * kCodebookSize;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      const float* ctr = book + static_cast<size_t>(c) * sub_dim_;
+      row[c] = metric == MetricType::kL2
+                   ? simd::L2Sqr(sub, ctr, sub_dim_)
+                   : -simd::InnerProduct(sub, ctr, sub_dim_);
+    }
+  }
+}
+
+void ProductQuantizer::Serialize(BinaryWriter* w) const {
+  w->PutI32(dim_);
+  w->PutI32(m_);
+  w->PutVector(codebooks_);
+}
+
+Result<ProductQuantizer> ProductQuantizer::Deserialize(BinaryReader* r) {
+  ProductQuantizer pq;
+  MANU_ASSIGN_OR_RETURN(pq.dim_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(pq.m_, r->GetI32());
+  pq.sub_dim_ = pq.m_ > 0 ? pq.dim_ / pq.m_ : 0;
+  MANU_ASSIGN_OR_RETURN(pq.codebooks_, r->GetVector<float>());
+  return pq;
+}
+
+// ---------------------------------------------------------------------------
+// PqIndex
+// ---------------------------------------------------------------------------
+
+Status PqIndex::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("pq: dim not set");
+  std::vector<float> normalized;
+  if (params_.metric == MetricType::kCosine) {
+    normalized = NormalizedCopy(data, n, params_.dim);
+    data = normalized.data();
+  }
+  MANU_RETURN_NOT_OK(pq_.Train(data, n, params_.dim, params_.pq_m,
+                               params_.train_iters, params_.seed));
+  codes_.resize(static_cast<size_t>(n) * params_.pq_m);
+  for (int64_t i = 0; i < n; ++i) {
+    pq_.Encode(data + i * params_.dim, codes_.data() + i * params_.pq_m);
+  }
+  size_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> PqIndex::Search(const float* query,
+                                              const SearchParams& sp) const {
+  std::vector<float> qnorm;
+  if (params_.metric == MetricType::kCosine) {
+    qnorm = NormalizedCopy(query, 1, params_.dim);
+    query = qnorm.data();
+  }
+  std::vector<float> table(
+      static_cast<size_t>(pq_.m()) * ProductQuantizer::kCodebookSize);
+  pq_.BuildAdcTable(query, EffectiveMetric(params_.metric), table.data());
+
+  TopKHeap heap(sp.k);
+  for (int64_t i = 0; i < size_; ++i) {
+    if (!PassesFilters(i, sp)) continue;
+    heap.Push(i, pq_.ScoreWithTable(table.data(),
+                                    codes_.data() + i * params_.pq_m));
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t PqIndex::MemoryBytes() const {
+  return codes_.size() +
+         static_cast<uint64_t>(pq_.m()) * ProductQuantizer::kCodebookSize *
+             pq_.sub_dim() * sizeof(float);
+}
+
+void PqIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  pq_.Serialize(w);
+  w->PutVector(codes_);
+}
+
+Result<std::unique_ptr<PqIndex>> PqIndex::Deserialize(IndexParams params,
+                                                      BinaryReader* r) {
+  auto index = std::make_unique<PqIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->pq_, ProductQuantizer::Deserialize(r));
+  MANU_ASSIGN_OR_RETURN(index->codes_, r->GetVector<uint8_t>());
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// IvfPqIndex
+// ---------------------------------------------------------------------------
+
+Status IvfPqIndex::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("ivf_pq: dim not set");
+  if (n == 0) return Status::InvalidArgument("ivf_pq: empty build input");
+  std::vector<float> normalized;
+  if (params_.metric == MetricType::kCosine) {
+    normalized = NormalizedCopy(data, n, params_.dim);
+    data = normalized.data();
+  }
+
+  KMeansOptions opts;
+  opts.k = params_.nlist;
+  opts.max_iters = params_.train_iters;
+  opts.seed = params_.seed;
+  // Faiss-style training budget: Lloyd runs on a bounded sample (64 points
+  // per centroid, floor 20k) so build cost stays linear in nlist, not rows.
+  opts.max_train_rows =
+      std::max<int64_t>(static_cast<int64_t>(64) * opts.k, 20000);
+  KMeansResult km = KMeans(data, n, params_.dim, opts);
+  centroids_ = std::move(km.centroids);
+
+  // PQ is trained on residuals.
+  std::vector<float> residuals(static_cast<size_t>(n) * params_.dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* v = data + i * params_.dim;
+    const float* c = centroids_.data() +
+                     static_cast<size_t>(km.assignments[i]) * params_.dim;
+    float* r = residuals.data() + i * params_.dim;
+    for (int32_t d = 0; d < params_.dim; ++d) r[d] = v[d] - c[d];
+  }
+  MANU_RETURN_NOT_OK(pq_.Train(residuals.data(), n, params_.dim, params_.pq_m,
+                               params_.train_iters, params_.seed));
+
+  ids_.assign(km.k, {});
+  codes_.assign(km.k, {});
+  std::vector<uint8_t> code(params_.pq_m);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t list = km.assignments[i];
+    ids_[list].push_back(i);
+    pq_.Encode(residuals.data() + i * params_.dim, code.data());
+    codes_[list].insert(codes_[list].end(), code.begin(), code.end());
+  }
+  size_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> IvfPqIndex::Search(
+    const float* query, const SearchParams& sp) const {
+  if (size_ == 0) return std::vector<Neighbor>{};
+  std::vector<float> qnorm;
+  if (params_.metric == MetricType::kCosine) {
+    qnorm = NormalizedCopy(query, 1, params_.dim);
+    query = qnorm.data();
+  }
+  const MetricType metric = EffectiveMetric(params_.metric);
+
+  const int32_t nlist = static_cast<int32_t>(ids_.size());
+  const int32_t nprobe = std::min(sp.nprobe, nlist);
+  std::vector<std::pair<float, int32_t>> scored(nlist);
+  for (int32_t c = 0; c < nlist; ++c) {
+    scored[c] = {simd::L2Sqr(query,
+                             centroids_.data() +
+                                 static_cast<size_t>(c) * params_.dim,
+                             params_.dim),
+                 c};
+  }
+  std::partial_sort(scored.begin(), scored.begin() + nprobe, scored.end());
+
+  TopKHeap heap(sp.k);
+  std::vector<float> residual(params_.dim);
+  std::vector<float> table(
+      static_cast<size_t>(pq_.m()) * ProductQuantizer::kCodebookSize);
+  // For IP, q·(c + r) = q·c + q·r: the ADC table uses the full query and is
+  // list-independent; q·c enters as a per-list bias. For L2,
+  // ||q - (c + r)||^2 = ||(q - c) - r||^2: the table uses the residual query
+  // and must be rebuilt per probed list.
+  if (metric == MetricType::kInnerProduct) {
+    pq_.BuildAdcTable(query, metric, table.data());
+  }
+  for (int32_t p = 0; p < nprobe; ++p) {
+    const int32_t list = scored[p].second;
+    const auto& ids = ids_[list];
+    if (ids.empty()) continue;
+    const float* c =
+        centroids_.data() + static_cast<size_t>(list) * params_.dim;
+    float bias = 0.0f;
+    if (metric == MetricType::kL2) {
+      for (int32_t d = 0; d < params_.dim; ++d) residual[d] = query[d] - c[d];
+      pq_.BuildAdcTable(residual.data(), metric, table.data());
+    } else {
+      bias = -simd::InnerProduct(query, c, params_.dim);
+    }
+    const uint8_t* codes = codes_[list].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!PassesFilters(ids[i], sp)) continue;
+      heap.Push(ids[i], bias + pq_.ScoreWithTable(
+                                   table.data(), codes + i * params_.pq_m));
+    }
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t IvfPqIndex::MemoryBytes() const {
+  uint64_t bytes = centroids_.size() * sizeof(float) +
+                   static_cast<uint64_t>(pq_.m()) *
+                       ProductQuantizer::kCodebookSize * pq_.sub_dim() *
+                       sizeof(float);
+  for (const auto& ids : ids_) bytes += ids.size() * sizeof(int64_t);
+  for (const auto& c : codes_) bytes += c.size();
+  return bytes;
+}
+
+void IvfPqIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  pq_.Serialize(w);
+  w->PutVector(centroids_);
+  w->PutU32(static_cast<uint32_t>(ids_.size()));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    w->PutVector(ids_[i]);
+    w->PutVector(codes_[i]);
+  }
+}
+
+Result<std::unique_ptr<IvfPqIndex>> IvfPqIndex::Deserialize(
+    IndexParams params, BinaryReader* r) {
+  auto index = std::make_unique<IvfPqIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->pq_, ProductQuantizer::Deserialize(r));
+  MANU_ASSIGN_OR_RETURN(index->centroids_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(uint32_t nlist, r->GetU32());
+  index->ids_.resize(nlist);
+  index->codes_.resize(nlist);
+  for (uint32_t i = 0; i < nlist; ++i) {
+    MANU_ASSIGN_OR_RETURN(index->ids_[i], r->GetVector<int64_t>());
+    MANU_ASSIGN_OR_RETURN(index->codes_[i], r->GetVector<uint8_t>());
+  }
+  return index;
+}
+
+}  // namespace manu

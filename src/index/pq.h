@@ -1,0 +1,117 @@
+#ifndef MANU_INDEX_PQ_H_
+#define MANU_INDEX_PQ_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Product quantizer: splits each vector into m sub-vectors and quantizes
+/// each against a 256-entry codebook trained per subspace (Jegou et al.,
+/// ref [45] of the paper). A query precomputes an asymmetric-distance (ADC)
+/// table of m*256 partial scores; scoring a code is then m table lookups.
+///
+/// Cosine is handled by L2-normalizing build data and queries and running
+/// the inner-product path — exact, since cosine is scale-invariant.
+class ProductQuantizer {
+ public:
+  static constexpr int32_t kCodebookSize = 256;
+
+  /// Trains codebooks on `n` rows (for IVF-PQ, callers pass residuals).
+  Status Train(const float* data, int64_t n, int32_t dim, int32_t m,
+               int32_t iters, uint64_t seed);
+
+  int32_t dim() const { return dim_; }
+  int32_t m() const { return m_; }
+  int32_t sub_dim() const { return sub_dim_; }
+  bool trained() const { return m_ > 0; }
+
+  void Encode(const float* vec, uint8_t* code) const;
+  void Decode(const uint8_t* code, float* vec) const;
+
+  /// Fills `table` (m * 256 floats) with canonical partial scores for
+  /// `query`: L2 uses squared sub-distances (summing gives the full squared
+  /// distance), IP uses negated sub-dot-products.
+  void BuildAdcTable(const float* query, MetricType metric,
+                     float* table) const;
+
+  /// Canonical score of one code against a prebuilt ADC table.
+  float ScoreWithTable(const float* table, const uint8_t* code) const {
+    float acc = 0;
+    for (int32_t s = 0; s < m_; ++s) {
+      acc += table[s * kCodebookSize + code[s]];
+    }
+    return acc;
+  }
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ProductQuantizer> Deserialize(BinaryReader* r);
+
+ private:
+  int32_t dim_ = 0;
+  int32_t m_ = 0;
+  int32_t sub_dim_ = 0;
+  /// m * 256 * sub_dim floats; codebook s at offset s*256*sub_dim.
+  std::vector<float> codebooks_;
+};
+
+/// Flat PQ index: one m-byte code per row, ADC scan over all codes.
+class PqIndex : public VectorIndex {
+ public:
+  explicit PqIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kPq;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<PqIndex>> Deserialize(IndexParams params,
+                                                      BinaryReader* r);
+
+ private:
+  IndexParams params_;
+  int64_t size_ = 0;
+  ProductQuantizer pq_;
+  std::vector<uint8_t> codes_;  ///< size_ * m bytes.
+};
+
+/// IVF-PQ: coarse k-means lists; rows stored as PQ codes of their residual
+/// from the list centroid. The workhorse for large memory-constrained
+/// collections.
+class IvfPqIndex : public VectorIndex {
+ public:
+  explicit IvfPqIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kIvfPq;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<IvfPqIndex>> Deserialize(IndexParams params,
+                                                         BinaryReader* r);
+
+ private:
+  IndexParams params_;
+  int64_t size_ = 0;
+  ProductQuantizer pq_;
+  std::vector<float> centroids_;
+  std::vector<std::vector<int64_t>> ids_;
+  std::vector<std::vector<uint8_t>> codes_;  ///< Residual codes per list.
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_PQ_H_

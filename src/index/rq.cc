@@ -1,0 +1,193 @@
+#include "index/rq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+namespace {
+std::vector<float> NormalizedCopy(const float* data, int64_t n, int32_t dim) {
+  std::vector<float> out(data, data + n * dim);
+  for (int64_t i = 0; i < n; ++i) {
+    float* v = out.data() + i * dim;
+    const float norm = std::sqrt(simd::L2NormSqr(v, dim));
+    if (norm > 0) {
+      for (int32_t d = 0; d < dim; ++d) v[d] /= norm;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Status ResidualQuantizer::Train(const float* data, int64_t n, int32_t dim,
+                                int32_t m, int32_t iters, uint64_t seed) {
+  if (m <= 0) return Status::InvalidArgument("rq: m must be positive");
+  dim_ = dim;
+  m_ = m;
+  codebooks_.assign(static_cast<size_t>(m_) * kCodebookSize * dim_, 0.0f);
+
+  // Residuals start as the data itself; each stage quantizes what the
+  // previous stages left behind.
+  std::vector<float> residuals(data, data + n * dim);
+  for (int32_t s = 0; s < m_; ++s) {
+    KMeansOptions opts;
+    opts.k = kCodebookSize;
+    opts.max_iters = iters;
+    opts.seed = seed + s;
+    // Full-dimension codebooks are expensive to train; bound the Lloyd
+    // sample like the IVF family does.
+    opts.max_train_rows = 20000;
+    KMeansResult km = KMeans(residuals.data(), n, dim_, opts);
+    float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * dim_;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      const float* src =
+          km.centroids.data() + static_cast<size_t>(c % km.k) * dim_;
+      std::copy(src, src + dim_, book + static_cast<size_t>(c) * dim_);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const float* c = book + static_cast<size_t>(km.assignments[i]) * dim_;
+      float* r = residuals.data() + i * dim_;
+      for (int32_t d = 0; d < dim_; ++d) r[d] -= c[d];
+    }
+  }
+  return Status::OK();
+}
+
+void ResidualQuantizer::Encode(const float* vec, uint8_t* code,
+                               float* recon_norm_sqr) const {
+  std::vector<float> residual(vec, vec + dim_);
+  std::vector<float> recon(dim_, 0.0f);
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * dim_;
+    float best = std::numeric_limits<float>::max();
+    int32_t best_c = 0;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      const float d = simd::L2Sqr(residual.data(),
+                                  book + static_cast<size_t>(c) * dim_, dim_);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    code[s] = static_cast<uint8_t>(best_c);
+    const float* c = book + static_cast<size_t>(best_c) * dim_;
+    for (int32_t d = 0; d < dim_; ++d) {
+      residual[d] -= c[d];
+      recon[d] += c[d];
+    }
+  }
+  if (recon_norm_sqr != nullptr) {
+    *recon_norm_sqr = simd::L2NormSqr(recon.data(), dim_);
+  }
+}
+
+void ResidualQuantizer::Decode(const uint8_t* code, float* vec) const {
+  std::fill(vec, vec + dim_, 0.0f);
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* c = codebooks_.data() +
+                     (static_cast<size_t>(s) * kCodebookSize + code[s]) * dim_;
+    for (int32_t d = 0; d < dim_; ++d) vec[d] += c[d];
+  }
+}
+
+void ResidualQuantizer::BuildIpTable(const float* query, float* table) const {
+  for (int32_t s = 0; s < m_; ++s) {
+    const float* book =
+        codebooks_.data() + static_cast<size_t>(s) * kCodebookSize * dim_;
+    float* row = table + static_cast<size_t>(s) * kCodebookSize;
+    for (int32_t c = 0; c < kCodebookSize; ++c) {
+      row[c] = simd::InnerProduct(query, book + static_cast<size_t>(c) * dim_,
+                                  dim_);
+    }
+  }
+}
+
+void ResidualQuantizer::Serialize(BinaryWriter* w) const {
+  w->PutI32(dim_);
+  w->PutI32(m_);
+  w->PutVector(codebooks_);
+}
+
+Result<ResidualQuantizer> ResidualQuantizer::Deserialize(BinaryReader* r) {
+  ResidualQuantizer rq;
+  MANU_ASSIGN_OR_RETURN(rq.dim_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(rq.m_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(rq.codebooks_, r->GetVector<float>());
+  return rq;
+}
+
+Status RqIndex::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("rq: dim not set");
+  std::vector<float> normalized;
+  if (params_.metric == MetricType::kCosine) {
+    normalized = NormalizedCopy(data, n, params_.dim);
+    data = normalized.data();
+  }
+  // Reuse pq_m as the stage count; cap training cost on big segments.
+  const int64_t train_n = std::min<int64_t>(n, 50000);
+  MANU_RETURN_NOT_OK(rq_.Train(data, train_n, params_.dim, params_.pq_m,
+                               params_.train_iters, params_.seed));
+  codes_.resize(static_cast<size_t>(n) * params_.pq_m);
+  recon_norms_.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rq_.Encode(data + i * params_.dim, codes_.data() + i * params_.pq_m,
+               &recon_norms_[i]);
+  }
+  size_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> RqIndex::Search(const float* query,
+                                              const SearchParams& sp) const {
+  std::vector<float> qnorm;
+  if (params_.metric == MetricType::kCosine) {
+    qnorm = NormalizedCopy(query, 1, params_.dim);
+    query = qnorm.data();
+  }
+  std::vector<float> table(
+      static_cast<size_t>(rq_.m()) * ResidualQuantizer::kCodebookSize);
+  rq_.BuildIpTable(query, table.data());
+
+  // Canonical scores: L2 -> -2*ip + ||x̂||² (the constant ||q||² does not
+  // change ordering); IP/cosine -> -ip.
+  const bool l2 = params_.metric == MetricType::kL2;
+  TopKHeap heap(sp.k);
+  for (int64_t i = 0; i < size_; ++i) {
+    if (!PassesFilters(i, sp)) continue;
+    const float ip =
+        rq_.IpWithTable(table.data(), codes_.data() + i * params_.pq_m);
+    heap.Push(i, l2 ? recon_norms_[i] - 2.0f * ip : -ip);
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t RqIndex::MemoryBytes() const {
+  return codes_.size() + recon_norms_.size() * sizeof(float) +
+         static_cast<uint64_t>(rq_.m()) * ResidualQuantizer::kCodebookSize *
+             rq_.dim() * sizeof(float);
+}
+
+void RqIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  rq_.Serialize(w);
+  w->PutVector(codes_);
+  w->PutVector(recon_norms_);
+}
+
+Result<std::unique_ptr<RqIndex>> RqIndex::Deserialize(IndexParams params,
+                                                      BinaryReader* r) {
+  auto index = std::make_unique<RqIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->rq_, ResidualQuantizer::Deserialize(r));
+  MANU_ASSIGN_OR_RETURN(index->codes_, r->GetVector<uint8_t>());
+  MANU_ASSIGN_OR_RETURN(index->recon_norms_, r->GetVector<float>());
+  return index;
+}
+
+}  // namespace manu

@@ -1,0 +1,82 @@
+#ifndef MANU_INDEX_RQ_H_
+#define MANU_INDEX_RQ_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Residual (additive) quantizer (Table 1's "RQ"): `m` stages of 256-entry
+/// full-dimension codebooks, each trained on the residuals of the previous
+/// stages. A vector reconstructs as the sum of its stage centroids.
+///
+/// ADC scoring: q·x̂ = sum_s q·c_s is m table lookups; for L2,
+/// ||q - x̂||² = ||q||² - 2·q·x̂ + ||x̂||², with ||x̂||² stored per code at
+/// encode time. Cosine reduces to IP via build/query normalization.
+class ResidualQuantizer {
+ public:
+  static constexpr int32_t kCodebookSize = 256;
+
+  Status Train(const float* data, int64_t n, int32_t dim, int32_t m,
+               int32_t iters, uint64_t seed);
+
+  int32_t dim() const { return dim_; }
+  int32_t m() const { return m_; }
+  bool trained() const { return m_ > 0; }
+
+  /// Encodes greedily stage by stage; also returns ||x̂||².
+  void Encode(const float* vec, uint8_t* code, float* recon_norm_sqr) const;
+  void Decode(const uint8_t* code, float* vec) const;
+
+  /// Fills `table` (m * 256) with q·c partial dot products.
+  void BuildIpTable(const float* query, float* table) const;
+
+  float IpWithTable(const float* table, const uint8_t* code) const {
+    float acc = 0;
+    for (int32_t s = 0; s < m_; ++s) {
+      acc += table[s * kCodebookSize + code[s]];
+    }
+    return acc;
+  }
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ResidualQuantizer> Deserialize(BinaryReader* r);
+
+ private:
+  int32_t dim_ = 0;
+  int32_t m_ = 0;
+  /// m * 256 * dim floats; stage s codebook at offset s*256*dim.
+  std::vector<float> codebooks_;
+};
+
+/// Flat RQ index: m bytes + one stored reconstruction norm per row.
+class RqIndex : public VectorIndex {
+ public:
+  explicit RqIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kRq;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<RqIndex>> Deserialize(IndexParams params,
+                                                      BinaryReader* r);
+
+ private:
+  IndexParams params_;
+  int64_t size_ = 0;
+  ResidualQuantizer rq_;
+  std::vector<uint8_t> codes_;       ///< size_ * m.
+  std::vector<float> recon_norms_;   ///< ||x̂||² per row (L2 scoring).
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_RQ_H_

@@ -1,0 +1,120 @@
+#include "index/scalar_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace manu {
+
+Status ScalarSortedIndex::Build(const FieldColumn& column) {
+  std::vector<double> raw;
+  switch (column.type) {
+    case DataType::kInt64:
+      raw.assign(column.i64.begin(), column.i64.end());
+      break;
+    case DataType::kFloat:
+      raw.assign(column.f32.begin(), column.f32.end());
+      break;
+    case DataType::kDouble:
+      raw = column.f64;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "scalar index requires a numeric column");
+  }
+  num_rows_ = static_cast<int64_t>(raw.size());
+  std::vector<int64_t> order(raw.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return raw[a] < raw[b]; });
+  values_.resize(raw.size());
+  rows_.resize(raw.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    values_[i] = raw[order[i]];
+    rows_[i] = order[i];
+  }
+  return Status::OK();
+}
+
+void ScalarSortedIndex::RangeQuery(double lo, double hi,
+                                   ConcurrentBitset* out) const {
+  auto begin = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto end = std::upper_bound(values_.begin(), values_.end(), hi);
+  for (auto it = begin; it != end; ++it) {
+    out->Set(static_cast<size_t>(rows_[it - values_.begin()]));
+  }
+}
+
+void ScalarSortedIndex::EqualsQuery(double value,
+                                    ConcurrentBitset* out) const {
+  RangeQuery(value, value, out);
+}
+
+int64_t ScalarSortedIndex::CountRange(double lo, double hi) const {
+  auto begin = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto end = std::upper_bound(values_.begin(), values_.end(), hi);
+  return end - begin;
+}
+
+void ScalarSortedIndex::Serialize(BinaryWriter* w) const {
+  w->PutI64(num_rows_);
+  w->PutVector(values_);
+  w->PutVector(rows_);
+}
+
+Result<ScalarSortedIndex> ScalarSortedIndex::Deserialize(BinaryReader* r) {
+  ScalarSortedIndex index;
+  MANU_ASSIGN_OR_RETURN(index.num_rows_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index.values_, r->GetVector<double>());
+  MANU_ASSIGN_OR_RETURN(index.rows_, r->GetVector<int64_t>());
+  return index;
+}
+
+Status LabelIndex::Build(const FieldColumn& column) {
+  if (column.type != DataType::kString) {
+    return Status::InvalidArgument("label index requires a string column");
+  }
+  num_rows_ = column.NumRows();
+  labels_ = column.str;
+  std::sort(labels_.begin(), labels_.end());
+  labels_.erase(std::unique(labels_.begin(), labels_.end()), labels_.end());
+  postings_.assign(labels_.size(), {});
+  for (int64_t row = 0; row < num_rows_; ++row) {
+    const auto it =
+        std::lower_bound(labels_.begin(), labels_.end(), column.str[row]);
+    postings_[it - labels_.begin()].push_back(row);
+  }
+  return Status::OK();
+}
+
+void LabelIndex::EqualsQuery(const std::string& label,
+                             ConcurrentBitset* out) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return;
+  for (int64_t row : postings_[it - labels_.begin()]) {
+    out->Set(static_cast<size_t>(row));
+  }
+}
+
+void LabelIndex::Serialize(BinaryWriter* w) const {
+  w->PutI64(num_rows_);
+  w->PutU32(static_cast<uint32_t>(labels_.size()));
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    w->PutString(labels_[i]);
+    w->PutVector(postings_[i]);
+  }
+}
+
+Result<LabelIndex> LabelIndex::Deserialize(BinaryReader* r) {
+  LabelIndex index;
+  MANU_ASSIGN_OR_RETURN(index.num_rows_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  index.labels_.resize(n);
+  index.postings_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(index.labels_[i], r->GetString());
+    MANU_ASSIGN_OR_RETURN(index.postings_[i], r->GetVector<int64_t>());
+  }
+  return index;
+}
+
+}  // namespace manu

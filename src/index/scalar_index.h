@@ -1,0 +1,62 @@
+#ifndef MANU_INDEX_SCALAR_INDEX_H_
+#define MANU_INDEX_SCALAR_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/dataset.h"
+#include "common/result.h"
+
+namespace manu {
+
+/// Sorted-list index on a numeric attribute field (Table 1: "B-Tree, Sorted
+/// List"). Values are widened to double; range/equality predicates resolve
+/// to a row bitset that vector indexes consume as the `allowed` mask
+/// (attribute filtering, Section 3.6).
+class ScalarSortedIndex {
+ public:
+  /// Builds from an int64/float/double column.
+  Status Build(const FieldColumn& column);
+
+  int64_t NumRows() const { return num_rows_; }
+
+  /// Sets bits of rows whose value lies in [lo, hi] (inclusive).
+  void RangeQuery(double lo, double hi, ConcurrentBitset* out) const;
+  void EqualsQuery(double value, ConcurrentBitset* out) const;
+
+  /// Number of rows in [lo, hi] without materializing the bitset; the
+  /// cost-based filter-strategy chooser uses this selectivity estimate.
+  int64_t CountRange(double lo, double hi) const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ScalarSortedIndex> Deserialize(BinaryReader* r);
+
+ private:
+  int64_t num_rows_ = 0;
+  std::vector<double> values_;  ///< Sorted.
+  std::vector<int64_t> rows_;   ///< rows_[i] holds values_[i].
+};
+
+/// String-label equality index (hash of sorted unique labels -> row lists).
+class LabelIndex {
+ public:
+  Status Build(const FieldColumn& column);
+
+  int64_t NumRows() const { return num_rows_; }
+
+  /// Sets bits of rows whose label equals `label`.
+  void EqualsQuery(const std::string& label, ConcurrentBitset* out) const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<LabelIndex> Deserialize(BinaryReader* r);
+
+ private:
+  int64_t num_rows_ = 0;
+  std::vector<std::string> labels_;            ///< Sorted unique labels.
+  std::vector<std::vector<int64_t>> postings_; ///< Rows per label.
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_SCALAR_INDEX_H_

@@ -1,0 +1,236 @@
+#include "index/sq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/kmeans.h"
+#include "index/metric_util.h"
+
+namespace manu {
+
+// ---------------------------------------------------------------------------
+// ScalarQuantizer
+// ---------------------------------------------------------------------------
+
+void ScalarQuantizer::Train(const float* data, int64_t n, int32_t dim) {
+  dim_ = dim;
+  vmin_.assign(dim, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* v = data + i * dim;
+    for (int32_t d = 0; d < dim; ++d) {
+      vmin_[d] = std::min(vmin_[d], v[d]);
+      vmax[d] = std::max(vmax[d], v[d]);
+    }
+  }
+  vscale_.resize(dim);
+  for (int32_t d = 0; d < dim; ++d) {
+    vscale_[d] = (vmax[d] - vmin_[d]) / 255.0f;
+  }
+}
+
+void ScalarQuantizer::Encode(const float* vec, uint8_t* code) const {
+  for (int32_t d = 0; d < dim_; ++d) {
+    if (vscale_[d] == 0) {
+      code[d] = 0;
+      continue;
+    }
+    const float q = (vec[d] - vmin_[d]) / vscale_[d];
+    code[d] = static_cast<uint8_t>(std::clamp(q + 0.5f, 0.0f, 255.0f));
+  }
+}
+
+void ScalarQuantizer::Decode(const uint8_t* code, float* vec) const {
+  for (int32_t d = 0; d < dim_; ++d) {
+    vec[d] = vmin_[d] + static_cast<float>(code[d]) * vscale_[d];
+  }
+}
+
+float ScalarQuantizer::Score(const float* query, const uint8_t* code,
+                             MetricType metric) const {
+  switch (metric) {
+    case MetricType::kL2: {
+      float acc = 0;
+      for (int32_t d = 0; d < dim_; ++d) {
+        const float diff =
+            query[d] - (vmin_[d] + static_cast<float>(code[d]) * vscale_[d]);
+        acc += diff * diff;
+      }
+      return acc;
+    }
+    case MetricType::kInnerProduct: {
+      float acc = 0;
+      for (int32_t d = 0; d < dim_; ++d) {
+        acc += query[d] * (vmin_[d] + static_cast<float>(code[d]) * vscale_[d]);
+      }
+      return -acc;
+    }
+    case MetricType::kCosine: {
+      float ip = 0, qn = 0, cn = 0;
+      for (int32_t d = 0; d < dim_; ++d) {
+        const float c = vmin_[d] + static_cast<float>(code[d]) * vscale_[d];
+        ip += query[d] * c;
+        qn += query[d] * query[d];
+        cn += c * c;
+      }
+      if (qn == 0 || cn == 0) return 0;
+      return -ip / std::sqrt(qn * cn);
+    }
+  }
+  return 0;
+}
+
+void ScalarQuantizer::Serialize(BinaryWriter* w) const {
+  w->PutI32(dim_);
+  w->PutVector(vmin_);
+  w->PutVector(vscale_);
+}
+
+Result<ScalarQuantizer> ScalarQuantizer::Deserialize(BinaryReader* r) {
+  ScalarQuantizer q;
+  MANU_ASSIGN_OR_RETURN(q.dim_, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(q.vmin_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(q.vscale_, r->GetVector<float>());
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Sq8Index
+// ---------------------------------------------------------------------------
+
+Status Sq8Index::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("sq8: dim not set");
+  quantizer_.Train(data, n, params_.dim);
+  codes_.resize(static_cast<size_t>(n) * params_.dim);
+  for (int64_t i = 0; i < n; ++i) {
+    quantizer_.Encode(data + i * params_.dim,
+                      codes_.data() + i * params_.dim);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> Sq8Index::Search(const float* query,
+                                               const SearchParams& sp) const {
+  TopKHeap heap(sp.k);
+  const int64_t n = Size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!PassesFilters(i, sp)) continue;
+    heap.Push(i, quantizer_.Score(query, codes_.data() + i * params_.dim,
+                                  params_.metric));
+  }
+  return heap.TakeSorted();
+}
+
+void Sq8Index::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  quantizer_.Serialize(w);
+  w->PutVector(codes_);
+}
+
+Result<std::unique_ptr<Sq8Index>> Sq8Index::Deserialize(IndexParams params,
+                                                        BinaryReader* r) {
+  auto index = std::make_unique<Sq8Index>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->quantizer_, ScalarQuantizer::Deserialize(r));
+  MANU_ASSIGN_OR_RETURN(index->codes_, r->GetVector<uint8_t>());
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// IvfSqIndex
+// ---------------------------------------------------------------------------
+
+Status IvfSqIndex::Build(const float* data, int64_t n) {
+  if (params_.dim <= 0) return Status::InvalidArgument("ivf_sq: dim not set");
+  if (n == 0) return Status::InvalidArgument("ivf_sq: empty build input");
+  quantizer_.Train(data, n, params_.dim);
+
+  KMeansOptions opts;
+  opts.k = params_.nlist;
+  opts.max_iters = params_.train_iters;
+  opts.seed = params_.seed;
+  // Faiss-style training budget: Lloyd runs on a bounded sample (64 points
+  // per centroid, floor 20k) so build cost stays linear in nlist, not rows.
+  opts.max_train_rows =
+      std::max<int64_t>(static_cast<int64_t>(64) * opts.k, 20000);
+  KMeansResult km = KMeans(data, n, params_.dim, opts);
+  centroids_ = std::move(km.centroids);
+  ids_.assign(km.k, {});
+  codes_.assign(km.k, {});
+  std::vector<uint8_t> code(params_.dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t list = km.assignments[i];
+    ids_[list].push_back(i);
+    quantizer_.Encode(data + i * params_.dim, code.data());
+    codes_[list].insert(codes_[list].end(), code.begin(), code.end());
+  }
+  size_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> IvfSqIndex::Search(
+    const float* query, const SearchParams& sp) const {
+  if (size_ == 0) return std::vector<Neighbor>{};
+  const int32_t nlist = static_cast<int32_t>(ids_.size());
+  const int32_t nprobe = std::min(sp.nprobe, nlist);
+  std::vector<std::pair<float, int32_t>> scored(nlist);
+  for (int32_t c = 0; c < nlist; ++c) {
+    scored[c] = {simd::L2Sqr(query,
+                             centroids_.data() +
+                                 static_cast<size_t>(c) * params_.dim,
+                             params_.dim),
+                 c};
+  }
+  std::partial_sort(scored.begin(), scored.begin() + nprobe, scored.end());
+
+  TopKHeap heap(sp.k);
+  for (int32_t p = 0; p < nprobe; ++p) {
+    const int32_t list = scored[p].second;
+    const auto& ids = ids_[list];
+    const uint8_t* codes = codes_[list].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!PassesFilters(ids[i], sp)) continue;
+      heap.Push(ids[i],
+                quantizer_.Score(query, codes + i * params_.dim,
+                                 params_.metric));
+    }
+  }
+  return heap.TakeSorted();
+}
+
+uint64_t IvfSqIndex::MemoryBytes() const {
+  uint64_t bytes = centroids_.size() * sizeof(float) +
+                   static_cast<uint64_t>(params_.dim) * 2 * sizeof(float);
+  for (const auto& ids : ids_) bytes += ids.size() * sizeof(int64_t);
+  for (const auto& c : codes_) bytes += c.size();
+  return bytes;
+}
+
+void IvfSqIndex::Serialize(BinaryWriter* w) const {
+  params_.Serialize(w);
+  w->PutI64(size_);
+  quantizer_.Serialize(w);
+  w->PutVector(centroids_);
+  w->PutU32(static_cast<uint32_t>(ids_.size()));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    w->PutVector(ids_[i]);
+    w->PutVector(codes_[i]);
+  }
+}
+
+Result<std::unique_ptr<IvfSqIndex>> IvfSqIndex::Deserialize(
+    IndexParams params, BinaryReader* r) {
+  auto index = std::make_unique<IvfSqIndex>(std::move(params));
+  MANU_ASSIGN_OR_RETURN(index->size_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(index->quantizer_, ScalarQuantizer::Deserialize(r));
+  MANU_ASSIGN_OR_RETURN(index->centroids_, r->GetVector<float>());
+  MANU_ASSIGN_OR_RETURN(uint32_t nlist, r->GetU32());
+  index->ids_.resize(nlist);
+  index->codes_.resize(nlist);
+  for (uint32_t i = 0; i < nlist; ++i) {
+    MANU_ASSIGN_OR_RETURN(index->ids_[i], r->GetVector<int64_t>());
+    MANU_ASSIGN_OR_RETURN(index->codes_[i], r->GetVector<uint8_t>());
+  }
+  return index;
+}
+
+}  // namespace manu

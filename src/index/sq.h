@@ -1,0 +1,103 @@
+#ifndef MANU_INDEX_SQ_H_
+#define MANU_INDEX_SQ_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace manu {
+
+/// Per-dimension 8-bit scalar quantizer (Section 3.5: "scalar quantization
+/// maps each dimension of vector to a single byte"). Codes reconstruct as
+/// vmin[d] + code * (vmax[d]-vmin[d]) / 255.
+class ScalarQuantizer {
+ public:
+  void Train(const float* data, int64_t n, int32_t dim);
+
+  int32_t dim() const { return dim_; }
+  bool trained() const { return dim_ > 0; }
+
+  void Encode(const float* vec, uint8_t* code) const;
+  void Decode(const uint8_t* code, float* vec) const;
+
+  /// Canonical score between a raw query and one code, decoding on the fly
+  /// (no materialized float buffer).
+  float Score(const float* query, const uint8_t* code,
+              MetricType metric) const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ScalarQuantizer> Deserialize(BinaryReader* r);
+
+ private:
+  int32_t dim_ = 0;
+  std::vector<float> vmin_;
+  std::vector<float> vscale_;  ///< (vmax - vmin) / 255, 0 for flat dims.
+};
+
+/// Flat SQ8 index: one 8-bit code per dimension, full scan over codes.
+/// 4x memory reduction vs Flat with near-identical recall on typical data.
+class Sq8Index : public VectorIndex {
+ public:
+  explicit Sq8Index(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kSq8;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override {
+    return params_.dim > 0
+               ? static_cast<int64_t>(codes_.size()) / params_.dim
+               : 0;
+  }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override {
+    return codes_.size() + vmin_bytes();
+  }
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<Sq8Index>> Deserialize(IndexParams params,
+                                                       BinaryReader* r);
+
+ private:
+  uint64_t vmin_bytes() const {
+    return static_cast<uint64_t>(params_.dim) * 2 * sizeof(float);
+  }
+
+  IndexParams params_;
+  ScalarQuantizer quantizer_;
+  std::vector<uint8_t> codes_;
+};
+
+/// IVF over SQ8 codes: coarse k-means clusters, 8-bit codes inside lists.
+class IvfSqIndex : public VectorIndex {
+ public:
+  explicit IvfSqIndex(IndexParams params) : params_(std::move(params)) {
+    params_.type = IndexType::kIvfSq;
+  }
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+  uint64_t MemoryBytes() const override;
+
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<IvfSqIndex>> Deserialize(IndexParams params,
+                                                         BinaryReader* r);
+
+ private:
+  IndexParams params_;
+  int64_t size_ = 0;
+  ScalarQuantizer quantizer_;
+  std::vector<float> centroids_;
+  std::vector<std::vector<int64_t>> ids_;
+  std::vector<std::vector<uint8_t>> codes_;  ///< Per list, rows * dim bytes.
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_SQ_H_

@@ -1,0 +1,79 @@
+#ifndef MANU_INDEX_SSD_INDEX_H_
+#define MANU_INDEX_SSD_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/hnsw.h"
+#include "index/sq.h"
+#include "index/vector_index.h"
+#include "storage/object_store.h"
+
+namespace manu {
+
+/// The SSD-resident bucket index of Section 4.4 (the design that won track 2
+/// of the NeurIPS'21 big-ann challenge; cf. SPANN):
+///
+///  * hierarchical k-means packs vectors into buckets sized to fit one (or a
+///    few) 4 KB SSD blocks — reading less than 4 KB costs the same as 4 KB,
+///    so buckets are 4 KB-aligned in one large object;
+///  * bucket payloads are scalar-quantized (8-bit) to cut bytes fetched;
+///  * clustering runs `ssd_replicas` times with different seeds, assigning
+///    each vector once per run (multi-assignment replication, the LSH-style
+///    fix for border vectors), and search dedups ids;
+///  * only the bucket *centroids* stay in DRAM, organized in an HNSW graph.
+///
+/// Search: probe the DRAM centroid graph for the nprobe most promising
+/// buckets, ranged-read those buckets, decode and score.
+class SsdBucketIndex : public VectorIndex {
+ public:
+  /// `store`+`object_path` locate the bucket file; using a LocalObjectStore
+  /// exercises real file IO, a LatencyObjectStore models device latency.
+  SsdBucketIndex(IndexParams params, ObjectStore* store,
+                 std::string object_path);
+
+  const IndexParams& params() const override { return params_; }
+  int64_t Size() const override { return size_; }
+
+  Status Build(const float* data, int64_t n) override;
+  Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const override;
+
+  /// DRAM-resident bytes only (centroid graph + directory); the bucket file
+  /// intentionally does not count, that is the point of the design.
+  uint64_t MemoryBytes() const override;
+
+  /// Total bytes of the SSD-resident bucket object.
+  uint64_t SsdBytes() const { return ssd_bytes_; }
+  int64_t NumBuckets() const { return static_cast<int64_t>(buckets_.size()); }
+
+  /// Serializes the DRAM part (the bucket object stays in the store).
+  void Serialize(BinaryWriter* w) const override;
+  static Result<std::unique_ptr<SsdBucketIndex>> Deserialize(
+      IndexParams params, BinaryReader* r, ObjectStore* store);
+
+ private:
+  struct BucketMeta {
+    uint64_t offset = 0;  ///< 4 KB-aligned offset in the object.
+    uint32_t bytes = 0;   ///< Padded length (multiple of 4 KB).
+    uint32_t count = 0;   ///< Rows stored.
+  };
+
+  /// Rows per bucket so that count * (8 + dim) <= ssd_bucket_bytes.
+  int64_t RowsPerBucket() const;
+
+  IndexParams params_;
+  ObjectStore* store_;
+  std::string object_path_;
+
+  int64_t size_ = 0;
+  uint64_t ssd_bytes_ = 0;
+  ScalarQuantizer quantizer_;
+  std::vector<BucketMeta> buckets_;
+  std::unique_ptr<HnswIndex> centroid_index_;  ///< Ids are bucket indices.
+};
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_SSD_INDEX_H_

@@ -1,0 +1,74 @@
+#include "index/vector_index.h"
+
+#include <sstream>
+
+namespace manu {
+
+void IndexParams::Serialize(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutU8(static_cast<uint8_t>(metric));
+  w->PutI32(dim);
+  w->PutI32(nlist);
+  w->PutI32(train_iters);
+  w->PutI32(pq_m);
+  w->PutI32(pq_nbits);
+  w->PutI32(hnsw_m);
+  w->PutI32(hnsw_ef_construction);
+  w->PutI32(ssd_bucket_bytes);
+  w->PutI32(ssd_replicas);
+  w->PutU64(seed);
+}
+
+Result<IndexParams> IndexParams::Deserialize(BinaryReader* r) {
+  IndexParams p;
+  MANU_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  p.type = static_cast<IndexType>(type);
+  MANU_ASSIGN_OR_RETURN(uint8_t metric, r->GetU8());
+  p.metric = static_cast<MetricType>(metric);
+  MANU_ASSIGN_OR_RETURN(p.dim, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.nlist, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.train_iters, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.pq_m, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.pq_nbits, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.hnsw_m, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.hnsw_ef_construction, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.ssd_bucket_bytes, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.ssd_replicas, r->GetI32());
+  MANU_ASSIGN_OR_RETURN(p.seed, r->GetU64());
+  return p;
+}
+
+std::string IndexParams::ToString() const {
+  std::ostringstream out;
+  out << manu::ToString(type) << "(metric=" << manu::ToString(metric)
+      << ", dim=" << dim;
+  switch (type) {
+    case IndexType::kIvfFlat:
+    case IndexType::kIvfHnsw:
+    case IndexType::kIvfSq:
+    case IndexType::kImi:
+      out << ", nlist=" << nlist;
+      break;
+    case IndexType::kRq:
+      out << ", stages=" << pq_m;
+      break;
+    case IndexType::kIvfPq:
+      out << ", nlist=" << nlist << ", m=" << pq_m;
+      break;
+    case IndexType::kPq:
+      out << ", m=" << pq_m;
+      break;
+    case IndexType::kHnsw:
+      out << ", M=" << hnsw_m << ", efC=" << hnsw_ef_construction;
+      break;
+    case IndexType::kSsdBucket:
+      out << ", bucket=" << ssd_bucket_bytes << "B, r=" << ssd_replicas;
+      break;
+    default:
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace manu

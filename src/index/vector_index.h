@@ -1,0 +1,111 @@
+#ifndef MANU_INDEX_VECTOR_INDEX_H_
+#define MANU_INDEX_VECTOR_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace manu {
+
+/// Build-time parameters for every index family (Table 1). Unused knobs are
+/// ignored by families that don't need them, which keeps one parameter
+/// surface for the factory, the auto-tuner and serialized metadata.
+struct IndexParams {
+  IndexType type = IndexType::kFlat;
+  MetricType metric = MetricType::kL2;
+  int32_t dim = 0;
+
+  // Inverted-index family.
+  int32_t nlist = 128;        ///< Number of coarse clusters.
+  int32_t train_iters = 10;   ///< Lloyd iterations for coarse quantizer.
+
+  // Product quantization.
+  int32_t pq_m = 8;           ///< Subquantizers; dim % pq_m == 0.
+  int32_t pq_nbits = 8;       ///< Bits per code (only 8 supported).
+
+  // HNSW.
+  int32_t hnsw_m = 16;             ///< Max neighbors per node per layer.
+  int32_t hnsw_ef_construction = 200;
+
+  // SSD bucket index (Section 4.4).
+  int32_t ssd_bucket_bytes = 4096;  ///< Target bucket payload size.
+  int32_t ssd_replicas = 2;         ///< Multi-assignment replication factor.
+
+  uint64_t seed = 42;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<IndexParams> Deserialize(BinaryReader* r);
+  std::string ToString() const;
+  bool operator==(const IndexParams&) const = default;
+};
+
+/// Query-time parameters. `deleted` and `allowed` are optional row-offset
+/// bitsets: a row is a candidate iff (deleted == null || !deleted[row]) &&
+/// (allowed == null || allowed[row]). `deleted` carries tombstones,
+/// `allowed` carries attribute-filter results (Section 3.6).
+struct SearchParams {
+  size_t k = 10;
+  int32_t nprobe = 8;        ///< Coarse clusters probed (IVF family).
+  int32_t ef_search = 64;    ///< HNSW candidate-queue size.
+  const ConcurrentBitset* deleted = nullptr;
+  const ConcurrentBitset* allowed = nullptr;
+  /// MVCC visibility bound: only rows with offset < visible_rows are
+  /// candidates. Segments append rows in LSN order, so "data visible at
+  /// timestamp T" is always a row prefix. Default: everything visible.
+  int64_t visible_rows = INT64_MAX;
+};
+
+/// Base interface for all vector indexes. An index covers the rows of one
+/// segment; Search returns row offsets (0-based) with canonical scores
+/// (smaller is better; see Neighbor). Implementations are immutable after
+/// Build() — Manu rebuilds per segment rather than updating in place — with
+/// the exception of HNSW, which also supports incremental Add for the
+/// growing-segment temporary-index path.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual const IndexParams& params() const = 0;
+  IndexType type() const { return params().type; }
+  MetricType metric() const { return params().metric; }
+  int32_t dim() const { return params().dim; }
+
+  /// Number of indexed rows.
+  virtual int64_t Size() const = 0;
+
+  /// Trains (if needed) and indexes `n` rows of row-major data.
+  virtual Status Build(const float* data, int64_t n) = 0;
+
+  virtual Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const = 0;
+
+  /// Approximate resident memory, for load balancing and the memory-cost
+  /// trade-off benches.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Serializes the full index (including params) for object storage.
+  virtual void Serialize(BinaryWriter* w) const = 0;
+};
+
+/// Returns true when candidate `row` passes the visibility/deleted/allowed
+/// masks.
+inline bool PassesFilters(int64_t row, const SearchParams& p) {
+  if (row >= p.visible_rows) return false;
+  if (p.deleted != nullptr && p.deleted->Test(static_cast<size_t>(row))) {
+    return false;
+  }
+  if (p.allowed != nullptr && !p.allowed->Test(static_cast<size_t>(row))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace manu
+
+#endif  // MANU_INDEX_VECTOR_INDEX_H_

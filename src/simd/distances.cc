@@ -1,0 +1,75 @@
+#include "simd/distances.h"
+
+#include <cmath>
+
+namespace manu::simd {
+
+// Four independent accumulators break the loop-carried dependency so the
+// compiler can keep multiple FMA pipes busy and vectorize cleanly.
+float L2Sqr(const float* a, const float* b, size_t dim) {
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float L2NormSqr(const float* a, size_t dim) {
+  return InnerProduct(a, a, dim);
+}
+
+float CosineSimilarity(const float* a, const float* b, size_t dim) {
+  const float ip = InnerProduct(a, b, dim);
+  const float na = L2NormSqr(a, dim);
+  const float nb = L2NormSqr(b, dim);
+  if (na == 0 || nb == 0) return 0;
+  return ip / std::sqrt(na * nb);
+}
+
+void L2SqrBatch(const float* query, const float* base, size_t n, size_t dim,
+                float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = L2Sqr(query, base + i * dim, dim);
+  }
+}
+
+void InnerProductBatch(const float* query, const float* base, size_t n,
+                       size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = InnerProduct(query, base + i * dim, dim);
+  }
+}
+
+void CosineBatch(const float* query, const float* base, size_t n, size_t dim,
+                 float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = CosineSimilarity(query, base + i * dim, dim);
+  }
+}
+
+}  // namespace manu::simd

@@ -1,0 +1,42 @@
+#ifndef MANU_SIMD_DISTANCES_H_
+#define MANU_SIMD_DISTANCES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace manu::simd {
+
+/// Distance kernels. The paper attributes part of Manu's edge over other
+/// engines to "better implementations with optimizations for CPU cache and
+/// SIMD" (Section 5.2); these kernels are written with unrolled,
+/// dependency-broken accumulators so compilers auto-vectorize them, and the
+/// batch variants process one query against blocks of contiguous rows for
+/// cache friendliness.
+
+/// Squared Euclidean distance.
+float L2Sqr(const float* a, const float* b, size_t dim);
+
+/// Inner product.
+float InnerProduct(const float* a, const float* b, size_t dim);
+
+/// Cosine similarity (0 when either vector is all-zero).
+float CosineSimilarity(const float* a, const float* b, size_t dim);
+
+/// Squared L2 norm of a vector.
+float L2NormSqr(const float* a, size_t dim);
+
+/// Batch: out[i] = L2Sqr(query, base + i*dim) for i in [0, n).
+void L2SqrBatch(const float* query, const float* base, size_t n, size_t dim,
+                float* out);
+
+/// Batch inner product.
+void InnerProductBatch(const float* query, const float* base, size_t n,
+                       size_t dim, float* out);
+
+/// Batch cosine similarity.
+void CosineBatch(const float* query, const float* base, size_t n, size_t dim,
+                 float* out);
+
+}  // namespace manu::simd
+
+#endif  // MANU_SIMD_DISTANCES_H_

@@ -1,0 +1,100 @@
+#include "storage/binlog.h"
+
+#include "common/serde.h"
+
+namespace manu::binlog {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D414E55;  // "MANU"
+
+std::string FieldPath(const std::string& prefix, FieldId field_id) {
+  return prefix + "/field/" + std::to_string(field_id);
+}
+std::string ManifestPath(const std::string& prefix) {
+  return prefix + "/manifest";
+}
+}  // namespace
+
+std::string Frame(const std::string& payload) {
+  BinaryWriter w;
+  w.PutU32(kMagic);
+  w.PutU64(payload.size());
+  w.PutRaw(payload.data(), payload.size());
+  w.PutU32(Crc32c(payload.data(), payload.size()));
+  return w.Release();
+}
+
+Result<std::string> Unframe(const std::string& framed) {
+  BinaryReader r(framed);
+  MANU_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kMagic) return Status::Corruption("bad binlog magic");
+  MANU_ASSIGN_OR_RETURN(uint64_t size, r.GetU64());
+  if (r.remaining() < size + sizeof(uint32_t)) {
+    return Status::Corruption("truncated binlog object");
+  }
+  std::string payload(size, '\0');
+  MANU_RETURN_NOT_OK(r.GetRaw(payload.data(), size));
+  MANU_ASSIGN_OR_RETURN(uint32_t crc, r.GetU32());
+  if (crc != Crc32c(payload.data(), payload.size())) {
+    return Status::Corruption("binlog checksum mismatch");
+  }
+  return payload;
+}
+
+Status WriteSegment(ObjectStore* store, const std::string& prefix,
+                    const EntityBatch& batch) {
+  for (const auto& col : batch.columns) {
+    BinaryWriter w;
+    col.Serialize(&w);
+    MANU_RETURN_NOT_OK(
+        store->Put(FieldPath(prefix, col.field_id), Frame(w.Release())));
+  }
+  BinaryWriter w;
+  w.PutVector(batch.primary_keys);
+  w.PutVector(batch.timestamps);
+  return store->Put(ManifestPath(prefix), Frame(w.Release()));
+}
+
+Result<FieldColumn> ReadField(ObjectStore* store, const std::string& prefix,
+                              FieldId field_id) {
+  MANU_ASSIGN_OR_RETURN(std::string framed,
+                        store->Get(FieldPath(prefix, field_id)));
+  MANU_ASSIGN_OR_RETURN(std::string payload, Unframe(framed));
+  BinaryReader r(payload);
+  return FieldColumn::Deserialize(&r);
+}
+
+Result<Manifest> ReadManifest(ObjectStore* store, const std::string& prefix) {
+  MANU_ASSIGN_OR_RETURN(std::string framed, store->Get(ManifestPath(prefix)));
+  MANU_ASSIGN_OR_RETURN(std::string payload, Unframe(framed));
+  BinaryReader r(payload);
+  Manifest m;
+  MANU_ASSIGN_OR_RETURN(m.primary_keys, r.GetVector<int64_t>());
+  MANU_ASSIGN_OR_RETURN(m.timestamps, r.GetVector<Timestamp>());
+  return m;
+}
+
+Result<EntityBatch> ReadSegment(ObjectStore* store,
+                                const std::string& prefix) {
+  MANU_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(store, prefix));
+  EntityBatch batch;
+  batch.primary_keys = std::move(manifest.primary_keys);
+  batch.timestamps = std::move(manifest.timestamps);
+  for (const auto& path : store->List(prefix + "/field/")) {
+    MANU_ASSIGN_OR_RETURN(std::string framed, store->Get(path));
+    MANU_ASSIGN_OR_RETURN(std::string payload, Unframe(framed));
+    BinaryReader r(payload);
+    MANU_ASSIGN_OR_RETURN(FieldColumn col, FieldColumn::Deserialize(&r));
+    batch.columns.push_back(std::move(col));
+  }
+  return batch;
+}
+
+Status DropSegment(ObjectStore* store, const std::string& prefix) {
+  for (const auto& path : store->List(prefix + "/")) {
+    MANU_RETURN_NOT_OK(store->Delete(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace manu::binlog

@@ -1,0 +1,51 @@
+#ifndef MANU_STORAGE_BINLOG_H_
+#define MANU_STORAGE_BINLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "storage/object_store.h"
+
+namespace manu::binlog {
+
+/// Column-based binlog (Section 3.3). Data nodes transpose row-based WAL
+/// entries into one object per field so readers (index nodes, recovering
+/// query nodes) fetch only the columns they need — "free from the read
+/// amplifications".
+///
+/// Layout under a segment prefix:
+///   {prefix}/manifest          row count, primary keys, timestamps
+///   {prefix}/field/{field_id}  serialized FieldColumn
+/// Every object is framed as [magic u32][payload][crc32c u32] and verified
+/// on read.
+
+/// Writes all columns of `batch` plus the manifest.
+Status WriteSegment(ObjectStore* store, const std::string& prefix,
+                    const EntityBatch& batch);
+
+/// Reads a single field column (no other objects are touched).
+Result<FieldColumn> ReadField(ObjectStore* store, const std::string& prefix,
+                              FieldId field_id);
+
+/// Reads primary keys + timestamps (the manifest).
+struct Manifest {
+  std::vector<int64_t> primary_keys;
+  std::vector<Timestamp> timestamps;
+};
+Result<Manifest> ReadManifest(ObjectStore* store, const std::string& prefix);
+
+/// Reads the full segment back into an EntityBatch (all fields).
+Result<EntityBatch> ReadSegment(ObjectStore* store, const std::string& prefix);
+
+/// Deletes every binlog object under the prefix.
+Status DropSegment(ObjectStore* store, const std::string& prefix);
+
+/// Frames a payload with magic + CRC; exposed for the index serializer.
+std::string Frame(const std::string& payload);
+/// Validates and strips the frame.
+Result<std::string> Unframe(const std::string& framed);
+
+}  // namespace manu::binlog
+
+#endif  // MANU_STORAGE_BINLOG_H_

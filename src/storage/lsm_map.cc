@@ -1,0 +1,123 @@
+#include "storage/lsm_map.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "storage/binlog.h"
+
+namespace manu {
+
+LsmEntityMap::LsmEntityMap(ObjectStore* store, std::string prefix,
+                           size_t memtable_flush_entries)
+    : store_(store),
+      prefix_(std::move(prefix)),
+      flush_threshold_(memtable_flush_entries) {}
+
+Status LsmEntityMap::PutInternal(int64_t entity_id, SegmentId segment) {
+  std::unique_lock<std::mutex> lk(mu_);
+  memtable_[entity_id] = segment;
+  if (memtable_.size() < flush_threshold_) return Status::OK();
+  lk.unlock();
+  return Flush();
+}
+
+Status LsmEntityMap::Put(int64_t entity_id, SegmentId segment) {
+  return PutInternal(entity_id, segment);
+}
+
+Status LsmEntityMap::Remove(int64_t entity_id) {
+  return PutInternal(entity_id, kInvalidSegmentId);
+}
+
+Result<SegmentId> LsmEntityMap::Lookup(int64_t entity_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = memtable_.find(entity_id);
+  if (it != memtable_.end()) {
+    if (it->second == kInvalidSegmentId) {
+      return Status::NotFound("entity tombstoned");
+    }
+    return it->second;
+  }
+  // Newest SSTable first.
+  for (auto t = tables_.rbegin(); t != tables_.rend(); ++t) {
+    MANU_RETURN_NOT_OK(LoadTable(&*t));
+    auto pos = std::lower_bound(
+        t->entries.begin(), t->entries.end(), entity_id,
+        [](const auto& e, int64_t key) { return e.first < key; });
+    if (pos != t->entries.end() && pos->first == entity_id) {
+      if (pos->second == kInvalidSegmentId) {
+        return Status::NotFound("entity tombstoned");
+      }
+      return pos->second;
+    }
+  }
+  return Status::NotFound("entity not mapped");
+}
+
+Status LsmEntityMap::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (memtable_.empty()) return Status::OK();
+  BinaryWriter w;
+  w.PutU64(memtable_.size());
+  for (const auto& [id, seg] : memtable_) {
+    w.PutI64(id);
+    w.PutI64(seg);
+  }
+  // Zero-padded table id keeps List() (lexicographic) in creation order.
+  char name[32];
+  std::snprintf(name, sizeof(name), "%08lld",
+                static_cast<long long>(next_table_id_));
+  const std::string path = prefix_ + "/sst/" + name;
+  MANU_RETURN_NOT_OK(store_->Put(path, binlog::Frame(w.Release())));
+  ++next_table_id_;
+
+  SsTable table;
+  table.path = path;
+  table.entries.assign(memtable_.begin(), memtable_.end());
+  table.loaded = true;
+  tables_.push_back(std::move(table));
+  memtable_.clear();
+  return Status::OK();
+}
+
+Status LsmEntityMap::Recover() {
+  std::lock_guard<std::mutex> lk(mu_);
+  memtable_.clear();
+  tables_.clear();
+  next_table_id_ = 0;
+  for (const auto& path : store_->List(prefix_ + "/sst/")) {
+    SsTable table;
+    table.path = path;
+    tables_.push_back(std::move(table));
+    ++next_table_id_;
+  }
+  return Status::OK();
+}
+
+Status LsmEntityMap::LoadTable(SsTable* table) const {
+  if (table->loaded) return Status::OK();
+  MANU_ASSIGN_OR_RETURN(std::string framed, store_->Get(table->path));
+  MANU_ASSIGN_OR_RETURN(std::string payload, binlog::Unframe(framed));
+  BinaryReader r(payload);
+  MANU_ASSIGN_OR_RETURN(uint64_t n, r.GetU64());
+  table->entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(int64_t id, r.GetI64());
+    MANU_ASSIGN_OR_RETURN(int64_t seg, r.GetI64());
+    table->entries.emplace_back(id, seg);
+  }
+  table->loaded = true;
+  return Status::OK();
+}
+
+size_t LsmEntityMap::NumSsTables() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tables_.size();
+}
+
+size_t LsmEntityMap::MemtableSize() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return memtable_.size();
+}
+
+}  // namespace manu

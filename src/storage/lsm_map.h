@@ -1,0 +1,74 @@
+#ifndef MANU_STORAGE_LSM_MAP_H_
+#define MANU_STORAGE_LSM_MAP_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/object_store.h"
+
+namespace manu {
+
+/// The logger's entity-id -> segment-id map (Section 3.3): "the logger also
+/// writes the mapping of the new entity ID to segment ID into a local LSM
+/// tree and periodically flushes the incremental part of the LSM tree to
+/// object storage ... using the SSTable format".
+///
+/// A miniature LSM: an in-memory memtable plus immutable sorted SSTable
+/// objects, searched newest-first. Deletions write a tombstone
+/// (kInvalidSegmentId). Loggers use Lookup() to check whether an entity to
+/// delete exists in their shards.
+class LsmEntityMap {
+ public:
+  /// `prefix` namespaces the SSTable objects (one map per shard per
+  /// collection).
+  LsmEntityMap(ObjectStore* store, std::string prefix,
+               size_t memtable_flush_entries = 64 * 1024);
+
+  /// Records that `entity_id` lives in `segment`. Auto-flushes the memtable
+  /// once it reaches the flush threshold.
+  Status Put(int64_t entity_id, SegmentId segment);
+
+  /// Records a tombstone for the entity.
+  Status Remove(int64_t entity_id);
+
+  /// Newest-wins lookup across memtable then SSTables. NotFound if never
+  /// inserted or tombstoned.
+  Result<SegmentId> Lookup(int64_t entity_id) const;
+
+  /// Flushes the memtable to a new SSTable object; no-op when empty.
+  Status Flush();
+
+  /// Rebuilds SSTable list from object storage after logger failover.
+  Status Recover();
+
+  size_t NumSsTables() const;
+  size_t MemtableSize() const;
+
+ private:
+  struct SsTable {
+    std::string path;
+    /// Sorted by entity id; loaded lazily and then cached.
+    std::vector<std::pair<int64_t, SegmentId>> entries;
+    bool loaded = false;
+  };
+
+  Status PutInternal(int64_t entity_id, SegmentId segment);
+  Status LoadTable(SsTable* table) const;
+
+  ObjectStore* store_;
+  std::string prefix_;
+  size_t flush_threshold_;
+
+  mutable std::mutex mu_;
+  std::map<int64_t, SegmentId> memtable_;
+  mutable std::vector<SsTable> tables_;  ///< Oldest first.
+  int64_t next_table_id_ = 0;
+};
+
+}  // namespace manu
+
+#endif  // MANU_STORAGE_LSM_MAP_H_

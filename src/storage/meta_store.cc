@@ -1,0 +1,103 @@
+#include "storage/meta_store.h"
+
+namespace manu {
+
+int64_t MetaStore::Put(const std::string& key, const std::string& value) {
+  WatchEvent event;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const int64_t rev = revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    auto& entry = data_[key];
+    if (entry.create_revision == 0) entry.create_revision = rev;
+    entry.value = value;
+    entry.mod_revision = rev;
+    event = {WatchEventType::kPut, key, value, rev};
+  }
+  Notify(event);
+  return event.revision;
+}
+
+Result<MetaStore::Entry> MetaStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return Status::NotFound("meta key: " + key);
+  return it->second;
+}
+
+Result<int64_t> MetaStore::CompareAndSwap(const std::string& key,
+                                          int64_t expected_revision,
+                                          const std::string& value) {
+  WatchEvent event;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = data_.find(key);
+    const int64_t current =
+        it == data_.end() ? 0 : it->second.mod_revision;
+    if (current != expected_revision) {
+      return Status::Aborted("CAS conflict on " + key);
+    }
+    const int64_t rev = revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    auto& entry = data_[key];
+    if (entry.create_revision == 0) entry.create_revision = rev;
+    entry.value = value;
+    entry.mod_revision = rev;
+    event = {WatchEventType::kPut, key, value, rev};
+  }
+  Notify(event);
+  return event.revision;
+}
+
+Status MetaStore::Delete(const std::string& key) {
+  WatchEvent event;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = data_.find(key);
+    if (it == data_.end()) return Status::NotFound("meta key: " + key);
+    data_.erase(it);
+    const int64_t rev = revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    event = {WatchEventType::kDelete, key, "", rev};
+  }
+  Notify(event);
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, MetaStore::Entry>> MetaStore::List(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, Entry>> out;
+  for (auto it = data_.lower_bound(prefix);
+       it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+int64_t MetaStore::Watch(const std::string& prefix,
+                         std::function<void(const WatchEvent&)> callback) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int64_t id = next_watch_id_++;
+  watchers_.push_back({id, prefix, std::move(callback)});
+  return id;
+}
+
+void MetaStore::Unwatch(int64_t watch_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(watchers_, [&](const Watcher& w) { return w.id == watch_id; });
+}
+
+void MetaStore::Notify(const WatchEvent& event) {
+  // Copy the matching callbacks out so user code runs without the lock.
+  std::vector<std::function<void(const WatchEvent&)>> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& w : watchers_) {
+      if (event.key.compare(0, w.prefix.size(), w.prefix) == 0) {
+        targets.push_back(w.callback);
+      }
+    }
+  }
+  for (auto& cb : targets) cb(event);
+}
+
+}  // namespace manu

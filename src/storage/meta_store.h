@@ -1,0 +1,88 @@
+#ifndef MANU_STORAGE_META_STORE_H_
+#define MANU_STORAGE_META_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace manu {
+
+/// What changed in a watched range.
+enum class WatchEventType : uint8_t { kPut = 0, kDelete = 1 };
+
+struct WatchEvent {
+  WatchEventType type;
+  std::string key;
+  std::string value;   ///< Empty for deletes.
+  int64_t revision;
+};
+
+/// The etcd stand-in (Section 3.2 storage layer): a revisioned key-value
+/// store with compare-and-swap and prefix watches. Coordinators persist
+/// system status and metadata here; "when metadata is updated, the updated
+/// data is first written to etcd, and then synchronized to coordinators" —
+/// the synchronization is the watch callback.
+///
+/// Watch callbacks run inline under no lock on the mutating thread; they
+/// must be fast and must not call back into the MetaStore.
+class MetaStore {
+ public:
+  struct Entry {
+    std::string value;
+    int64_t create_revision = 0;
+    int64_t mod_revision = 0;
+  };
+
+  /// Writes key=value; returns the new global revision.
+  int64_t Put(const std::string& key, const std::string& value);
+
+  Result<Entry> Get(const std::string& key) const;
+
+  /// Atomic compare-and-swap on the key's mod revision. `expected_revision`
+  /// of 0 means "key must not exist". Returns the new revision, or Aborted
+  /// on mismatch.
+  Result<int64_t> CompareAndSwap(const std::string& key,
+                                 int64_t expected_revision,
+                                 const std::string& value);
+
+  Status Delete(const std::string& key);
+
+  /// All (key, entry) pairs with the prefix, key-sorted.
+  std::vector<std::pair<std::string, Entry>> List(
+      const std::string& prefix) const;
+
+  /// Registers a callback for changes to keys with `prefix`; returns a watch
+  /// id for Unwatch.
+  int64_t Watch(const std::string& prefix,
+                std::function<void(const WatchEvent&)> callback);
+  void Unwatch(int64_t watch_id);
+
+  int64_t CurrentRevision() const {
+    return revision_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Watcher {
+    int64_t id;
+    std::string prefix;
+    std::function<void(const WatchEvent&)> callback;
+  };
+
+  void Notify(const WatchEvent& event);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> data_;
+  std::atomic<int64_t> revision_{0};
+  std::vector<Watcher> watchers_;
+  int64_t next_watch_id_ = 1;
+};
+
+}  // namespace manu
+
+#endif  // MANU_STORAGE_META_STORE_H_

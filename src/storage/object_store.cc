@@ -1,0 +1,222 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace manu {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// MemoryObjectStore
+// ---------------------------------------------------------------------------
+
+Status MemoryObjectStore::Put(const std::string& path,
+                              const std::string& data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  objects_[path] = data;
+  return Status::OK();
+}
+
+Result<std::string> MemoryObjectStore::Get(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("object: " + path);
+  return it->second;
+}
+
+Result<std::string> MemoryObjectStore::GetRange(const std::string& path,
+                                                uint64_t offset,
+                                                uint64_t len) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("object: " + path);
+  if (offset > it->second.size()) {
+    return Status::InvalidArgument("range offset past end of " + path);
+  }
+  return it->second.substr(offset, len);
+}
+
+bool MemoryObjectStore::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return objects_.count(path) > 0;
+}
+
+Status MemoryObjectStore::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  objects_.erase(path);
+  return Status::OK();
+}
+
+std::vector<std::string> MemoryObjectStore::List(const std::string& prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Result<uint64_t> MemoryObjectStore::Size(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("object: " + path);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+// ---------------------------------------------------------------------------
+// LocalObjectStore
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<LocalObjectStore>> LocalObjectStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) return Status::IOError("create_directories " + root + ": " +
+                                 ec.message());
+  return std::unique_ptr<LocalObjectStore>(new LocalObjectStore(root));
+}
+
+std::string LocalObjectStore::FullPath(const std::string& path) const {
+  return root_ + "/" + path;
+}
+
+Status LocalObjectStore::Put(const std::string& path,
+                             const std::string& data) {
+  const std::string full = FullPath(path);
+  std::error_code ec;
+  fs::create_directories(fs::path(full).parent_path(), ec);
+  if (ec) return Status::IOError("mkdir for " + path + ": " + ec.message());
+  // Write-then-rename for atomicity against concurrent readers.
+  const std::string tmp = full + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("write " + tmp);
+  }
+  fs::rename(tmp, full, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> LocalObjectStore::Get(const std::string& path) {
+  std::ifstream in(FullPath(path), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("object: " + path);
+  const auto size = in.tellg();
+  std::string data(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in) return Status::IOError("read " + path);
+  return data;
+}
+
+Result<std::string> LocalObjectStore::GetRange(const std::string& path,
+                                               uint64_t offset,
+                                               uint64_t len) {
+  std::ifstream in(FullPath(path), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("object: " + path);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  if (offset > size) {
+    return Status::InvalidArgument("range offset past end of " + path);
+  }
+  const uint64_t n = std::min(len, size - offset);
+  std::string data(static_cast<size_t>(n), '\0');
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(data.data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::IOError("ranged read " + path);
+  return data;
+}
+
+bool LocalObjectStore::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(FullPath(path), ec);
+}
+
+Status LocalObjectStore::Delete(const std::string& path) {
+  std::error_code ec;
+  fs::remove(FullPath(path), ec);
+  return Status::OK();
+}
+
+std::vector<std::string> LocalObjectStore::List(const std::string& prefix) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = fs::relative(it->path(), root_, ec).string();
+    if (rel.compare(0, prefix.size(), prefix) == 0 &&
+        rel.find(".tmp") == std::string::npos) {
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<uint64_t> LocalObjectStore::Size(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(FullPath(path), ec);
+  if (ec) return Status::NotFound("object: " + path);
+  return static_cast<uint64_t>(size);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyObjectStore
+// ---------------------------------------------------------------------------
+
+void LatencyObjectStore::Sleep(uint64_t bytes) const {
+  const int64_t micros =
+      latency_.per_op_micros +
+      latency_.per_mib_micros * static_cast<int64_t>(bytes >> 20);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Status LatencyObjectStore::Put(const std::string& path,
+                               const std::string& data) {
+  Sleep(data.size());
+  return inner_->Put(path, data);
+}
+
+Result<std::string> LatencyObjectStore::Get(const std::string& path) {
+  auto res = inner_->Get(path);
+  Sleep(res.ok() ? res.value().size() : 0);
+  return res;
+}
+
+Result<std::string> LatencyObjectStore::GetRange(const std::string& path,
+                                                 uint64_t offset,
+                                                 uint64_t len) {
+  auto res = inner_->GetRange(path, offset, len);
+  Sleep(res.ok() ? res.value().size() : 0);
+  return res;
+}
+
+bool LatencyObjectStore::Exists(const std::string& path) {
+  Sleep(0);
+  return inner_->Exists(path);
+}
+
+Status LatencyObjectStore::Delete(const std::string& path) {
+  Sleep(0);
+  return inner_->Delete(path);
+}
+
+std::vector<std::string> LatencyObjectStore::List(const std::string& prefix) {
+  Sleep(0);
+  return inner_->List(prefix);
+}
+
+Result<uint64_t> LatencyObjectStore::Size(const std::string& path) {
+  Sleep(0);
+  return inner_->Size(path);
+}
+
+}  // namespace manu

@@ -1,0 +1,71 @@
+#include "wal/message.h"
+
+#include "common/serde.h"
+
+namespace manu {
+
+std::string LogEntry::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(timestamp);
+  w.PutI64(collection);
+  w.PutI32(shard);
+  w.PutI64(segment);
+  batch.Serialize(&w);
+  w.PutVector(delete_pks);
+  w.PutString(payload);
+  return w.Release();
+}
+
+Result<LogEntry> LogEntry::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  LogEntry e;
+  MANU_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  e.type = static_cast<LogEntryType>(type);
+  MANU_ASSIGN_OR_RETURN(e.timestamp, r.GetU64());
+  MANU_ASSIGN_OR_RETURN(e.collection, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(e.shard, r.GetI32());
+  MANU_ASSIGN_OR_RETURN(e.segment, r.GetI64());
+  MANU_ASSIGN_OR_RETURN(e.batch, EntityBatch::Deserialize(&r));
+  MANU_ASSIGN_OR_RETURN(e.delete_pks, r.GetVector<int64_t>());
+  MANU_ASSIGN_OR_RETURN(e.payload, r.GetString());
+  return e;
+}
+
+const char* ToString(LogEntryType type) {
+  switch (type) {
+    case LogEntryType::kInsert:
+      return "insert";
+    case LogEntryType::kDelete:
+      return "delete";
+    case LogEntryType::kTimeTick:
+      return "time_tick";
+    case LogEntryType::kCreateCollection:
+      return "create_collection";
+    case LogEntryType::kDropCollection:
+      return "drop_collection";
+    case LogEntryType::kSegmentSealed:
+      return "segment_sealed";
+    case LogEntryType::kIndexBuilt:
+      return "index_built";
+    case LogEntryType::kLoadCollection:
+      return "load_collection";
+    case LogEntryType::kReleaseCollection:
+      return "release_collection";
+    case LogEntryType::kFlush:
+      return "flush";
+    case LogEntryType::kCompaction:
+      return "compaction";
+  }
+  return "unknown";
+}
+
+std::string ShardChannelName(CollectionId collection, ShardId shard) {
+  return "wal/c" + std::to_string(collection) + "/s" + std::to_string(shard);
+}
+
+std::string DdlChannelName() { return "wal/ddl"; }
+
+std::string CoordChannelName() { return "wal/coord"; }
+
+}  // namespace manu

@@ -1,0 +1,72 @@
+#ifndef MANU_WAL_MESSAGE_H_
+#define MANU_WAL_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace manu {
+
+/// Everything that changes system state goes through the log (Section 3.3):
+/// data manipulation (insert/delete), data definition (DDL), and system
+/// coordination messages. Search requests are read-only and never logged.
+enum class LogEntryType : uint8_t {
+  // Data manipulation (hashed across shard channels).
+  kInsert = 0,
+  kDelete = 1,
+  // Event-time progress marker, periodically emitted into *every* channel.
+  kTimeTick = 2,
+  // Data definition (dedicated DDL channel).
+  kCreateCollection = 3,
+  kDropCollection = 4,
+  // System coordination (dedicated coordination channel): components
+  // announce state changes instead of point-to-point RPC, giving broadcast
+  // plus a deterministic order for free.
+  kSegmentSealed = 5,   ///< Data node: segment binlog persisted.
+  kIndexBuilt = 6,      ///< Index node: index persisted; payload = path.
+  kLoadCollection = 7,  ///< Query coord: query nodes should serve this.
+  kReleaseCollection = 8,  ///< Query nodes asynchronously release segments.
+  kFlush = 9,  ///< Seal all growing segments of a collection now (published
+               ///< into each shard channel; log order makes it a barrier).
+  kCompaction = 10,  ///< Segments merged: `segment` is the merged result,
+                     ///< payload lists the replaced segment ids. Query
+                     ///< nodes release the old ones once the merged one is
+                     ///< loaded.
+};
+
+/// One WAL / coordination-log record. Logical (event-describing) rather than
+/// physical, so each subscriber consumes it in its own way.
+struct LogEntry {
+  LogEntryType type = LogEntryType::kTimeTick;
+  Timestamp timestamp = 0;  ///< TSO-assigned LSN.
+  CollectionId collection = kInvalidCollectionId;
+  ShardId shard = -1;
+  SegmentId segment = kInvalidSegmentId;
+
+  /// kInsert: the rows (with per-row timestamps already assigned).
+  EntityBatch batch;
+  /// kDelete: primary keys to tombstone.
+  std::vector<int64_t> delete_pks;
+  /// Type-specific auxiliary data (serialized schema for DDL, index path for
+  /// kIndexBuilt, ...).
+  std::string payload;
+
+  std::string Serialize() const;
+  static Result<LogEntry> Deserialize(std::string_view data);
+};
+
+const char* ToString(LogEntryType type);
+
+/// Channel naming scheme. Data manipulation is hashed across
+/// `kNumDefaultShards` per-collection shard channels; DDL and coordination
+/// get their own channels so request types don't interfere (Section 3.3).
+std::string ShardChannelName(CollectionId collection, ShardId shard);
+std::string DdlChannelName();
+std::string CoordChannelName();
+
+}  // namespace manu
+
+#endif  // MANU_WAL_MESSAGE_H_

@@ -1,0 +1,142 @@
+#include "wal/mq.h"
+
+namespace manu {
+
+MessageQueue::ChannelState* MessageQueue::GetOrCreate(
+    const std::string& channel) {
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  auto& slot = channels_[channel];
+  if (slot == nullptr) slot = std::make_unique<ChannelState>();
+  return slot.get();
+}
+
+const MessageQueue::ChannelState* MessageQueue::Find(
+    const std::string& channel) const {
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+int64_t MessageQueue::Publish(const std::string& channel, LogEntry entry) {
+  ChannelState* state = GetOrCreate(channel);
+  int64_t offset;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    offset = state->base_offset + static_cast<int64_t>(state->entries.size());
+    state->entries.push_back(
+        std::make_shared<const LogEntry>(std::move(entry)));
+  }
+  state->cv.notify_all();
+  return offset;
+}
+
+std::shared_ptr<MessageQueue::Subscription> MessageQueue::Subscribe(
+    const std::string& channel, SubscribePosition position) {
+  ChannelState* state = GetOrCreate(channel);
+  int64_t offset;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    offset = position == SubscribePosition::kEarliest
+                 ? state->base_offset
+                 : state->base_offset +
+                       static_cast<int64_t>(state->entries.size());
+  }
+  return std::shared_ptr<Subscription>(
+      new Subscription(this, state, channel, offset));
+}
+
+std::shared_ptr<MessageQueue::Subscription> MessageQueue::SubscribeAt(
+    const std::string& channel, int64_t offset) {
+  ChannelState* state = GetOrCreate(channel);
+  return std::shared_ptr<Subscription>(
+      new Subscription(this, state, channel, offset));
+}
+
+int64_t MessageQueue::EndOffset(const std::string& channel) const {
+  const ChannelState* state = Find(channel);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(state->mu);
+  return state->base_offset + static_cast<int64_t>(state->entries.size());
+}
+
+int64_t MessageQueue::BeginOffset(const std::string& channel) const {
+  const ChannelState* state = Find(channel);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(state->mu);
+  return state->base_offset;
+}
+
+void MessageQueue::TruncateBefore(const std::string& channel,
+                                  int64_t offset) {
+  ChannelState* state = GetOrCreate(channel);
+  std::lock_guard<std::mutex> lk(state->mu);
+  while (!state->entries.empty() && state->base_offset < offset) {
+    state->entries.pop_front();
+    ++state->base_offset;
+  }
+}
+
+int64_t MessageQueue::FirstOffsetAtOrAfter(const std::string& channel,
+                                           Timestamp ts) const {
+  const ChannelState* state = Find(channel);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(state->mu);
+  // Entries are near-LSN-ordered (one TSO; concurrent publishers can invert
+  // adjacent entries by microseconds): binary search, then walk back over
+  // any local inversions so no entry with LSN >= ts is dropped.
+  int64_t lo = 0, hi = static_cast<int64_t>(state->entries.size());
+  while (lo < hi) {
+    const int64_t mid = (lo + hi) / 2;
+    if (state->entries[mid]->timestamp < ts) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  while (lo > 0 && state->entries[lo - 1]->timestamp >= ts) --lo;
+  return state->base_offset + lo;
+}
+
+std::vector<std::string> MessageQueue::ListChannels(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : channels_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+void MessageQueue::Shutdown() {
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  shutdown_ = true;
+  for (auto& [_, state] : channels_) state->cv.notify_all();
+}
+
+std::vector<std::shared_ptr<const LogEntry>>
+MessageQueue::Subscription::Poll(size_t max_entries,
+                                 std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  const auto have_data = [&] {
+    return position_ < state_->base_offset +
+                           static_cast<int64_t>(state_->entries.size());
+  };
+  if (!have_data()) {
+    state_->cv.wait_for(lk, timeout, [&] { return have_data(); });
+  }
+  std::vector<std::shared_ptr<const LogEntry>> out;
+  // A truncated-away position snaps forward to the oldest retained entry.
+  if (position_ < state_->base_offset) position_ = state_->base_offset;
+  while (out.size() < max_entries && have_data()) {
+    out.push_back(state_->entries[position_ - state_->base_offset]);
+    ++position_;
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const LogEntry>>
+MessageQueue::Subscription::TryPoll(size_t max_entries) {
+  return Poll(max_entries, std::chrono::milliseconds(0));
+}
+
+}  // namespace manu

@@ -1,0 +1,125 @@
+#ifndef MANU_WAL_MQ_H_
+#define MANU_WAL_MQ_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wal/message.h"
+
+namespace manu {
+
+/// Where a new subscription starts reading.
+enum class SubscribePosition { kEarliest, kLatest };
+
+/// The WAL backbone service: a multi-channel durable pub/sub log, standing
+/// in for Kafka/Pulsar (Section 3.3). Channels are ordered, append-only
+/// sequences of LogEntry addressed by offset; every subscriber tracks its
+/// own position and can replay from any retained offset — the property the
+/// whole "log as data" architecture rests on.
+///
+/// Durability note: in the paper the broker replicates to cloud storage; in
+/// this in-process reproduction the broker's own memory is the durability
+/// domain (node failures are simulated by destroying node objects, never the
+/// broker), and retention is bounded only by TruncateBefore(), which models
+/// the user-configured log expiration of Section 4.3.
+class MessageQueue {
+ public:
+  class Subscription;
+
+  MessageQueue() = default;
+  MessageQueue(const MessageQueue&) = delete;
+  MessageQueue& operator=(const MessageQueue&) = delete;
+
+  /// Appends to `channel` (auto-created) and wakes subscribers. Returns the
+  /// entry's offset.
+  int64_t Publish(const std::string& channel, LogEntry entry);
+
+  /// Creates a subscription starting at `position`.
+  std::shared_ptr<Subscription> Subscribe(const std::string& channel,
+                                          SubscribePosition position);
+  /// Creates a subscription starting at an explicit offset (replay).
+  std::shared_ptr<Subscription> SubscribeAt(const std::string& channel,
+                                            int64_t offset);
+
+  /// Offset one past the last published entry (0 for empty/unknown channel).
+  int64_t EndOffset(const std::string& channel) const;
+  /// Oldest retained offset.
+  int64_t BeginOffset(const std::string& channel) const;
+
+  /// Drops entries with offset < `offset` (log expiration). Offsets of
+  /// retained entries are unchanged.
+  void TruncateBefore(const std::string& channel, int64_t offset);
+
+  /// Offset of the first retained entry with LSN >= `ts` (EndOffset if
+  /// none). Entries are LSN-ordered per channel, so this supports
+  /// timestamp-based retention ("delete outdated log", Section 4.3).
+  int64_t FirstOffsetAtOrAfter(const std::string& channel, Timestamp ts) const;
+
+  std::vector<std::string> ListChannels(const std::string& prefix) const;
+
+  /// Wakes every blocked subscriber; subsequent polls return what remains
+  /// and then empty.
+  void Shutdown();
+
+ private:
+  struct ChannelState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<const LogEntry>> entries;
+    int64_t base_offset = 0;  ///< Offset of entries.front().
+  };
+
+  ChannelState* GetOrCreate(const std::string& channel);
+  const ChannelState* Find(const std::string& channel) const;
+
+  mutable std::mutex channels_mu_;
+  std::map<std::string, std::unique_ptr<ChannelState>> channels_;
+  bool shutdown_ = false;
+
+  friend class Subscription;
+};
+
+/// A positioned reader over one channel. Not thread-safe (one consumer per
+/// subscription, the Kafka consumer model); create one per consuming thread.
+class MessageQueue::Subscription {
+ public:
+  /// Reads up to `max_entries` starting at the current position, waiting up
+  /// to `timeout` for data. Advances the position past returned entries.
+  std::vector<std::shared_ptr<const LogEntry>> Poll(
+      size_t max_entries, std::chrono::milliseconds timeout);
+
+  /// Non-blocking variant.
+  std::vector<std::shared_ptr<const LogEntry>> TryPoll(size_t max_entries);
+
+  int64_t position() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return position_;
+  }
+  void Seek(int64_t offset) {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    position_ = offset;
+  }
+  const std::string& channel() const { return channel_; }
+
+ private:
+  friend class MessageQueue;
+  Subscription(MessageQueue* mq, ChannelState* state, std::string channel,
+               int64_t position)
+      : mq_(mq), state_(state), channel_(std::move(channel)),
+        position_(position) {}
+
+  MessageQueue* mq_;
+  ChannelState* state_;
+  std::string channel_;
+  int64_t position_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_WAL_MQ_H_

@@ -1,0 +1,66 @@
+#include "wal/time_tick.h"
+
+namespace manu {
+
+TimeTickEmitter::TimeTickEmitter(MessageQueue* mq, Tso* tso,
+                                 int64_t interval_ms)
+    : mq_(mq), tso_(tso), interval_ms_(interval_ms) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+TimeTickEmitter::~TimeTickEmitter() { Stop(); }
+
+void TimeTickEmitter::RegisterChannel(const std::string& channel,
+                                      CollectionId collection,
+                                      ShardId shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_[channel] = {collection, shard};
+}
+
+void TimeTickEmitter::UnregisterChannel(const std::string& channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_.erase(channel);
+}
+
+void TimeTickEmitter::TickNow() {
+  std::map<std::string, Target> channels;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    channels = channels_;
+  }
+  for (const auto& [channel, target] : channels) {
+    // One timestamp per channel: the tick must be >= every LSN already
+    // published there, which holds because the Tso is globally monotonic
+    // and loggers publish under the same oracle.
+    LogEntry tick;
+    tick.type = LogEntryType::kTimeTick;
+    tick.timestamp = tso_->Allocate();
+    tick.collection = target.collection;
+    tick.shard = target.shard;
+    mq_->Publish(channel, std::move(tick));
+  }
+}
+
+void TimeTickEmitter::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimeTickEmitter::Run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [&] { return stop_; });
+    if (stop_) break;
+    lk.unlock();
+    TickNow();
+    lk.lock();
+  }
+}
+
+}  // namespace manu

@@ -1,0 +1,68 @@
+#ifndef MANU_WAL_TIME_TICK_H_
+#define MANU_WAL_TIME_TICK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "wal/mq.h"
+#include "wal/tso.h"
+
+namespace manu {
+
+/// Periodically publishes kTimeTick control entries into every registered
+/// channel (Section 3.4, "similar to watermarks in Apache Flink"). A tick
+/// carrying timestamp T promises the channel will carry no further data
+/// entries with LSN <= T, which is what lets subscribers bound staleness:
+/// shorter intervals let waiting queries release sooner (Figure 12 sweeps
+/// exactly this interval).
+///
+/// The paper has loggers write ticks into the channels they own; here one
+/// emitter thread serves all channels, equivalent because the single Tso
+/// already serializes timestamp order.
+class TimeTickEmitter {
+ public:
+  TimeTickEmitter(MessageQueue* mq, Tso* tso, int64_t interval_ms);
+  ~TimeTickEmitter();
+
+  TimeTickEmitter(const TimeTickEmitter&) = delete;
+  TimeTickEmitter& operator=(const TimeTickEmitter&) = delete;
+
+  /// Registers a channel for ticking; collection/shard are echoed into the
+  /// tick entries so subscribers can route them.
+  void RegisterChannel(const std::string& channel, CollectionId collection,
+                       ShardId shard);
+  void UnregisterChannel(const std::string& channel);
+
+  /// Emits one round of ticks immediately (tests use this to avoid sleeping).
+  void TickNow();
+
+  void Stop();
+
+  int64_t interval_ms() const { return interval_ms_; }
+
+ private:
+  struct Target {
+    CollectionId collection;
+    ShardId shard;
+  };
+
+  void Run();
+
+  MessageQueue* mq_;
+  Tso* tso_;
+  int64_t interval_ms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Target> channels_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_WAL_TIME_TICK_H_

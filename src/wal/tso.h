@@ -1,0 +1,38 @@
+#ifndef MANU_WAL_TSO_H_
+#define MANU_WAL_TSO_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace manu {
+
+/// Central time service oracle (Section 3.4). Issues strictly increasing
+/// hybrid timestamps: the physical part tracks wall-clock milliseconds (so
+/// users can express staleness bounds in seconds), the logical part orders
+/// events within a millisecond. Used as the LSN of every logged request.
+class Tso {
+ public:
+  Tso() = default;
+
+  /// Allocates the next timestamp. Thread-safe; strictly monotonic.
+  Timestamp Allocate();
+
+  /// Allocates a contiguous block of `n` timestamps and returns the first
+  /// (loggers stamp whole insert batches with one TSO round trip).
+  Timestamp AllocateBlock(uint32_t n);
+
+  /// The most recent timestamp issued (0 if none yet).
+  Timestamp Last() const { return last_.load(std::memory_order_acquire); }
+
+ private:
+  std::mutex mu_;
+  uint64_t physical_ = 0;
+  uint64_t logical_ = 0;
+  std::atomic<Timestamp> last_{0};
+};
+
+}  // namespace manu
+
+#endif  // MANU_WAL_TSO_H_

@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bitset.h"
+#include "common/channel.h"
+#include "common/dataset.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/synthetic.h"
+#include "common/threadpool.h"
+#include "common/topk.h"
+
+namespace manu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(Status, OkIsDefaultAndCheap) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("segment 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "segment 42");
+  EXPECT_EQ(st.ToString(), "NotFound: segment 42");
+}
+
+TEST(Status, CopyAndMove) {
+  Status st = Status::IOError("disk");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsIOError());
+  EXPECT_TRUE(st.IsIOError());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsIOError());
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok = 7;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> err = Status::Timeout("slow");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsTimeout());
+  EXPECT_EQ(std::move(err).ValueOr(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MANU_ASSIGN_OR_RETURN(int h, Half(x));
+  MANU_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Serde
+// ---------------------------------------------------------------------------
+
+TEST(Serde, RoundTripsAllTypes) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutI32(-5);
+  w.PutU64(1ull << 60);
+  w.PutFloat(2.5f);
+  w.PutDouble(-0.25);
+  w.PutBool(true);
+  w.PutString("hello");
+  w.PutVector(std::vector<int64_t>{1, 2, 3});
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetI32(), -5);
+  EXPECT_EQ(*r.GetU64(), 1ull << 60);
+  EXPECT_EQ(*r.GetFloat(), 2.5f);
+  EXPECT_EQ(*r.GetDouble(), -0.25);
+  EXPECT_EQ(*r.GetBool(), true);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetVector<int64_t>(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, TruncationIsCorruptionNotCrash) {
+  BinaryWriter w;
+  w.PutString("a long enough string");
+  std::string data = w.Release();
+  for (size_t cut : {size_t{0}, size_t{2}, data.size() - 1}) {
+    BinaryReader r(std::string_view(data.data(), cut));
+    EXPECT_TRUE(r.GetString().status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(Serde, VectorLengthOverflowRejected) {
+  BinaryWriter w;
+  w.PutU64(1ull << 60);  // Claims a gigantic vector with no payload.
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.GetVector<int64_t>().status().IsCorruption());
+}
+
+TEST(Serde, Crc32cKnownVector) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // Changing one byte changes the checksum.
+  zeros[5] = 1;
+  EXPECT_NE(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+CollectionSchema MakeSchema() {
+  CollectionSchema schema("things");
+  FieldSchema pk;
+  pk.name = "id";
+  pk.type = DataType::kInt64;
+  pk.is_primary = true;
+  EXPECT_TRUE(schema.AddField(pk).ok());
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = 4;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+TEST(Schema, RejectsBadFields) {
+  CollectionSchema schema("t");
+  FieldSchema nameless;
+  EXPECT_TRUE(schema.AddField(nameless).IsInvalidArgument());
+
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = 0;
+  EXPECT_TRUE(schema.AddField(vec).IsInvalidArgument());
+
+  FieldSchema scalar;
+  scalar.name = "s";
+  scalar.type = DataType::kInt64;
+  scalar.dim = 3;
+  EXPECT_TRUE(schema.AddField(scalar).IsInvalidArgument());
+
+  FieldSchema float_pk;
+  float_pk.name = "fpk";
+  float_pk.type = DataType::kFloat;
+  float_pk.is_primary = true;
+  EXPECT_TRUE(schema.AddField(float_pk).IsInvalidArgument());
+}
+
+TEST(Schema, RejectsDuplicateNameAndSecondPrimary) {
+  CollectionSchema schema = MakeSchema();
+  FieldSchema dup;
+  dup.name = "v";
+  dup.type = DataType::kInt64;
+  EXPECT_TRUE(schema.AddField(dup).IsAlreadyExists());
+
+  FieldSchema pk2;
+  pk2.name = "id2";
+  pk2.type = DataType::kInt64;
+  pk2.is_primary = true;
+  EXPECT_TRUE(schema.AddField(pk2).IsInvalidArgument());
+}
+
+TEST(Schema, FinalizeAddsImplicitPrimaryKey) {
+  CollectionSchema schema("auto_pk");
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = 2;
+  ASSERT_TRUE(schema.AddField(vec).ok());
+  ASSERT_TRUE(schema.Finalize().ok());
+  ASSERT_NE(schema.PrimaryField(), nullptr);
+  EXPECT_EQ(schema.PrimaryField()->name, "_pk");
+}
+
+TEST(Schema, SerializeRoundTrip) {
+  CollectionSchema schema = MakeSchema();
+  ASSERT_TRUE(schema.Finalize().ok());
+  BinaryWriter w;
+  schema.Serialize(&w);
+  BinaryReader r(w.data());
+  auto back = CollectionSchema::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), schema);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(Dataset, AppendSliceRoundTrip) {
+  FieldColumn col = FieldColumn::MakeFloatVector(5, 2, {1, 2, 3, 4});
+  EXPECT_EQ(col.NumRows(), 2);
+  FieldColumn more = FieldColumn::MakeFloatVector(5, 2, {5, 6});
+  ASSERT_TRUE(col.Append(more).ok());
+  EXPECT_EQ(col.NumRows(), 3);
+  FieldColumn tail = col.Slice(1, 3);
+  EXPECT_EQ(tail.NumRows(), 2);
+  EXPECT_EQ(tail.f32, (std::vector<float>{3, 4, 5, 6}));
+}
+
+TEST(Dataset, AppendRejectsLayoutMismatch) {
+  FieldColumn a = FieldColumn::MakeInt64(1, {1});
+  FieldColumn b = FieldColumn::MakeInt64(2, {2});
+  EXPECT_TRUE(a.Append(b).IsInvalidArgument());
+  FieldColumn c = FieldColumn::MakeFloat(1, {1.0f});
+  EXPECT_TRUE(a.Append(c).IsInvalidArgument());
+}
+
+TEST(Dataset, ValidateAgainstSchema) {
+  CollectionSchema schema = MakeSchema();
+  ASSERT_TRUE(schema.Finalize().ok());
+  const FieldId vec_id = schema.FieldByName("v")->id;
+
+  EntityBatch good;
+  good.primary_keys = {1, 2};
+  good.columns.push_back(
+      FieldColumn::MakeFloatVector(vec_id, 4, std::vector<float>(8, 0.f)));
+  EXPECT_TRUE(good.ValidateAgainst(schema).ok());
+
+  EntityBatch missing;
+  missing.primary_keys = {1};
+  EXPECT_FALSE(missing.ValidateAgainst(schema).ok());
+
+  EntityBatch bad_dim;
+  bad_dim.primary_keys = {1};
+  bad_dim.columns.push_back(
+      FieldColumn::MakeFloatVector(vec_id, 3, std::vector<float>(3, 0.f)));
+  EXPECT_FALSE(bad_dim.ValidateAgainst(schema).ok());
+
+  EntityBatch bad_rows;
+  bad_rows.primary_keys = {1, 2, 3};
+  bad_rows.columns.push_back(
+      FieldColumn::MakeFloatVector(vec_id, 4, std::vector<float>(8, 0.f)));
+  EXPECT_FALSE(bad_rows.ValidateAgainst(schema).ok());
+
+  EntityBatch unknown_field;
+  unknown_field.primary_keys = {1, 2};
+  unknown_field.columns.push_back(
+      FieldColumn::MakeFloatVector(vec_id, 4, std::vector<float>(8, 0.f)));
+  unknown_field.columns.push_back(FieldColumn::MakeInt64(999, {1, 2}));
+  EXPECT_FALSE(unknown_field.ValidateAgainst(schema).ok());
+}
+
+TEST(Dataset, BatchSerializeRoundTrip) {
+  EntityBatch batch;
+  batch.primary_keys = {10, 20};
+  batch.timestamps = {100, 200};
+  batch.columns.push_back(FieldColumn::MakeString(7, {"a", "b"}));
+  batch.columns.push_back(FieldColumn::MakeBool(8, {1, 0}));
+  BinaryWriter w;
+  batch.Serialize(&w);
+  BinaryReader r(w.data());
+  auto back = EntityBatch::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().primary_keys, batch.primary_keys);
+  EXPECT_EQ(back.value().timestamps, batch.timestamps);
+  EXPECT_EQ(back.value().columns[0].str, batch.columns[0].str);
+  EXPECT_EQ(back.value().columns[1].b8, batch.columns[1].b8);
+}
+
+// ---------------------------------------------------------------------------
+// Bitset
+// ---------------------------------------------------------------------------
+
+TEST(Bitset, SetTestCount) {
+  ConcurrentBitset bits(130);
+  EXPECT_FALSE(bits.Any());
+  EXPECT_TRUE(bits.Set(0));
+  EXPECT_TRUE(bits.Set(64));
+  EXPECT_TRUE(bits.Set(129));
+  EXPECT_FALSE(bits.Set(129));  // Already set.
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(Bitset, BooleanOpsMaskTail) {
+  ConcurrentBitset a(70), b(70);
+  a.Set(1);
+  a.Set(69);
+  b.Set(1);
+  b.Set(2);
+  ConcurrentBitset and_bits(70);
+  and_bits.Or(a);
+  and_bits.And(b);
+  EXPECT_TRUE(and_bits.Test(1));
+  EXPECT_FALSE(and_bits.Test(2));
+  EXPECT_FALSE(and_bits.Test(69));
+
+  a.Not();
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(a.Test(69));
+  EXPECT_EQ(a.Count(), 68u);  // 70 - 2 originally set.
+
+  ConcurrentBitset all(70);
+  all.SetAll();
+  EXPECT_EQ(all.Count(), 70u);
+}
+
+TEST(Bitset, ConcurrentSetters) {
+  constexpr size_t kBits = 1 << 14;
+  ConcurrentBitset bits(kBits);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < kBits; i += 4) bits.Set(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bits.Count(), kBits);
+}
+
+TEST(Bitset, SnapshotRestore) {
+  ConcurrentBitset bits(100);
+  bits.Set(3);
+  bits.Set(99);
+  auto snap = bits.Snapshot();
+  ConcurrentBitset other(100);
+  other.Restore(snap);
+  EXPECT_TRUE(other.Test(3));
+  EXPECT_TRUE(other.Test(99));
+  EXPECT_EQ(other.Count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// TopK
+// ---------------------------------------------------------------------------
+
+TEST(TopK, KeepsBestK) {
+  TopKHeap heap(3);
+  for (int64_t i = 0; i < 100; ++i) {
+    heap.Push(i, static_cast<float>((i * 37) % 100));
+  }
+  auto out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].score, 0.0f);
+  EXPECT_LE(out[0].score, out[1].score);
+  EXPECT_LE(out[1].score, out[2].score);
+}
+
+TEST(TopK, DeterministicTieBreakById) {
+  TopKHeap heap(2);
+  heap.Push(5, 1.0f);
+  heap.Push(3, 1.0f);
+  heap.Push(4, 1.0f);
+  auto out = heap.TakeSorted();
+  EXPECT_EQ(out[0].id, 3);
+  EXPECT_EQ(out[1].id, 4);
+}
+
+TEST(TopK, ZeroK) {
+  TopKHeap heap(0);
+  heap.Push(1, 1.0f);
+  EXPECT_TRUE(heap.TakeSorted().empty());
+}
+
+TEST(TopK, MergeDedupsIds) {
+  std::vector<std::vector<Neighbor>> lists = {
+      {{1, 0.1f}, {2, 0.2f}},
+      {{1, 0.1f}, {3, 0.15f}},
+  };
+  auto merged = MergeTopK(lists, 3, true);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 1);
+  EXPECT_EQ(merged[1].id, 3);
+  EXPECT_EQ(merged[2].id, 2);
+}
+
+TEST(TopK, MergeWithoutDedupKeepsDuplicates) {
+  std::vector<std::vector<Neighbor>> lists = {{{1, 0.1f}}, {{1, 0.1f}}};
+  auto merged = MergeTopK(lists, 2, false);
+  ASSERT_EQ(merged.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Channel / ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(Channel, FifoAndClose) {
+  Channel<int> ch;
+  ch.Push(1);
+  ch.Push(2);
+  EXPECT_EQ(*ch.Pop(), 1);
+  EXPECT_EQ(*ch.Pop(), 2);
+  ch.Close();
+  EXPECT_FALSE(ch.Pop().has_value());
+  ch.Push(3);  // Dropped after close.
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(Channel, PopForTimesOut) {
+  Channel<int> ch;
+  const int64_t t0 = NowMicros();
+  EXPECT_FALSE(ch.PopFor(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(NowMicros() - t0, 25000);
+}
+
+TEST(ThreadPool, RunsSubmittedWork) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 20; ++i) {
+    futs.push_back(pool.Submit([i, &sum] {
+      sum.fetch_add(1);
+      return i * i;
+    }));
+  }
+  int total = 0;
+  for (auto& f : futs) total += f.get();
+  EXPECT_EQ(sum.load(), 20);
+  EXPECT_EQ(total, 2470);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HistogramPercentiles) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Observe(i);
+  EXPECT_NEAR(hist.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(hist.Percentile(99), 99.0, 1.1);
+  EXPECT_NEAR(hist.Mean(), 50.5, 0.01);
+  EXPECT_EQ(hist.Max(), 100.0);
+  EXPECT_EQ(hist.Count(), 100);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+}
+
+TEST(Metrics, RegistryReturnsStableHandles) {
+  auto* c1 = MetricsRegistry::Global().GetCounter("test.counter.x");
+  auto* c2 = MetricsRegistry::Global().GetCounter("test.counter.x");
+  EXPECT_EQ(c1, c2);
+  c1->Add(5);
+  EXPECT_EQ(c2->Get(), 5);
+  c1->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic data
+// ---------------------------------------------------------------------------
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticOptions opts;
+  opts.num_rows = 100;
+  opts.dim = 8;
+  VectorDataset a = MakeClusteredDataset(opts);
+  VectorDataset b = MakeClusteredDataset(opts);
+  EXPECT_EQ(a.data, b.data);
+  opts.seed = 43;
+  VectorDataset c = MakeClusteredDataset(opts);
+  EXPECT_NE(a.data, c.data);
+}
+
+TEST(Synthetic, DeepLikeIsNormalized) {
+  VectorDataset ds = MakeDeepLike(50);
+  for (int64_t i = 0; i < ds.NumRows(); ++i) {
+    float norm = 0;
+    for (int32_t d = 0; d < ds.dim; ++d) norm += ds.Row(i)[d] * ds.Row(i)[d];
+    EXPECT_NEAR(norm, 1.0f, 1e-4);
+  }
+}
+
+TEST(Synthetic, GroundTruthSelfMatch) {
+  SyntheticOptions opts;
+  opts.num_rows = 200;
+  opts.dim = 16;
+  VectorDataset ds = MakeClusteredDataset(opts);
+  VectorDataset queries;
+  queries.dim = ds.dim;
+  queries.metric = ds.metric;
+  queries.data.assign(ds.Row(42), ds.Row(42) + ds.dim);
+  auto truth = BruteForceGroundTruth(ds, queries, 5);
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0][0].id, 42);
+  EXPECT_EQ(truth[0][0].score, 0.0f);
+}
+
+TEST(Synthetic, RecallMath) {
+  std::vector<Neighbor> truth = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  std::vector<Neighbor> result = {{1, 0}, {9, 0}, {3, 0}, {8, 0}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid timestamps
+// ---------------------------------------------------------------------------
+
+TEST(Timestamps, ComposeExtract) {
+  const Timestamp ts = ComposeTimestamp(123456789, 42);
+  EXPECT_EQ(PhysicalMs(ts), 123456789u);
+  EXPECT_EQ(LogicalPart(ts), 42u);
+  // Physical dominates ordering.
+  EXPECT_LT(ComposeTimestamp(100, kLogicalMask), ComposeTimestamp(101, 0));
+}
+
+}  // namespace
+}  // namespace manu

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/synthetic.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+CollectionSchema VecSchema(const std::string& name, int32_t dim) {
+  CollectionSchema schema(name);
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = dim;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+EntityBatch VecBatch(const CollectionMeta& meta, const VectorDataset& data,
+                     int64_t begin, int64_t end) {
+  EntityBatch batch;
+  for (int64_t i = begin; i < end; ++i) batch.primary_keys.push_back(i);
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.schema.FieldByName("v")->id, data.dim,
+      std::vector<float>(data.Row(begin),
+                         data.Row(begin) + (end - begin) * data.dim)));
+  return batch;
+}
+
+/// With time-ticks effectively disabled, the consistency gate is exposed
+/// directly: a node's service timestamp only advances on data entries, so
+/// whether a query waits (and times out) depends purely on tau.
+class ConsistencyGateTest : public ::testing::Test {
+ protected:
+  ConsistencyGateTest() {
+    ManuConfig config;
+    config.num_shards = 2;
+    config.segment_seal_rows = 100000;
+    config.segment_idle_seal_ms = 600000;
+    config.time_tick_interval_ms = 60000;  // No ticks during the test.
+    config.max_consistency_wait_ms = 250;  // Fast, deterministic timeouts.
+    db_ = std::make_unique<ManuInstance>(config);
+    auto meta = db_->CreateCollection(VecSchema("gate", 8));
+    EXPECT_TRUE(meta.ok());
+    meta_ = meta.value();
+
+    SyntheticOptions opts;
+    opts.num_rows = 100;
+    opts.dim = 8;
+    data_ = MakeClusteredDataset(opts);
+    auto ts = db_->Insert("gate", VecBatch(meta_, data_, 0, 100));
+    EXPECT_TRUE(ts.ok());
+    // Let the nodes consume the inserts. WaitUntilVisible needs time-ticks
+    // (disabled here by design), so poll visibility through eventual reads.
+    const int64_t deadline = NowMs() + 5000;
+    while (NowMs() < deadline) {
+      SearchRequest req = Req(ConsistencyLevel::kEventually);
+      req.k = 100;
+      auto res = db_->Search(req);
+      if (res.ok() && res.value().ids.size() == 100) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "inserts did not become visible";
+  }
+
+  SearchRequest Req(ConsistencyLevel level, int64_t staleness_ms = -1) {
+    SearchRequest req;
+    req.collection = "gate";
+    req.query.assign(data_.Row(0), data_.Row(0) + 8);
+    req.k = 5;
+    req.consistency = level;
+    req.staleness_ms = staleness_ms;
+    return req;
+  }
+
+  std::unique_ptr<ManuInstance> db_;
+  CollectionMeta meta_;
+  VectorDataset data_;
+};
+
+TEST_F(ConsistencyGateTest, StrongTimesOutWithoutTicks) {
+  // Strong consistency needs Ls >= Lr, but nothing advances Ls after the
+  // insert: the query must wait the full bound and fail.
+  const int64_t t0 = NowMs();
+  auto res = db_->Search(Req(ConsistencyLevel::kStrong));
+  const int64_t elapsed = NowMs() - t0;
+  ASSERT_FALSE(res.ok()) << "strong read succeeded without ticks after "
+                         << elapsed << "ms";
+  EXPECT_TRUE(res.status().IsTimeout()) << res.status().ToString();
+  EXPECT_GE(elapsed, 240) << res.status().ToString();
+}
+
+TEST_F(ConsistencyGateTest, EventualNeverWaits) {
+  const int64_t t0 = NowMs();
+  auto res = db_->Search(Req(ConsistencyLevel::kEventually));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 0);
+  EXPECT_LT(NowMs() - t0, 200);
+}
+
+TEST_F(ConsistencyGateTest, BoundedRespectsTolerance) {
+  // Tight tolerance: the last data LSN is already older than 1 ms by the
+  // time the query timestamp is issued -> gate closed -> timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto res = db_->Search(Req(ConsistencyLevel::kBounded, 1));
+  EXPECT_TRUE(res.status().IsTimeout());
+
+  // Loose tolerance: data is well within 60 s staleness -> no wait.
+  res = db_->Search(Req(ConsistencyLevel::kBounded, 60000));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 0);
+}
+
+TEST_F(ConsistencyGateTest, TimeTravelSkipsTheGate) {
+  // A historical read is already consistent; it must not wait even at
+  // strong level semantics.
+  SearchRequest req = Req(ConsistencyLevel::kStrong);
+  req.travel_ts = db_->tso()->Allocate();
+  const int64_t t0 = NowMs();
+  auto res = db_->Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_LT(NowMs() - t0, 200);
+}
+
+TEST(ConsistencyLive, TicksUnblockStrongReads) {
+  // With a normal tick cadence, strong reads succeed and the measured gate
+  // wait is about one tick interval.
+  ManuConfig config;
+  config.num_shards = 2;
+  config.time_tick_interval_ms = 20;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("live", 8));
+  ASSERT_TRUE(meta.ok());
+  SyntheticOptions opts;
+  opts.num_rows = 50;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("live", VecBatch(meta.value(), data, 0, 50)).ok());
+
+  SearchRequest req;
+  req.collection = "live";
+  req.query.assign(data.Row(3), data.Row(3) + 8);
+  req.k = 1;
+  req.consistency = ConsistencyLevel::kStrong;
+  for (int i = 0; i < 5; ++i) {
+    auto res = db.Search(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res.value().ids[0], 3);
+  }
+}
+
+TEST(Recovery, GrowingDataSurvivesPrimaryCrash) {
+  // Un-flushed (growing) data lives only in the WAL; when the primary
+  // pumping node dies, the promoted node replays the channel from the
+  // start and rebuilds the growing segments.
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 100000;  // Keep everything growing.
+  config.segment_idle_seal_ms = 600000;
+  config.num_query_nodes = 2;
+  config.time_tick_interval_ms = 10;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("crash", 8));
+  ASSERT_TRUE(meta.ok());
+  SyntheticOptions opts;
+  opts.num_rows = 500;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("crash", VecBatch(meta.value(), data, 0, 500)).ok());
+
+  SearchRequest req;
+  req.collection = "crash";
+  req.query.assign(data.Row(7), data.Row(7) + 8);
+  req.k = 1;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto before = db.Search(req);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().ids[0], 7);
+
+  // Kill each node in turn (one of them is the primary for row 7's shard).
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  ASSERT_TRUE(db.KillQueryNode(nodes[0]->id()).ok());
+
+  auto after = db.Search(req);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_FALSE(after.value().ids.empty());
+  EXPECT_EQ(after.value().ids[0], 7);
+}
+
+TEST(Replay, LateSubscriberSeesFullHistory) {
+  // A query node added long after ingest replays the WAL and serves the
+  // same data (the "log as data" property).
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 100000;
+  config.segment_idle_seal_ms = 600000;
+  config.num_query_nodes = 1;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("replay", 8));
+  ASSERT_TRUE(meta.ok());
+  SyntheticOptions opts;
+  opts.num_rows = 300;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  auto ts = db.Insert("replay", VecBatch(meta.value(), data, 0, 300));
+  ASSERT_TRUE(ts.ok());
+  auto del = db.Delete("replay", {11});
+  ASSERT_TRUE(del.ok());
+
+  // Scale to 2: the new node follows all channels; kill the old primary so
+  // the new node must reconstruct everything from the log, including the
+  // delete.
+  ASSERT_TRUE(db.ScaleQueryNodes(2).ok());
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_TRUE(db.KillQueryNode(nodes[0]->id()).ok());
+
+  SearchRequest req;
+  req.collection = "replay";
+  req.query.assign(data.Row(11), data.Row(11) + 8);
+  req.k = 3;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res.value().ids.empty());
+  for (int64_t id : res.value().ids) EXPECT_NE(id, 11);  // Delete replayed.
+}
+
+TEST(Replicas, HotReplicasServeThroughCrashWithoutReload) {
+  // replica_factor 2: each sealed segment lives on two nodes; killing one
+  // leaves every segment still loaded (no recovery reload needed).
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 500;
+  config.segment_idle_seal_ms = 200;
+  config.num_query_nodes = 3;
+  config.replica_factor = 2;
+  config.time_tick_interval_ms = 10;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("rep", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 8;
+  ASSERT_TRUE(db.CreateIndex("rep", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 2000;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("rep", VecBatch(meta.value(), data, 0, 2000)).ok());
+  ASSERT_TRUE(db.FlushAndWait("rep").ok());
+
+  // Every sealed segment is loaded on exactly two nodes.
+  std::map<SegmentId, int> copies;
+  for (const auto& node : db.query_coord()->Nodes()) {
+    for (SegmentId s : node->SealedSegments(meta.value().id)) ++copies[s];
+  }
+  ASSERT_FALSE(copies.empty());
+  for (const auto& [seg, count] : copies) {
+    EXPECT_EQ(count, 2) << "segment " << seg;
+  }
+
+  // Search returns each pk once despite the duplicates (proxy dedup).
+  SearchRequest req;
+  req.collection = "rep";
+  req.query.assign(data.Row(42), data.Row(42) + 8);
+  req.k = 10;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok());
+  std::set<int64_t> unique(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(unique.size(), res.value().ids.size());
+  EXPECT_EQ(res.value().ids[0], 42);
+
+  // Crash one node: everything is still served by the surviving replicas.
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_TRUE(db.KillQueryNode(nodes[0]->id()).ok());
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 42);
+  EXPECT_EQ(res.value().ids.size(), 10u);
+}
+
+TEST(BatchSearchTest, MatchesIndividualSearches) {
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 100000;
+  config.time_tick_interval_ms = 10;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("batch", 8));
+  ASSERT_TRUE(meta.ok());
+  SyntheticOptions opts;
+  opts.num_rows = 500;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("batch", VecBatch(meta.value(), data, 0, 500)).ok());
+
+  std::vector<SearchRequest> reqs;
+  for (int64_t q = 0; q < 8; ++q) {
+    SearchRequest req;
+    req.collection = "batch";
+    req.query.assign(data.Row(q * 50), data.Row(q * 50) + 8);
+    req.k = 5;
+    req.consistency = ConsistencyLevel::kStrong;
+    reqs.push_back(std::move(req));
+  }
+  // One bad request in the middle must not poison the batch.
+  SearchRequest bad;
+  bad.collection = "no_such_collection";
+  bad.query = {1, 2};
+  reqs.insert(reqs.begin() + 3, bad);
+
+  auto batched = db.BatchSearch(reqs);
+  ASSERT_EQ(batched.size(), reqs.size());
+  EXPECT_FALSE(batched[3].ok());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (i == 3) continue;
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+    auto single = db.Search(reqs[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batched[i].value().ids, single.value().ids) << "query " << i;
+  }
+}
+
+TEST(LogRetention, TruncationBoundsReplayButKeepsServing) {
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 400;
+  config.segment_idle_seal_ms = 200;
+  config.num_query_nodes = 1;
+  config.time_tick_interval_ms = 10;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("ret", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 8;
+  ASSERT_TRUE(db.CreateIndex("ret", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 1200;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("ret", VecBatch(meta.value(), data, 0, 1200)).ok());
+  ASSERT_TRUE(db.FlushAndWait("ret").ok());
+
+  // Expire everything older than "now": sealed binlogs are unaffected.
+  const Timestamp cutoff = db.tso()->Allocate();
+  ASSERT_TRUE(db.TruncateLogBefore("ret", cutoff).ok());
+  for (ShardId shard = 0; shard < 2; ++shard) {
+    const std::string channel = ShardChannelName(meta.value().id, shard);
+    EXPECT_GE(db.mq()->BeginOffset(channel), 1);
+  }
+
+  SearchRequest req;
+  req.collection = "ret";
+  req.query.assign(data.Row(7), data.Row(7) + 8);
+  req.k = 5;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 7);
+
+  // New writes after truncation still flow.
+  SyntheticOptions more = opts;
+  more.seed = 77;
+  VectorDataset extra = MakeClusteredDataset(more);
+  EntityBatch batch;
+  for (int64_t i = 0; i < 100; ++i) batch.primary_keys.push_back(5000 + i);
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.value().schema.FieldByName("v")->id, 8,
+      std::vector<float>(extra.Row(0), extra.Row(0) + 100 * 8)));
+  auto ts = db.Insert("ret", std::move(batch));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("ret", ts.value()).ok());
+  req.query.assign(extra.Row(0), extra.Row(0) + 8);
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().ids[0], 5000);
+}
+
+TEST(MessageQueueRetention, FirstOffsetAtOrAfter) {
+  MessageQueue mq;
+  for (Timestamp ts : {10u, 20u, 30u, 40u}) {
+    LogEntry e;
+    e.type = LogEntryType::kTimeTick;
+    e.timestamp = ts;
+    mq.Publish("ch", std::move(e));
+  }
+  EXPECT_EQ(mq.FirstOffsetAtOrAfter("ch", 5), 0);
+  EXPECT_EQ(mq.FirstOffsetAtOrAfter("ch", 20), 1);
+  EXPECT_EQ(mq.FirstOffsetAtOrAfter("ch", 21), 2);
+  EXPECT_EQ(mq.FirstOffsetAtOrAfter("ch", 100), 4);
+  EXPECT_EQ(mq.FirstOffsetAtOrAfter("missing", 1), 0);
+}
+
+}  // namespace
+}  // namespace manu

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "common/synthetic.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+ManuConfig TestConfig() {
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 2000;
+  config.segment_seal_bytes = 64ull << 20;
+  config.segment_idle_seal_ms = 200;
+  config.slice_rows = 512;
+  config.time_tick_interval_ms = 10;
+  config.num_query_nodes = 2;
+  return config;
+}
+
+CollectionSchema ProductSchema(int32_t dim) {
+  CollectionSchema schema("products");
+  FieldSchema pk;
+  pk.name = "id";
+  pk.type = DataType::kInt64;
+  pk.is_primary = true;
+  EXPECT_TRUE(schema.AddField(pk).ok());
+  FieldSchema vec;
+  vec.name = "embedding";
+  vec.type = DataType::kFloatVector;
+  vec.dim = dim;
+  vec.metric = MetricType::kL2;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  FieldSchema price;
+  price.name = "price";
+  price.type = DataType::kDouble;
+  EXPECT_TRUE(schema.AddField(price).ok());
+  FieldSchema label;
+  label.name = "label";
+  label.type = DataType::kString;
+  EXPECT_TRUE(schema.AddField(label).ok());
+  return schema;
+}
+
+EntityBatch MakeBatch(const CollectionMeta& meta, const VectorDataset& data,
+                      int64_t begin, int64_t end) {
+  EntityBatch batch;
+  const FieldSchema* vec = meta.schema.FieldByName("embedding");
+  const FieldSchema* price = meta.schema.FieldByName("price");
+  const FieldSchema* label = meta.schema.FieldByName("label");
+  std::vector<float> flat(data.data.begin() + begin * data.dim,
+                          data.data.begin() + end * data.dim);
+  std::vector<double> prices;
+  std::vector<std::string> labels;
+  for (int64_t i = begin; i < end; ++i) {
+    batch.primary_keys.push_back(i);
+    prices.push_back(static_cast<double>(i % 100));
+    labels.push_back(i % 2 == 0 ? "even" : "odd");
+  }
+  batch.columns.push_back(
+      FieldColumn::MakeFloatVector(vec->id, data.dim, std::move(flat)));
+  batch.columns.push_back(FieldColumn::MakeDouble(price->id, std::move(prices)));
+  batch.columns.push_back(FieldColumn::MakeString(label->id, std::move(labels)));
+  return batch;
+}
+
+TEST(EndToEnd, InsertSearchPipeline) {
+  ManuInstance db(TestConfig());
+  auto meta = db.CreateCollection(ProductSchema(32));
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+
+  IndexParams index;
+  index.type = IndexType::kIvfFlat;
+  index.nlist = 32;
+  ASSERT_TRUE(db.CreateIndex("products", "embedding", index).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 5000;
+  opts.dim = 32;
+  opts.num_clusters = 16;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  auto ts = db.Insert("products", MakeBatch(meta.value(), data, 0, 5000));
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+
+  // Strong-consistency search sees everything inserted before it.
+  SearchRequest req;
+  req.collection = "products";
+  req.query.assign(data.Row(17), data.Row(17) + 32);
+  req.k = 10;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res.value().ids.size(), 10u);
+  EXPECT_EQ(res.value().ids[0], 17);  // Exact self-match.
+  EXPECT_FLOAT_EQ(res.value().scores[0], 0.0f);
+
+  // Flush -> sealed -> indexed -> loaded; results still correct.
+  ASSERT_TRUE(db.FlushAndWait("products").ok());
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res.value().ids.empty());
+  EXPECT_EQ(res.value().ids[0], 17);
+
+  // Attribute filtering.
+  req.filter = "label == 'even' && price < 50";
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  for (int64_t id : res.value().ids) {
+    EXPECT_EQ(id % 2, 0);
+    EXPECT_LT(id % 100, 50);
+  }
+
+  // Deletion.
+  req.filter.clear();
+  ASSERT_TRUE(db.Delete("products", {17}).ok());
+  auto del_ts = db.Delete("products", {18});
+  ASSERT_TRUE(del_ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("products", del_ts.value()).ok());
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok());
+  for (int64_t id : res.value().ids) {
+    EXPECT_NE(id, 17);
+    EXPECT_NE(id, 18);
+  }
+}
+
+TEST(EndToEnd, ScaleUpAndDown) {
+  ManuConfig config = TestConfig();
+  config.segment_seal_rows = 500;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(ProductSchema(16));
+  ASSERT_TRUE(meta.ok());
+  IndexParams index;
+  index.type = IndexType::kHnsw;
+  index.hnsw_m = 8;
+  index.hnsw_ef_construction = 40;
+  ASSERT_TRUE(db.CreateIndex("products", "embedding", index).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 3000;
+  opts.dim = 16;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("products", MakeBatch(meta.value(), data, 0, 3000))
+                  .ok());
+  ASSERT_TRUE(db.FlushAndWait("products").ok());
+
+  SearchRequest req;
+  req.collection = "products";
+  req.query.assign(data.Row(5), data.Row(5) + 16);
+  req.k = 5;
+  req.consistency = ConsistencyLevel::kStrong;
+
+  ASSERT_TRUE(db.ScaleQueryNodes(4).ok());
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 5);
+
+  ASSERT_TRUE(db.ScaleQueryNodes(1).ok());
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids[0], 5);
+}
+
+TEST(EndToEnd, TimeTravelRead) {
+  ManuInstance db(TestConfig());
+  auto meta = db.CreateCollection(ProductSchema(8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 200;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  auto ts1 = db.Insert("products", MakeBatch(meta.value(), data, 0, 100));
+  ASSERT_TRUE(ts1.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("products", ts1.value()).ok());
+  auto ts2 = db.Insert("products", MakeBatch(meta.value(), data, 100, 200));
+  ASSERT_TRUE(ts2.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("products", ts2.value()).ok());
+
+  // A travel query at ts1 must not see the second insert.
+  SearchRequest req;
+  req.collection = "products";
+  req.query.assign(data.Row(150), data.Row(150) + 8);
+  req.k = 200;
+  req.travel_ts = ts1.value();
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().ids.size(), 100u);
+  for (int64_t id : res.value().ids) EXPECT_LT(id, 100);
+
+  // Now (strong) sees both.
+  req.travel_ts = 0;
+  req.consistency = ConsistencyLevel::kStrong;
+  res = db.Search(req);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().ids.size(), 200u);
+}
+
+TEST(EndToEnd, MultiVectorSearch) {
+  ManuConfig config = TestConfig();
+  ManuInstance db(config);
+  CollectionSchema schema("items");
+  FieldSchema pk;
+  pk.name = "id";
+  pk.type = DataType::kInt64;
+  pk.is_primary = true;
+  ASSERT_TRUE(schema.AddField(pk).ok());
+  FieldSchema image;
+  image.name = "image";
+  image.type = DataType::kFloatVector;
+  image.dim = 8;
+  ASSERT_TRUE(schema.AddField(image).ok());
+  FieldSchema text;
+  text.name = "text";
+  text.type = DataType::kFloatVector;
+  text.dim = 4;
+  ASSERT_TRUE(schema.AddField(text).ok());
+  auto meta = db.CreateCollection(std::move(schema));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions iopts;
+  iopts.num_rows = 500;
+  iopts.dim = 8;
+  VectorDataset img = MakeClusteredDataset(iopts);
+  SyntheticOptions topts;
+  topts.num_rows = 500;
+  topts.dim = 4;
+  topts.seed = 99;
+  VectorDataset txt = MakeClusteredDataset(topts);
+
+  EntityBatch batch;
+  for (int64_t i = 0; i < 500; ++i) batch.primary_keys.push_back(i);
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.value().schema.FieldByName("image")->id, 8, img.data));
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.value().schema.FieldByName("text")->id, 4, txt.data));
+  auto ts = db.Insert("items", std::move(batch));
+  ASSERT_TRUE(ts.ok());
+
+  SearchRequest req;
+  req.collection = "items";
+  SearchRequest::MultiTarget m1;
+  m1.field = "image";
+  m1.query.assign(img.Row(42), img.Row(42) + 8);
+  m1.weight = 1.0f;
+  SearchRequest::MultiTarget m2;
+  m2.field = "text";
+  m2.query.assign(txt.Row(42), txt.Row(42) + 4);
+  m2.weight = 1.0f;
+  req.multi = {m1, m2};
+  req.k = 5;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res.value().ids.empty());
+  // Entity 42 matches exactly on both vectors: combined score 0.
+  EXPECT_EQ(res.value().ids[0], 42);
+  EXPECT_FLOAT_EQ(res.value().scores[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace manu

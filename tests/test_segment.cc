@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "common/synthetic.h"
+#include "core/segment.h"
+
+namespace manu {
+namespace {
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = CollectionSchema("items");
+    FieldSchema pk;
+    pk.name = "id";
+    pk.type = DataType::kInt64;
+    pk.is_primary = true;
+    ASSERT_TRUE(schema_.AddField(pk).ok());
+    FieldSchema vec;
+    vec.name = "v";
+    vec.type = DataType::kFloatVector;
+    vec.dim = 8;
+    ASSERT_TRUE(schema_.AddField(vec).ok());
+    FieldSchema price;
+    price.name = "price";
+    price.type = DataType::kInt64;
+    ASSERT_TRUE(schema_.AddField(price).ok());
+    vec_id_ = schema_.FieldByName("v")->id;
+    price_id_ = schema_.FieldByName("price")->id;
+
+    SyntheticOptions opts;
+    opts.num_rows = 1000;
+    opts.dim = 8;
+    data_ = MakeClusteredDataset(opts);
+  }
+
+  /// Batch of rows [begin, end) with pk == row index and timestamps
+  /// 1000+row.
+  EntityBatch Batch(int64_t begin, int64_t end) {
+    EntityBatch batch;
+    std::vector<int64_t> prices;
+    for (int64_t i = begin; i < end; ++i) {
+      batch.primary_keys.push_back(i);
+      batch.timestamps.push_back(static_cast<Timestamp>(1000 + i));
+      prices.push_back(i % 10);
+    }
+    batch.columns.push_back(FieldColumn::MakeFloatVector(
+        vec_id_, 8,
+        std::vector<float>(data_.Row(begin),
+                           data_.Row(begin) + (end - begin) * 8)));
+    batch.columns.push_back(FieldColumn::MakeInt64(price_id_, prices));
+    return batch;
+  }
+
+  SegmentSearchRequest Req(int64_t query_row, size_t k = 10) {
+    SegmentSearchRequest req;
+    req.field = vec_id_;
+    req.query = data_.Row(query_row);
+    req.params.k = k;
+    return req;
+  }
+
+  CollectionSchema schema_;
+  FieldId vec_id_ = 0;
+  FieldId price_id_ = 0;
+  VectorDataset data_;
+};
+
+// ---------------------------------------------------------------------------
+// SegmentCore basics
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentTest, AppendAndBruteSearch) {
+  SegmentCore core(1, &schema_);
+  ASSERT_TRUE(core.Append(Batch(0, 500)).ok());
+  EXPECT_EQ(core.NumRows(), 500);
+  EXPECT_EQ(core.MinTimestamp(), 1000u);
+  EXPECT_EQ(core.MaxTimestamp(), 1499u);
+
+  auto hits = core.Search(Req(42), nullptr);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits.value().empty());
+  EXPECT_EQ(hits.value()[0].pk, 42);
+  EXPECT_FLOAT_EQ(hits.value()[0].score, 0.0f);
+}
+
+TEST_F(SegmentTest, MvccPrefixVisibility) {
+  SegmentCore core(1, &schema_);
+  ASSERT_TRUE(core.Append(Batch(0, 100)).ok());
+  ASSERT_TRUE(core.Append(Batch(100, 200)).ok());
+
+  EXPECT_EQ(core.VisibleRows(1099), 100);  // ts 1000..1099 visible.
+  EXPECT_EQ(core.VisibleRows(999), 0);
+  EXPECT_EQ(core.VisibleRows(kMaxTimestamp), 200);
+
+  SegmentSearchRequest req = Req(150, 200);
+  req.read_ts = 1099;
+  auto hits = core.Search(req, nullptr);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 100u);
+  for (const auto& h : hits.value()) EXPECT_LT(h.pk, 100);
+}
+
+TEST_F(SegmentTest, DeletesAreTimestamped) {
+  SegmentCore core(1, &schema_);
+  ASSERT_TRUE(core.Append(Batch(0, 100)).ok());
+  core.Delete(42, 2000);
+
+  // Read before the delete still sees pk 42.
+  SegmentSearchRequest req = Req(42, 5);
+  req.read_ts = 1500;
+  auto hits = core.Search(req, nullptr);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value()[0].pk, 42);
+
+  // Read after the delete does not.
+  req.read_ts = 2500;
+  hits = core.Search(req, nullptr);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& h : hits.value()) EXPECT_NE(h.pk, 42);
+
+  // Deleting an unknown pk is a no-op.
+  core.Delete(123456, 2000);
+  EXPECT_GT(core.DeletedRatio(), 0.0);
+}
+
+TEST_F(SegmentTest, ScoreByPkRespectsVisibilityAndDeletes) {
+  SegmentCore core(1, &schema_);
+  ASSERT_TRUE(core.Append(Batch(0, 100)).ok());
+  auto score = core.ScoreByPk(42, vec_id_, data_.Row(42), kMaxTimestamp);
+  ASSERT_TRUE(score.ok());
+  EXPECT_FLOAT_EQ(score.value(), 0.0f);
+
+  // Invisible before its insert ts.
+  EXPECT_TRUE(core.ScoreByPk(42, vec_id_, data_.Row(42), 1041).status()
+                  .IsNotFound());
+  // Gone after delete.
+  core.Delete(42, 5000);
+  EXPECT_TRUE(core.ScoreByPk(42, vec_id_, data_.Row(42), 6000).status()
+                  .IsNotFound());
+  EXPECT_TRUE(core.ScoreByPk(42, vec_id_, data_.Row(42), 4000).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Attribute filtering strategies
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentTest, FilterPreAndScanStrategiesAgree) {
+  SealedSegment segment(1, &schema_);
+  ASSERT_TRUE(segment.SetRows(Batch(0, 1000)).ok());
+  ASSERT_TRUE(segment.BuildScalarIndexes().ok());
+
+  // Selective filter (10% of rows) -> scan strategy; broad filter (90%)
+  // -> pre-filter mask. Both must return only matching rows.
+  for (const char* text : {"price == 3", "price != 3"}) {
+    auto expr = FilterExpr::Parse(text, schema_);
+    ASSERT_TRUE(expr.ok());
+    SegmentSearchRequest req = Req(7, 20);
+    req.filter = expr.value().get();
+    auto hits = segment.Search(req);
+    ASSERT_TRUE(hits.ok()) << text;
+    ASSERT_FALSE(hits.value().empty());
+    for (const auto& h : hits.value()) {
+      if (std::string(text) == "price == 3") {
+        EXPECT_EQ(h.pk % 10, 3);
+      } else {
+        EXPECT_NE(h.pk % 10, 3);
+      }
+    }
+  }
+}
+
+TEST_F(SegmentTest, FilterWithIndexMatchesBruteForce) {
+  // With a full IVF index installed, filtered results must match the
+  // brute-force filtered results for an exact index configuration.
+  SealedSegment indexed(1, &schema_);
+  ASSERT_TRUE(indexed.SetRows(Batch(0, 1000)).ok());
+  ASSERT_TRUE(indexed.BuildScalarIndexes().ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.dim = 8;
+  params.nlist = 8;
+  auto index = BuildVectorIndex(params, data_.data.data(), 1000);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(indexed.SetIndex(vec_id_, std::move(index).value()).ok());
+
+  SealedSegment brute(2, &schema_);
+  ASSERT_TRUE(brute.SetRows(Batch(0, 1000)).ok());
+  ASSERT_TRUE(brute.BuildScalarIndexes().ok());
+
+  auto expr = FilterExpr::Parse("price >= 5", schema_);
+  ASSERT_TRUE(expr.ok());
+  SegmentSearchRequest req = Req(3, 10);
+  req.params.nprobe = 8;  // All lists: exact.
+  req.filter = expr.value().get();
+
+  auto a = indexed.Search(req);
+  auto b = brute.Search(req);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].pk, b.value()[i].pk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GrowingSegment slices
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentTest, GrowingBuildsSliceIndexes) {
+  GrowingSegment segment(1, &schema_, /*slice_rows=*/100);
+  for (int64_t begin = 0; begin < 1000; begin += 50) {
+    ASSERT_TRUE(segment.Append(Batch(begin, begin + 50)).ok());
+  }
+  EXPECT_EQ(segment.NumRows(), 1000);
+  EXPECT_EQ(segment.NumSlicesIndexed(), 10);
+
+  auto hits = segment.Search(Req(333));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits.value().empty());
+  EXPECT_EQ(hits.value()[0].pk, 333);
+}
+
+TEST_F(SegmentTest, GrowingTailIsBruteForced) {
+  GrowingSegment segment(1, &schema_, /*slice_rows=*/400);
+  ASSERT_TRUE(segment.Append(Batch(0, 500)).ok());  // 1 slice + 100 tail.
+  EXPECT_EQ(segment.NumSlicesIndexed(), 1);
+  // A tail row must still be findable (exactly, since the tail is brute).
+  auto hits = segment.Search(Req(450, 1));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value()[0].pk, 450);
+}
+
+TEST_F(SegmentTest, GrowingRespectsDeletesAndVisibility) {
+  GrowingSegment segment(1, &schema_, /*slice_rows=*/100);
+  ASSERT_TRUE(segment.Append(Batch(0, 300)).ok());
+  segment.Delete(42, 5000);
+  SegmentSearchRequest req = Req(42, 5);
+  req.read_ts = 6000;
+  auto hits = segment.Search(req);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& h : hits.value()) EXPECT_NE(h.pk, 42);
+
+  // Visibility prefix inside a slice.
+  req = Req(250, 300);
+  req.read_ts = 1199;  // Rows 0..199 visible.
+  hits = segment.Search(req);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& h : hits.value()) EXPECT_LT(h.pk, 200);
+}
+
+// ---------------------------------------------------------------------------
+// SealedSegment
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentTest, SealedRejectsDoublePopulationAndBadIndex) {
+  SealedSegment segment(1, &schema_);
+  ASSERT_TRUE(segment.SetRows(Batch(0, 100)).ok());
+  EXPECT_FALSE(segment.SetRows(Batch(0, 100)).ok());
+
+  IndexParams params;
+  params.type = IndexType::kFlat;
+  params.dim = 8;
+  auto small = BuildVectorIndex(params, data_.data.data(), 50);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(segment.SetIndex(vec_id_, std::move(small).value()).ok());
+  EXPECT_FALSE(segment.HasIndex(vec_id_));
+}
+
+TEST_F(SegmentTest, SealedIndexSearchMatchesBrute) {
+  SealedSegment segment(1, &schema_);
+  ASSERT_TRUE(segment.SetRows(Batch(0, 1000)).ok());
+  IndexParams params;
+  params.type = IndexType::kHnsw;
+  params.dim = 8;
+  params.hnsw_m = 8;
+  params.hnsw_ef_construction = 80;
+  auto index = BuildVectorIndex(params, data_.data.data(), 1000);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(segment.SetIndex(vec_id_, std::move(index).value()).ok());
+  EXPECT_TRUE(segment.HasIndex(vec_id_));
+
+  auto hits = segment.Search(Req(77, 5));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value()[0].pk, 77);
+  EXPECT_GT(segment.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace manu

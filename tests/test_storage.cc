@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/metrics.h"
+#include "storage/binlog.h"
+#include "storage/lsm_map.h"
+#include "storage/meta_store.h"
+#include "storage/object_store.h"
+
+namespace manu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ObjectStore (parameterized over backends)
+// ---------------------------------------------------------------------------
+
+enum class Backend { kMemory, kLocal, kLatency };
+
+class ObjectStoreTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    switch (GetParam()) {
+      case Backend::kMemory:
+        store_ = std::make_shared<MemoryObjectStore>();
+        break;
+      case Backend::kLocal: {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("manu_store_test_" + std::to_string(NowMicros()));
+        auto local = LocalObjectStore::Open(dir_.string());
+        ASSERT_TRUE(local.ok());
+        store_ = std::shared_ptr<ObjectStore>(std::move(local).value());
+        break;
+      }
+      case Backend::kLatency:
+        store_ = std::make_shared<LatencyObjectStore>(
+            std::make_shared<MemoryObjectStore>(),
+            ObjectStoreLatency{.per_op_micros = 100, .per_mib_micros = 10});
+        break;
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::shared_ptr<ObjectStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(ObjectStoreTest, PutGetOverwriteDelete) {
+  ASSERT_TRUE(store_->Put("a/b/c", "v1").ok());
+  EXPECT_EQ(*store_->Get("a/b/c"), "v1");
+  ASSERT_TRUE(store_->Put("a/b/c", "v2").ok());
+  EXPECT_EQ(*store_->Get("a/b/c"), "v2");
+  EXPECT_TRUE(store_->Exists("a/b/c"));
+  EXPECT_EQ(*store_->Size("a/b/c"), 2u);
+  ASSERT_TRUE(store_->Delete("a/b/c").ok());
+  EXPECT_FALSE(store_->Exists("a/b/c"));
+  EXPECT_TRUE(store_->Get("a/b/c").status().IsNotFound());
+}
+
+TEST_P(ObjectStoreTest, RangedReads) {
+  ASSERT_TRUE(store_->Put("blob", "0123456789").ok());
+  EXPECT_EQ(*store_->GetRange("blob", 2, 3), "234");
+  EXPECT_EQ(*store_->GetRange("blob", 8, 100), "89");  // Clamped at end.
+  EXPECT_EQ(*store_->GetRange("blob", 10, 5), "");
+  EXPECT_FALSE(store_->GetRange("blob", 11, 1).ok());
+  EXPECT_TRUE(store_->GetRange("missing", 0, 1).status().IsNotFound());
+}
+
+TEST_P(ObjectStoreTest, ListByPrefixSorted) {
+  ASSERT_TRUE(store_->Put("seg/2/x", "a").ok());
+  ASSERT_TRUE(store_->Put("seg/1/x", "b").ok());
+  ASSERT_TRUE(store_->Put("other/x", "c").ok());
+  auto listed = store_->List("seg/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "seg/1/x");
+  EXPECT_EQ(listed[1], "seg/2/x");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ObjectStoreTest,
+                         ::testing::Values(Backend::kMemory, Backend::kLocal,
+                                           Backend::kLatency));
+
+TEST(LatencyObjectStore, InjectsLatency) {
+  auto store = LatencyObjectStore(
+      std::make_shared<MemoryObjectStore>(),
+      ObjectStoreLatency{.per_op_micros = 2000, .per_mib_micros = 0});
+  const int64_t t0 = NowMicros();
+  ASSERT_TRUE(store.Put("x", "y").ok());
+  (void)store.Get("x");
+  EXPECT_GE(NowMicros() - t0, 4000);
+}
+
+// ---------------------------------------------------------------------------
+// MetaStore
+// ---------------------------------------------------------------------------
+
+TEST(MetaStore, RevisionsIncreaseMonotonically) {
+  MetaStore meta;
+  const int64_t r1 = meta.Put("k1", "v1");
+  const int64_t r2 = meta.Put("k2", "v2");
+  const int64_t r3 = meta.Put("k1", "v3");
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+  auto entry = meta.Get("k1");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().value, "v3");
+  EXPECT_EQ(entry.value().mod_revision, r3);
+  EXPECT_EQ(entry.value().create_revision, r1);
+}
+
+TEST(MetaStore, CompareAndSwapSemantics) {
+  MetaStore meta;
+  // Rev 0 = must not exist.
+  auto created = meta.CompareAndSwap("key", 0, "a");
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(meta.CompareAndSwap("key", 0, "b").status().code() ==
+              StatusCode::kAborted);
+  auto updated = meta.CompareAndSwap("key", created.value(), "b");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(meta.Get("key").value().value, "b");
+}
+
+TEST(MetaStore, WatchFiresForPrefix) {
+  MetaStore meta;
+  std::vector<WatchEvent> events;
+  const int64_t id = meta.Watch("collection/", [&](const WatchEvent& e) {
+    events.push_back(e);
+  });
+  meta.Put("collection/1", "a");
+  meta.Put("segment/1", "b");  // Not watched.
+  ASSERT_TRUE(meta.Delete("collection/1").ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, WatchEventType::kPut);
+  EXPECT_EQ(events[1].type, WatchEventType::kDelete);
+  meta.Unwatch(id);
+  meta.Put("collection/2", "c");
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(MetaStore, ListPrefix) {
+  MetaStore meta;
+  meta.Put("s/1", "a");
+  meta.Put("s/2", "b");
+  meta.Put("t/1", "c");
+  auto listed = meta.List("s/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].first, "s/1");
+  EXPECT_TRUE(meta.Delete("nope").IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Binlog
+// ---------------------------------------------------------------------------
+
+EntityBatch SampleBatch() {
+  EntityBatch batch;
+  batch.primary_keys = {1, 2, 3};
+  batch.timestamps = {10, 20, 30};
+  batch.columns.push_back(
+      FieldColumn::MakeFloatVector(100, 2, {1, 2, 3, 4, 5, 6}));
+  batch.columns.push_back(FieldColumn::MakeString(101, {"a", "b", "c"}));
+  batch.columns.push_back(FieldColumn::MakeDouble(102, {0.5, 1.5, 2.5}));
+  return batch;
+}
+
+TEST(Binlog, SegmentRoundTrip) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(binlog::WriteSegment(&store, "binlog/c1/seg1", SampleBatch())
+                  .ok());
+
+  auto manifest = binlog::ReadManifest(&store, "binlog/c1/seg1");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().primary_keys, (std::vector<int64_t>{1, 2, 3}));
+
+  auto batch = binlog::ReadSegment(&store, "binlog/c1/seg1");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().NumRows(), 3);
+  EXPECT_EQ(batch.value().columns.size(), 3u);
+}
+
+TEST(Binlog, ColumnReadFetchesOnlyThatField) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(binlog::WriteSegment(&store, "p", SampleBatch()).ok());
+  auto col = binlog::ReadField(&store, "p", 101);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.value().str, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(binlog::ReadField(&store, "p", 999).status().IsNotFound());
+}
+
+TEST(Binlog, CorruptionDetected) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(binlog::WriteSegment(&store, "p", SampleBatch()).ok());
+  std::string framed = *store.Get("p/field/100");
+  framed[framed.size() / 2] ^= 0x1;  // Flip a payload bit.
+  ASSERT_TRUE(store.Put("p/field/100", framed).ok());
+  EXPECT_TRUE(binlog::ReadField(&store, "p", 100).status().IsCorruption());
+
+  // Bad magic.
+  ASSERT_TRUE(store.Put("p/field/100", "garbage").ok());
+  EXPECT_TRUE(binlog::ReadField(&store, "p", 100).status().IsCorruption());
+}
+
+TEST(Binlog, DropSegmentRemovesEverything) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(binlog::WriteSegment(&store, "p", SampleBatch()).ok());
+  ASSERT_TRUE(binlog::DropSegment(&store, "p").ok());
+  EXPECT_TRUE(store.List("p/").empty());
+}
+
+// ---------------------------------------------------------------------------
+// LSM entity map
+// ---------------------------------------------------------------------------
+
+TEST(LsmMap, MemtableAndLookup) {
+  MemoryObjectStore store;
+  LsmEntityMap map(&store, "lsm/test");
+  ASSERT_TRUE(map.Put(1, 100).ok());
+  ASSERT_TRUE(map.Put(2, 100).ok());
+  ASSERT_TRUE(map.Put(1, 200).ok());  // Newest wins.
+  EXPECT_EQ(*map.Lookup(1), 200);
+  EXPECT_EQ(*map.Lookup(2), 100);
+  EXPECT_TRUE(map.Lookup(3).status().IsNotFound());
+}
+
+TEST(LsmMap, TombstonesHideEntities) {
+  MemoryObjectStore store;
+  LsmEntityMap map(&store, "lsm/test");
+  ASSERT_TRUE(map.Put(7, 100).ok());
+  ASSERT_TRUE(map.Remove(7).ok());
+  EXPECT_TRUE(map.Lookup(7).status().IsNotFound());
+  // Re-insert after tombstone.
+  ASSERT_TRUE(map.Put(7, 300).ok());
+  EXPECT_EQ(*map.Lookup(7), 300);
+}
+
+TEST(LsmMap, FlushCreatesSsTablesAndLookupSpansThem) {
+  MemoryObjectStore store;
+  LsmEntityMap map(&store, "lsm/test", /*memtable_flush_entries=*/4);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(map.Put(i, i * 10).ok());
+  }
+  EXPECT_GE(map.NumSsTables(), 2u);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(*map.Lookup(i), i * 10) << i;
+  }
+  // Newer SSTable shadows older: rewrite key 0 and flush.
+  ASSERT_TRUE(map.Put(0, 999).ok());
+  ASSERT_TRUE(map.Flush().ok());
+  EXPECT_EQ(*map.Lookup(0), 999);
+}
+
+TEST(LsmMap, RecoverFromObjectStorage) {
+  MemoryObjectStore store;
+  {
+    LsmEntityMap map(&store, "lsm/recover");
+    for (int64_t i = 0; i < 20; ++i) ASSERT_TRUE(map.Put(i, i + 1000).ok());
+    ASSERT_TRUE(map.Remove(5).ok());
+    ASSERT_TRUE(map.Flush().ok());
+  }
+  LsmEntityMap recovered(&store, "lsm/recover");
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(*recovered.Lookup(3), 1003);
+  EXPECT_TRUE(recovered.Lookup(5).status().IsNotFound());
+  EXPECT_EQ(recovered.MemtableSize(), 0u);
+}
+
+}  // namespace
+}  // namespace manu

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "wal/message.h"
+#include "wal/mq.h"
+#include "wal/time_tick.h"
+#include "wal/tso.h"
+
+namespace manu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogEntry
+// ---------------------------------------------------------------------------
+
+TEST(LogEntry, SerializeRoundTrip) {
+  LogEntry entry;
+  entry.type = LogEntryType::kInsert;
+  entry.timestamp = 12345;
+  entry.collection = 7;
+  entry.shard = 2;
+  entry.segment = 99;
+  entry.batch.primary_keys = {1, 2};
+  entry.batch.timestamps = {10, 11};
+  entry.batch.columns.push_back(
+      FieldColumn::MakeFloatVector(100, 2, {1, 2, 3, 4}));
+  entry.delete_pks = {5};
+  entry.payload = "aux";
+
+  auto back = LogEntry::Deserialize(entry.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().type, LogEntryType::kInsert);
+  EXPECT_EQ(back.value().timestamp, 12345u);
+  EXPECT_EQ(back.value().collection, 7);
+  EXPECT_EQ(back.value().shard, 2);
+  EXPECT_EQ(back.value().segment, 99);
+  EXPECT_EQ(back.value().batch.primary_keys, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(back.value().delete_pks, (std::vector<int64_t>{5}));
+  EXPECT_EQ(back.value().payload, "aux");
+}
+
+TEST(LogEntry, DeserializeGarbageFails) {
+  EXPECT_FALSE(LogEntry::Deserialize("xx").ok());
+}
+
+TEST(ChannelNames, AreDistinctPerShard) {
+  EXPECT_NE(ShardChannelName(1, 0), ShardChannelName(1, 1));
+  EXPECT_NE(ShardChannelName(1, 0), ShardChannelName(2, 0));
+  EXPECT_NE(DdlChannelName(), CoordChannelName());
+}
+
+// ---------------------------------------------------------------------------
+// Tso
+// ---------------------------------------------------------------------------
+
+TEST(Tso, StrictlyMonotonic) {
+  Tso tso;
+  Timestamp last = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Timestamp ts = tso.Allocate();
+    EXPECT_GT(ts, last);
+    last = ts;
+  }
+}
+
+TEST(Tso, BlockAllocationIsContiguousAndOrdered) {
+  Tso tso;
+  const Timestamp first = tso.AllocateBlock(100);
+  const Timestamp next = tso.Allocate();
+  EXPECT_GE(next, first + 100);
+  EXPECT_EQ(tso.Last(), next);
+}
+
+TEST(Tso, PhysicalTracksWallClock) {
+  Tso tso;
+  const Timestamp ts = tso.Allocate();
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  EXPECT_NEAR(static_cast<double>(PhysicalMs(ts)), static_cast<double>(now),
+              1000.0);
+}
+
+TEST(Tso, ConcurrentAllocationsUnique) {
+  Tso tso;
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::vector<Timestamp>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(tso.Allocate());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Timestamp> all;
+  for (const auto& r : results) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+// ---------------------------------------------------------------------------
+// MessageQueue
+// ---------------------------------------------------------------------------
+
+LogEntry Tick(Timestamp ts) {
+  LogEntry e;
+  e.type = LogEntryType::kTimeTick;
+  e.timestamp = ts;
+  return e;
+}
+
+TEST(MessageQueue, PublishSubscribeOrdered) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  EXPECT_EQ(mq.Publish("ch", Tick(1)), 0);
+  EXPECT_EQ(mq.Publish("ch", Tick(2)), 1);
+  auto entries = sub->TryPoll(10);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0]->timestamp, 1u);
+  EXPECT_EQ(entries[1]->timestamp, 2u);
+  EXPECT_EQ(sub->position(), 2);
+}
+
+TEST(MessageQueue, LatestSubscriptionSkipsHistory) {
+  MessageQueue mq;
+  mq.Publish("ch", Tick(1));
+  auto sub = mq.Subscribe("ch", SubscribePosition::kLatest);
+  EXPECT_TRUE(sub->TryPoll(10).empty());
+  mq.Publish("ch", Tick(2));
+  auto entries = sub->TryPoll(10);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0]->timestamp, 2u);
+}
+
+TEST(MessageQueue, IndependentSubscriberPositions) {
+  MessageQueue mq;
+  auto a = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  auto b = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  mq.Publish("ch", Tick(1));
+  EXPECT_EQ(a->TryPoll(10).size(), 1u);
+  EXPECT_EQ(b->TryPoll(10).size(), 1u);  // b unaffected by a's progress.
+}
+
+TEST(MessageQueue, SeekReplays) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  for (int i = 0; i < 5; ++i) mq.Publish("ch", Tick(i));
+  EXPECT_EQ(sub->TryPoll(10).size(), 5u);
+  sub->Seek(2);
+  auto entries = sub->TryPoll(10);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->timestamp, 2u);
+}
+
+TEST(MessageQueue, TruncationSnapsOldReadersForward) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  for (int i = 0; i < 10; ++i) mq.Publish("ch", Tick(i));
+  mq.TruncateBefore("ch", 6);
+  EXPECT_EQ(mq.BeginOffset("ch"), 6);
+  EXPECT_EQ(mq.EndOffset("ch"), 10);
+  auto entries = sub->TryPoll(100);
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0]->timestamp, 6u);
+}
+
+TEST(MessageQueue, BlockingPollWakesOnPublish) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    mq.Publish("ch", Tick(42));
+  });
+  auto entries = sub->Poll(1, std::chrono::milliseconds(2000));
+  publisher.join();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0]->timestamp, 42u);
+}
+
+TEST(MessageQueue, ListChannels) {
+  MessageQueue mq;
+  mq.Publish("wal/c1/s0", Tick(1));
+  mq.Publish("wal/c1/s1", Tick(1));
+  mq.Publish("wal/ddl", Tick(1));
+  EXPECT_EQ(mq.ListChannels("wal/c1/").size(), 2u);
+  EXPECT_EQ(mq.ListChannels("wal/").size(), 3u);
+}
+
+TEST(MessageQueue, ManyProducersOneConsumer) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  constexpr int kProducers = 4, kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) mq.Publish("ch", Tick(1));
+    });
+  }
+  for (auto& t : producers) t.join();
+  size_t total = 0;
+  while (true) {
+    auto entries = sub->TryPoll(256);
+    if (entries.empty()) break;
+    total += entries.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// ---------------------------------------------------------------------------
+// TimeTickEmitter
+// ---------------------------------------------------------------------------
+
+TEST(TimeTick, EmitsIntoRegisteredChannels) {
+  MessageQueue mq;
+  Tso tso;
+  TimeTickEmitter ticker(&mq, &tso, /*interval_ms=*/5);
+  ticker.RegisterChannel("wal/c1/s0", 1, 0);
+  ticker.RegisterChannel("wal/c1/s1", 1, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ticker.Stop();
+  for (const char* ch : {"wal/c1/s0", "wal/c1/s1"}) {
+    auto sub = mq.Subscribe(ch, SubscribePosition::kEarliest);
+    auto entries = sub->TryPoll(1000);
+    EXPECT_GE(entries.size(), 3u) << ch;
+    Timestamp last = 0;
+    for (const auto& e : entries) {
+      EXPECT_EQ(e->type, LogEntryType::kTimeTick);
+      EXPECT_GT(e->timestamp, last);
+      last = e->timestamp;
+    }
+  }
+}
+
+TEST(TimeTick, UnregisterStopsTicks) {
+  MessageQueue mq;
+  Tso tso;
+  TimeTickEmitter ticker(&mq, &tso, 1000000);  // Never fires on its own.
+  ticker.RegisterChannel("ch", 1, 0);
+  ticker.TickNow();
+  ticker.UnregisterChannel("ch");
+  ticker.TickNow();
+  ticker.Stop();
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  EXPECT_EQ(sub->TryPoll(10).size(), 1u);
+}
+
+TEST(TimeTick, TickDominatesPriorPublishes) {
+  // A tick's timestamp must be >= every LSN already in the channel.
+  MessageQueue mq;
+  Tso tso;
+  TimeTickEmitter ticker(&mq, &tso, 1000000);
+  ticker.RegisterChannel("ch", 1, 0);
+  LogEntry data;
+  data.type = LogEntryType::kInsert;
+  data.timestamp = tso.Allocate();
+  mq.Publish("ch", std::move(data));
+  ticker.TickNow();
+  ticker.Stop();
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  auto entries = sub->TryPoll(10);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_GT(entries[1]->timestamp, entries[0]->timestamp);
+}
+
+}  // namespace
+}  // namespace manu
