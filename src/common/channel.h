@@ -10,6 +10,12 @@
 
 namespace manu {
 
+/// Why a timed pop returned without an item: a closed-and-drained channel is
+/// terminal (the consumer should exit its loop), a timeout is not (retry).
+/// Collapsing both into nullopt makes consumers burn full timeouts against
+/// dead channels, so the timed pops report which case occurred.
+enum class PopStatus { kItem, kTimeout, kClosed };
+
 /// Unbounded MPMC blocking queue. Used for in-process "RPC" between the
 /// simulated microservices and inside worker nodes. Close() wakes all
 /// blocked readers; subsequent Pop() calls drain remaining items and then
@@ -37,14 +43,24 @@ class Channel {
   }
 
   /// Like Pop() but gives up after `timeout`; returns nullopt on timeout or
-  /// closed-and-drained.
+  /// closed-and-drained. Use PopForStatus to tell the two apart.
   std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    T item;
+    if (PopForStatus(timeout, &item) != PopStatus::kItem) return std::nullopt;
+    return item;
+  }
+
+  /// Timed pop with a distinct terminal status: kClosed is returned
+  /// *immediately* on a closed-and-drained channel (no timeout burned),
+  /// kTimeout after waiting `timeout` on a live-but-empty one.
+  PopStatus PopForStatus(std::chrono::milliseconds timeout, T* out) {
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    if (items_.empty()) return closed_ ? PopStatus::kClosed
+                                       : PopStatus::kTimeout;
+    *out = std::move(items_.front());
     items_.pop_front();
-    return item;
+    return PopStatus::kItem;
   }
 
   std::optional<T> TryPop() {

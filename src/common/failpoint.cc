@@ -1,0 +1,112 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace manu {
+
+std::atomic<int64_t> FailPointRegistry::armed_count_{0};
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry registry;
+  return registry;
+}
+
+namespace {
+/// SplitMix64 step: deterministic per-site RNG without <random> overhead.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void FailPointRegistry::Arm(const std::string& site, FailPointPolicy policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Site& s = sites_[site];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.policy = std::move(policy);
+  s.armed = true;
+  s.trips = 0;
+  s.rng_state = s.policy.seed;
+}
+
+void FailPointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [_, s] : sites_) {
+    if (s.armed) {
+      s.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+int64_t FailPointRegistry::Trips(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.trips;
+}
+
+Status FailPointRegistry::Evaluate(const char* site) {
+  // Decide under the lock, act (sleep / callback) outside it: a delay
+  // policy must not serialize unrelated sites, and a panic callback may
+  // re-enter arbitrary code.
+  FailPointPolicy::Mode mode;
+  StatusCode code;
+  std::string message;
+  int64_t delay_us = 0;
+  std::function<Status()> callback;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return Status::OK();
+    Site& s = it->second;
+    if (s.policy.max_trips >= 0 && s.trips >= s.policy.max_trips) {
+      return Status::OK();
+    }
+    if (s.policy.probability < 1.0) {
+      const double u = static_cast<double>(NextRand(&s.rng_state) >> 11) *
+                       (1.0 / 9007199254740992.0);  // [0, 1), 53-bit.
+      if (u >= s.policy.probability) return Status::OK();
+    }
+    ++s.trips;
+    mode = s.policy.mode;
+    code = s.policy.code;
+    message = s.policy.message;
+    delay_us = s.policy.delay_micros;
+    callback = s.policy.callback;
+  }
+
+  MetricsRegistry::Global().GetCounter("failpoint.trips")->Add(1);
+  MetricsRegistry::Global()
+      .GetCounter(std::string("failpoint.") + site + ".trips")
+      ->Add(1);
+
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  switch (mode) {
+    case FailPointPolicy::Mode::kDelay:
+      return Status::OK();
+    case FailPointPolicy::Mode::kCallback:
+      return callback ? callback() : Status::OK();
+    case FailPointPolicy::Mode::kError:
+      break;
+  }
+  std::string msg = std::string("injected fault at ") + site;
+  if (!message.empty()) msg += ": " + message;
+  return Status(code, std::move(msg));
+}
+
+}  // namespace manu

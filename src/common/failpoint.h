@@ -1,0 +1,171 @@
+#ifndef MANU_COMMON_FAILPOINT_H_
+#define MANU_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace manu {
+
+/// Fault-injection framework: a process-global registry of named fault
+/// sites. Production code marks each I/O or scheduling decision that can
+/// fail in a real deployment with MANU_FAILPOINT("site.name"); tests and
+/// benches arm a site with a policy (error-once, error-with-probability-p,
+/// delay, custom callback) through a scoped RAII guard and observe how the
+/// system degrades and recovers.
+///
+/// Cost model: when nothing is armed anywhere in the process, a failpoint
+/// site is one relaxed atomic load of a global counter (no lock, no map
+/// lookup, no branch beyond the predicted-false test) — cheap enough to
+/// leave in query hot paths permanently. Only when at least one site is
+/// armed does evaluation take the registry lock.
+///
+/// Failpoint site catalog (see DESIGN.md "Fault model & recovery"):
+///   object_store.put / get / get_range / exists / delete / list / size
+///   meta_store.put / get / cas / delete
+///   mq.publish
+///   binlog.write / binlog.read
+///   data_node.seal
+///   index_node.build
+///   query_node.load_segment / query_node.search_segment
+struct FailPointPolicy {
+  enum class Mode : uint8_t {
+    kError,     ///< Return `code` (honoring probability / max_trips).
+    kDelay,     ///< Sleep `delay_micros`, then succeed.
+    kCallback,  ///< Invoke `callback` and inject whatever it returns
+                ///< ("panic the node": the callback kills a node object).
+  };
+
+  Mode mode = Mode::kError;
+  StatusCode code = StatusCode::kIOError;
+  std::string message;         ///< Appended to the injected error text.
+  double probability = 1.0;    ///< Chance each evaluation triggers.
+  int64_t max_trips = -1;      ///< Total trips before auto-off; -1 = no cap.
+  int64_t delay_micros = 0;    ///< kDelay sleep; also applied before kError.
+  uint64_t seed = 0x9E3779B9;  ///< Probability RNG seed (determinism).
+  std::function<Status()> callback;  ///< kCallback only.
+
+  // --- The policies the chaos suite names, ready-made ---
+  static FailPointPolicy ErrorOnce(StatusCode c = StatusCode::kIOError) {
+    FailPointPolicy p;
+    p.code = c;
+    p.max_trips = 1;
+    return p;
+  }
+  static FailPointPolicy ErrorTimes(int64_t n,
+                                    StatusCode c = StatusCode::kIOError) {
+    FailPointPolicy p;
+    p.code = c;
+    p.max_trips = n;
+    return p;
+  }
+  static FailPointPolicy ErrorWithProbability(
+      double prob, uint64_t seed = 0x9E3779B9,
+      StatusCode c = StatusCode::kIOError) {
+    FailPointPolicy p;
+    p.code = c;
+    p.probability = prob;
+    p.seed = seed;
+    return p;
+  }
+  static FailPointPolicy Delay(int64_t micros) {
+    FailPointPolicy p;
+    p.mode = Mode::kDelay;
+    p.delay_micros = micros;
+    return p;
+  }
+  static FailPointPolicy Panic(std::function<Status()> cb) {
+    FailPointPolicy p;
+    p.mode = Mode::kCallback;
+    p.callback = std::move(cb);
+    return p;
+  }
+};
+
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Global();
+
+  /// Arms (or re-arms) `site` with `policy`.
+  void Arm(const std::string& site, FailPointPolicy policy);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Slow path behind MANU_FAILPOINT: evaluates the site's policy. OK when
+  /// the site is disarmed or the policy chose not to trigger this time.
+  Status Evaluate(const char* site);
+
+  /// Trips recorded for a site since it was last armed (0 if never armed).
+  int64_t Trips(const std::string& site) const;
+
+  /// True iff any site in the process is armed. Single relaxed load — the
+  /// entire disarmed-mode cost of a failpoint.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct Site {
+    FailPointPolicy policy;
+    bool armed = false;
+    int64_t trips = 0;
+    uint64_t rng_state = 0;
+  };
+
+  FailPointRegistry() = default;
+
+  static std::atomic<int64_t> armed_count_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+/// RAII guard: arms a site for the current scope, disarms on exit. The unit
+/// of fault injection in tests and benches.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string site, FailPointPolicy policy)
+      : site_(std::move(site)) {
+    FailPointRegistry::Global().Arm(site_, std::move(policy));
+  }
+  ~ScopedFailPoint() { FailPointRegistry::Global().Disarm(site_); }
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  int64_t trips() const { return FailPointRegistry::Global().Trips(site_); }
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Evaluates a fault site and propagates an injected error to the caller.
+/// Usable in any function returning Status or Result<T>.
+#define MANU_FAILPOINT(site)                                             \
+  do {                                                                   \
+    if (__builtin_expect(::manu::FailPointRegistry::AnyArmed(), 0)) {    \
+      ::manu::Status _fp_st =                                            \
+          ::manu::FailPointRegistry::Global().Evaluate(site);            \
+      if (!_fp_st.ok()) return _fp_st;                                   \
+    }                                                                    \
+  } while (false)
+
+/// Variant for functions that cannot propagate a Status: stores the injected
+/// status into `st_out` (a Status lvalue) and lets the caller decide.
+#define MANU_FAILPOINT_CAPTURE(site, st_out)                             \
+  do {                                                                   \
+    if (__builtin_expect(::manu::FailPointRegistry::AnyArmed(), 0)) {    \
+      (st_out) = ::manu::FailPointRegistry::Global().Evaluate(site);     \
+    }                                                                    \
+  } while (false)
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_FAILPOINT_H_

@@ -74,6 +74,18 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Get();
+}
+
+int64_t MetricsRegistry::HistogramCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second->Count();
+}
+
 std::string MetricsRegistry::Dump() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream out;

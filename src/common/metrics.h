@@ -52,12 +52,27 @@ class LatencyHistogram {
 /// Process-wide registry keyed by name; the stand-in for the paper's Attu
 /// GUI "system view" (QPS, latency, memory). Components register counters
 /// and histograms here; benches and examples read them back.
+///
+/// Robustness metrics published by the fault-injection / retry / degradation
+/// machinery (asserted on by the chaos suite):
+///   failpoint.trips, failpoint.<site>.trips     injected-fault counts
+///   retry.attempts, retry.giveups               plus retry.<op>.* breakdown
+///   proxy.partial_results                       degraded (coverage < 1)
+///   proxy.degraded_nodes                        node replies dropped
+///   query_coord.nodes_killed                    crash recoveries handled
+///   query_coord.recovery_us (histogram)         node-recovery duration
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
   Counter* GetCounter(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Read-only lookups that never create: the counter's value (0 when
+  /// absent) / the histogram's observation count. Tests and benches assert
+  /// on metrics without perturbing the registry.
+  int64_t CounterValue(const std::string& name) const;
+  int64_t HistogramCount(const std::string& name) const;
 
   /// Formats all metrics as "name value" lines (counters) and
   /// "name p50/p95/p99/mean" lines (histograms).

@@ -1,0 +1,62 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace manu {
+
+namespace {
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+int64_t RetryPolicy::BackoffMicros(int32_t attempt,
+                                   const std::string& op) const {
+  double delay = static_cast<double>(base_backoff_us);
+  for (int32_t i = 1; i < attempt; ++i) delay *= multiplier;
+  delay = std::min(delay, static_cast<double>(max_backoff_us));
+  if (jitter > 0) {
+    // Deterministic jitter in [-jitter, +jitter] keyed on (op, attempt):
+    // reproducible runs, yet concurrent retriers of different ops decorrelate.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : op) h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    const double u = static_cast<double>(
+                         Mix64(h ^ static_cast<uint64_t>(attempt)) >> 11) *
+                     (1.0 / 9007199254740992.0);
+    delay *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(delay));
+}
+
+Status RetryOp(const RetryPolicy& policy, const std::string& op,
+               const std::function<Status()>& fn) {
+  auto& metrics = MetricsRegistry::Global();
+  const int64_t start = NowMicros();
+  Status st;
+  for (int32_t attempt = 1;; ++attempt) {
+    st = fn();
+    if (st.ok() || !RetryPolicy::IsRetryable(st)) return st;
+    if (attempt >= std::max(1, policy.max_attempts)) break;
+    const int64_t backoff = policy.BackoffMicros(attempt, op);
+    if (policy.deadline_us >= 0 &&
+        NowMicros() + backoff - start > policy.deadline_us) {
+      break;  // The next attempt could not finish inside the budget.
+    }
+    metrics.GetCounter("retry.attempts")->Add(1);
+    metrics.GetCounter("retry." + op + ".attempts")->Add(1);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+  }
+  metrics.GetCounter("retry.giveups")->Add(1);
+  metrics.GetCounter("retry." + op + ".giveups")->Add(1);
+  return st;
+}
+
+}  // namespace manu

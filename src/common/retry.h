@@ -1,0 +1,71 @@
+#ifndef MANU_COMMON_RETRY_H_
+#define MANU_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace manu {
+
+/// Shared retry policy for storage/meta I/O: capped exponential backoff with
+/// deterministic jitter, bounded both by an attempt budget and a wall-clock
+/// deadline. Data nodes, index nodes and query-node segment-load paths all
+/// route their object-store and meta I/O through this (the paper's stateless
+/// workers rebuild from shared storage, so transient storage faults must be
+/// absorbed here rather than surfaced as node failures).
+///
+/// Only transient codes are retried (kIOError, kUnavailable, kTimeout);
+/// semantic failures (kNotFound, kCorruption, kInvalidArgument, CAS
+/// kAborted...) propagate immediately — retrying cannot fix them.
+///
+/// Metrics (registered on first use):
+///   retry.attempts   total extra attempts across all ops
+///   retry.giveups    ops that exhausted their budget
+///   retry.<op>.attempts / retry.<op>.giveups   per-op breakdown
+struct RetryPolicy {
+  int32_t max_attempts = 4;        ///< Total tries (first + retries).
+  int64_t base_backoff_us = 200;   ///< First retry delay.
+  int64_t max_backoff_us = 20000;  ///< Cap on any single delay.
+  double multiplier = 2.0;         ///< Exponential growth factor.
+  double jitter = 0.25;            ///< +/- fraction of the delay.
+  int64_t deadline_us = -1;        ///< Whole-op wall budget; -1 = none.
+
+  static bool IsRetryable(const Status& st) {
+    switch (st.code()) {
+      case StatusCode::kIOError:
+      case StatusCode::kUnavailable:
+      case StatusCode::kTimeout:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Backoff before retry number `attempt` (1-based), with deterministic
+  /// jitter derived from (op, attempt) so runs are reproducible.
+  int64_t BackoffMicros(int32_t attempt, const std::string& op) const;
+};
+
+/// Runs `fn` under `policy`. `op` names the operation for metrics
+/// ("data_node.write_binlog", "query_node.load_segment", ...).
+Status RetryOp(const RetryPolicy& policy, const std::string& op,
+               const std::function<Status()>& fn);
+
+/// Result<T> variant: retries while the result carries a retryable status.
+template <typename Fn>
+auto RetryResult(const RetryPolicy& policy, const std::string& op, Fn&& fn)
+    -> decltype(fn()) {
+  decltype(fn()) result;
+  (void)RetryOp(policy, op, [&]() -> Status {
+    result = fn();
+    return result.status();
+  });
+  return result;  // Holds the final attempt's value or error.
+}
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_RETRY_H_

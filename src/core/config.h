@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/retry.h"
 #include "common/types.h"
 
 namespace manu {
@@ -55,6 +56,17 @@ struct ManuConfig {
   // --- Consistency wait bound (avoid unbounded stalls if ticks stop) ---
   int64_t max_consistency_wait_ms = 5000;
 
+  // --- Robustness (common/retry.h, common/failpoint.h) ---
+  /// Retry budget for object-store / meta / binlog I/O on worker nodes.
+  int32_t io_retry_attempts = 4;
+  int64_t io_retry_base_backoff_us = 200;
+  int64_t io_retry_max_backoff_us = 20000;
+  /// Proxy-side wait bound per query node during search fan-out, in ms;
+  /// <= 0 waits indefinitely. With SearchRequest::allow_partial, a node
+  /// missing this deadline is dropped from the result (coverage < 1)
+  /// instead of failing the query.
+  int64_t node_search_deadline_ms = -1;
+
   // --- Scaling-simulation knob ---
   /// When > 0, each query-node search takes at least
   /// `sim_segment_search_us * segments_searched` microseconds (the node
@@ -66,6 +78,15 @@ struct ManuConfig {
   /// count. 0 (default) disables the model; searches take their real time.
   int64_t sim_segment_search_us = 0;
 };
+
+/// The RetryPolicy worker nodes use for their shared-storage I/O.
+inline RetryPolicy MakeIoRetryPolicy(const ManuConfig& config) {
+  RetryPolicy policy;
+  policy.max_attempts = config.io_retry_attempts;
+  policy.base_backoff_us = config.io_retry_base_backoff_us;
+  policy.max_backoff_us = config.io_retry_max_backoff_us;
+  return policy;
+}
 
 }  // namespace manu
 

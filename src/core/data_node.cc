@@ -1,7 +1,9 @@
 #include "core/data_node.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "storage/binlog.h"
 
 namespace manu {
@@ -119,9 +121,21 @@ void DataNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
 void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
                           Buffer buffer) {
   if (buffer.rows.NumRows() == 0) return;
+  Status fp;
+  MANU_FAILPOINT_CAPTURE("data_node.seal", fp);
+  if (!fp.ok()) {
+    MANU_LOG_WARN << "data node " << id_ << " seal aborted (injected): "
+                  << fp.ToString();
+    // Not data loss: the WAL retains the rows and the shard's primary
+    // query node keeps serving the growing twin; only the move to object
+    // storage is skipped.
+    return;
+  }
   const std::string path = "binlog/c" + std::to_string(ch->collection) +
                            "/seg" + std::to_string(segment);
-  Status st = binlog::WriteSegment(ctx_.store, path, buffer.rows);
+  Status st = RetryOp(MakeIoRetryPolicy(ctx_.config), "data_node.seal", [&] {
+    return binlog::WriteSegment(ctx_.store, path, buffer.rows);
+  });
   if (!st.ok()) {
     MANU_LOG_ERROR << "data node " << id_ << " binlog write failed: "
                    << st.ToString();

@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
 
@@ -36,8 +38,22 @@ void IndexNode::WaitIdle() const {
 void IndexNode::Build(const SegmentMeta& segment, FieldId field,
                       const IndexParams& params, int32_t version) {
   const int64_t start = NowMicros();
+  {
+    Status fp;
+    MANU_FAILPOINT_CAPTURE("index_node.build", fp);
+    if (!fp.ok()) {
+      // Build abandoned; the segment keeps serving binlog-only until the
+      // coordinator requests another build.
+      MANU_LOG_WARN << "index node " << id_ << " build aborted (injected): "
+                    << fp.ToString();
+      return;
+    }
+  }
+  const RetryPolicy retry = MakeIoRetryPolicy(ctx_.config);
   // Column-based binlog: fetch just the vector column.
-  auto column = binlog::ReadField(ctx_.store, segment.binlog_path, field);
+  auto column = RetryResult(retry, "index_node.read_binlog", [&] {
+    return binlog::ReadField(ctx_.store, segment.binlog_path, field);
+  });
   if (!column.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " read binlog failed: "
                    << column.status().ToString();
@@ -60,7 +76,9 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
 
   BinaryWriter w;
   built.value()->Serialize(&w);
-  Status st = ctx_.store->Put(index_path, binlog::Frame(w.Release()));
+  const std::string framed = binlog::Frame(w.Release());
+  Status st = RetryOp(retry, "index_node.persist_index",
+                      [&] { return ctx_.store->Put(index_path, framed); });
   if (!st.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " persist failed: "
                    << st.ToString();

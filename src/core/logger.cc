@@ -50,7 +50,12 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
   entry.shard = shard;
   entry.segment = segment;
   entry.batch = std::move(batch);
-  ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry));
+  // The WAL append IS the commit point: a refused publish (broker fault /
+  // shutdown) means the rows were never durable and must not be acked.
+  if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry)) <
+      0) {
+    return Status::Unavailable("wal publish failed");
+  }
   MetricsRegistry::Global().GetCounter("logger.rows_inserted")->Add(rows);
   return last;
 }
@@ -75,7 +80,10 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   entry.shard = shard;
   entry.delete_pks = std::move(existing);
   const Timestamp ts = entry.timestamp;
-  ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry));
+  if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry)) <
+      0) {
+    return Status::Unavailable("wal publish failed");
+  }
   MetricsRegistry::Global().GetCounter("logger.rows_deleted")->Add(1);
   return ts;
 }

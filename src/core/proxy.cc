@@ -1,5 +1,7 @@
 #include "core/proxy.h"
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <map>
 
@@ -21,6 +23,8 @@ Result<Proxy::Prepared> Proxy::Prepare(const SearchRequest& req) {
   Prepared out;
   // --- Request verification against cached metadata (cheap, early). ---
   MANU_ASSIGN_OR_RETURN(out.meta, root_coord_->GetCollection(req.collection));
+  // Query vectors are copied into Prepared (moving a vector keeps its heap
+  // buffer, so the target pointers survive moves of Prepared itself).
   std::vector<SearchTarget> targets;
   if (req.multi.empty()) {
     const FieldSchema* field =
@@ -35,7 +39,8 @@ Result<Proxy::Prepared> Proxy::Prepare(const SearchRequest& req) {
     if (static_cast<int32_t>(req.query.size()) != field->dim) {
       return Status::InvalidArgument("query dim mismatch");
     }
-    targets.push_back({field->id, req.query.data(), 1.0f});
+    out.owned_queries.push_back(req.query);
+    targets.push_back({field->id, out.owned_queries.back().data(), 1.0f});
   } else {
     for (const auto& target : req.multi) {
       const FieldSchema* field = out.meta.schema.FieldByName(target.field);
@@ -46,7 +51,9 @@ Result<Proxy::Prepared> Proxy::Prepare(const SearchRequest& req) {
       if (static_cast<int32_t>(target.query.size()) != field->dim) {
         return Status::InvalidArgument("query dim mismatch: " + target.field);
       }
-      targets.push_back({field->id, target.query.data(), target.weight});
+      out.owned_queries.push_back(target.query);
+      targets.push_back(
+          {field->id, out.owned_queries.back().data(), target.weight});
     }
   }
   if (req.k == 0) return Status::InvalidArgument("k must be positive");
@@ -97,33 +104,87 @@ SearchResult Proxy::ToResult(std::vector<Neighbor> merged) {
 
 Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   const int64_t t0 = NowMicros();
-  MANU_ASSIGN_OR_RETURN(Prepared prep, Prepare(req));
-  if (req.travel_ts == 0) prep.nreq.read_ts = ctx_.tso->Allocate();
+  MANU_ASSIGN_OR_RETURN(Prepared prepared, Prepare(req));
+  // shared_ptr: with allow_partial the proxy may return while an abandoned
+  // node task is still running; the task keeps the request state alive.
+  auto prep = std::make_shared<Prepared>(std::move(prepared));
+  if (req.travel_ts == 0) prep->nreq.read_ts = ctx_.tso->Allocate();
 
   // --- Fan out to the nodes serving this collection. ---
-  auto nodes = query_coord_->NodesFor(prep.meta.id);
+  auto nodes = query_coord_->NodesFor(prep->meta.id);
   if (nodes.empty()) {
     return Status::Unavailable("collection is not loaded on any query node");
   }
+  // Coverage weights: how much of the collection each node answers for.
+  // A node serving only a shard channel (growing data) still weighs 1.
+  std::vector<int64_t> weights;
+  weights.reserve(nodes.size());
+  int64_t total_weight = 0;
+  for (const auto& node : nodes) {
+    const int64_t w =
+        std::max<int64_t>(1, node->NumServingSegments(prep->meta.id));
+    weights.push_back(w);
+    total_weight += w;
+  }
+
   std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
   futures.reserve(nodes.size());
   for (auto& node : nodes) {
-    futures.push_back(pool_.Submit(
-        [node, &prep]() { return node->Search(prep.nreq); }));
+    futures.push_back(
+        pool_.Submit([node, prep]() { return node->Search(prep->nreq); }));
   }
+
+  const int64_t deadline_ms = req.node_deadline_ms > 0
+                                  ? req.node_deadline_ms
+                                  : ctx_.config.node_search_deadline_ms;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max<int64_t>(
+                            0, deadline_ms));
   std::vector<std::vector<Neighbor>> lists;
   lists.reserve(nodes.size());
-  for (auto& fut : futures) {
+  int64_t covered_weight = 0;
+  int64_t degraded_nodes = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto& fut = futures[i];
+    if (deadline_ms > 0 &&
+        fut.wait_until(deadline) == std::future_status::timeout) {
+      // The straggler keeps running against its own copy of the request
+      // (shared_ptr above); the proxy just stops waiting for it.
+      if (!req.allow_partial) {
+        return Status::Timeout("query node missed the search deadline");
+      }
+      ++degraded_nodes;
+      continue;
+    }
     Result<std::vector<SegmentHit>> hits = fut.get();
-    MANU_RETURN_NOT_OK(hits.status());
+    if (!hits.ok()) {
+      if (!req.allow_partial) return hits.status();
+      ++degraded_nodes;
+      continue;
+    }
+    covered_weight += weights[i];
     std::vector<Neighbor> list;
     list.reserve(hits.value().size());
     for (const auto& h : hits.value()) list.push_back({h.pk, h.score});
     lists.push_back(std::move(list));
   }
+  if (lists.empty()) {
+    return Status::Unavailable("every query node failed or timed out");
+  }
 
   // --- Global reduce with pk dedup. ---
   SearchResult out = ToResult(MergeTopK(lists, req.k, /*dedup_ids=*/true));
+  out.coverage = total_weight > 0
+                     ? static_cast<double>(covered_weight) / total_weight
+                     : 1.0;
+  if (degraded_nodes > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("proxy.degraded_nodes")
+        ->Add(degraded_nodes);
+  }
+  if (out.coverage < 1.0) {
+    MetricsRegistry::Global().GetCounter("proxy.partial_results")->Add(1);
+  }
   MetricsRegistry::Global().GetCounter("proxy.searches")->Add(1);
   MetricsRegistry::Global()
       .GetHistogram("proxy.search_latency")

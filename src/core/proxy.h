@@ -45,11 +45,24 @@ struct SearchRequest {
 
   /// Time travel: non-zero = search the collection as of this timestamp.
   Timestamp travel_ts = 0;
+
+  // --- Graceful degradation ---
+  /// When true, a failed or deadline-missing query node degrades the search
+  /// to a partial result (SearchResult::coverage < 1) instead of failing
+  /// it. Off by default: a complete answer or an error.
+  bool allow_partial = false;
+  /// Per-node wait bound in ms for this search's fan-out; <= 0 uses the
+  /// instance default (ManuConfig::node_search_deadline_ms).
+  int64_t node_deadline_ms = 0;
 };
 
 struct SearchResult {
   std::vector<int64_t> ids;
   std::vector<float> scores;  ///< Canonical scores, best first.
+  /// Fraction of the collection's serving segments reflected in the top-k
+  /// (weighted by per-node segment counts). 1.0 unless allow_partial
+  /// dropped a failed/slow node.
+  double coverage = 1.0;
 };
 
 /// Stateless access-layer proxy (Section 3.2): verifies requests against
@@ -81,12 +94,16 @@ class Proxy {
                            const std::vector<int64_t>& pks);
 
  private:
-  /// Validated request, ready for fan-out. Owns the parsed filter the
-  /// NodeSearchRequest points into.
+  /// Validated request, ready for fan-out. Owns the parsed filter AND the
+  /// query vectors the NodeSearchRequest points into: with allow_partial
+  /// the proxy may abandon a slow node's future and return, so everything a
+  /// node task dereferences must be owned here (shared_ptr-captured), not
+  /// borrowed from the caller's SearchRequest.
   struct Prepared {
     CollectionMeta meta;
     NodeSearchRequest nreq;
     std::unique_ptr<FilterExpr> filter;
+    std::vector<std::vector<float>> owned_queries;
   };
 
   /// Runs verification + consistency setup; read_ts is left for the caller

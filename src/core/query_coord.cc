@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace manu {
 
@@ -159,12 +160,14 @@ Status QueryCoordinator::RemoveQueryNode(NodeId id) {
 }
 
 Status QueryCoordinator::KillQueryNode(NodeId id) {
+  const int64_t t0 = NowMicros();
   std::lock_guard<std::mutex> lk(mu_);
   auto victim = NodeById(id);
   if (victim == nullptr) return Status::NotFound("query node");
   if (nodes_.size() <= 1) {
     return Status::InvalidArgument("cannot kill the last query node");
   }
+  MetricsRegistry::Global().GetCounter("query_coord.nodes_killed")->Add(1);
   // Crash first: no cooperation from the victim.
   victim->Stop();
   std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
@@ -189,6 +192,12 @@ Status QueryCoordinator::KillQueryNode(NodeId id) {
       if (st.ok()) owners.push_back(target->id());
     }
   }
+  // Recovery duration: promotion + segment reloads. The promoted channels
+  // keep replaying asynchronously afterwards; their progress is gated by
+  // the re-armed service_ts, not this histogram.
+  MetricsRegistry::Global()
+      .GetHistogram("query_coord.recovery_us")
+      ->Observe(static_cast<double>(NowMicros() - t0));
   MANU_LOG_INFO << "query node " << id << " killed and recovered";
   return Status::OK();
 }

@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
 
@@ -76,6 +78,12 @@ void QueryNode::PromoteChannel(CollectionId collection, ShardId shard) {
     // Replay from the start to rebuild growing state; sealed twins are
     // skipped and deletes/tombstones are idempotent.
     ch->sub->Seek(ctx_.mq->BeginOffset(ch->sub->channel()));
+    // Re-arm the consistency gate: while following, this channel's
+    // service_ts tracked ticks it consumed WITHOUT materializing inserts,
+    // so it overstates how fresh the rebuilt growing state is. Resetting it
+    // makes bounded/strong searches wait for the replay to actually catch
+    // up instead of serving a recovered shard's stale state as fresh.
+    ch->service_ts = 0;
     return;
   }
 }
@@ -173,14 +181,23 @@ void QueryNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
 
 Status QueryNode::LoadSealedSegment(
     const SegmentMeta& meta, std::shared_ptr<const CollectionSchema> schema) {
+  MANU_FAILPOINT("query_node.load_segment");
+  const RetryPolicy retry = MakeIoRetryPolicy(ctx_.config);
   // Load outside the lock (object-store IO), install under the lock.
-  MANU_ASSIGN_OR_RETURN(EntityBatch rows,
-                        binlog::ReadSegment(ctx_.store, meta.binlog_path));
+  // Transient store faults are retried here so a blip during recovery or
+  // rebalance does not abandon the segment.
+  MANU_ASSIGN_OR_RETURN(
+      EntityBatch rows,
+      RetryResult(retry, "query_node.load_segment", [&] {
+        return binlog::ReadSegment(ctx_.store, meta.binlog_path);
+      }));
   auto segment = std::make_shared<SealedSegment>(meta.id, schema.get());
   MANU_RETURN_NOT_OK(segment->SetRows(rows));
   MANU_RETURN_NOT_OK(segment->BuildScalarIndexes());
   for (const auto& [field, path] : meta.index_paths) {
-    MANU_ASSIGN_OR_RETURN(std::string framed, ctx_.store->Get(path));
+    MANU_ASSIGN_OR_RETURN(std::string framed,
+                          RetryResult(retry, "query_node.load_index",
+                                      [&] { return ctx_.store->Get(path); }));
     MANU_ASSIGN_OR_RETURN(std::string payload, binlog::Unframe(framed));
     MANU_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
                           DeserializeVectorIndex(payload, ctx_.store));
@@ -263,6 +280,15 @@ bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
 
 Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     const NodeSearchRequest& req) {
+  if (stop_.load(std::memory_order_acquire)) {
+    // A crashed (killed) node refuses searches instead of serving whatever
+    // stale state its last pump iteration left behind.
+    return Status::Unavailable("query node " + std::to_string(id_) +
+                               " is stopped");
+  }
+  // Delay policies model a slow node (misses the proxy deadline), error
+  // policies a failing one; both are how the chaos test forces coverage<1.
+  MANU_FAILPOINT("query_node.search_segment");
   auto* wait_hist =
       MetricsRegistry::Global().GetHistogram("query_node.consistency_wait");
   {
@@ -433,6 +459,17 @@ int64_t QueryNode::NumGrowingRows(CollectionId collection) const {
   int64_t rows = 0;
   for (const auto& [_, seg] : it->second.growing) rows += seg->NumRows();
   return rows;
+}
+
+int64_t QueryNode::NumServingSegments(CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return 0;
+  int64_t n = static_cast<int64_t>(it->second.sealed.size());
+  for (const auto& [seg_id, _] : it->second.growing) {
+    if (it->second.sealed.count(seg_id) == 0) ++n;  // Sealed twin wins.
+  }
+  return n;
 }
 
 uint64_t QueryNode::MemoryBytes() const {

@@ -111,6 +111,9 @@ class QueryNode {
   Result<SegmentMeta> SealedMeta(CollectionId collection,
                                  SegmentId segment) const;
   int64_t NumGrowingRows(CollectionId collection) const;
+  /// Segments this node answers searches from (sealed + growing without a
+  /// sealed twin); the proxy's coverage weight for partial results.
+  int64_t NumServingSegments(CollectionId collection) const;
   uint64_t MemoryBytes() const;
   /// Min last-consumed tick LSN across this node's channels of the
   /// collection (Ls of Section 3.4).

@@ -1,5 +1,6 @@
 #include "storage/binlog.h"
 
+#include "common/failpoint.h"
 #include "common/serde.h"
 
 namespace manu::binlog {
@@ -43,6 +44,7 @@ Result<std::string> Unframe(const std::string& framed) {
 
 Status WriteSegment(ObjectStore* store, const std::string& prefix,
                     const EntityBatch& batch) {
+  MANU_FAILPOINT("binlog.write");
   for (const auto& col : batch.columns) {
     BinaryWriter w;
     col.Serialize(&w);
@@ -57,6 +59,7 @@ Status WriteSegment(ObjectStore* store, const std::string& prefix,
 
 Result<FieldColumn> ReadField(ObjectStore* store, const std::string& prefix,
                               FieldId field_id) {
+  MANU_FAILPOINT("binlog.read");
   MANU_ASSIGN_OR_RETURN(std::string framed,
                         store->Get(FieldPath(prefix, field_id)));
   MANU_ASSIGN_OR_RETURN(std::string payload, Unframe(framed));
@@ -76,6 +79,7 @@ Result<Manifest> ReadManifest(ObjectStore* store, const std::string& prefix) {
 
 Result<EntityBatch> ReadSegment(ObjectStore* store,
                                 const std::string& prefix) {
+  MANU_FAILPOINT("binlog.read");
   MANU_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(store, prefix));
   EntityBatch batch;
   batch.primary_keys = std::move(manifest.primary_keys);

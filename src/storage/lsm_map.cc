@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/retry.h"
 #include "common/serde.h"
 #include "storage/binlog.h"
 
@@ -68,7 +71,9 @@ Status LsmEntityMap::Flush() {
   std::snprintf(name, sizeof(name), "%08lld",
                 static_cast<long long>(next_table_id_));
   const std::string path = prefix_ + "/sst/" + name;
-  MANU_RETURN_NOT_OK(store_->Put(path, binlog::Frame(w.Release())));
+  const std::string framed = binlog::Frame(w.Release());
+  MANU_RETURN_NOT_OK(RetryOp(RetryPolicy{}, "lsm_map.flush",
+                             [&] { return store_->Put(path, framed); }));
   ++next_table_id_;
 
   SsTable table;
@@ -85,9 +90,23 @@ Status LsmEntityMap::Recover() {
   memtable_.clear();
   tables_.clear();
   next_table_id_ = 0;
+  // Validate eagerly, oldest first. SSTables are created strictly in order,
+  // so a corrupt or missing object marks the crash frontier: everything
+  // from it onward is untrusted and the log is truncated to the last valid
+  // table (the WAL replays whatever mappings that drops). Transient read
+  // errors are retried so a flaky store does not masquerade as corruption.
   for (const auto& path : store_->List(prefix_ + "/sst/")) {
     SsTable table;
     table.path = path;
+    const Status st = LoadTable(&table);
+    if (!st.ok()) {
+      MANU_LOG_WARN << "lsm recover: truncating at " << path << ": "
+                    << st.ToString();
+      MetricsRegistry::Global()
+          .GetCounter("lsm_map.recover_truncations")
+          ->Add(1);
+      break;
+    }
     tables_.push_back(std::move(table));
     ++next_table_id_;
   }
@@ -96,7 +115,10 @@ Status LsmEntityMap::Recover() {
 
 Status LsmEntityMap::LoadTable(SsTable* table) const {
   if (table->loaded) return Status::OK();
-  MANU_ASSIGN_OR_RETURN(std::string framed, store_->Get(table->path));
+  MANU_ASSIGN_OR_RETURN(
+      std::string framed,
+      RetryResult(RetryPolicy{}, "lsm_map.load_table",
+                  [&] { return store_->Get(table->path); }));
   MANU_ASSIGN_OR_RETURN(std::string payload, binlog::Unframe(framed));
   BinaryReader r(payload);
   MANU_ASSIGN_OR_RETURN(uint64_t n, r.GetU64());

@@ -42,7 +42,10 @@ class LsmEntityMap {
   /// Flushes the memtable to a new SSTable object; no-op when empty.
   Status Flush();
 
-  /// Rebuilds SSTable list from object storage after logger failover.
+  /// Rebuilds the SSTable list from object storage after logger failover.
+  /// Each table is validated (CRC frame + parse); a corrupt or missing tail
+  /// object truncates recovery to the last valid table instead of failing —
+  /// the dropped mappings are re-derived from WAL replay.
   Status Recover();
 
   size_t NumSsTables() const;

@@ -1,8 +1,14 @@
 #include "storage/meta_store.h"
 
+#include "common/failpoint.h"
+
 namespace manu {
 
 int64_t MetaStore::Put(const std::string& key, const std::string& value) {
+  // Put's signature cannot carry an error; delay policies still apply
+  // (etcd under load), error policies are ignored here.
+  Status fp;
+  MANU_FAILPOINT_CAPTURE("meta_store.put", fp);
   WatchEvent event;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -18,6 +24,7 @@ int64_t MetaStore::Put(const std::string& key, const std::string& value) {
 }
 
 Result<MetaStore::Entry> MetaStore::Get(const std::string& key) const {
+  MANU_FAILPOINT("meta_store.get");
   std::lock_guard<std::mutex> lk(mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return Status::NotFound("meta key: " + key);
@@ -27,6 +34,7 @@ Result<MetaStore::Entry> MetaStore::Get(const std::string& key) const {
 Result<int64_t> MetaStore::CompareAndSwap(const std::string& key,
                                           int64_t expected_revision,
                                           const std::string& value) {
+  MANU_FAILPOINT("meta_store.cas");
   WatchEvent event;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -48,6 +56,7 @@ Result<int64_t> MetaStore::CompareAndSwap(const std::string& key,
 }
 
 Status MetaStore::Delete(const std::string& key) {
+  MANU_FAILPOINT("meta_store.delete");
   WatchEvent event;
   {
     std::lock_guard<std::mutex> lk(mu_);

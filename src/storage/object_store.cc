@@ -5,6 +5,8 @@
 #include <fstream>
 #include <thread>
 
+#include "common/failpoint.h"
+
 namespace manu {
 
 namespace fs = std::filesystem;
@@ -216,6 +218,52 @@ std::vector<std::string> LatencyObjectStore::List(const std::string& prefix) {
 
 Result<uint64_t> LatencyObjectStore::Size(const std::string& path) {
   Sleep(0);
+  return inner_->Size(path);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyObjectStore
+// ---------------------------------------------------------------------------
+
+Status FaultyObjectStore::Put(const std::string& path,
+                              const std::string& data) {
+  MANU_FAILPOINT("object_store.put");
+  return inner_->Put(path, data);
+}
+
+Result<std::string> FaultyObjectStore::Get(const std::string& path) {
+  MANU_FAILPOINT("object_store.get");
+  return inner_->Get(path);
+}
+
+Result<std::string> FaultyObjectStore::GetRange(const std::string& path,
+                                                uint64_t offset,
+                                                uint64_t len) {
+  MANU_FAILPOINT("object_store.get_range");
+  return inner_->GetRange(path, offset, len);
+}
+
+bool FaultyObjectStore::Exists(const std::string& path) {
+  Status st;
+  MANU_FAILPOINT_CAPTURE("object_store.exists", st);
+  if (!st.ok()) return false;  // An unreachable store reports nothing.
+  return inner_->Exists(path);
+}
+
+Status FaultyObjectStore::Delete(const std::string& path) {
+  MANU_FAILPOINT("object_store.delete");
+  return inner_->Delete(path);
+}
+
+std::vector<std::string> FaultyObjectStore::List(const std::string& prefix) {
+  Status st;
+  MANU_FAILPOINT_CAPTURE("object_store.list", st);
+  if (!st.ok()) return {};
+  return inner_->List(prefix);
+}
+
+Result<uint64_t> FaultyObjectStore::Size(const std::string& path) {
+  MANU_FAILPOINT("object_store.size");
   return inner_->Size(path);
 }
 

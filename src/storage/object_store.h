@@ -118,6 +118,30 @@ class LatencyObjectStore : public ObjectStore {
   ObjectStoreLatency latency_;
 };
 
+/// Decorator that routes every operation through the failpoint registry
+/// (sibling of LatencyObjectStore): the S3-outage stand-in. Sites are
+/// object_store.{put,get,get_range,delete,size}; arm them with
+/// FailPointPolicy::ErrorWithProbability / ErrorOnce / Delay to model flaky,
+/// degraded or briefly unavailable cloud storage. Exists/List only honor
+/// delay policies (their signatures cannot carry an error).
+class FaultyObjectStore : public ObjectStore {
+ public:
+  explicit FaultyObjectStore(std::shared_ptr<ObjectStore> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(const std::string& path, const std::string& data) override;
+  Result<std::string> Get(const std::string& path) override;
+  Result<std::string> GetRange(const std::string& path, uint64_t offset,
+                               uint64_t len) override;
+  bool Exists(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  Result<uint64_t> Size(const std::string& path) override;
+
+ private:
+  std::shared_ptr<ObjectStore> inner_;
+};
+
 }  // namespace manu
 
 #endif  // MANU_STORAGE_OBJECT_STORE_H_

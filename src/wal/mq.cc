@@ -1,5 +1,7 @@
 #include "wal/mq.h"
 
+#include "common/failpoint.h"
+
 namespace manu {
 
 MessageQueue::ChannelState* MessageQueue::GetOrCreate(
@@ -18,6 +20,12 @@ const MessageQueue::ChannelState* MessageQueue::Find(
 }
 
 int64_t MessageQueue::Publish(const std::string& channel, LogEntry entry) {
+  // Publish's int64_t signature carries failure as -1: injected mq.publish
+  // faults (delay policies just stall, like a slow broker) and publishes
+  // racing Shutdown() both refuse the entry, and callers must not ack.
+  Status fp;
+  MANU_FAILPOINT_CAPTURE("mq.publish", fp);
+  if (!fp.ok() || IsShutdown()) return -1;
   ChannelState* state = GetOrCreate(channel);
   int64_t offset;
   {
@@ -109,7 +117,7 @@ std::vector<std::string> MessageQueue::ListChannels(
 
 void MessageQueue::Shutdown() {
   std::lock_guard<std::mutex> lk(channels_mu_);
-  shutdown_ = true;
+  shutdown_.store(true, std::memory_order_release);
   for (auto& [_, state] : channels_) state->cv.notify_all();
 }
 
@@ -121,8 +129,12 @@ MessageQueue::Subscription::Poll(size_t max_entries,
     return position_ < state_->base_offset +
                            static_cast<int64_t>(state_->entries.size());
   };
+  // A shut-down broker wakes the wait immediately: consumers drain whatever
+  // remains and then see empty polls without burning `timeout` per call
+  // (distinguish "no data yet" from "no data ever" via closed()).
   if (!have_data()) {
-    state_->cv.wait_for(lk, timeout, [&] { return have_data(); });
+    state_->cv.wait_for(lk, timeout,
+                        [&] { return have_data() || mq_->IsShutdown(); });
   }
   std::vector<std::shared_ptr<const LogEntry>> out;
   // A truncated-away position snaps forward to the oldest retained entry.

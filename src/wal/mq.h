@@ -1,6 +1,7 @@
 #ifndef MANU_WAL_MQ_H_
 #define MANU_WAL_MQ_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -37,7 +38,8 @@ class MessageQueue {
   MessageQueue& operator=(const MessageQueue&) = delete;
 
   /// Appends to `channel` (auto-created) and wakes subscribers. Returns the
-  /// entry's offset.
+  /// entry's offset, or -1 when the publish failed (broker shut down, or an
+  /// injected `mq.publish` fault).
   int64_t Publish(const std::string& channel, LogEntry entry);
 
   /// Creates a subscription starting at `position`.
@@ -64,8 +66,14 @@ class MessageQueue {
   std::vector<std::string> ListChannels(const std::string& prefix) const;
 
   /// Wakes every blocked subscriber; subsequent polls return what remains
-  /// and then empty.
+  /// and then empty — immediately, never burning their timeout (a consumer
+  /// looping on Poll drains and exits without waiting out poll_timeout_ms
+  /// per iteration).
   void Shutdown();
+
+  bool IsShutdown() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
 
  private:
   struct ChannelState {
@@ -80,7 +88,7 @@ class MessageQueue {
 
   mutable std::mutex channels_mu_;
   std::map<std::string, std::unique_ptr<ChannelState>> channels_;
-  bool shutdown_ = false;
+  std::atomic<bool> shutdown_{false};
 
   friend class Subscription;
 };
@@ -106,6 +114,10 @@ class MessageQueue::Subscription {
     position_ = offset;
   }
   const std::string& channel() const { return channel_; }
+
+  /// True once the broker shut down: an empty Poll() is then final, not a
+  /// timeout, and the consumer loop should exit.
+  bool closed() const { return mq_->IsShutdown(); }
 
  private:
   friend class MessageQueue;

@@ -1,0 +1,373 @@
+// Chaos suite: fault injection, graceful degradation and crash recovery.
+// Built as its own test binary (label "chaos") so `ctest -L chaos` runs just
+// these, optionally under MANU_SANITIZE=address|thread.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/synthetic.h"
+#include "core/manu.h"
+#include "storage/lsm_map.h"
+
+namespace manu {
+namespace {
+
+CollectionSchema VecSchema(const std::string& name, int32_t dim) {
+  CollectionSchema schema(name);
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = dim;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+/// Rows [begin, end) of `data` as a batch with pks begin..end-1 shifted by
+/// `pk_offset`.
+EntityBatch VecBatch(const CollectionMeta& meta, const VectorDataset& data,
+                     int64_t begin, int64_t end, int64_t pk_offset = 0) {
+  EntityBatch batch;
+  for (int64_t i = begin; i < end; ++i) {
+    batch.primary_keys.push_back(pk_offset + i);
+  }
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.schema.FieldByName("v")->id, data.dim,
+      std::vector<float>(data.Row(begin),
+                         data.Row(begin) + (end - begin) * data.dim)));
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery gate
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryGate, PromotionRearmsServiceTimestamp) {
+  // A follower consumes the channel for deletes/ticks WITHOUT materializing
+  // inserts, yet its service_ts advances. If promotion kept that service_ts,
+  // the consistency gate would report the rebuilt growing state as fresh
+  // while replay had not even started. Promotion must reset the gate.
+  ManuConfig config;
+  MetaStore meta_store;
+  MemoryObjectStore store;
+  MessageQueue mq;
+  Tso tso;
+  CoreContext ctx{config, &meta_store, &store, &mq, &tso, nullptr};
+
+  const CollectionId coll = 42;
+  auto schema = std::make_shared<CollectionSchema>(VecSchema("gate", 4));
+  const FieldId field = schema->FieldByName("v")->id;
+
+  QueryNode node(1, ctx);
+  node.AddChannel(coll, /*shard=*/0, schema, /*primary=*/false);
+  node.Start();
+
+  // Publish 3 insert batches of 10 rows.
+  Timestamp last_ts = 0;
+  for (int64_t b = 0; b < 3; ++b) {
+    LogEntry entry;
+    entry.type = LogEntryType::kInsert;
+    entry.collection = coll;
+    entry.shard = 0;
+    entry.segment = 7;
+    for (int64_t i = 0; i < 10; ++i) {
+      entry.batch.primary_keys.push_back(b * 10 + i);
+      entry.batch.timestamps.push_back(tso.Allocate());
+    }
+    entry.batch.columns.push_back(FieldColumn::MakeFloatVector(
+        field, 4, std::vector<float>(10 * 4, 0.5f)));
+    entry.timestamp = entry.batch.timestamps.back();
+    last_ts = entry.timestamp;
+    ASSERT_GE(mq.Publish(ShardChannelName(coll, 0), std::move(entry)), 0);
+  }
+
+  // The follower consumes everything (gate open) but materializes nothing.
+  ASSERT_TRUE(node.WaitServiceTs(coll, last_ts, 2000));
+  EXPECT_EQ(node.NumGrowingRows(coll), 0);
+
+  // Promote with the pump stopped: the gate must re-arm immediately, before
+  // any replay happens.
+  node.Stop();
+  node.PromoteChannel(coll, 0);
+  EXPECT_EQ(node.ServiceTs(coll), 0u);
+
+  // Once the pump resumes, replay rebuilds the growing state and the gate
+  // re-opens only after real progress.
+  node.Start();
+  ASSERT_TRUE(node.WaitServiceTs(coll, last_ts, 2000));
+  EXPECT_EQ(node.NumGrowingRows(coll), 30);
+  node.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation
+// ---------------------------------------------------------------------------
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  DegradationTest() {
+    ManuConfig config;
+    config.num_shards = 2;
+    config.num_query_nodes = 2;
+    config.segment_seal_rows = 100000;  // Keep everything growing.
+    config.segment_idle_seal_ms = 600000;
+    config.time_tick_interval_ms = 10;
+    db_ = std::make_unique<ManuInstance>(config);
+    auto meta = db_->CreateCollection(VecSchema("deg", 8));
+    EXPECT_TRUE(meta.ok());
+    meta_ = meta.value();
+    SyntheticOptions opts;
+    opts.num_rows = 200;
+    opts.dim = 8;
+    data_ = MakeClusteredDataset(opts);
+    auto ts = db_->Insert("deg", VecBatch(meta_, data_, 0, 200));
+    EXPECT_TRUE(ts.ok());
+    EXPECT_TRUE(db_->WaitUntilVisible("deg", ts.value()).ok());
+  }
+
+  SearchRequest Req() {
+    SearchRequest req;
+    req.collection = "deg";
+    req.query.assign(data_.Row(0), data_.Row(0) + 8);
+    req.k = 5;
+    req.consistency = ConsistencyLevel::kEventually;
+    return req;
+  }
+
+  std::unique_ptr<ManuInstance> db_;
+  CollectionMeta meta_;
+  VectorDataset data_;
+};
+
+TEST_F(DegradationTest, NodeFailureFailsSearchByDefault) {
+  ScopedFailPoint fp("query_node.search_segment",
+                     FailPointPolicy::ErrorOnce());
+  auto res = db_->Search(Req());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(fp.trips(), 1);
+}
+
+TEST_F(DegradationTest, AllowPartialDropsFailingNode) {
+  const int64_t partial_before =
+      MetricsRegistry::Global().CounterValue("proxy.partial_results");
+  {
+    // Exactly one of the two fanned-out node searches fails.
+    ScopedFailPoint fp("query_node.search_segment",
+                       FailPointPolicy::ErrorOnce());
+    SearchRequest req = Req();
+    req.allow_partial = true;
+    auto res = db_->Search(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_LT(res.value().coverage, 1.0);
+    EXPECT_GT(res.value().coverage, 0.0);
+    EXPECT_FALSE(res.value().ids.empty());
+    EXPECT_EQ(fp.trips(), 1);
+  }
+  EXPECT_EQ(
+      MetricsRegistry::Global().CounterValue("proxy.partial_results"),
+      partial_before + 1);
+
+  // Guard gone: the same request is whole again.
+  SearchRequest req = Req();
+  req.allow_partial = true;
+  auto res = db_->Search(req);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().coverage, 1.0);
+}
+
+TEST_F(DegradationTest, DeadlineSkipsSlowNode) {
+  // One node stalls 300 ms; with a 50 ms per-node deadline and
+  // allow_partial, the proxy abandons it and returns fast.
+  FailPointPolicy slow = FailPointPolicy::Delay(300000);
+  slow.max_trips = 1;
+  ScopedFailPoint fp("query_node.search_segment", std::move(slow));
+
+  SearchRequest req = Req();
+  req.allow_partial = true;
+  req.node_deadline_ms = 50;
+  const int64_t t0 = NowMs();
+  auto res = db_->Search(req);
+  const int64_t elapsed = NowMs() - t0;
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_LT(res.value().coverage, 1.0);
+  EXPECT_LT(elapsed, 250) << "proxy waited for the stalled node";
+
+  // Without allow_partial the same deadline miss is an error.
+  FailPointPolicy again = FailPointPolicy::Delay(300000);
+  again.max_trips = 1;
+  FailPointRegistry::Global().Arm("query_node.search_segment",
+                                  std::move(again));
+  req.allow_partial = false;
+  res = db_->Search(req);
+  EXPECT_FALSE(res.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-workload chaos
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, MixedWorkloadWithNodeCrashesAndStorageFaults) {
+  std::mt19937_64 rng(20260805);
+
+  ManuConfig config;
+  config.num_shards = 2;
+  config.num_query_nodes = 3;
+  config.segment_seal_rows = 400;
+  config.segment_idle_seal_ms = 150;
+  config.time_tick_interval_ms = 10;
+  config.node_search_deadline_ms = 2000;
+  auto store =
+      std::make_shared<FaultyObjectStore>(std::make_shared<MemoryObjectStore>());
+  ManuInstance db(config, store);
+
+  auto meta = db.CreateCollection(VecSchema("chaos", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 8;
+  ASSERT_TRUE(db.CreateIndex("chaos", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 1000;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  // Baseline ingest with a healthy store.
+  std::set<int64_t> acked;
+  int64_t attempted = 0;
+  {
+    auto ts = db.Insert("chaos", VecBatch(meta.value(), data, 0, 400));
+    ASSERT_TRUE(ts.ok());
+    for (int64_t pk = 0; pk < 400; ++pk) acked.insert(pk);
+    attempted = 400;
+    ASSERT_TRUE(db.WaitUntilVisible("chaos", ts.value()).ok());
+  }
+
+  const int64_t retry_attempts_before =
+      MetricsRegistry::Global().CounterValue("retry.attempts");
+
+  // --- Fault window: 5% of object-store reads and writes fail while the
+  // workload keeps inserting and searching and nodes crash underneath it.
+  {
+    ScopedFailPoint faulty_get(
+        "object_store.get",
+        FailPointPolicy::ErrorWithProbability(0.05, /*seed=*/rng()));
+    ScopedFailPoint faulty_put(
+        "object_store.put",
+        FailPointPolicy::ErrorWithProbability(0.05, /*seed=*/rng()));
+
+    for (int iter = 0; iter < 20; ++iter) {
+      // Insert 20 rows; only an acknowledged insert promises durability.
+      const int64_t begin = attempted;
+      const int64_t end = attempted + 20;
+      attempted = end;
+      auto ts =
+          db.Insert("chaos", VecBatch(meta.value(), data, begin, end));
+      if (ts.ok()) {
+        for (int64_t pk = begin; pk < end; ++pk) acked.insert(pk);
+      }
+
+      // Searches degrade gracefully, never error, while storage misbehaves.
+      SearchRequest req;
+      req.collection = "chaos";
+      req.query.assign(data.Row(begin % 400), data.Row(begin % 400) + 8);
+      req.k = 10;
+      req.consistency = ConsistencyLevel::kEventually;
+      req.allow_partial = true;
+      auto res = db.Search(req);
+      ASSERT_TRUE(res.ok()) << "iter " << iter << ": "
+                            << res.status().ToString();
+      EXPECT_LE(res.value().coverage, 1.0);
+
+      // Crash a random query node twice during the window (keeping >= 2
+      // alive), and scale back up in between: recovery runs concurrently
+      // with the faulty store.
+      if (iter == 5 || iter == 12) {
+        auto nodes = db.query_coord()->Nodes();
+        ASSERT_GE(nodes.size(), 2u);
+        const size_t victim = rng() % nodes.size();
+        ASSERT_TRUE(db.KillQueryNode(nodes[victim]->id()).ok());
+      }
+      if (iter == 8) {
+        ASSERT_TRUE(db.ScaleQueryNodes(3).ok());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // Deterministic partial result inside the window: one node search fails.
+    const size_t serving =
+        db.query_coord()->NodesFor(meta.value().id).size();
+    ScopedFailPoint one_bad("query_node.search_segment",
+                            FailPointPolicy::ErrorOnce());
+    SearchRequest req;
+    req.collection = "chaos";
+    req.query.assign(data.Row(0), data.Row(0) + 8);
+    req.k = 10;
+    req.consistency = ConsistencyLevel::kEventually;
+    req.allow_partial = true;
+    auto res = db.Search(req);
+    if (serving >= 2) {
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_LT(res.value().coverage, 1.0);
+    } else {
+      // Channel reassignment collapsed serving onto one node: with its only
+      // node failed, even allow_partial has nothing to return.
+      EXPECT_FALSE(res.ok());
+    }
+    EXPECT_GE(one_bad.trips(), 1);
+  }
+  // Guards out of scope: the store is healthy again.
+
+  // Deterministic retry exercise: one read fails once, the retry layer
+  // absorbs it. Every Get through the faulty store here (the probe's table
+  // load, or a late index/segment load racing it) sits behind RetryOp, so
+  // the counter must advance no matter which call consumes the fault.
+  {
+    LsmEntityMap probe(store.get(), "chaos/probe",
+                       /*memtable_flush_entries=*/2);
+    for (int64_t i = 0; i < 4; ++i) ASSERT_TRUE(probe.Put(i, i).ok());
+    ScopedFailPoint flaky("object_store.get", FailPointPolicy::ErrorOnce());
+    LsmEntityMap recovered(store.get(), "chaos/probe",
+                           /*memtable_flush_entries=*/2);
+    ASSERT_TRUE(recovered.Recover().ok());
+    EXPECT_EQ(*recovered.Lookup(1), 1);
+  }
+  EXPECT_GT(MetricsRegistry::Global().CounterValue("retry.attempts"),
+            retry_attempts_before);
+  EXPECT_GT(MetricsRegistry::Global().CounterValue("failpoint.trips"), 0);
+
+  // --- Recovery: writes flow again and every acknowledged insert is
+  // searchable at strong consistency.
+  {
+    const int64_t begin = attempted;
+    const int64_t end = attempted + 100;
+    attempted = end;
+    auto ts = db.Insert("chaos", VecBatch(meta.value(), data, begin, end));
+    ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+    for (int64_t pk = begin; pk < end; ++pk) acked.insert(pk);
+    ASSERT_TRUE(db.WaitUntilVisible("chaos", ts.value(), 30000).ok());
+  }
+
+  SearchRequest req;
+  req.collection = "chaos";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  // k >= every row that may exist (acked + shards of refused inserts):
+  // the result must then contain every acked pk exactly once.
+  req.k = static_cast<size_t>(attempted);
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().coverage, 1.0);
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(found.size(), res.value().ids.size()) << "duplicate pks";
+  for (int64_t pk : acked) {
+    EXPECT_TRUE(found.count(pk)) << "acked pk " << pk << " lost";
+  }
+}
+
+}  // namespace
+}  // namespace manu

@@ -4,9 +4,11 @@
 
 #include "common/bitset.h"
 #include "common/channel.h"
+#include "common/failpoint.h"
 #include "common/dataset.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/schema.h"
 #include "common/serde.h"
 #include "common/status.h"
@@ -523,6 +525,190 @@ TEST(Timestamps, ComposeExtract) {
   EXPECT_EQ(LogicalPart(ts), 42u);
   // Physical dominates ordering.
   EXPECT_LT(ComposeTimestamp(100, kLogicalMask), ComposeTimestamp(101, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Channel shutdown status
+// ---------------------------------------------------------------------------
+
+TEST(Channel, PopForStatusDistinguishesClosedFromTimeout) {
+  Channel<int> ch;
+  int out = 0;
+  EXPECT_EQ(ch.PopForStatus(std::chrono::milliseconds(10), &out),
+            PopStatus::kTimeout);
+  ch.Push(7);
+  EXPECT_EQ(ch.PopForStatus(std::chrono::milliseconds(10), &out),
+            PopStatus::kItem);
+  EXPECT_EQ(out, 7);
+  ch.Close();
+  // Closed-and-drained returns immediately, not after the timeout.
+  const int64_t t0 = NowMicros();
+  EXPECT_EQ(ch.PopForStatus(std::chrono::milliseconds(5000), &out),
+            PopStatus::kClosed);
+  EXPECT_LT(NowMicros() - t0, 1000000);
+}
+
+TEST(Channel, CloseWakesBlockedPopper) {
+  Channel<int> ch;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ch.Close();
+  });
+  int out = 0;
+  const int64_t t0 = NowMicros();
+  EXPECT_EQ(ch.PopForStatus(std::chrono::milliseconds(5000), &out),
+            PopStatus::kClosed);
+  EXPECT_LT(NowMicros() - t0, 2000000);  // Far under the 5 s timeout.
+  closer.join();
+}
+
+// ---------------------------------------------------------------------------
+// FailPoint
+// ---------------------------------------------------------------------------
+
+Status GuardedOp() {
+  MANU_FAILPOINT("test.site");
+  return Status::OK();
+}
+
+TEST(FailPoint, DisarmedSiteIsTransparent) {
+  EXPECT_FALSE(FailPointRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(FailPointRegistry::Global().Trips("test.site"), 0);
+}
+
+TEST(FailPoint, ErrorOnceTripsExactlyOnce) {
+  ScopedFailPoint fp("test.site", FailPointPolicy::ErrorOnce());
+  EXPECT_TRUE(FailPointRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedOp().IsIOError());
+  EXPECT_TRUE(GuardedOp().ok());  // Budget exhausted.
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(fp.trips(), 1);
+}
+
+TEST(FailPoint, ScopeEndDisarms) {
+  {
+    ScopedFailPoint fp("test.site",
+                       FailPointPolicy::ErrorTimes(100, StatusCode::kTimeout));
+    EXPECT_TRUE(GuardedOp().IsTimeout());
+  }
+  EXPECT_FALSE(FailPointRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST(FailPoint, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    ScopedFailPoint fp("test.site",
+                       FailPointPolicy::ErrorWithProbability(0.3, seed));
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) pattern += GuardedOp().ok() ? '.' : 'X';
+    return pattern;
+  };
+  const std::string a = run(42);
+  EXPECT_EQ(a, run(42));  // Same seed, same fault schedule.
+  EXPECT_NE(a, run(43));
+  EXPECT_NE(a.find('X'), std::string::npos);  // ~19 of 64 expected.
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FailPoint, DelayPolicyStallsButSucceeds) {
+  ScopedFailPoint fp("test.site", FailPointPolicy::Delay(30000));
+  const int64_t t0 = NowMicros();
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_GE(NowMicros() - t0, 25000);
+  EXPECT_EQ(fp.trips(), 1);
+}
+
+TEST(FailPoint, PanicCallbackRuns) {
+  int panics = 0;
+  ScopedFailPoint fp("test.site", FailPointPolicy::Panic([&] {
+                       ++panics;
+                       return Status::Unavailable("node panicked");
+                     }));
+  EXPECT_TRUE(GuardedOp().IsUnavailable());
+  EXPECT_EQ(panics, 1);
+}
+
+TEST(FailPoint, CaptureVariantStoresStatus) {
+  auto captured = [] {
+    Status st;
+    MANU_FAILPOINT_CAPTURE("test.capture", st);
+    return st;
+  };
+  EXPECT_TRUE(captured().ok());
+  ScopedFailPoint fp("test.capture",
+                     FailPointPolicy::ErrorOnce(StatusCode::kUnavailable));
+  EXPECT_TRUE(captured().IsUnavailable());
+  EXPECT_TRUE(captured().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+// ---------------------------------------------------------------------------
+
+TEST(Retry, TransientFaultsAreAbsorbed) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;  // Fast test.
+  policy.max_backoff_us = 500;
+  ScopedFailPoint fp("test.site", FailPointPolicy::ErrorTimes(2));
+  int calls = 0;
+  Status st = RetryOp(policy, "test.op", [&] {
+    ++calls;
+    return GuardedOp();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);  // 2 injected failures + 1 success.
+}
+
+TEST(Retry, BudgetExhaustionSurfacesLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 500;
+  const int64_t giveups_before =
+      MetricsRegistry::Global().CounterValue("retry.giveups");
+  ScopedFailPoint fp("test.site", FailPointPolicy::ErrorTimes(100));
+  Status st = RetryOp(policy, "test.op", [] { return GuardedOp(); });
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(fp.trips(), 3);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("retry.giveups"),
+            giveups_before + 1);
+}
+
+TEST(Retry, SemanticErrorsAreNotRetried) {
+  int calls = 0;
+  Status st = RetryOp(RetryPolicy{}, "test.op", [&] {
+    ++calls;
+    return Status::Corruption("bad checksum");
+  });
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(calls, 1);  // Retrying cannot fix corruption.
+}
+
+TEST(Retry, ResultVariantReturnsValueAfterRetry) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 500;
+  ScopedFailPoint fp("test.site", FailPointPolicy::ErrorOnce());
+  auto result = RetryResult(policy, "test.op", [&]() -> Result<int> {
+    MANU_RETURN_NOT_OK(GuardedOp());
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Retry, BackoffGrowsAndStaysCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.BackoffMicros(1, "op"), 100);
+  EXPECT_EQ(policy.BackoffMicros(2, "op"), 200);
+  EXPECT_EQ(policy.BackoffMicros(5, "op"), 1000);  // Capped.
+  // Deterministic jitter: same (op, attempt) gives the same delay.
+  policy.jitter = 0.5;
+  EXPECT_EQ(policy.BackoffMicros(3, "op"), policy.BackoffMicros(3, "op"));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "storage/binlog.h"
 #include "storage/lsm_map.h"
@@ -266,6 +267,95 @@ TEST(LsmMap, RecoverFromObjectStorage) {
   EXPECT_EQ(*recovered.Lookup(3), 1003);
   EXPECT_TRUE(recovered.Lookup(5).status().IsNotFound());
   EXPECT_EQ(recovered.MemtableSize(), 0u);
+}
+
+TEST(LsmMap, RecoverTruncatesAtCorruptTail) {
+  MemoryObjectStore store;
+  {
+    LsmEntityMap map(&store, "lsm/corrupt", /*memtable_flush_entries=*/4);
+    // 12 keys at 4 entries/table -> tables [0..3], [4..7], [8..11].
+    for (int64_t i = 0; i < 12; ++i) ASSERT_TRUE(map.Put(i, i + 1000).ok());
+    ASSERT_EQ(map.NumSsTables(), 3u);
+  }
+  // Flip a payload bit in the newest table: a torn write at the crash
+  // frontier.
+  auto tables = store.List("lsm/corrupt/sst/");
+  ASSERT_EQ(tables.size(), 3u);
+  std::string framed = *store.Get(tables.back());
+  framed[framed.size() / 2] ^= 0x1;
+  ASSERT_TRUE(store.Put(tables.back(), framed).ok());
+
+  const int64_t truncations_before =
+      MetricsRegistry::Global().CounterValue("lsm_map.recover_truncations");
+  LsmEntityMap recovered(&store, "lsm/corrupt", /*memtable_flush_entries=*/4);
+  ASSERT_TRUE(recovered.Recover().ok());
+  // Recovery succeeds but stops before the corrupt table.
+  EXPECT_EQ(recovered.NumSsTables(), 2u);
+  EXPECT_EQ(*recovered.Lookup(0), 1000);
+  EXPECT_EQ(*recovered.Lookup(7), 1007);
+  for (int64_t i = 8; i < 12; ++i) {
+    EXPECT_TRUE(recovered.Lookup(i).status().IsNotFound()) << i;
+  }
+  EXPECT_EQ(
+      MetricsRegistry::Global().CounterValue("lsm_map.recover_truncations"),
+      truncations_before + 1);
+}
+
+TEST(LsmMap, RecoverTruncatesAtMissingTailObject) {
+  MemoryObjectStore store;
+  {
+    LsmEntityMap map(&store, "lsm/missing", /*memtable_flush_entries=*/4);
+    for (int64_t i = 0; i < 12; ++i) ASSERT_TRUE(map.Put(i, i + 1000).ok());
+  }
+  auto tables = store.List("lsm/missing/sst/");
+  ASSERT_EQ(tables.size(), 3u);
+  // A Get that races List can see the newest table vanish (an object store
+  // offers no snapshot): treated like the corrupt-tail case.
+  ASSERT_TRUE(store.Delete(tables.back()).ok());
+
+  LsmEntityMap recovered(&store, "lsm/missing", /*memtable_flush_entries=*/4);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.NumSsTables(), 2u);
+  EXPECT_EQ(*recovered.Lookup(4), 1004);
+  EXPECT_TRUE(recovered.Lookup(11).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyObjectStore
+// ---------------------------------------------------------------------------
+
+TEST(FaultyObjectStore, DelegatesWhenDisarmed) {
+  FaultyObjectStore store(std::make_shared<MemoryObjectStore>());
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(*store.Get("k"), "v");
+  EXPECT_TRUE(store.Exists("k"));
+  EXPECT_EQ(*store.Size("k"), 1u);
+  EXPECT_EQ(store.List("").size(), 1u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(FaultyObjectStore, InjectsArmedFaults) {
+  FaultyObjectStore store(std::make_shared<MemoryObjectStore>());
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  {
+    ScopedFailPoint fp("object_store.get", FailPointPolicy::ErrorOnce());
+    EXPECT_TRUE(store.Get("k").status().IsIOError());
+    // max_trips=1: the site auto-disarms after the first trip.
+    EXPECT_EQ(*store.Get("k"), "v");
+    EXPECT_EQ(fp.trips(), 1);
+  }
+  {
+    ScopedFailPoint fp(
+        "object_store.put",
+        FailPointPolicy::ErrorTimes(2, StatusCode::kUnavailable));
+    EXPECT_TRUE(store.Put("k2", "v2").IsUnavailable());
+    EXPECT_TRUE(store.Put("k2", "v2").IsUnavailable());
+    EXPECT_TRUE(store.Put("k2", "v2").ok());
+    EXPECT_EQ(fp.trips(), 2);
+  }
+  // Guards out of scope: transparent again.
+  EXPECT_EQ(*store.Get("k2"), "v2");
 }
 
 }  // namespace

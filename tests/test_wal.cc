@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
+#include "common/metrics.h"
 #include "wal/message.h"
 #include "wal/mq.h"
 #include "wal/time_tick.h"
@@ -265,6 +267,51 @@ TEST(TimeTick, TickDominatesPriorPublishes) {
   auto entries = sub->TryPoll(10);
   ASSERT_EQ(entries.size(), 2u);
   EXPECT_GT(entries[1]->timestamp, entries[0]->timestamp);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics
+// ---------------------------------------------------------------------------
+
+TEST(MessageQueue, ShutdownWakesBlockedPollImmediately) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  EXPECT_FALSE(sub->closed());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    mq.Shutdown();
+  });
+  const int64_t t0 = NowMicros();
+  auto entries = sub->Poll(10, std::chrono::milliseconds(10000));
+  closer.join();
+  EXPECT_TRUE(entries.empty());
+  // Woken by Shutdown(), nowhere near the 10 s timeout.
+  EXPECT_LT(NowMicros() - t0, 5000000);
+  EXPECT_TRUE(sub->closed());
+}
+
+TEST(MessageQueue, PollAfterShutdownReturnsWithoutBurningTimeout) {
+  MessageQueue mq;
+  auto sub = mq.Subscribe("ch", SubscribePosition::kEarliest);
+  mq.Publish("ch", Tick(1));
+  mq.Publish("ch", Tick(2));
+  mq.Shutdown();
+  // Retained entries still drain after shutdown...
+  auto entries = sub->Poll(10, std::chrono::milliseconds(10000));
+  EXPECT_EQ(entries.size(), 2u);
+  // ...and once drained, polls are immediate and final, not timeouts.
+  const int64_t t0 = NowMicros();
+  EXPECT_TRUE(sub->Poll(10, std::chrono::milliseconds(10000)).empty());
+  EXPECT_LT(NowMicros() - t0, 5000000);
+  EXPECT_TRUE(sub->closed());
+}
+
+TEST(MessageQueue, PublishAfterShutdownIsRefused) {
+  MessageQueue mq;
+  EXPECT_EQ(mq.Publish("ch", Tick(1)), 0);
+  mq.Shutdown();
+  EXPECT_EQ(mq.Publish("ch", Tick(2)), -1);
+  EXPECT_EQ(mq.EndOffset("ch"), 1);  // Nothing appended.
 }
 
 }  // namespace
