@@ -32,7 +32,10 @@ void Run() {
   config.query_threads = 2;
   // Each simulated node is its own machine: per-segment service time keeps
   // throughput architecture-bound instead of host-core-bound (see
-  // ManuConfig docs).
+  // ManuConfig docs). Serial scan pinned so the calibration (per-query
+  // cost = sim * segments, two concurrent queries per node) measures
+  // *node* scaling, not intra-query fan-out.
+  config.parallel_search = false;
   config.sim_segment_search_us = 1500;
   ManuInstance db(config);
 

@@ -25,6 +25,9 @@ double MeasureQps(int64_t rows, int64_t seal_rows) {
   config.num_index_nodes = 2;
   config.index_build_threads = 4;
   config.query_threads = 2;
+  // Serial scan pinned to keep the data-scaling curve on the original
+  // calibration (per-query cost = sim * segments); see bench_fig10.
+  config.parallel_search = false;
   config.sim_segment_search_us = 1500;
   ManuInstance db(config);
 

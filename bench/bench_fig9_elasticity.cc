@@ -41,6 +41,10 @@ void Run() {
   config.num_query_nodes = 2;
   config.num_index_nodes = 2;
   config.query_threads = 2;
+  // Serial scan pinned: the autoscaler thresholds below are calibrated
+  // against per-query latency = sim * segments with two concurrent queries
+  // per node; intra-query fan-out would halve that and shift every knee.
+  config.parallel_search = false;
   config.sim_segment_search_us = 15000;  // 15 ms per segment per node.
   ManuInstance db(config);
 

@@ -4,9 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 
 #include "common/bitset.h"
+#include "common/threadpool.h"
 #include "common/topk.h"
 #include "index/pq.h"
 #include "index/sq.h"
@@ -133,6 +135,63 @@ void BM_SqScoreScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRows);
 }
 BENCHMARK(BM_SqScoreScan);
+
+void BM_MergeTopKDedup(benchmark::State& state) {
+  // Node-level reduce of per-segment lists with heavy pk overlap (replica
+  // serving): stresses the best-score-per-id collapse before k-selection.
+  const int64_t lists = state.range(0);
+  constexpr size_t kK = 50;
+  std::mt19937_64 rng(11);
+  std::vector<std::vector<Neighbor>> input(lists);
+  for (auto& list : input) {
+    for (size_t i = 0; i < 2 * kK; ++i) {
+      // ~50% id overlap across lists.
+      list.push_back({static_cast<int64_t>(rng() % (lists * kK)),
+                      static_cast<float>(rng() % 1000) * 0.001f});
+    }
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.score < b.score;
+              });
+  }
+  for (auto _ : state) {
+    auto out = MergeTopK(input, kK, /*dedup_ids=*/true);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lists * 2 * kK);
+}
+BENCHMARK(BM_MergeTopKDedup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParallelForSegmentScan(benchmark::State& state) {
+  // The intra-query fan-out shape: `segments` independent brute-force
+  // scans dispatched with caller-runs ParallelFor. threads=0 is the serial
+  // baseline (no pool). On a multi-core host the parallel rows scale with
+  // the pool width; on single-core CI they bound the dispatch overhead.
+  const int64_t threads = state.range(0);
+  constexpr int64_t kSegments = 16;
+  constexpr int64_t kRows = 2048;
+  constexpr int32_t kDim = 64;
+  auto data = RandomVectors(kSegments * kRows, kDim, 12);
+  auto query = RandomVectors(1, kDim, 13);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  std::vector<float> best(kSegments);
+  for (auto _ : state) {
+    ParallelFor(pool.get(), kSegments, [&](int64_t seg) {
+      const float* base = data.data() + seg * kRows * kDim;
+      float best_score = 1e30f;
+      for (int64_t r = 0; r < kRows; ++r) {
+        best_score =
+            std::min(best_score, ScalarL2(query.data(), base + r * kDim,
+                                          static_cast<size_t>(kDim)));
+      }
+      best[seg] = best_score;
+    });
+    benchmark::DoNotOptimize(best.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kSegments * kRows);
+}
+BENCHMARK(BM_ParallelForSegmentScan)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_BitsetFilter(benchmark::State& state) {
   constexpr size_t kBits = 1 << 20;

@@ -30,9 +30,12 @@ class SearchEngine {
 /// Manu's edge to "better implementations with optimizations for CPU cache
 /// and SIMD"). Default of one segment is faithful at bench scale: the
 /// paper's 512 MB seal size means datasets up to ~1M 128-d vectors occupy
-/// a single segment.
+/// a single segment. With more than one segment, per-segment searches fan
+/// out across `query_threads` (Section 6.4 intra-query parallelism;
+/// 0 = serial scan).
 std::unique_ptr<SearchEngine> MakeManuEngine(IndexType type,
-                                             int32_t num_segments = 1);
+                                             int32_t num_segments = 1,
+                                             int32_t query_threads = 4);
 
 /// ES-like baseline: disk-resident inverted index. Centroids live in
 /// memory; every probed posting list is fetched from (simulated) disk with

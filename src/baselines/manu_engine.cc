@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <memory>
 
 #include "baselines/engine.h"
+#include "common/threadpool.h"
 #include "index/index_factory.h"
 
 namespace manu {
@@ -9,8 +11,13 @@ namespace {
 
 class ManuEngine : public SearchEngine {
  public:
-  ManuEngine(IndexType type, int32_t num_segments)
-      : type_(type), num_segments_(num_segments) {}
+  ManuEngine(IndexType type, int32_t num_segments, int32_t query_threads)
+      : type_(type), num_segments_(num_segments) {
+    if (query_threads > 0 && num_segments > 1) {
+      pool_ = std::make_unique<ThreadPool>(
+          static_cast<size_t>(query_threads));
+    }
+  }
 
   std::string name() const override {
     return std::string("manu/") + ToString(type_);
@@ -47,13 +54,23 @@ class ManuEngine : public SearchEngine {
     sp.k = k;
     sp.nprobe = 1 + static_cast<int32_t>(knob * 63);
     sp.ef_search = static_cast<int32_t>(k + knob * 400);
-    std::vector<std::vector<Neighbor>> lists;
-    lists.reserve(segments_.size());
-    for (size_t s = 0; s < segments_.size(); ++s) {
-      MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
-                            segments_[s]->Search(query, sp));
-      for (Neighbor& n : hits) n.id += bases_[s];  // Segment-local -> global.
-      lists.push_back(std::move(hits));
+    // Fixed result slots + order-independent reduce: identical output
+    // whether the fan-out runs serially or across the pool.
+    std::vector<std::vector<Neighbor>> lists(segments_.size());
+    std::vector<Status> statuses(segments_.size());
+    ParallelFor(pool_.get(), static_cast<int64_t>(segments_.size()),
+                [&](int64_t s) {
+                  auto hits = segments_[s]->Search(query, sp);
+                  if (!hits.ok()) {
+                    statuses[s] = hits.status();
+                    return;
+                  }
+                  // Segment-local -> global.
+                  for (Neighbor& n : hits.value()) n.id += bases_[s];
+                  lists[s] = std::move(hits).value();
+                });
+    for (Status& st : statuses) {
+      if (!st.ok()) return std::move(st);
     }
     return MergeTopK(lists, k, /*dedup_ids=*/false);
   }
@@ -64,13 +81,15 @@ class ManuEngine : public SearchEngine {
   MetricType metric_ = MetricType::kL2;
   std::vector<std::unique_ptr<VectorIndex>> segments_;
   std::vector<int64_t> bases_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null = serial segment scan.
 };
 
 }  // namespace
 
 std::unique_ptr<SearchEngine> MakeManuEngine(IndexType type,
-                                             int32_t num_segments) {
-  return std::make_unique<ManuEngine>(type, num_segments);
+                                             int32_t num_segments,
+                                             int32_t query_threads) {
+  return std::make_unique<ManuEngine>(type, num_segments, query_threads);
 }
 
 }  // namespace manu

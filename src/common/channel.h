@@ -23,13 +23,17 @@ enum class PopStatus { kItem, kTimeout, kClosed };
 template <typename T>
 class Channel {
  public:
-  void Push(T item) {
+  /// Returns false when the item was dropped because the channel is closed
+  /// (callers that must not lose work — e.g. ThreadPool::Submit — fall back
+  /// to running it themselves).
+  bool Push(T item) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (closed_) return;  // Drop writes after close.
+      if (closed_) return false;  // Drop writes after close.
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the channel is closed and drained.

@@ -1,9 +1,12 @@
 #ifndef MANU_COMMON_THREADPOOL_H_
 #define MANU_COMMON_THREADPOOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -29,14 +32,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Submits a task; returns a future for its result.
+  /// Submits a task; returns a future for its result. On a shut-down pool
+  /// the task runs inline on the caller (the queue drops pushes after
+  /// close, and a silently dropped packaged_task would leave the returned
+  /// future forever unready).
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    queue_.Push([task] { (*task)(); });
+    if (!queue_.Push([task] { (*task)(); })) (*task)();
     return fut;
   }
 
@@ -64,29 +70,63 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-/// Runs `fn(i)` for i in [0, n) across `pool` (or inline when pool is null
-/// or n is small) and waits for completion.
+/// Runs `fn(i)` for i in [0, n) across `pool` and waits for completion.
+/// `grain` is the number of consecutive indices one task claims at a time.
+///
+/// Safe to call from *inside* a pool worker (nested parallelism): the
+/// caller participates in the work instead of parking on futures. Chunks
+/// live in a shared claim counter; the caller loops claiming chunks like
+/// any helper, so every chunk is executed even if no pool worker is ever
+/// free (pool of size 1, or all workers themselves blocked in nested
+/// ParallelFor calls). A naive inner Submit(...).get() would deadlock in
+/// exactly that situation. Helpers that wake up after the range is drained
+/// exit without touching `fn`, so the caller's frame may safely be gone by
+/// then. `fn` must not throw.
 template <typename F>
 void ParallelFor(ThreadPool* pool, int64_t n, F&& fn, int64_t grain = 1) {
-  if (pool == nullptr || n <= grain) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (pool == nullptr || pool->num_threads() == 0 || n <= grain) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const int64_t num_chunks =
-      std::min<int64_t>(static_cast<int64_t>(pool->num_threads()) * 4,
-                        (n + grain - 1) / grain);
-  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(num_chunks);
-  for (int64_t c = 0; c < num_chunks; ++c) {
-    const int64_t begin = c * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futs.push_back(pool->Submit([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
-    }));
-  }
-  for (auto& f : futs) f.get();
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  // shared_ptr: posted helpers may outlive this frame (they run as no-ops
+  // once all chunks are claimed, but still read `next`).
+  auto state = std::make_shared<State>();
+  auto* fn_ptr = std::addressof(fn);
+  auto work = [state, fn_ptr, n, grain, num_chunks] {
+    for (;;) {
+      const int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      // A claimed chunk implies the caller is still waiting below, so
+      // dereferencing fn_ptr here is safe.
+      const int64_t begin = c * grain;
+      const int64_t end = std::min(n, begin + grain);
+      for (int64_t i = begin; i < end; ++i) (*fn_ptr)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        // Lock pairs with the caller's predicate check: without it the
+        // caller could test done, decide to sleep, and miss this notify.
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const int64_t helpers = std::min<int64_t>(
+      static_cast<int64_t>(pool->num_threads()), num_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) pool->Post(work);
+  work();  // Caller-runs: claims chunks until none remain.
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] {
+    return state->done.load(std::memory_order_acquire) == num_chunks;
+  });
 }
 
 }  // namespace manu

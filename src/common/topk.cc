@@ -1,35 +1,39 @@
 #include "common/topk.h"
 
 #include <limits>
-#include <unordered_set>
+#include <unordered_map>
 
 namespace manu {
 
 std::vector<Neighbor> MergeTopK(
     const std::vector<std::vector<Neighbor>>& lists, size_t k,
     bool dedup_ids) {
-  TopKHeap heap(dedup_ids ? k * 2 : k);  // Headroom so dedup can't starve k.
+  if (!dedup_ids) {
+    TopKHeap heap(k);
+    for (const auto& list : lists) {
+      for (const auto& n : list) {
+        if (heap.Full() && n.score > heap.Worst()) break;  // Sorted lists.
+        heap.Push(n.id, n.score);
+      }
+    }
+    return heap.TakeSorted();
+  }
+  // Dedup-aware merge: collapse to the best score per id *before* the k
+  // selection. The previous scheme (heap of 2k, dedup on extraction) starves
+  // when more than k duplicates of the same few ids crowd the headroom —
+  // with r replicas of every segment, r*k copies of the same k ids evict
+  // every distinct backfill candidate and the merge returns < k unique hits
+  // even though worse-but-distinct ids were available.
+  std::unordered_map<int64_t, float> best;
   for (const auto& list : lists) {
     for (const auto& n : list) {
-      if (heap.Full() && n.score > heap.Worst()) break;  // Lists are sorted.
-      heap.Push(n.id, n.score);
+      auto [it, inserted] = best.try_emplace(n.id, n.score);
+      if (!inserted && n.score < it->second) it->second = n.score;
     }
   }
-  std::vector<Neighbor> merged = heap.TakeSorted();
-  if (!dedup_ids) {
-    if (merged.size() > k) merged.resize(k);
-    return merged;
-  }
-  std::vector<Neighbor> out;
-  out.reserve(k);
-  std::unordered_set<int64_t> seen;
-  for (const auto& n : merged) {
-    if (seen.insert(n.id).second) {
-      out.push_back(n);
-      if (out.size() == k) break;
-    }
-  }
-  return out;
+  TopKHeap heap(k);
+  for (const auto& [id, score] : best) heap.Push(id, score);
+  return heap.TakeSorted();
 }
 
 }  // namespace manu

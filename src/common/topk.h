@@ -73,6 +73,12 @@ class TopKHeap {
 /// Merges several best-first-sorted hit lists into one global top-k,
 /// dropping duplicate ids (the paper: "proxies remove duplicate result
 /// vectors" because a segment may live on two query nodes mid-rebalance).
+/// With dedup the merge keeps the best score per id before selecting k, so
+/// arbitrarily many replica duplicates cannot starve distinct candidates
+/// out of the result. The selection is order-independent (strict (score,
+/// id) ordering), which is what lets parallel segment searches fill their
+/// per-chunk lists in any completion order and still reduce to a
+/// deterministic top-k.
 std::vector<Neighbor> MergeTopK(
     const std::vector<std::vector<Neighbor>>& lists, size_t k,
     bool dedup_ids = true);

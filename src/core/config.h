@@ -41,6 +41,14 @@ struct ManuConfig {
   int32_t num_loggers = 1;
   int32_t index_build_threads = 2;   ///< Per index node.
   int32_t query_threads = 4;         ///< Per query node (intra-query).
+  /// Intra-query parallelism (Section 6.4): a search fans its per-segment
+  /// top-k computations across the node's query_threads pool and reduces
+  /// node-locally. Off = the pre-fan-out serial scan (debug / A-B knob).
+  bool parallel_search = true;
+  /// Segments per parallel task in the intra-query fan-out. 1 (default)
+  /// dispatches each segment separately (best balance under stragglers);
+  /// larger grains amortize dispatch when segments are tiny.
+  int64_t search_parallel_grain = 1;
 
   // --- Node main-loop cadence ---
   int64_t poll_batch = 256;          ///< Max WAL entries per poll.
@@ -52,6 +60,13 @@ struct ManuConfig {
   double compact_deleted_ratio = 0.3;
   /// Merge sealed segments smaller than this fraction of seal size.
   double small_segment_ratio = 0.25;
+  /// Query-node delete-tombstone buffer: once the per-collection buffer
+  /// holds at least this many pks, entries whose delete LSN is below the
+  /// collection's min channel service_ts are compacted away (every loaded
+  /// segment has already absorbed them, and any later-loaded segment
+  /// re-consumes older tombstones from its channel replay). Tests shrink it
+  /// to force compaction; the floor keeps the common case allocation-free.
+  int64_t delete_buffer_compact_min = 1024;
 
   // --- Consistency wait bound (avoid unbounded stalls if ticks stop) ---
   int64_t max_consistency_wait_ms = 5000;

@@ -127,6 +127,18 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
     total_weight += w;
   }
 
+  const int64_t deadline_ms = req.node_deadline_ms > 0
+                                  ? req.node_deadline_ms
+                                  : ctx_.config.node_search_deadline_ms;
+  // Stamp the absolute deadline into the node request: a straggler the
+  // proxy abandons below keeps running on its executor (the shared_ptr
+  // keeps the request alive), but its parallel segment fan-out checks this
+  // and stops claiming new segment work instead of finishing a result
+  // nobody will read.
+  if (deadline_ms > 0) {
+    prep->nreq.deadline_us = NowMicros() + deadline_ms * 1000;
+  }
+
   std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
   futures.reserve(nodes.size());
   for (auto& node : nodes) {
@@ -134,9 +146,6 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
         pool_.Submit([node, prep]() { return node->Search(prep->nreq); }));
   }
 
-  const int64_t deadline_ms = req.node_deadline_ms > 0
-                                  ? req.node_deadline_ms
-                                  : ctx_.config.node_search_deadline_ms;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(std::max<int64_t>(
                             0, deadline_ms));

@@ -32,16 +32,20 @@ Result<std::vector<SegmentHit>> QueryNode::Search(
 
 std::vector<Result<std::vector<SegmentHit>>> QueryNode::SearchBatch(
     const std::vector<NodeSearchRequest>& reqs) {
-  return executor_
-      ->Submit([this, &reqs] {
-        std::vector<Result<std::vector<SegmentHit>>> out;
-        out.reserve(reqs.size());
-        for (const NodeSearchRequest& req : reqs) {
-          out.push_back(SearchInternal(req));
-        }
-        return out;
-      })
-      .get();
+  // One executor task per request: the batch spreads across the pool
+  // instead of serializing on a single thread (the old mega-task pinned
+  // the whole batch to one executor slot, so query_threads bought batched
+  // clients nothing).
+  std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
+  futures.reserve(reqs.size());
+  for (const NodeSearchRequest& req : reqs) {
+    futures.push_back(
+        executor_->Submit([this, &req] { return SearchInternal(req); }));
+  }
+  std::vector<Result<std::vector<SegmentHit>>> out;
+  out.reserve(reqs.size());
+  for (auto& fut : futures) out.push_back(fut.get());
+  return out;
 }
 
 void QueryNode::Start() {
@@ -164,10 +168,16 @@ void QueryNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
     }
     case LogEntryType::kDelete: {
       for (int64_t pk : entry.delete_pks) {
-        coll.deletes.emplace_back(pk, entry.timestamp);
+        // Dedup per pk, max delete LSN wins: replaying the max-LSN
+        // tombstone onto a late-loaded segment hides the row for every
+        // read at or after it, and reads below it were served by the
+        // segment's own timestamped tombstones applied live here.
+        Timestamp& buffered = coll.deletes[pk];
+        buffered = std::max(buffered, entry.timestamp);
         for (auto& [_, seg] : coll.growing) seg->Delete(pk, entry.timestamp);
         for (auto& [_, seg] : coll.sealed) seg->Delete(pk, entry.timestamp);
       }
+      MaybeCompactDeletesLocked(ch->collection, &coll);
       break;
     }
     case LogEntryType::kTimeTick:
@@ -237,6 +247,32 @@ void QueryNode::ReleaseSegment(CollectionId collection, SegmentId segment) {
   }
 }
 
+void QueryNode::MaybeCompactDeletesLocked(CollectionId collection,
+                                          CollectionState* coll) {
+  const size_t floor_size = static_cast<size_t>(
+      std::max<int64_t>(1, ctx_.config.delete_buffer_compact_min));
+  if (coll->deletes_compact_at < floor_size) {
+    coll->deletes_compact_at = floor_size;
+  }
+  if (coll->deletes.size() < coll->deletes_compact_at) return;
+  // Tombstones below the collection's min consumed tick have been applied
+  // to every segment this node serves; segments loaded later re-consume
+  // older deletes from the channel replay (subscriptions start at the
+  // earliest retained offset) or get them physically purged by data-coord
+  // compaction. Only the in-flight suffix must stay buffered, which bounds
+  // the buffer — and the linear replay on LoadSealedSegment — by the
+  // delete rate within the consistency window instead of by history.
+  const Timestamp floor_ts = ServiceTsLocked(collection);
+  std::erase_if(coll->deletes, [floor_ts](const auto& kv) {
+    return kv.second < floor_ts;
+  });
+  // Doubling schedule keeps the scan amortized O(1) per consumed delete.
+  coll->deletes_compact_at = std::max(floor_size, coll->deletes.size() * 2);
+  MetricsRegistry::Global()
+      .GetCounter("query_node.delete_buffer_compactions")
+      ->Add(1);
+}
+
 Timestamp QueryNode::ServiceTsLocked(CollectionId collection) const {
   Timestamp min_ts = kMaxTimestamp;
   bool any = false;
@@ -256,10 +292,13 @@ Timestamp QueryNode::ServiceTs(CollectionId collection) const {
 bool QueryNode::WaitServiceTs(CollectionId collection, Timestamp ts,
                               int64_t max_ms) {
   std::shared_lock lk(mu_);
-  return tick_cv_.wait_for(lk, std::chrono::milliseconds(max_ms), [&] {
+  tick_cv_.wait_for(lk, std::chrono::milliseconds(max_ms), [&] {
     return ServiceTsLocked(collection) >= ts ||
            stop_.load(std::memory_order_acquire);
   });
+  // stop_ wakes the wait but is not progress: reporting success for a node
+  // that stopped mid-wait would bless its stale snapshot as fresh enough.
+  return ServiceTsLocked(collection) >= ts;
 }
 
 bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
@@ -269,13 +308,19 @@ bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
       static_cast<int64_t>(PhysicalMs(read_ts)) - staleness_ms;
   std::shared_lock lk(mu_);
   // Lr - Ls < tau  <=>  physical(Ls) > physical(Lr) - tau.
-  return tick_cv_.wait_for(
+  tick_cv_.wait_for(
       lk, std::chrono::milliseconds(ctx_.config.max_consistency_wait_ms),
       [&] {
         return static_cast<int64_t>(
                    PhysicalMs(ServiceTsLocked(collection))) >= target_ms ||
                stop_.load(std::memory_order_acquire);
       });
+  // Re-evaluate the real freshness condition: stop_ wakes the wait so a
+  // dying node does not burn the full bound, but it must not turn an
+  // unsatisfied gate into success (SearchInternal separately refuses
+  // stopped nodes even when the gate holds).
+  return static_cast<int64_t>(PhysicalMs(ServiceTsLocked(collection))) >=
+         target_ms;
 }
 
 Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
@@ -293,7 +338,16 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       MetricsRegistry::Global().GetHistogram("query_node.consistency_wait");
   {
     const int64_t t0 = NowMicros();
-    if (!WaitConsistency(req.collection, req.read_ts, req.staleness_ms)) {
+    const bool fresh =
+        WaitConsistency(req.collection, req.read_ts, req.staleness_ms);
+    // Re-check stop_ after the wait: stopping satisfies the wait predicate,
+    // and a node killed mid-wait must refuse instead of serving whatever
+    // snapshot its last pump iteration left behind.
+    if (stop_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("query node " + std::to_string(id_) +
+                                 " stopped during consistency wait");
+    }
+    if (!fresh) {
       return Status::Timeout("consistency wait exceeded bound");
     }
     wait_hist->Observe(static_cast<double>(NowMicros() - t0));
@@ -323,9 +377,18 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
   }
 
   const int64_t t0 = NowMicros();
-  std::vector<std::vector<Neighbor>> per_segment;
+  const int64_t num_sealed = static_cast<int64_t>(sealed.size());
+  const int64_t num_segments =
+      num_sealed + static_cast<int64_t>(growing.size());
+  // Fixed slot per segment: results land at their segment's index no
+  // matter which thread finishes first, so the reduce input — and with the
+  // order-independent MergeTopK, the final top-k — is byte-identical to
+  // the serial scan.
+  std::vector<std::vector<Neighbor>> per_segment(num_segments);
+  std::vector<Status> statuses(num_segments);
 
-  if (req.targets.size() == 1) {
+  // Single-vector per-segment top-k.
+  auto single_search = [&](int64_t i) -> Status {
     const SearchTarget& target = req.targets[0];
     SegmentSearchRequest sreq;
     sreq.field = target.field;
@@ -333,76 +396,106 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     sreq.params = req.params;
     sreq.read_ts = req.read_ts;
     sreq.filter = req.filter;
-    for (const auto& seg : sealed) {
-      MANU_ASSIGN_OR_RETURN(std::vector<SegmentHit> hits, seg->Search(sreq));
-      std::vector<Neighbor> list;
-      list.reserve(hits.size());
-      for (const auto& h : hits) list.push_back({h.pk, h.score});
-      per_segment.push_back(std::move(list));
-    }
-    for (const auto& seg : growing) {
-      MANU_ASSIGN_OR_RETURN(std::vector<SegmentHit> hits, seg->Search(sreq));
-      std::vector<Neighbor> list;
-      list.reserve(hits.size());
-      for (const auto& h : hits) list.push_back({h.pk, h.score});
-      per_segment.push_back(std::move(list));
-    }
-  } else {
-    // Multi-vector search, "vector fusion" strategy: per-field searches
-    // gather candidates, exact weighted re-ranking scores them (the
-    // decomposable-similarity strategy; Section 3.6).
+    auto hits = i < num_sealed ? sealed[i]->Search(sreq)
+                               : growing[i - num_sealed]->Search(sreq);
+    if (!hits.ok()) return hits.status();
+    std::vector<Neighbor> list;
+    list.reserve(hits.value().size());
+    for (const auto& h : hits.value()) list.push_back({h.pk, h.score});
+    per_segment[i] = std::move(list);
+    return Status::OK();
+  };
+
+  // Multi-vector search, "vector fusion" strategy: per-field searches
+  // gather candidates, exact weighted re-ranking scores them (the
+  // decomposable-similarity strategy; Section 3.6).
+  auto multi_search = [&](int64_t i) -> Status {
     const size_t cand_k = req.params.k * 2 + 16;
-    auto search_segment = [&](auto& seg,
-                              const SegmentCore& core) -> Status {
-      std::unordered_set<int64_t> candidates;
+    const SegmentCore& core = i < num_sealed
+                                  ? sealed[i]->core()
+                                  : growing[i - num_sealed]->core();
+    std::unordered_set<int64_t> candidates;
+    for (const SearchTarget& target : req.targets) {
+      SegmentSearchRequest sreq;
+      sreq.field = target.field;
+      sreq.query = target.query;
+      sreq.params = req.params;
+      sreq.params.k = cand_k;
+      sreq.read_ts = req.read_ts;
+      sreq.filter = req.filter;
+      auto hits = i < num_sealed ? sealed[i]->Search(sreq)
+                                 : growing[i - num_sealed]->Search(sreq);
+      if (!hits.ok()) return hits.status();
+      for (const auto& h : hits.value()) candidates.insert(h.pk);
+    }
+    std::vector<Neighbor> list;
+    for (int64_t pk : candidates) {
+      float combined = 0;
+      bool ok = true;
       for (const SearchTarget& target : req.targets) {
-        SegmentSearchRequest sreq;
-        sreq.field = target.field;
-        sreq.query = target.query;
-        sreq.params = req.params;
-        sreq.params.k = cand_k;
-        sreq.read_ts = req.read_ts;
-        sreq.filter = req.filter;
-        auto hits = seg->Search(sreq);
-        if (!hits.ok()) return hits.status();
-        for (const auto& h : hits.value()) candidates.insert(h.pk);
-      }
-      std::vector<Neighbor> list;
-      for (int64_t pk : candidates) {
-        float combined = 0;
-        bool ok = true;
-        for (const SearchTarget& target : req.targets) {
-          auto score = core.ScoreByPk(pk, target.field, target.query,
-                                      req.read_ts);
-          if (!score.ok()) {
-            ok = false;
-            break;
-          }
-          combined += target.weight * score.value();
+        auto score =
+            core.ScoreByPk(pk, target.field, target.query, req.read_ts);
+        if (!score.ok()) {
+          ok = false;
+          break;
         }
-        if (ok) list.push_back({pk, combined});
+        combined += target.weight * score.value();
       }
-      std::sort(list.begin(), list.end());
-      if (list.size() > req.params.k) list.resize(req.params.k);
-      per_segment.push_back(std::move(list));
-      return Status::OK();
-    };
-    for (const auto& seg : sealed) {
-      MANU_RETURN_NOT_OK(search_segment(seg, seg->core()));
+      if (ok) list.push_back({pk, combined});
     }
-    for (const auto& seg : growing) {
-      MANU_RETURN_NOT_OK(search_segment(seg, seg->core()));
+    std::sort(list.begin(), list.end());
+    if (list.size() > req.params.k) list.resize(req.params.k);
+    per_segment[i] = std::move(list);
+    return Status::OK();
+  };
+
+  auto search_one = [&](int64_t i) {
+    // A straggler whose proxy already gave up stops fanning out work.
+    if (req.deadline_us > 0 && NowMicros() > req.deadline_us) {
+      statuses[i] = Status::Timeout("proxy deadline passed, segment skipped");
+      return;
     }
+    statuses[i] =
+        req.targets.size() == 1 ? single_search(i) : multi_search(i);
+  };
+
+  // Intra-query fan-out (Section 6.4 / Fig. 8): per-segment searches run
+  // across the node's executor. SearchInternal itself occupies an executor
+  // slot, so this relies on ParallelFor's caller-runs claim loop — the
+  // nested dispatch cannot deadlock even at query_threads=1. Worker
+  // threads read the segment snapshot while this thread keeps holding the
+  // shared lock for the whole fan-out (ParallelFor returns only after
+  // every chunk completed), which is what keeps the WAL pump (unique
+  // lock) from mutating segments mid-search.
+  ThreadPool* fanout =
+      ctx_.config.parallel_search ? executor_.get() : nullptr;
+  const int64_t grain =
+      std::max<int64_t>(1, ctx_.config.search_parallel_grain);
+  ParallelFor(fanout, num_segments, search_one, grain);
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
   }
 
   // Node-level reduce (phase one of the two-phase reduce).
   std::vector<Neighbor> merged = MergeTopK(per_segment, req.params.k,
                                            /*dedup_ids=*/true);
   // Calibrated service-time model (see ManuConfig::sim_segment_search_us):
-  // pad real compute up to the per-segment service target.
+  // pad real compute up to the service target. With the fan-out on, a node
+  // with p executor threads clears its segments in waves of p chunks, so
+  // the padded target models exactly that — intra-query speedup is visible
+  // under the simulation too (the perf smoke test relies on this on
+  // single-core hosts).
   if (ctx_.config.sim_segment_search_us > 0) {
-    const int64_t target = ctx_.config.sim_segment_search_us *
-                           static_cast<int64_t>(per_segment.size());
+    const int64_t p =
+        fanout == nullptr
+            ? 1
+            : std::max<int64_t>(
+                  1, static_cast<int64_t>(fanout->num_threads()));
+    const int64_t chunks = (num_segments + grain - 1) / grain;
+    const int64_t waves = (chunks + p - 1) / p;
+    const int64_t target =
+        ctx_.config.sim_segment_search_us *
+        (p == 1 ? num_segments : waves * grain);
     const int64_t elapsed = NowMicros() - t0;
     if (elapsed < target) {
       lk.unlock();  // Don't block the WAL pump while sleeping.

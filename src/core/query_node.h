@@ -8,6 +8,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/threadpool.h"
@@ -36,6 +37,11 @@ struct NodeSearchRequest {
   Timestamp read_ts = kMaxTimestamp;
   /// Staleness tolerance tau in ms; <0 means infinity (eventual).
   int64_t staleness_ms = -1;
+  /// Absolute deadline in NowMicros() terms; 0 = none. Set by the proxy
+  /// from its per-node wait bound so that a straggling node stops fanning
+  /// out new segment tasks once the proxy has abandoned the query, instead
+  /// of burning its executor on a result nobody will read.
+  int64_t deadline_us = 0;
   const FilterExpr* filter = nullptr;
 };
 
@@ -86,19 +92,24 @@ class QueryNode {
   // --- Search ---
 
   /// Node-local search with the delta-consistency gate: waits until this
-  /// node's consumed time-ticks satisfy Lr - Ls < tau, then runs segment
-  /// searches and reduces to a node-level top-k (Section 3.6 two-phase
-  /// reduce; the proxy does the final phase).
+  /// node's consumed time-ticks satisfy Lr - Ls < tau, then fans the
+  /// per-segment searches across the executor pool and reduces to a
+  /// node-level top-k (Section 3.6 two-phase reduce; the proxy does the
+  /// final phase).
   ///
   /// Executes on the node's private executor pool (config.query_threads
   /// wide): a node's compute capacity is bounded, which is what makes
   /// query-node scaling (Figures 9/10) meaningful in an in-process
-  /// simulation — callers beyond the pool width queue.
+  /// simulation — callers beyond the pool width queue. A single query on
+  /// an idle node uses the whole pool (intra-query parallelism, Fig. 8);
+  /// under concurrency the shared claim counters in ParallelFor degrade
+  /// gracefully to one thread per query.
   Result<std::vector<SegmentHit>> Search(const NodeSearchRequest& req);
 
   /// Batched variant (Section 3.6: proxies batch requests of the same
-  /// type): the whole batch occupies one executor slot, amortizing
-  /// dispatch, the consistency gate and lock acquisition across requests.
+  /// type): each request is its own executor task, so a batch spreads
+  /// across the pool instead of serializing on one thread; the amortization
+  /// win of batching (one proxy dispatch, one gather) is kept.
   std::vector<Result<std::vector<SegmentHit>>> SearchBatch(
       const std::vector<NodeSearchRequest>& reqs);
 
@@ -137,12 +148,23 @@ class QueryNode {
     std::map<SegmentId, ShardId> growing_shard;
     std::map<SegmentId, std::shared_ptr<SealedSegment>> sealed;
     std::map<SegmentId, SegmentMeta> sealed_meta;
-    /// All deletes consumed so far, re-applied to late-loaded segments.
-    std::vector<std::pair<int64_t, Timestamp>> deletes;
+    /// Delete tombstones consumed so far, re-applied to late-loaded
+    /// segments. Deduped per pk (max delete LSN wins — MVCC reads below a
+    /// smaller LSN see the row via the segment's own timestamped
+    /// tombstones, which were applied live); compacted below the min
+    /// channel service_ts once it outgrows
+    /// config.delete_buffer_compact_min.
+    std::unordered_map<int64_t, Timestamp> deletes;
+    /// Next buffer size at which the compaction scan runs (doubling
+    /// schedule keeps the scan amortized O(1) per delete).
+    size_t deletes_compact_at = 0;
   };
 
   void Run();
   void HandleEntry(ChannelState* ch, const LogEntry& entry);
+  /// Dedup/compaction of the tombstone buffer (under the unique lock).
+  void MaybeCompactDeletesLocked(CollectionId collection,
+                                 CollectionState* coll);
   Timestamp ServiceTsLocked(CollectionId collection) const;
   bool WaitConsistency(CollectionId collection, Timestamp read_ts,
                        int64_t staleness_ms);

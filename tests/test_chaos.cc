@@ -369,5 +369,82 @@ TEST(Chaos, MixedWorkloadWithNodeCrashesAndStorageFaults) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency: batched parallel search racing the WAL pump
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ConcurrentSearchBatchUnderWalPump) {
+  // Several client threads issue BatchSearch (each request fans segments
+  // out across the node executors) while an insert thread keeps the WAL
+  // pumps mutating growing segments. Exercises the shared-lock discipline
+  // of the parallel fan-out; run under MANU_SANITIZE=thread this is the
+  // data-race probe for the intra-query parallel path.
+  ManuConfig config;
+  config.num_shards = 2;
+  config.num_query_nodes = 2;
+  config.query_threads = 4;
+  config.segment_seal_rows = 100000;  // Keep everything growing.
+  config.segment_idle_seal_ms = 600000;
+  config.time_tick_interval_ms = 5;
+  ManuInstance db(config);
+
+  auto meta = db.CreateCollection(VecSchema("pump", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 2000;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  // Seed enough rows that every search sees data.
+  auto ts0 = db.Insert("pump", VecBatch(meta.value(), data, 0, 200));
+  ASSERT_TRUE(ts0.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("pump", ts0.value()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> inserted{200};
+  std::thread writer([&] {
+    int64_t begin = 200;
+    while (!stop.load() && begin + 20 <= opts.num_rows) {
+      auto ts = db.Insert("pump", VecBatch(meta.value(), data, begin,
+                                           begin + 20));
+      ASSERT_TRUE(ts.ok());
+      begin += 20;
+      inserted.store(begin);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::atomic<int64_t> batches_ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(1000 + c);
+      for (int iter = 0; iter < 25; ++iter) {
+        std::vector<SearchRequest> reqs(8);
+        for (auto& req : reqs) {
+          const int64_t row = static_cast<int64_t>(
+              rng() % static_cast<uint64_t>(inserted.load()));
+          req.collection = "pump";
+          req.query.assign(data.Row(row), data.Row(row) + 8);
+          req.k = 5;
+          req.consistency = ConsistencyLevel::kEventually;
+        }
+        auto results = db.BatchSearch(reqs);
+        ASSERT_EQ(results.size(), reqs.size());
+        for (const auto& res : results) {
+          ASSERT_TRUE(res.ok()) << res.status().ToString();
+          EXPECT_FALSE(res.value().ids.empty());
+        }
+        batches_ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(batches_ok.load(), 3 * 25);
+}
+
 }  // namespace
 }  // namespace manu

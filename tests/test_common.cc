@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "common/bitset.h"
@@ -396,6 +397,41 @@ TEST(TopK, MergeWithoutDedupKeepsDuplicates) {
   ASSERT_EQ(merged.size(), 2u);
 }
 
+TEST(TopK, MergeDedupNotStarvedByDuplicateFlood) {
+  // Replicated serving sends the same best ids from several nodes. A
+  // bounded-headroom merge (select top 2k, then dedup) starves here: the
+  // duplicates of a handful of great ids crowd out every distinct
+  // mid-ranked id, returning fewer than k results even though far more
+  // than k unique ids exist. The merge must collapse to best-score-per-id
+  // *before* k-selection.
+  const size_t k = 10;
+  std::vector<std::vector<Neighbor>> lists;
+  // Five replicas, each reporting identical top ids 0..9 with tiny scores:
+  // 50 entries ahead of everything else, only 10 unique ids among them.
+  for (int replica = 0; replica < 5; ++replica) {
+    std::vector<Neighbor> list;
+    for (int64_t id = 0; id < 10; ++id) {
+      list.push_back({id, 0.001f * static_cast<float>(id + 1)});
+    }
+    lists.push_back(std::move(list));
+  }
+  // One list of distinct, worse-scored backfill ids.
+  std::vector<Neighbor> backfill;
+  for (int64_t id = 100; id < 120; ++id) {
+    backfill.push_back({id, 1.0f + static_cast<float>(id)});
+  }
+  lists.push_back(std::move(backfill));
+
+  auto merged = MergeTopK(lists, 2 * k, true);
+  ASSERT_EQ(merged.size(), 2 * k);
+  std::set<int64_t> unique;
+  for (const auto& n : merged) unique.insert(n.id);
+  EXPECT_EQ(unique.size(), 2 * k);  // No duplicate survived the merge.
+  // The 10 flooded ids rank first, then backfill 100..109 in order.
+  for (int64_t id = 0; id < 10; ++id) EXPECT_EQ(merged[id].id, id);
+  for (int64_t i = 10; i < 20; ++i) EXPECT_EQ(merged[i].id, 90 + i);
+}
+
 // ---------------------------------------------------------------------------
 // Channel / ThreadPool
 // ---------------------------------------------------------------------------
@@ -440,6 +476,57 @@ TEST(ThreadPool, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(1000);
   ParallelFor(&pool, 1000, [&](int64_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerDoesNotDeadlock) {
+  // The query node calls ParallelFor from inside a pool task (Search runs
+  // as an executor task and fans segments out on the same executor). With
+  // one thread there is never a free worker to help, so the caller-runs
+  // loop must complete the inner range by itself.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  auto fut = pool.Submit([&] {
+    ParallelFor(&pool, 64, [&](int64_t) { count.fetch_add(1); });
+    return true;
+  });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_TRUE(fut.get());
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForManyLayersAndGrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 4; ++t) {
+    futs.push_back(pool.Submit([&] {
+      ParallelFor(
+          &pool, 100,
+          [&](int64_t) {
+            ParallelFor(&pool, 10, [&](int64_t) { count.fetch_add(1); },
+                        /*grain=*/3);
+          },
+          /*grain=*/7);
+    }));
+  }
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    f.get();
+  }
+  EXPECT_EQ(count.load(), 4 * 100 * 10);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownRunsInline) {
+  // A shut-down pool's queue drops new work; Submit must fall back to
+  // running the task inline so the returned future still becomes ready.
+  auto pool = std::make_unique<ThreadPool>(2);
+  pool->Shutdown();
+  auto fut = pool->Submit([] { return 7; });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(1)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), 7);
 }
 
 // ---------------------------------------------------------------------------

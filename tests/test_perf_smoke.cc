@@ -1,0 +1,145 @@
+// Perf smoke (ctest label "perf"): asserts the intra-query parallel
+// fan-out actually beats the serial scan. Uses the calibrated service-time
+// model (sim_segment_search_us) so the check holds on any host, including
+// single-core CI: the model sleeps off per-segment service time, and the
+// parallel path overlaps those waits across the executor, exactly like
+// segment fan-out overlaps compute on a multi-core query node.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/metrics.h"
+#include "core/query_node.h"
+#include "storage/meta_store.h"
+#include "storage/object_store.h"
+#include "wal/mq.h"
+#include "wal/tso.h"
+
+namespace manu {
+namespace {
+
+constexpr CollectionId kColl = 3;
+constexpr int32_t kDim = 8;
+constexpr int64_t kSegments = 8;
+constexpr int64_t kRowsPerSegment = 32;
+constexpr int64_t kSimUs = 2000;  // 2 ms service time per segment.
+constexpr int64_t kQueries = 20;
+
+CollectionSchema Schema() {
+  CollectionSchema schema("perf");
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = kDim;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+struct Node {
+  explicit Node(const ManuConfig& config)
+      : ctx{config, &meta, &store, &mq, &tso, nullptr},
+        schema(std::make_shared<CollectionSchema>(Schema())),
+        node(1, ctx) {
+    node.AddChannel(kColl, /*shard=*/0, schema, /*primary=*/true);
+    node.Start();
+    const FieldId field = schema->FieldByName("v")->id;
+    Timestamp last = 0;
+    for (int64_t seg = 0; seg < kSegments; ++seg) {
+      LogEntry entry;
+      entry.type = LogEntryType::kInsert;
+      entry.collection = kColl;
+      entry.shard = 0;
+      entry.segment = 10 + seg;
+      std::vector<float> rows;
+      for (int64_t r = 0; r < kRowsPerSegment; ++r) {
+        const int64_t pk = seg * kRowsPerSegment + r;
+        entry.batch.primary_keys.push_back(pk);
+        entry.batch.timestamps.push_back(tso.Allocate());
+        for (int32_t d = 0; d < kDim; ++d) {
+          rows.push_back(std::sin(static_cast<float>(pk * 13 + d)));
+        }
+      }
+      entry.batch.columns.push_back(
+          FieldColumn::MakeFloatVector(field, kDim, std::move(rows)));
+      entry.timestamp = entry.batch.timestamps.back();
+      last = entry.timestamp;
+      EXPECT_GE(mq.Publish(ShardChannelName(kColl, 0), std::move(entry)),
+                0);
+    }
+    EXPECT_TRUE(node.WaitServiceTs(kColl, last, 5000));
+  }
+  ~Node() { node.Stop(); }
+
+  /// Mean single-query latency in microseconds over kQueries probes.
+  double MeasureUs() {
+    std::vector<float> query(kDim, 0.25f);
+    NodeSearchRequest req;
+    req.collection = kColl;
+    req.targets.push_back({schema->FieldByName("v")->id, query.data(), 1.0f});
+    req.params.k = 10;
+    req.staleness_ms = -1;
+    const int64_t t0 = NowMicros();
+    for (int64_t i = 0; i < kQueries; ++i) {
+      auto res = node.Search(req);
+      EXPECT_TRUE(res.ok()) << res.status().ToString();
+    }
+    return static_cast<double>(NowMicros() - t0) / kQueries;
+  }
+
+  MetaStore meta;
+  MemoryObjectStore store;
+  MessageQueue mq;
+  Tso tso;
+  CoreContext ctx;
+  std::shared_ptr<CollectionSchema> schema;
+  QueryNode node;
+};
+
+TEST(PerfSmoke, ParallelSearchBeatsSerialAtFourThreads) {
+  ManuConfig base;
+  base.sim_segment_search_us = kSimUs;
+
+  ManuConfig serial_cfg = base;
+  serial_cfg.parallel_search = false;
+  serial_cfg.query_threads = 4;
+  double serial_us;
+  {
+    Node serial(serial_cfg);
+    serial_us = serial.MeasureUs();
+  }
+
+  std::printf("# intra-query parallel search, %ld segments x %ld us "
+              "service time, %ld queries/point\n",
+              static_cast<long>(kSegments), static_cast<long>(kSimUs),
+              static_cast<long>(kQueries));
+  std::printf("%-22s %12s %10s %9s\n", "config", "latency_us", "qps",
+              "speedup");
+  std::printf("%-22s %12.0f %10.1f %9s\n", "serial", serial_us,
+              1e6 / serial_us, "1.00x");
+
+  double parallel4_us = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ManuConfig cfg = base;
+    cfg.query_threads = threads;
+    Node parallel(cfg);
+    const double us = parallel.MeasureUs();
+    if (threads == 4) parallel4_us = us;
+    char label[32];
+    std::snprintf(label, sizeof(label), "parallel threads=%d", threads);
+    std::printf("%-22s %12.0f %10.1f %8.2fx\n", label, us, 1e6 / us,
+                serial_us / us);
+  }
+
+  // The acceptance bar: >= 2x single-query throughput at query_threads=4
+  // over 8 segments. The service-time model predicts 4x (2 waves of 4
+  // segments vs 8 sequential); 2x leaves slack for dispatch overhead and
+  // noisy CI hosts.
+  EXPECT_GE(serial_us / parallel4_us, 2.0)
+      << "parallel@4 " << parallel4_us << "us vs serial " << serial_us
+      << "us";
+}
+
+}  // namespace
+}  // namespace manu
