@@ -61,11 +61,12 @@ struct ManuConfig {
   /// Merge sealed segments smaller than this fraction of seal size.
   double small_segment_ratio = 0.25;
   /// Query-node delete-tombstone buffer: once the per-collection buffer
-  /// holds at least this many pks, entries whose delete LSN is below the
-  /// collection's min channel service_ts are compacted away (every loaded
-  /// segment has already absorbed them, and any later-loaded segment
-  /// re-consumes older tombstones from its channel replay). Tests shrink it
-  /// to force compaction; the floor keeps the common case allocation-free.
+  /// holds at least this many tombstones, entries whose delete LSN is below
+  /// the collection's min channel service_ts are compacted away (every
+  /// loaded segment has already absorbed them; segments handed off later
+  /// get the pruned prefix backfilled from the retained WAL in
+  /// LoadSealedSegment). Tests shrink it to force compaction; the floor
+  /// keeps the common case allocation-free.
   int64_t delete_buffer_compact_min = 1024;
 
   // --- Consistency wait bound (avoid unbounded stalls if ticks stop) ---

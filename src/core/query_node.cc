@@ -168,12 +168,22 @@ void QueryNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
     }
     case LogEntryType::kDelete: {
       for (int64_t pk : entry.delete_pks) {
-        // Dedup per pk, max delete LSN wins: replaying the max-LSN
-        // tombstone onto a late-loaded segment hides the row for every
-        // read at or after it, and reads below it were served by the
-        // segment's own timestamped tombstones applied live here.
-        Timestamp& buffered = coll.deletes[pk];
-        buffered = std::max(buffered, entry.timestamp);
+        // Every tombstone is buffered with its own LSN: keeping only the
+        // max would make a late-loaded segment show the pre-reinsert
+        // version of a delete -> reinsert -> delete pk to reads between
+        // the two deletes. Exact (pk, LSN) dedup keeps PromoteChannel's
+        // from-the-start replay from growing the buffer.
+        std::vector<Timestamp>& buffered = coll.deletes[pk];
+        if (buffered.empty() || entry.timestamp > buffered.back()) {
+          buffered.push_back(entry.timestamp);
+          ++coll.deletes_count;
+        } else if (!std::binary_search(buffered.begin(), buffered.end(),
+                                       entry.timestamp)) {
+          buffered.insert(std::lower_bound(buffered.begin(), buffered.end(),
+                                           entry.timestamp),
+                          entry.timestamp);
+          ++coll.deletes_count;
+        }
         for (auto& [_, seg] : coll.growing) seg->Delete(pk, entry.timestamp);
         for (auto& [_, seg] : coll.sealed) seg->Delete(pk, entry.timestamp);
       }
@@ -218,8 +228,35 @@ Status QueryNode::LoadSealedSegment(
   CollectionState& coll = collections_[meta.collection];
   if (coll.schema == nullptr) coll.schema = schema;
   // Re-apply deletes consumed before this load (sealed binlog has inserts
-  // only).
-  for (const auto& [pk, ts] : coll.deletes) segment->Delete(pk, ts);
+  // only). Two sources cover the full history:
+  //  1. Tombstones below the compaction floor live only in the WAL now —
+  //     this node's channel subscriptions are already past them and never
+  //     re-seek, so replay the segment's shard channel (deletes are routed
+  //     by pk hash, so one shard's channel is complete for its segments)
+  //     from the earliest retained offset up to the floor. Done under the
+  //     unique lock so a concurrent compaction cannot advance the floor
+  //     between the scan and the buffer replay; the scan is in-memory and
+  //     this path is cold (handoff / recovery / rebalance).
+  //  2. The buffer holds every tombstone at or above the floor.
+  if (coll.deletes_floor_ts > 0) {
+    const std::string channel =
+        ShardChannelName(meta.collection, meta.shard);
+    const int64_t end =
+        ctx_.mq->FirstOffsetAtOrAfter(channel, coll.deletes_floor_ts);
+    auto sub = ctx_.mq->SubscribeAt(channel, ctx_.mq->BeginOffset(channel));
+    while (sub->position() < end) {
+      auto entries = sub->TryPoll(static_cast<size_t>(
+          std::min<int64_t>(ctx_.config.poll_batch, end - sub->position())));
+      if (entries.empty()) break;
+      for (const auto& e : entries) {
+        if (e->type != LogEntryType::kDelete) continue;
+        for (int64_t pk : e->delete_pks) segment->Delete(pk, e->timestamp);
+      }
+    }
+  }
+  for (const auto& [pk, ts_list] : coll.deletes) {
+    for (Timestamp ts : ts_list) segment->Delete(pk, ts);
+  }
   coll.sealed[meta.id] = std::move(segment);
   coll.sealed_meta[meta.id] = meta;
   // The growing twin is now redundant on *this* node.
@@ -254,20 +291,32 @@ void QueryNode::MaybeCompactDeletesLocked(CollectionId collection,
   if (coll->deletes_compact_at < floor_size) {
     coll->deletes_compact_at = floor_size;
   }
-  if (coll->deletes.size() < coll->deletes_compact_at) return;
+  if (coll->deletes_count < coll->deletes_compact_at) return;
   // Tombstones below the collection's min consumed tick have been applied
-  // to every segment this node serves; segments loaded later re-consume
-  // older deletes from the channel replay (subscriptions start at the
-  // earliest retained offset) or get them physically purged by data-coord
-  // compaction. Only the in-flight suffix must stay buffered, which bounds
-  // the buffer — and the linear replay on LoadSealedSegment — by the
-  // delete rate within the consistency window instead of by history.
+  // to every segment this node serves, so the buffer only needs the
+  // in-flight suffix — which bounds it, and the linear replay on
+  // LoadSealedSegment, by the delete rate within the consistency window
+  // instead of by history. Segments handed to this node later (recovery /
+  // rebalance, not covered by any channel re-seek) get the pruned prefix
+  // backfilled from the retained WAL: LoadSealedSegment replays the shard
+  // channel up to deletes_floor_ts recorded here.
   const Timestamp floor_ts = ServiceTsLocked(collection);
-  std::erase_if(coll->deletes, [floor_ts](const auto& kv) {
-    return kv.second < floor_ts;
-  });
+  size_t count = 0;
+  for (auto it = coll->deletes.begin(); it != coll->deletes.end();) {
+    std::vector<Timestamp>& ts_list = it->second;
+    ts_list.erase(ts_list.begin(), std::lower_bound(ts_list.begin(),
+                                                    ts_list.end(), floor_ts));
+    if (ts_list.empty()) {
+      it = coll->deletes.erase(it);
+    } else {
+      count += ts_list.size();
+      ++it;
+    }
+  }
+  coll->deletes_count = count;
+  coll->deletes_floor_ts = std::max(coll->deletes_floor_ts, floor_ts);
   // Doubling schedule keeps the scan amortized O(1) per consumed delete.
-  coll->deletes_compact_at = std::max(floor_size, coll->deletes.size() * 2);
+  coll->deletes_compact_at = std::max(floor_size, coll->deletes_count * 2);
   MetricsRegistry::Global()
       .GetCounter("query_node.delete_buffer_compactions")
       ->Add(1);
@@ -481,21 +530,30 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
                                            /*dedup_ids=*/true);
   // Calibrated service-time model (see ManuConfig::sim_segment_search_us):
   // pad real compute up to the service target. With the fan-out on, a node
-  // with p executor threads clears its segments in waves of p chunks, so
-  // the padded target models exactly that — intra-query speedup is visible
-  // under the simulation too (the perf smoke test relies on this on
-  // single-core hosts).
-  if (ctx_.config.sim_segment_search_us > 0) {
+  // with p executor threads clears its chunks in waves of p; the target is
+  // the modeled critical path — the most segments any one worker scans —
+  // so intra-query speedup is visible under the simulation too (the perf
+  // smoke test relies on this on single-core hosts). The final chunk is
+  // billed at its real size, not padded to a full grain: waves*grain would
+  // overcharge non-divisible or small segment counts (ParallelFor runs
+  // num_segments <= grain inline, which the chunks==1 case models).
+  if (ctx_.config.sim_segment_search_us > 0 && num_segments > 0) {
     const int64_t p =
         fanout == nullptr
             ? 1
             : std::max<int64_t>(
                   1, static_cast<int64_t>(fanout->num_threads()));
     const int64_t chunks = (num_segments + grain - 1) / grain;
+    const int64_t last = num_segments - (chunks - 1) * grain;
     const int64_t waves = (chunks + p - 1) / p;
-    const int64_t target =
-        ctx_.config.sim_segment_search_us *
-        (p == 1 ? num_segments : waves * grain);
+    const int64_t tail = chunks - p * (waves - 1);  // Chunks in last wave.
+    // The critical worker runs one full-grain chunk per completed wave,
+    // plus — in the last wave — a full chunk if one exists there (tail >=
+    // 2: the partial chunk is claimed alongside full ones and finishes
+    // earlier), else the lone final chunk at its actual size.
+    const int64_t critical =
+        (waves - 1) * grain + (tail >= 2 ? grain : last);
+    const int64_t target = ctx_.config.sim_segment_search_us * critical;
     const int64_t elapsed = NowMicros() - t0;
     if (elapsed < target) {
       lk.unlock();  // Don't block the WAL pump while sleeping.

@@ -79,7 +79,11 @@ class QueryNode {
   void RemoveCollection(CollectionId collection);
 
   /// Loads a sealed segment (binlog + index if present) from object
-  /// storage; applies buffered deletes; replaces any growing twin.
+  /// storage; applies buffered deletes, backfilling tombstones the buffer
+  /// compaction already pruned from the retained WAL (sealed binlogs are
+  /// inserts-only and this node's channel subscriptions are past those
+  /// entries, so without the backfill a handed-off segment would resurrect
+  /// rows deleted before the compaction floor); replaces any growing twin.
   Status LoadSealedSegment(const SegmentMeta& meta,
                            std::shared_ptr<const CollectionSchema> schema);
 
@@ -149,15 +153,24 @@ class QueryNode {
     std::map<SegmentId, std::shared_ptr<SealedSegment>> sealed;
     std::map<SegmentId, SegmentMeta> sealed_meta;
     /// Delete tombstones consumed so far, re-applied to late-loaded
-    /// segments. Deduped per pk (max delete LSN wins — MVCC reads below a
-    /// smaller LSN see the row via the segment's own timestamped
-    /// tombstones, which were applied live); compacted below the min
-    /// channel service_ts once it outgrows
-    /// config.delete_buffer_compact_min.
-    std::unordered_map<int64_t, Timestamp> deletes;
-    /// Next buffer size at which the compaction scan runs (doubling
+    /// segments: pk -> sorted unique delete LSNs. Every tombstone is kept
+    /// with its own LSN (collapsing to the max would hide the pre-reinsert
+    /// version from MVCC reads between two deletes of the same pk);
+    /// re-consumption after a PromoteChannel replay dedupes on exact
+    /// (pk, LSN). Compacted below the min channel service_ts once the
+    /// tombstone count outgrows config.delete_buffer_compact_min;
+    /// LoadSealedSegment backfills the compacted prefix from the WAL.
+    std::unordered_map<int64_t, std::vector<Timestamp>> deletes;
+    /// Total tombstones across all pks (the compaction trigger metric).
+    size_t deletes_count = 0;
+    /// Next tombstone count at which the compaction scan runs (doubling
     /// schedule keeps the scan amortized O(1) per delete).
     size_t deletes_compact_at = 0;
+    /// Highest floor a compaction has pruned the buffer to. Tombstones
+    /// below it exist only in the WAL: LoadSealedSegment must replay the
+    /// shard channel up to this LSN for segments that arrive later (the
+    /// node's own subscriptions are already past those entries).
+    Timestamp deletes_floor_ts = 0;
   };
 
   void Run();

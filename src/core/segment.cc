@@ -59,7 +59,12 @@ void SegmentCore::Delete(int64_t pk, Timestamp ts) {
   auto it = pk_rows_.find(pk);
   if (it == pk_rows_.end()) return;
   for (int64_t row : it->second) {
-    tombstones_.emplace_back(row, ts);
+    // A delete at `ts` covers only row versions that existed at `ts`:
+    // when an old tombstone is replayed onto a loaded segment that
+    // already contains a reinserted newer version, that version must
+    // survive — exactly as it did on nodes that applied the delete live,
+    // before the reinsert arrived.
+    if (rows_.timestamps[row] <= ts) tombstones_.emplace_back(row, ts);
   }
 }
 

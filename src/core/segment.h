@@ -57,7 +57,10 @@ class SegmentCore {
   Status Append(const EntityBatch& batch);
 
   /// Tombstones a primary key at `ts` (idempotent; unknown pk is a no-op).
-  /// Deletions are timestamped so MVCC reads before `ts` still see the row.
+  /// Deletions are timestamped so MVCC reads before `ts` still see the row;
+  /// only row versions inserted at or before `ts` are covered, so replaying
+  /// an old tombstone onto a segment that already holds a reinserted newer
+  /// version leaves that version visible (order-independent replay).
   void Delete(int64_t pk, Timestamp ts);
 
   /// Rows visible at `ts` (prefix length).

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "core/query_node.h"
+#include "storage/binlog.h"
 #include "storage/meta_store.h"
 #include "storage/object_store.h"
 #include "wal/mq.h"
@@ -79,6 +81,43 @@ Timestamp PublishSegments(MessageQueue* mq, Tso* tso,
     EXPECT_GE(mq->Publish(ShardChannelName(kColl, 0), std::move(entry)), 0);
   }
   return last;
+}
+
+/// Builds a batch of `pks` rows with fresh TSO timestamps (the same layout
+/// PublishSegments uses), for tests that need the raw rows again to write a
+/// binlog for LoadSealedSegment.
+EntityBatch MakeBatch(const CollectionSchema& schema, Tso* tso,
+                      const std::vector<int64_t>& pks) {
+  const FieldId fa = schema.FieldByName("a")->id;
+  const FieldId fb = schema.FieldByName("b")->id;
+  EntityBatch batch;
+  std::vector<float> va, vb;
+  for (int64_t pk : pks) {
+    batch.primary_keys.push_back(pk);
+    batch.timestamps.push_back(tso->Allocate());
+    auto ra = RowVector(pk, 0);
+    auto rb = RowVector(pk, 1000);
+    va.insert(va.end(), ra.begin(), ra.end());
+    vb.insert(vb.end(), rb.begin(), rb.end());
+  }
+  batch.columns.push_back(
+      FieldColumn::MakeFloatVector(fa, kDim, std::move(va)));
+  batch.columns.push_back(
+      FieldColumn::MakeFloatVector(fb, kDim, std::move(vb)));
+  return batch;
+}
+
+Timestamp PublishInsert(MessageQueue* mq, SegmentId segment,
+                        const EntityBatch& batch) {
+  LogEntry entry;
+  entry.type = LogEntryType::kInsert;
+  entry.collection = kColl;
+  entry.shard = 0;
+  entry.segment = segment;
+  entry.batch = batch;
+  entry.timestamp = batch.timestamps.back();
+  EXPECT_GE(mq->Publish(ShardChannelName(kColl, 0), std::move(entry)), 0);
+  return batch.timestamps.back();
 }
 
 struct NodeFixture {
@@ -223,6 +262,33 @@ TEST(ParallelSearch, BatchUsesPoolAndStaysCorrect) {
   }
 }
 
+TEST(ParallelSearch, SimulatedServiceTimeBillsActualChunkSizes) {
+  // Two segments under an 8-segment grain run inline in ParallelFor; the
+  // modeled service target must bill 2 segments (6 ms here), not a padded
+  // full grain of 8 (24 ms). The bound is one-sided and generous: it only
+  // fails if the model re-inflates small/non-divisible segment counts.
+  ManuConfig config;
+  config.query_threads = 4;
+  config.search_parallel_grain = 8;
+  config.sim_segment_search_us = 3000;
+  NodeFixture fx(config);
+  const Timestamp last = PublishSegments(&fx.mq, &fx.tso, *fx.schema, 2, 20);
+  ASSERT_TRUE(fx.node.WaitServiceTs(kColl, last, 5000));
+
+  const auto query = RowVector(3, 0);
+  auto res = fx.node.Search(SingleReq(*fx.schema, query, 5));  // Warm-up.
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const auto t0 = std::chrono::steady_clock::now();
+  res = fx.node.Search(SingleReq(*fx.schema, query, 5));
+  const auto elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GE(elapsed_us, 2 * config.sim_segment_search_us);
+  EXPECT_LT(elapsed_us, 8 * config.sim_segment_search_us - 4000);
+}
+
 TEST(ConsistencyGate, StopMidWaitReturnsUnavailable) {
   // No time-ticks flow, so a strong-consistency search parks on the gate;
   // stopping the node must surface Unavailable, not bless the stale
@@ -249,6 +315,30 @@ TEST(ConsistencyGate, StopMidWaitReturnsUnavailable) {
   searcher.join();
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsUnavailable()) << res.status().ToString();
+}
+
+Timestamp PublishDelete(MessageQueue* mq, Tso* tso,
+                        std::vector<int64_t> pks) {
+  LogEntry entry;
+  entry.type = LogEntryType::kDelete;
+  entry.collection = kColl;
+  entry.shard = 0;
+  entry.delete_pks = std::move(pks);
+  entry.timestamp = tso->Allocate();
+  const Timestamp ts = entry.timestamp;
+  EXPECT_GE(mq->Publish(ShardChannelName(kColl, 0), std::move(entry)), 0);
+  return ts;
+}
+
+Timestamp PublishTick(MessageQueue* mq, Tso* tso) {
+  LogEntry entry;
+  entry.type = LogEntryType::kTimeTick;
+  entry.collection = kColl;
+  entry.shard = 0;
+  entry.timestamp = tso->Allocate();
+  const Timestamp ts = entry.timestamp;
+  EXPECT_GE(mq->Publish(ShardChannelName(kColl, 0), std::move(entry)), 0);
+  return ts;
 }
 
 TEST(DeleteBuffer, DedupesPerPkAndCompactsBelowServiceTs) {
@@ -317,6 +407,107 @@ TEST(DeleteBuffer, DedupesPerPkAndCompactsBelowServiceTs) {
     EXPECT_NE(hit.pk, 1);
     EXPECT_NE(hit.pk, 2);
   }
+}
+
+TEST(DeleteBuffer, CompactedTombstonesSurviveSegmentHandoff) {
+  // The resurrection regression: a segment handed to a node *after* the
+  // node's delete buffer was compacted (kill / remove / rebalance paths —
+  // the node's channel subscriptions are already past those deletes and
+  // never re-seek, and the sealed binlog is inserts-only) must still hide
+  // rows deleted below the compaction floor. LoadSealedSegment backfills
+  // those tombstones from the retained WAL.
+  ManuConfig config;
+  config.delete_buffer_compact_min = 2;
+  NodeFixture fx(config);
+
+  std::vector<int64_t> pks;
+  for (int64_t pk = 0; pk < 10; ++pk) pks.push_back(pk);
+  const EntityBatch rows = MakeBatch(*fx.schema, &fx.tso, pks);
+  PublishInsert(&fx.mq, /*segment=*/100, rows);
+
+  PublishDelete(&fx.mq, &fx.tso, {1});
+  PublishDelete(&fx.mq, &fx.tso, {2});  // Trips the first compaction scan.
+  Timestamp ts = PublishTick(&fx.mq, &fx.tso);  // Floor passes both deletes.
+  ASSERT_TRUE(fx.node.WaitServiceTs(kColl, ts, 5000));
+  PublishDelete(&fx.mq, &fx.tso, {3});
+  ts = PublishDelete(&fx.mq, &fx.tso, {4});  // Scan prunes {1, 2}.
+  ASSERT_TRUE(fx.node.WaitServiceTs(kColl, ts, 5000));
+
+  // The buffer really did lose the sub-floor tombstones.
+  auto buffered = fx.node.DeletedPks(kColl);
+  std::sort(buffered.begin(), buffered.end());
+  ASSERT_EQ(buffered, (std::vector<int64_t>{3, 4}));
+
+  // Hand the sealed twin to the node: inserts only, as a data node wrote it.
+  const std::string path = "binlog/c7/seg100";
+  ASSERT_TRUE(binlog::WriteSegment(&fx.store, path, rows).ok());
+  SegmentMeta meta;
+  meta.id = 100;
+  meta.collection = kColl;
+  meta.shard = 0;
+  meta.state = SegmentState::kSealed;
+  meta.num_rows = rows.NumRows();
+  meta.binlog_path = path;
+  ASSERT_TRUE(fx.node.LoadSealedSegment(meta, fx.schema).ok());
+
+  const auto query = RowVector(1, 0);
+  auto res = fx.node.Search(SingleReq(*fx.schema, query, 10));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().size(), 6u);  // 10 rows minus 4 deleted pks.
+  for (const auto& hit : res.value()) {
+    EXPECT_TRUE(hit.pk != 1 && hit.pk != 2) << "resurrected pk " << hit.pk;
+    EXPECT_TRUE(hit.pk != 3 && hit.pk != 4) << "buffered delete lost";
+  }
+}
+
+TEST(DeleteBuffer, IntermediateTombstonesReplayedToLoadedSegments) {
+  // delete(pk, t1) -> reinsert -> delete(pk, t2): a segment loaded after t2
+  // must serve an MVCC read at read_ts in [t1, t2) from the *post-t1* state
+  // (pk hidden until the reinsert, visible after it) — collapsing the
+  // buffer to the max delete LSN per pk would leak the pre-t1 version.
+  ManuConfig config;  // Default compact_min: no compaction interferes.
+  NodeFixture fx(config);
+
+  std::vector<int64_t> pks;
+  for (int64_t pk = 0; pk < 5; ++pk) pks.push_back(pk);
+  EntityBatch rows = MakeBatch(*fx.schema, &fx.tso, pks);
+  PublishInsert(&fx.mq, /*segment=*/100, rows);
+
+  const Timestamp t1 = PublishDelete(&fx.mq, &fx.tso, {2});
+  const Timestamp between = fx.tso.Allocate();
+  const EntityBatch reinsert = MakeBatch(*fx.schema, &fx.tso, {2});
+  const Timestamp reinsert_ts = PublishInsert(&fx.mq, /*segment=*/100,
+                                              reinsert);
+  const Timestamp t2 = PublishDelete(&fx.mq, &fx.tso, {2});
+  ASSERT_TRUE(fx.node.WaitServiceTs(kColl, t2, 5000));
+
+  // Sealed twin holds both versions of pk 2 in LSN order.
+  ASSERT_TRUE(rows.Append(reinsert).ok());
+  const std::string path = "binlog/c7/seg100";
+  ASSERT_TRUE(binlog::WriteSegment(&fx.store, path, rows).ok());
+  SegmentMeta meta;
+  meta.id = 100;
+  meta.collection = kColl;
+  meta.shard = 0;
+  meta.state = SegmentState::kSealed;
+  meta.num_rows = rows.NumRows();
+  meta.binlog_path = path;
+  ASSERT_TRUE(fx.node.LoadSealedSegment(meta, fx.schema).ok());
+
+  const auto query = RowVector(2, 0);
+  auto count_pk2 = [&](Timestamp read_ts) {
+    NodeSearchRequest req = SingleReq(*fx.schema, query, 5);
+    req.read_ts = read_ts;
+    auto res = fx.node.Search(req);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    int64_t n = 0;
+    for (const auto& hit : res.value()) n += hit.pk == 2 ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count_pk2(between), 0);      // t1 applies: first version hidden.
+  EXPECT_EQ(count_pk2(reinsert_ts), 1);  // Reinserted version visible.
+  EXPECT_EQ(count_pk2(t2), 0);           // Second delete hides it again.
+  EXPECT_EQ(count_pk2(kMaxTimestamp), 0);
 }
 
 }  // namespace
