@@ -74,6 +74,19 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Get();
+}
+
 int64_t MetricsRegistry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
@@ -92,6 +105,9 @@ std::string MetricsRegistry::Dump() const {
   for (const auto& [name, c] : counters_) {
     out << name << " " << c->Get() << "\n";
   }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << g->Get() << " (gauge)\n";
+  }
   for (const auto& [name, h] : histograms_) {
     out << name << " count=" << h->Count() << " mean_us=" << h->Mean()
         << " p50_us=" << h->Percentile(50) << " p95_us=" << h->Percentile(95)
@@ -103,6 +119,7 @@ std::string MetricsRegistry::Dump() const {
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
   for (auto& [_, h] : histograms_) h->Reset();
 }
 

@@ -22,6 +22,17 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// Last-value gauge (e.g. MTTR of the most recent failover).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Thread-safe latency histogram with exact percentile queries over a sliding
 /// sample buffer. Exact-on-samples (not bucketed) keeps bench output honest
 /// at the scales we run (<= a few million observations).
@@ -61,18 +72,26 @@ class LatencyHistogram {
 ///   proxy.degraded_nodes                        node replies dropped
 ///   query_coord.nodes_killed                    crash recoveries handled
 ///   query_coord.recovery_us (histogram)         node-recovery duration
+///
+/// Liveness / lease metrics (PR 5):
+///   lease.missed_heartbeats                     watchdog-detected expiries
+///   lease.fencing_rejections                    stale-epoch commits refused
+///   cluster.mttr_ms (gauge)                     last failover: lease grant
+///                                               lost -> failover complete
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
   Counter* GetCounter(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
 
   /// Read-only lookups that never create: the counter's value (0 when
   /// absent) / the histogram's observation count. Tests and benches assert
   /// on metrics without perturbing the registry.
   int64_t CounterValue(const std::string& name) const;
   int64_t HistogramCount(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
 
   /// Formats all metrics as "name value" lines (counters) and
   /// "name p50/p95/p99/mean" lines (histograms).
@@ -83,6 +102,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 /// Wall-clock helpers.

@@ -22,6 +22,11 @@ enum class StatusCode : int {
   kAborted = 9,
   kResourceExhausted = 10,
   kInternal = 11,
+  /// Durably-acked data is gone (e.g. the WAL was truncated above the
+  /// archived floor, so recovery cannot replay it). Unlike kCorruption the
+  /// surviving state is internally consistent — entries are *missing*, not
+  /// mangled.
+  kDataLoss = 12,
 };
 
 /// A Status encapsulates the result of an operation. It may indicate success,
@@ -80,6 +85,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -97,6 +105,8 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// Human-readable representation, e.g. "NotFound: segment 12 missing".
   std::string ToString() const;

@@ -52,6 +52,7 @@ std::string SegmentMeta::Serialize() const {
     w.PutI32(it == index_versions.end() ? 0 : it->second);
   }
   w.PutU64(last_lsn);
+  w.PutBool(from_compaction);
   return w.Release();
 }
 
@@ -73,6 +74,7 @@ Result<SegmentMeta> SegmentMeta::Deserialize(std::string_view data) {
     MANU_ASSIGN_OR_RETURN(meta.index_versions[field], r.GetI32());
   }
   MANU_ASSIGN_OR_RETURN(meta.last_lsn, r.GetU64());
+  MANU_ASSIGN_OR_RETURN(meta.from_compaction, r.GetBool());
   return meta;
 }
 

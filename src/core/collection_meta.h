@@ -45,6 +45,10 @@ struct SegmentMeta {
   /// LSN of the last row in the segment (replay progress marker for time
   /// travel, Section 4.3).
   Timestamp last_lsn = 0;
+  /// True for compaction-merged segments. Their `shard` is nominal (inputs
+  /// may span shards) and their `last_lsn` spans shards, so recovery
+  /// excludes them when computing a shard's archived WAL floor.
+  bool from_compaction = false;
 
   std::string Serialize() const;
   static Result<SegmentMeta> Deserialize(std::string_view data);

@@ -72,6 +72,22 @@ struct ManuConfig {
   // --- Consistency wait bound (avoid unbounded stalls if ticks stop) ---
   int64_t max_consistency_wait_ms = 5000;
 
+  // --- Liveness: heartbeat leases + watchdog (Section 3.6) ---
+  /// Lease TTL: a worker whose lease is not renewed within this window is
+  /// declared dead by the watchdog and failed over. Defaults are generous
+  /// (6x the heartbeat interval, plus sanitizer headroom) so loaded CI
+  /// machines never see spurious failovers; chaos tests shrink them.
+  int64_t lease_ttl_ms = 3000;
+  /// Workers renew their lease at this cadence (piggybacked on the node
+  /// pump loops).
+  int64_t heartbeat_interval_ms = 250;
+  /// How often the ManuInstance background loop scans for expired leases.
+  int64_t watchdog_interval_ms = 250;
+  /// Master switch: off disables lease registration, heartbeats, the
+  /// watchdog and epoch fencing (single-process unit tests that construct
+  /// bare nodes without a LeaseManager are equivalent to this).
+  bool enable_liveness = true;
+
   // --- Robustness (common/retry.h, common/failpoint.h) ---
   /// Retry budget for object-store / meta / binlog I/O on worker nodes.
   int32_t io_retry_attempts = 4;

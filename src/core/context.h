@@ -12,10 +12,16 @@
 
 namespace manu {
 
+class LeaseManager;
+
 /// Shared infrastructure handles passed to every service: the storage layer
 /// (meta + object store), the log backbone (broker, TSO, tick emitter) and
 /// the instance configuration. All pointers are non-owning; ManuInstance
 /// owns the real objects and outlives every service.
+///
+/// `leases` / `instance_epoch` are nullable/zero: bare nodes built in unit
+/// tests run without liveness, so every lease interaction in the nodes is
+/// null-guarded. New members go at the end — tests aggregate-initialize.
 struct CoreContext {
   ManuConfig config;
   MetaStore* meta = nullptr;
@@ -23,6 +29,10 @@ struct CoreContext {
   MessageQueue* mq = nullptr;
   Tso* tso = nullptr;
   TimeTickEmitter* ticker = nullptr;
+  LeaseManager* leases = nullptr;
+  /// Fencing token of the owning ManuInstance (checked at WAL-publish and
+  /// checkpoint commit points against the persisted instance epoch).
+  int64_t instance_epoch = 0;
 };
 
 }  // namespace manu

@@ -1,34 +1,182 @@
 #include "core/data_coord.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <set>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "core/data_node.h"
+#include "core/lease.h"
 #include "storage/binlog.h"
 #include "wal/message.h"
 
 namespace manu {
+
+namespace {
+constexpr char kNextSegmentIdKey[] = "id/next_segment";
+}  // namespace
 
 DataCoordinator::DataCoordinator(const CoreContext& ctx) : ctx_(ctx) {}
 
 void DataCoordinator::OnCollectionCreated(const CollectionMeta& meta) {
   std::lock_guard<std::mutex> lk(mu_);
   shards_[meta.id] = meta.num_shards;
+  schemas_[meta.id] = std::make_shared<const CollectionSchema>(meta.schema);
 }
 
 void DataCoordinator::OnCollectionDropped(CollectionId collection) {
   std::lock_guard<std::mutex> lk(mu_);
   shards_.erase(collection);
+  schemas_.erase(collection);
   std::erase_if(alloc_,
                 [&](const auto& kv) { return kv.first.first == collection; });
   std::erase_if(segments_,
                 [&](const auto& kv) { return kv.first.first == collection; });
+  std::erase_if(channel_owner_,
+                [&](const auto& kv) { return kv.first.first == collection; });
   allocated_.erase(collection);
 }
 
+void DataCoordinator::AddDataNode(DataNode* node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  data_nodes_.push_back(node);
+}
+
+Status DataCoordinator::AssignShardChannels(const CollectionMeta& meta,
+                                            bool replay_from_floor) {
+  struct Assignment {
+    ShardId shard;
+    DataNode* node;
+    Timestamp replay_from;
+  };
+  std::vector<Assignment> plan;
+  std::shared_ptr<const CollectionSchema> schema;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (data_nodes_.empty()) {
+      return Status::Unavailable("no data nodes registered");
+    }
+    auto it = schemas_.find(meta.id);
+    schema = it != schemas_.end()
+                 ? it->second
+                 : std::make_shared<const CollectionSchema>(meta.schema);
+    schemas_[meta.id] = schema;
+    for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+      DataNode* node = data_nodes_[shard % data_nodes_.size()];
+      const Timestamp floor =
+          replay_from_floor ? ArchivedFloorLocked(meta.id, shard) : 0;
+      plan.push_back({shard, node, floor == 0 ? Timestamp{0} : floor + 1});
+      channel_owner_[{meta.id, shard}] = node->id();
+    }
+  }
+  for (const Assignment& a : plan) {
+    a.node->AssignChannel(meta.id, a.shard, schema, a.replay_from);
+  }
+  return Status::OK();
+}
+
+Status DataCoordinator::OnDataNodeDead(NodeId node) {
+  struct Move {
+    CollectionId collection;
+    ShardId shard;
+    DataNode* to;
+    Timestamp replay_from;
+    std::shared_ptr<const CollectionSchema> schema;
+  };
+  std::vector<Move> moves;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::erase_if(data_nodes_, [&](DataNode* n) { return n->id() == node; });
+    if (data_nodes_.empty()) {
+      return Status::Unavailable("no surviving data node for failover");
+    }
+    size_t next = 0;
+    for (auto& [key, owner] : channel_owner_) {
+      if (owner != node) continue;
+      DataNode* to = data_nodes_[next++ % data_nodes_.size()];
+      const Timestamp floor = ArchivedFloorLocked(key.first, key.second);
+      moves.push_back({key.first, key.second, to,
+                       floor == 0 ? Timestamp{0} : floor + 1,
+                       schemas_[key.first]});
+      owner = to->id();
+    }
+  }
+  for (const Move& m : moves) {
+    m.to->AssignChannel(m.collection, m.shard, m.schema, m.replay_from);
+    MANU_LOG_INFO << "data coord: shard channel (" << m.collection << ", "
+                  << m.shard << ") handed to node " << m.to->id()
+                  << ", replaying WAL from lsn " << m.replay_from;
+  }
+  return Status::OK();
+}
+
+Timestamp DataCoordinator::ArchivedFloorLocked(CollectionId collection,
+                                               ShardId shard) const {
+  Timestamp floor = 0;
+  for (const auto& [key, meta] : segments_) {
+    if (key.first != collection) continue;
+    if (meta.shard != shard || meta.from_compaction) continue;
+    floor = std::max(floor, meta.last_lsn);
+  }
+  return floor;
+}
+
+Timestamp DataCoordinator::ArchivedFloor(CollectionId collection,
+                                         ShardId shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ArchivedFloorLocked(collection, shard);
+}
+
+NodeId DataCoordinator::ChannelOwner(CollectionId collection,
+                                     ShardId shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = channel_owner_.find({collection, shard});
+  return it == channel_owner_.end() ? kInvalidNodeId : it->second;
+}
+
+void DataCoordinator::Restore(const std::vector<CollectionMeta>& collections) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::set<CollectionId> live;
+  for (const CollectionMeta& meta : collections) {
+    shards_[meta.id] = meta.num_shards;
+    schemas_[meta.id] = std::make_shared<const CollectionSchema>(meta.schema);
+    live.insert(meta.id);
+  }
+  for (const auto& [key, entry] : ctx_.meta->List("segment/")) {
+    auto meta = SegmentMeta::Deserialize(entry.value);
+    if (!meta.ok()) {
+      MANU_LOG_WARN << "data coord restore: bad segment meta at " << key;
+      continue;
+    }
+    if (live.count(meta.value().collection) == 0) continue;
+    segments_[{meta.value().collection, meta.value().id}] = meta.value();
+    allocated_[meta.value().collection].push_back(meta.value().id);
+  }
+}
+
 SegmentId DataCoordinator::NextSegmentId() {
-  return next_segment_id_.fetch_add(1, std::memory_order_relaxed);
+  // CAS-persisted counter: ids stay unique across crash recovery (a
+  // recovered instance must never reuse a sealed segment's id).
+  for (;;) {
+    int64_t next = 1;
+    int64_t revision = 0;
+    auto current = ctx_.meta->Get(kNextSegmentIdKey);
+    if (current.ok()) {
+      next = std::atoll(current.value().value.c_str());
+      revision = current.value().mod_revision;
+    }
+    auto cas = ctx_.meta->CompareAndSwap(kNextSegmentIdKey, revision,
+                                         std::to_string(next + 1));
+    if (cas.ok()) return next;
+  }
+}
+
+SegmentId DataCoordinator::PeekNextSegmentId() const {
+  auto current = ctx_.meta->Get(kNextSegmentIdKey);
+  if (!current.ok()) return 1;
+  return std::atoll(current.value().value.c_str());
 }
 
 Result<SegmentId> DataCoordinator::AllocateSegment(CollectionId collection,
@@ -76,7 +224,7 @@ SegmentId DataCoordinator::RollShardLocked(CollectionId collection,
   a.bytes = 0;
   // The barrier is "every segment below the *next* id": rolling lazily means
   // the next allocation picks a fresh id greater than anything sealed here.
-  return next_segment_id_.load(std::memory_order_relaxed);
+  return PeekNextSegmentId();
 }
 
 Result<std::vector<SegmentId>> DataCoordinator::Flush(
@@ -290,20 +438,28 @@ Result<std::vector<SegmentId>> DataCoordinator::CompactSegments(
       "binlog/c" + std::to_string(collection) + "/seg" +
       std::to_string(result.id);
   result.last_lsn = last_lsn;
+  result.from_compaction = true;
   if (merged.NumRows() > 0) {
     MANU_RETURN_NOT_OK(
         binlog::WriteSegment(ctx_.store, result.binlog_path, merged));
     MANU_RETURN_NOT_OK(RegisterSealed(result));
   }
 
-  // Mark the inputs dropped.
+  // Mark the inputs dropped, durably: a recovered instance must not reload
+  // (and resurrect the physically-deleted rows of) compacted-away segments.
+  std::vector<std::pair<std::string, std::string>> drop_puts;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (SegmentId id : dropped) {
       auto it = segments_.find({collection, id});
-      if (it != segments_.end()) it->second.state = SegmentState::kDropped;
+      if (it != segments_.end()) {
+        it->second.state = SegmentState::kDropped;
+        drop_puts.emplace_back(SegmentMetaKey(collection, id),
+                               it->second.Serialize());
+      }
     }
   }
+  for (const auto& [key, value] : drop_puts) ctx_.meta->Put(key, value);
 
   // Pipeline events: the merged segment enters via kSegmentSealed; the
   // kCompaction notice tells the query coordinator which segments to
@@ -335,6 +491,11 @@ Result<std::vector<SegmentId>> DataCoordinator::CompactSegments(
 
 Result<std::string> DataCoordinator::WriteCheckpoint(
     CollectionId collection) {
+  // Commit-point fence (checkpoint write): a superseded instance's data
+  // coordinator must not publish checkpoints over the new owner's.
+  if (ctx_.leases != nullptr) {
+    MANU_RETURN_NOT_OK(ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch));
+  }
   const Timestamp ts = ctx_.tso->Allocate();
   BinaryWriter w;
   {

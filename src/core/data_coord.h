@@ -1,9 +1,10 @@
 #ifndef MANU_CORE_DATA_COORD_H_
 #define MANU_CORE_DATA_COORD_H_
 
-#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/collection_meta.h"
@@ -11,18 +12,62 @@
 
 namespace manu {
 
+class DataNode;
+
 /// Data coordinator (Section 3.2): records detailed segment information
 /// (states, binlog routes, index routes) and drives the segment life cycle.
 /// Loggers call AllocateSegment to learn which growing segment new rows
 /// target; the allocator rolls to a fresh segment id when the current one
 /// crosses the seal thresholds, and data nodes seal a segment once the WAL
 /// shows rows for a newer segment on the same shard (or a kFlush barrier).
+///
+/// It also owns the data-node fleet: which node consumes which shard
+/// channel. On a node death (watchdog-detected lease expiry) the channel is
+/// handed to a survivor that replays the WAL from the shard's archived
+/// floor — the max LSN covered by sealed binlogs — so no acked write is
+/// lost and nothing already archived is re-sealed.
 class DataCoordinator {
  public:
   explicit DataCoordinator(const CoreContext& ctx);
 
   void OnCollectionCreated(const CollectionMeta& meta);
   void OnCollectionDropped(CollectionId collection);
+
+  // --- Data-node fleet / shard-channel ownership (Section 3.6) ---
+
+  void AddDataNode(DataNode* node);
+
+  /// Round-robins the collection's shard channels over the registered data
+  /// nodes. With `replay_from_floor`, each subscription starts just above
+  /// the shard's archived floor instead of at the earliest offset (the
+  /// crash-recovery path: rows at or below the floor live in sealed
+  /// binlogs).
+  Status AssignShardChannels(const CollectionMeta& meta,
+                             bool replay_from_floor = false);
+
+  /// Watchdog failover: removes `node` from the fleet and hands every shard
+  /// channel it owned to a survivor, which replays the WAL from the shard's
+  /// archived floor and resumes sealing. The dead node object is left
+  /// untouched (it may be a zombie still running; fencing rejects its
+  /// commits).
+  Status OnDataNodeDead(NodeId node);
+
+  /// Max LSN covered by this shard's sealed binlogs (0 = nothing archived).
+  /// Compaction-merged segments are excluded: their shard is nominal and
+  /// their last_lsn spans shards.
+  Timestamp ArchivedFloor(CollectionId collection, ShardId shard) const;
+
+  /// Which data node consumes (collection, shard); kInvalidNodeId if
+  /// unassigned.
+  NodeId ChannelOwner(CollectionId collection, ShardId shard) const;
+
+  /// Crash recovery: repopulates shard counts, schemas and the segment map
+  /// from the MetaStore ("segment/<collection>/<id>" keys) for the given
+  /// surviving collections. Dropped segments are kept (state kDropped) so
+  /// floors and compaction history survive, but they are never reloaded.
+  void Restore(const std::vector<CollectionMeta>& collections);
+
+  // --- Segment life cycle ---
 
   /// Returns the growing segment that should receive `rows`/`bytes` more
   /// data on (collection, shard), rolling over when thresholds are crossed.
@@ -71,7 +116,8 @@ class DataCoordinator {
       int64_t small_rows);
 
   /// Time travel (Section 4.3): checkpoints the collection's segment map.
-  /// Returns the checkpoint's object path.
+  /// Returns the checkpoint's object path. Fenced by the instance epoch: a
+  /// superseded instance's data coordinator cannot publish checkpoints.
   Result<std::string> WriteCheckpoint(CollectionId collection);
   /// Segment map of the latest checkpoint taken at or before `ts`.
   Result<std::vector<SegmentMeta>> ReadCheckpoint(CollectionId collection,
@@ -85,7 +131,12 @@ class DataCoordinator {
     int64_t last_alloc_ms = 0;
   };
 
+  /// CAS-persisted segment-id counter ("id/next_segment"): segment ids stay
+  /// unique across crash recovery. Only called on roll/compact, so the CAS
+  /// round-trip is off the hot path.
   SegmentId NextSegmentId();
+  /// Next id the counter would hand out (flush-barrier bound).
+  SegmentId PeekNextSegmentId() const;
   void PublishFlush(CollectionId collection, ShardId shard,
                     SegmentId up_to) const;
   /// Rolls the shard allocator. Outputs the previously growing segment id
@@ -93,14 +144,17 @@ class DataCoordinator {
   /// below which data nodes must seal.
   SegmentId RollShardLocked(CollectionId collection, ShardId shard,
                             SegmentId* rolled);
+  Timestamp ArchivedFloorLocked(CollectionId collection, ShardId shard) const;
 
   CoreContext ctx_;
   mutable std::mutex mu_;
   std::map<CollectionId, int32_t> shards_;  ///< Collection -> shard count.
+  std::map<CollectionId, std::shared_ptr<const CollectionSchema>> schemas_;
   std::map<std::pair<CollectionId, ShardId>, ShardAlloc> alloc_;
   std::map<CollectionId, std::vector<SegmentId>> allocated_;
   std::map<std::pair<CollectionId, SegmentId>, SegmentMeta> segments_;
-  std::atomic<int64_t> next_segment_id_{1};
+  std::vector<DataNode*> data_nodes_;  ///< Fleet (non-owning).
+  std::map<std::pair<CollectionId, ShardId>, NodeId> channel_owner_;
 };
 
 }  // namespace manu

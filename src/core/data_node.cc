@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "core/lease.h"
 #include "storage/binlog.h"
 
 namespace manu {
@@ -16,10 +17,15 @@ DataNode::~DataNode() { Stop(); }
 
 void DataNode::AssignChannel(
     CollectionId collection, ShardId shard,
-    std::shared_ptr<const CollectionSchema> schema) {
+    std::shared_ptr<const CollectionSchema> schema, Timestamp replay_from) {
+  const std::string channel = ShardChannelName(collection, shard);
   auto ch = std::make_shared<ChannelState>();
-  ch->sub = ctx_.mq->Subscribe(ShardChannelName(collection, shard),
-                               SubscribePosition::kEarliest);
+  if (replay_from > 0) {
+    ch->sub = ctx_.mq->SubscribeAt(
+        channel, ctx_.mq->FirstOffsetAtOrAfter(channel, replay_from));
+  } else {
+    ch->sub = ctx_.mq->Subscribe(channel, SubscribePosition::kEarliest);
+  }
   ch->collection = collection;
   ch->shard = shard;
   ch->schema = std::move(schema);
@@ -35,6 +41,9 @@ void DataNode::UnassignCollection(CollectionId collection) {
 }
 
 void DataNode::Start() {
+  if (ctx_.leases != nullptr) {
+    lease_epoch_ = ctx_.leases->Register(id_, "data");
+  }
   stop_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { Run(); });
 }
@@ -45,7 +54,14 @@ void DataNode::Stop() {
 }
 
 void DataNode::Run() {
+  int64_t next_heartbeat_ms = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    if (ctx_.leases != nullptr && NowMs() >= next_heartbeat_ms) {
+      // Renewal failures (dropped heartbeat failpoint, fenced epoch) are
+      // deliberate no-ops: the watchdog decides liveness, not the worker.
+      (void)ctx_.leases->Renew(id_, lease_epoch_);
+      next_heartbeat_ms = NowMs() + ctx_.config.heartbeat_interval_ms;
+    }
     bool idle = true;
     // Snapshot shared channel handles so AssignChannel/UnassignCollection
     // can run concurrently.
@@ -121,6 +137,16 @@ void DataNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
 void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
                           Buffer buffer) {
   if (buffer.rows.NumRows() == 0) return;
+  // Commit-point fence (binlog archive): a zombie that lost its lease while
+  // paused must not archive — the channel's new owner will seal these rows.
+  if (ctx_.leases != nullptr) {
+    Status fenced = ctx_.leases->CheckEpoch(id_, lease_epoch_);
+    if (!fenced.ok()) {
+      MANU_LOG_WARN << "data node " << id_ << " seal of segment " << segment
+                    << " rejected: " << fenced.ToString();
+      return;
+    }
+  }
   Status fp;
   MANU_FAILPOINT_CAPTURE("data_node.seal", fp);
   if (!fp.ok()) {

@@ -28,9 +28,14 @@ class DataNode {
 
   NodeId id() const { return id_; }
 
-  /// Subscribes to a shard channel (from the earliest offset).
+  /// Subscribes to a shard channel. `replay_from` = 0 starts at the
+  /// earliest retained offset; > 0 starts at the first entry with
+  /// LSN >= replay_from (failover/recovery: rows at or below the archived
+  /// floor are already in sealed binlogs, so the new owner replays only the
+  /// unarchived tail).
   void AssignChannel(CollectionId collection, ShardId shard,
-                     std::shared_ptr<const CollectionSchema> schema);
+                     std::shared_ptr<const CollectionSchema> schema,
+                     Timestamp replay_from = 0);
   void UnassignCollection(CollectionId collection);
 
   void Start();
@@ -61,6 +66,9 @@ class DataNode {
   NodeId id_;
   CoreContext ctx_;
   DataCoordinator* data_coord_;
+  /// Lease fencing epoch (0 when liveness is off); granted in Start(),
+  /// checked before every binlog archive.
+  int64_t lease_epoch_ = 0;
 
   std::mutex mu_;
   /// shared_ptr: the pump thread snapshots channels outside the lock while

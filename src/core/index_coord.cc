@@ -56,20 +56,29 @@ void IndexCoordinator::Dispatch(const SegmentMeta& segment) {
   const CollectionMeta& meta = collection.value();
   if (meta.index_params.empty()) return;  // No index declared: stay flat.
 
+  // The kSegmentSealed payload carries the meta as of seal time, which is
+  // stale when this is a coordination-channel *replay* (crash recovery):
+  // consult the data coordinator's current view so already-built (or
+  // dropped) segments are not re-dispatched.
+  SegmentMeta current = segment;
+  auto latest = data_coord_->GetSegment(segment.collection, segment.id);
+  if (latest.ok()) current = latest.value();
+  if (current.state == SegmentState::kDropped) return;
+
   std::lock_guard<std::mutex> lk(mu_);
   if (nodes_.empty()) {
     MANU_LOG_WARN << "index coord: no index nodes registered";
     return;
   }
   for (const auto& [field, params] : meta.index_params) {
-    auto built = segment.index_versions.find(field);
-    if (built != segment.index_versions.end() &&
+    auto built = current.index_versions.find(field);
+    if (built != current.index_versions.end() &&
         built->second >= meta.index_version) {
       continue;  // Up to date under the current declaration.
     }
     IndexNode* node = nodes_[next_node_ % nodes_.size()];
     ++next_node_;
-    node->SubmitBuild(segment, field, params, meta.index_version);
+    node->SubmitBuild(current, field, params, meta.index_version);
   }
 }
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "core/lease.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
 
@@ -16,9 +17,27 @@ IndexNode::IndexNode(NodeId id, const CoreContext& ctx,
     : id_(id),
       ctx_(ctx),
       data_coord_(data_coord),
-      pool_(std::make_unique<ThreadPool>(threads)) {}
+      pool_(std::make_unique<ThreadPool>(threads)) {
+  if (ctx_.leases != nullptr) {
+    lease_epoch_ = ctx_.leases->Register(id_, "index");
+    heartbeat_ = std::thread([this] {
+      int64_t next_heartbeat_ms = 0;
+      while (!stop_heartbeat_.load(std::memory_order_acquire)) {
+        if (NowMs() >= next_heartbeat_ms) {
+          (void)ctx_.leases->Renew(id_, lease_epoch_);
+          next_heartbeat_ms = NowMs() + ctx_.config.heartbeat_interval_ms;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+}
 
-IndexNode::~IndexNode() { pool_.reset(); }
+IndexNode::~IndexNode() {
+  stop_heartbeat_.store(true, std::memory_order_release);
+  if (heartbeat_.joinable()) heartbeat_.join();
+  pool_.reset();
+}
 
 void IndexNode::SubmitBuild(SegmentMeta segment, FieldId field,
                             IndexParams params, int32_t version) {
@@ -83,6 +102,16 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
     MANU_LOG_ERROR << "index node " << id_ << " persist failed: "
                    << st.ToString();
     return;
+  }
+  // Commit-point fence (index registration): a zombie index node that lost
+  // its lease must not publish index routes.
+  if (ctx_.leases != nullptr) {
+    Status fenced = ctx_.leases->CheckEpoch(id_, lease_epoch_);
+    if (!fenced.ok()) {
+      MANU_LOG_WARN << "index node " << id_ << " register of segment "
+                    << segment.id << " rejected: " << fenced.ToString();
+      return;
+    }
   }
   st = data_coord_->RegisterIndex(segment.collection, segment.id, field,
                                   index_path, version);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <thread>
 
 #include "common/threadpool.h"
 #include "core/collection_meta.h"
@@ -44,7 +45,14 @@ class IndexNode {
   NodeId id_;
   CoreContext ctx_;
   DataCoordinator* data_coord_;
+  /// Lease fencing epoch (0 when liveness is off); checked before every
+  /// index registration.
+  int64_t lease_epoch_ = 0;
   std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stop_heartbeat_{false};
+  /// Builds run on the pool, so unlike the pump-loop nodes the heartbeat
+  /// needs its own (tiny) thread.
+  std::thread heartbeat_;
   std::unique_ptr<ThreadPool> pool_;  ///< Destroyed first on teardown.
 };
 

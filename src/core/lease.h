@@ -1,0 +1,103 @@
+#ifndef MANU_CORE_LEASE_H_
+#define MANU_CORE_LEASE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/meta_store.h"
+
+namespace manu {
+
+/// One worker's lease as the watchdog and DescribeCluster see it.
+struct LeaseInfo {
+  NodeId node = kInvalidNodeId;
+  std::string role;           ///< "query" | "data" | "index".
+  int64_t epoch = 0;          ///< Fencing token granted at registration.
+  int64_t last_renew_ms = 0;  ///< Wall clock of the last heartbeat.
+  bool dead = false;          ///< Revoked by the watchdog (lease expired).
+};
+
+/// Heartbeat leases with persisted fencing epochs — the failure-detection
+/// half of Section 3.6's "components are stateless log subscribers" story
+/// (the Taurus/LogBase recipe: lease-fenced ownership).
+///
+/// Every worker registers a lease and renews it from its pump loop; the
+/// ManuInstance watchdog calls ExpiredLeases() and revokes workers that
+/// missed the TTL, which bumps the *persisted* epoch in the MetaStore via
+/// CAS. Commit points (binlog archive, index registration, WAL publish,
+/// checkpoint write) re-check their epoch against the persisted value, so a
+/// zombie — a worker that paused, was failed over, and resumed — is rejected
+/// instead of corrupting state it no longer owns.
+///
+/// Epochs are monotone across registrations of the same node id and across
+/// process restarts (they live in the MetaStore, which recovery shares), so
+/// a recovered instance re-registering node ids automatically fences the
+/// previous incarnation.
+///
+/// Heartbeats are failpoint-pausable: Renew first evaluates the dynamic
+/// site "lease.heartbeat.<node>", letting tests model a network partition
+/// (node alive, heartbeats dropped) without touching the node itself.
+class LeaseManager {
+ public:
+  LeaseManager(MetaStore* meta, int64_t ttl_ms);
+
+  // --- Node leases ---
+
+  /// Grants a lease; returns the fencing epoch (persisted prior epoch + 1).
+  int64_t Register(NodeId node, const std::string& role);
+  /// Heartbeat. Aborted when the caller's epoch was superseded (fenced) or
+  /// when the failpoint "lease.heartbeat.<node>" drops the heartbeat.
+  Status Renew(NodeId node, int64_t epoch);
+  /// Commit-point fencing check: OK iff `epoch` is still the persisted
+  /// epoch for `node`. Bumps lease.fencing_rejections on rejection.
+  Status CheckEpoch(NodeId node, int64_t epoch);
+  /// Marks the node dead and bumps its persisted epoch so in-flight commits
+  /// from the (possibly still running) worker are rejected. Returns the new
+  /// persisted epoch. Fence first, then fail over.
+  int64_t Revoke(NodeId node);
+  /// Graceful removal (scale-down / manual kill): the watchdog stops
+  /// tracking the node. The persisted epoch is left behind; a future
+  /// Register of the same id bumps past it.
+  void Deregister(NodeId node);
+
+  /// Live leases whose last renewal is older than the TTL (already-dead
+  /// nodes excluded — each expiry fires once).
+  std::vector<LeaseInfo> ExpiredLeases(int64_t now_ms) const;
+  /// All tracked leases (DescribeCluster's liveness table).
+  std::vector<LeaseInfo> Snapshot() const;
+  int64_t ttl_ms() const { return ttl_ms_; }
+
+  // --- Instance epoch ---
+  // One fencing token for the whole ManuInstance: Recover() acquires a new
+  // one over the shared MetaStore, which fences the previous instance's
+  // loggers (WAL publish) and data coordinator (checkpoint write) even
+  // though the old process may still be running.
+
+  /// Bumps and returns the persisted instance epoch.
+  int64_t AcquireInstanceEpoch();
+  /// OK iff `epoch` is the current persisted instance epoch.
+  Status CheckInstanceEpoch(int64_t epoch);
+
+ private:
+  /// CAS-increments the persisted epoch stored at `key`; returns the new
+  /// value. Tolerates concurrent bumpers (retries).
+  int64_t BumpPersistedEpoch(const std::string& key);
+  /// Persisted epoch at `key`; 0 when the key does not exist.
+  int64_t PersistedEpoch(const std::string& key) const;
+
+  MetaStore* meta_;
+  int64_t ttl_ms_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, LeaseInfo> nodes_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_LEASE_H_

@@ -1,6 +1,8 @@
 #include "core/logger.h"
 
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "core/lease.h"
 
 namespace manu {
 
@@ -15,6 +17,16 @@ LsmEntityMap* Logger::MapFor(CollectionId collection, ShardId shard) {
         ctx_.store, "logger/" + std::to_string(id_) + "/c" +
                         std::to_string(collection) + "/s" +
                         std::to_string(shard));
+    // Logger ids are stable across restarts, so a recovered instance's
+    // logger finds its predecessor's SSTables in the object store and
+    // recovers the pk->segment map: deletes of pre-crash (flushed) pks keep
+    // working. Entries only in the lost memtable are a documented gap —
+    // deletes of those pks are filtered as unknown.
+    Status st = slot->Recover();
+    if (!st.ok()) {
+      MANU_LOG_WARN << "logger " << id_ << " entity-map recover: "
+                    << st.ToString();
+    }
   }
   return slot.get();
 }
@@ -43,6 +55,11 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
     MANU_RETURN_NOT_OK(map->Put(pk, segment));
   }
 
+  // Commit-point fence (WAL publish): a superseded instance's logger must
+  // not append — the recovered instance owns the log now.
+  if (ctx_.leases != nullptr) {
+    MANU_RETURN_NOT_OK(ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch));
+  }
   LogEntry entry;
   entry.type = LogEntryType::kInsert;
   entry.timestamp = last;
@@ -73,6 +90,9 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   }
   if (existing.empty()) return Timestamp{0};
 
+  if (ctx_.leases != nullptr) {
+    MANU_RETURN_NOT_OK(ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch));
+  }
   LogEntry entry;
   entry.type = LogEntryType::kDelete;
   entry.timestamp = ctx_.tso->Allocate();

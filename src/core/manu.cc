@@ -1,5 +1,7 @@
 #include "core/manu.h"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/logging.h"
@@ -7,21 +9,96 @@
 
 namespace manu {
 
+namespace {
+
+/// Recovery pre-check: every shard channel must retain the WAL above the
+/// shard's archived floor (max last_lsn over its non-compaction sealed
+/// segments). A truncation above the floor dropped acked writes that exist
+/// neither in binlogs nor in the log — surviving state is still consistent,
+/// but recovery cannot honor "every acked write is visible", so it refuses
+/// with DataLoss instead of silently serving a hole. Truncations at or
+/// below the floor are the safe clamp: everything dropped is in binlogs.
+Status ValidateWalCoverage(DurableState* durable) {
+  for (const auto& [key, entry] : durable->meta.List("collection/")) {
+    auto meta = CollectionMeta::Deserialize(entry.value);
+    if (!meta.ok() || meta.value().dropped) continue;
+    const CollectionId cid = meta.value().id;
+
+    std::map<ShardId, Timestamp> floors;
+    const std::string prefix = "segment/" + std::to_string(cid) + "/";
+    for (const auto& [skey, sentry] : durable->meta.List(prefix)) {
+      auto seg = SegmentMeta::Deserialize(sentry.value);
+      if (!seg.ok() || seg.value().from_compaction) continue;
+      Timestamp& floor = floors[seg.value().shard];
+      floor = std::max(floor, seg.value().last_lsn);
+    }
+
+    for (ShardId shard = 0; shard < meta.value().num_shards; ++shard) {
+      const std::string channel = ShardChannelName(cid, shard);
+      const Timestamp floor =
+          floors.count(shard) > 0 ? floors[shard] : Timestamp{0};
+      const Timestamp trunc = durable->mq.TruncatedBelowTs(channel);
+      const Timestamp trunc_del = durable->mq.TruncatedDeleteTs(channel);
+      if (trunc > floor || trunc_del > floor) {
+        return Status::DataLoss(
+            "collection " + std::to_string(cid) + " shard " +
+            std::to_string(shard) + ": WAL truncated through lsn " +
+            std::to_string(std::max(trunc, trunc_del)) +
+            " but binlogs only cover lsn " + std::to_string(floor));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 ManuInstance::ManuInstance(ManuConfig config,
                            std::shared_ptr<ObjectStore> store)
-    : config_(config),
-      store_(store != nullptr ? std::move(store)
-                              : std::make_shared<MemoryObjectStore>()) {
-  ticker_ = std::make_unique<TimeTickEmitter>(
-      &mq_, &tso_, config_.time_tick_interval_ms);
+    : ManuInstance(std::move(config),
+                   std::make_shared<DurableState>(std::move(store)),
+                   /*recovered=*/false) {}
 
+Result<std::unique_ptr<ManuInstance>> ManuInstance::Recover(
+    ManuConfig config, std::shared_ptr<DurableState> durable) {
+  if (durable == nullptr) {
+    return Status::InvalidArgument("Recover needs a durable state");
+  }
+  MANU_RETURN_NOT_OK(ValidateWalCoverage(durable.get()));
+  // Private ctor: not reachable via make_unique.
+  return std::unique_ptr<ManuInstance>(new ManuInstance(
+      std::move(config), std::move(durable), /*recovered=*/true));
+}
+
+CoreContext ManuInstance::MakeContext() const {
   CoreContext ctx;
   ctx.config = config_;
-  ctx.meta = &meta_;
-  ctx.store = store_.get();
-  ctx.mq = &mq_;
-  ctx.tso = &tso_;
+  ctx.meta = &durable_->meta;
+  ctx.store = durable_->store.get();
+  ctx.mq = &durable_->mq;
+  ctx.tso = &durable_->tso;
   ctx.ticker = ticker_.get();
+  ctx.leases = leases_.get();
+  ctx.instance_epoch = instance_epoch_;
+  return ctx;
+}
+
+ManuInstance::ManuInstance(ManuConfig config,
+                           std::shared_ptr<DurableState> durable,
+                           bool recovered)
+    : config_(config), durable_(std::move(durable)) {
+  ticker_ = std::make_unique<TimeTickEmitter>(
+      &durable_->mq, &durable_->tso, config_.time_tick_interval_ms);
+
+  if (config_.enable_liveness) {
+    leases_ = std::make_unique<LeaseManager>(&durable_->meta,
+                                             config_.lease_ttl_ms);
+    // Fences the previous incarnation (its loggers / data coordinator see
+    // epoch mismatches at their commit points from here on).
+    instance_epoch_ = leases_->AcquireInstanceEpoch();
+  }
+
+  const CoreContext ctx = MakeContext();
 
   root_coord_ = std::make_unique<RootCoordinator>(ctx);
   data_coord_ = std::make_unique<DataCoordinator>(ctx);
@@ -38,6 +115,7 @@ ManuInstance::ManuInstance(ManuConfig config,
     auto node = std::make_unique<DataNode>(
         next_node_id_.fetch_add(1), ctx, data_coord_.get());
     node->Start();
+    data_coord_->AddDataNode(node.get());
     data_nodes_.push_back(std::move(node));
   }
   for (int32_t i = 0; i < config_.num_index_nodes; ++i) {
@@ -50,6 +128,34 @@ ManuInstance::ManuInstance(ManuConfig config,
     auto node = std::make_shared<QueryNode>(next_node_id_.fetch_add(1), ctx);
     node->Start();
     query_coord_->AddQueryNode(std::move(node));
+  }
+
+  if (recovered) {
+    // Rebuild control-plane state from the MetaStore, then re-bind the data
+    // plane: shard channels replay the WAL from each shard's archived floor
+    // (rows at or below it live in sealed binlogs), and the coordination
+    // channel — consumed from kEarliest when the coordinators start below —
+    // replays kSegmentSealed/kIndexBuilt so query nodes reload every sealed
+    // segment and index.
+    std::vector<CollectionMeta> restored = root_coord_->Restore();
+    data_coord_->Restore(restored);
+    for (const CollectionMeta& meta : restored) {
+      for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
+        ticker_->RegisterChannel(ShardChannelName(meta.id, shard), meta.id,
+                                 shard);
+      }
+      Status st =
+          data_coord_->AssignShardChannels(meta, /*replay_from_floor=*/true);
+      if (st.ok()) st = query_coord_->LoadCollection(meta);
+      if (!st.ok()) {
+        MANU_LOG_ERROR << "recovery of collection " << meta.id
+                       << " failed: " << st.ToString();
+      }
+    }
+    if (!restored.empty()) {
+      MANU_LOG_INFO << "recovered instance (epoch " << instance_epoch_
+                    << ") serving " << restored.size() << " collections";
+    }
   }
 
   index_coord_->Start();
@@ -67,19 +173,61 @@ ManuInstance::~ManuInstance() {
   for (auto& node : data_nodes_) node->Stop();
   index_nodes_.clear();  // Joins build pools.
   ticker_->Stop();
-  mq_.Shutdown();
+  // The broker shuts down only with the last owner of the durable state: a
+  // caller holding durable_state() for Recover() needs the retained WAL.
+  if (durable_.use_count() == 1) durable_->mq.Shutdown();
 }
 
 void ManuInstance::BackgroundLoop() {
-  const int64_t interval =
+  const int64_t seal_interval =
       std::max<int64_t>(10, config_.segment_idle_seal_ms / 4);
-  int64_t next = NowMs() + interval;
+  const int64_t watchdog_interval =
+      std::max<int64_t>(10, config_.watchdog_interval_ms);
+  int64_t next_seal = NowMs() + seal_interval;
+  int64_t next_watchdog = NowMs() + watchdog_interval;
   while (!stop_.load(std::memory_order_acquire)) {
     // Sleep in small slices so shutdown never waits out a long interval.
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    if (NowMs() < next) continue;
-    next = NowMs() + interval;
-    data_coord_->CheckIdleSegments();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (NowMs() >= next_seal) {
+      next_seal = NowMs() + seal_interval;
+      data_coord_->CheckIdleSegments();
+    }
+    if (leases_ != nullptr && NowMs() >= next_watchdog) {
+      next_watchdog = NowMs() + watchdog_interval;
+      RunWatchdog();
+    }
+  }
+}
+
+void ManuInstance::RunWatchdog() {
+  for (const LeaseInfo& lease : leases_->ExpiredLeases(NowMs())) {
+    MetricsRegistry::Global().GetCounter("lease.missed_heartbeats")->Add(1);
+    // Fence first (persisted epoch bump rejects the zombie's in-flight
+    // commits), then fail over.
+    leases_->Revoke(lease.node);
+    MANU_LOG_WARN << lease.role << " node " << lease.node
+                  << " missed its lease (last heartbeat "
+                  << NowMs() - lease.last_renew_ms << "ms ago); failing over";
+    Status st = Status::OK();
+    if (lease.role == "query") {
+      st = query_coord_->OnNodeDead(lease.node);
+    } else if (lease.role == "data") {
+      st = data_coord_->OnDataNodeDead(lease.node);
+    } else if (lease.role == "index") {
+      // In-flight builds are fenced at RegisterIndex; pending ones get
+      // re-dispatched by a future CreateIndex/RequestBuildAll.
+      index_coord_->RemoveIndexNode(lease.node);
+    }
+    if (st.ok()) {
+      // MTTR as a user would see it: from the last successful heartbeat
+      // (the crash happened some unknown time after it) to failover done.
+      MetricsRegistry::Global()
+          .GetGauge("cluster.mttr_ms")
+          ->Set(NowMs() - lease.last_renew_ms);
+    } else {
+      MANU_LOG_ERROR << "failover of " << lease.role << " node "
+                     << lease.node << " failed: " << st.ToString();
+    }
   }
 }
 
@@ -90,14 +238,12 @@ Result<CollectionMeta> ManuInstance::CreateCollection(
       root_coord_->CreateCollection(std::move(schema), config_.num_shards));
   data_coord_->OnCollectionCreated(meta);
 
-  auto schema_ptr = std::make_shared<const CollectionSchema>(meta.schema);
   for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
     // Shard channels: ticked by the emitter, archived by a data node.
     ticker_->RegisterChannel(ShardChannelName(meta.id, shard), meta.id,
                              shard);
-    data_nodes_[static_cast<size_t>(shard) % data_nodes_.size()]
-        ->AssignChannel(meta.id, shard, schema_ptr);
   }
+  MANU_RETURN_NOT_OK(data_coord_->AssignShardChannels(meta));
   MANU_RETURN_NOT_OK(query_coord_->LoadCollection(meta));
   return meta;
 }
@@ -205,8 +351,13 @@ Status ManuInstance::WaitUntilVisible(const std::string& collection,
                                       Timestamp ts, int64_t timeout_ms) {
   MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
                         root_coord_->GetCollection(collection));
+  const int64_t deadline = NowMs() + timeout_ms;
   for (const auto& node : query_coord_->NodesFor(meta.id)) {
-    if (!node->WaitServiceTs(meta.id, ts, timeout_ms)) {
+    // One shared budget: N lagging nodes must not stretch the wait to
+    // N * timeout_ms.
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0 ||
+        !node->WaitServiceTs(meta.id, ts, std::max<int64_t>(1, remaining))) {
       return Status::Timeout("WAL consumption lagging");
     }
   }
@@ -268,7 +419,18 @@ Status ManuInstance::TruncateLogBefore(const std::string& collection,
                         root_coord_->GetCollection(collection));
   for (ShardId shard = 0; shard < meta.num_shards; ++shard) {
     const std::string channel = ShardChannelName(meta.id, shard);
-    mq_.TruncateBefore(channel, mq_.FirstOffsetAtOrAfter(channel, ts));
+    // Safe clamp: never drop entries above the archived floor — they exist
+    // only in the WAL, and crash recovery replays from the floor. (Without
+    // the clamp a later Recover() would refuse with DataLoss.)
+    const Timestamp floor = data_coord_->ArchivedFloor(meta.id, shard);
+    Timestamp effective = ts;
+    if (effective > floor + 1) {
+      MANU_LOG_WARN << "truncate of " << channel << " clamped from lsn "
+                    << ts << " to archived floor " << floor + 1;
+      effective = floor + 1;
+    }
+    durable_->mq.TruncateBefore(
+        channel, durable_->mq.FirstOffsetAtOrAfter(channel, effective));
   }
   return Status::OK();
 }
@@ -276,14 +438,8 @@ Status ManuInstance::TruncateLogBefore(const std::string& collection,
 Status ManuInstance::ScaleQueryNodes(int32_t target) {
   if (target < 1) return Status::InvalidArgument("need >= 1 query node");
   while (static_cast<int32_t>(query_coord_->NumQueryNodes()) < target) {
-    CoreContext ctx;
-    ctx.config = config_;
-    ctx.meta = &meta_;
-    ctx.store = store_.get();
-    ctx.mq = &mq_;
-    ctx.tso = &tso_;
-    ctx.ticker = ticker_.get();
-    auto node = std::make_shared<QueryNode>(next_node_id_.fetch_add(1), ctx);
+    auto node = std::make_shared<QueryNode>(next_node_id_.fetch_add(1),
+                                            MakeContext());
     node->Start();
     query_coord_->AddQueryNode(std::move(node));
   }
@@ -296,6 +452,22 @@ Status ManuInstance::ScaleQueryNodes(int32_t target) {
 
 Status ManuInstance::KillQueryNode(NodeId id) {
   return query_coord_->KillQueryNode(id);
+}
+
+Status ManuInstance::CrashQueryNode(NodeId id) {
+  return query_coord_->CrashNode(id);
+}
+
+Status ManuInstance::CrashDataNode(NodeId id) {
+  for (auto& node : data_nodes_) {
+    if (node->id() != id) continue;
+    // Stop the pump only; the data coordinator still believes this node
+    // owns its shard channels until the watchdog revokes the lease.
+    node->Stop();
+    MANU_LOG_INFO << "data node " << id << " crashed (abrupt, no recovery)";
+    return Status::OK();
+  }
+  return Status::NotFound("data node");
 }
 
 std::string ManuInstance::DescribeCluster() {
@@ -341,6 +513,19 @@ std::string ManuInstance::DescribeCluster() {
     out << "  node " << node->id() << ": mem="
         << node->MemoryBytes() / (1 << 20) << "MB\n";
   }
+
+  if (leases_ != nullptr) {
+    out << "liveness (instance epoch " << instance_epoch_ << ", lease ttl "
+        << leases_->ttl_ms() << "ms):\n";
+    const int64_t now = NowMs();
+    for (const LeaseInfo& lease : leases_->Snapshot()) {
+      out << "  node " << lease.node << ": role=" << lease.role
+          << " epoch=" << lease.epoch << " heartbeat_age_ms="
+          << std::max<int64_t>(0, now - lease.last_renew_ms)
+          << (lease.dead ? " DEAD" : " alive") << "\n";
+    }
+  }
+
   out << "--- metrics ---\n" << MetricsRegistry::Global().Dump();
   return out.str();
 }

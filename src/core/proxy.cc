@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <map>
+#include <optional>
 
 #include "common/metrics.h"
 
@@ -205,7 +206,11 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
     const std::vector<SearchRequest>& reqs) {
   const int64_t t0 = NowMicros();
   std::vector<Result<SearchResult>> results(reqs.size());
-  std::vector<Prepared> prepared(reqs.size());
+  // shared_ptr: the NodeSearchRequests handed to node tasks point into
+  // these Prepared objects (filter, query vectors). With allow_partial the
+  // proxy may return while an abandoned straggler still runs, so the tasks
+  // — not this stack frame — must own the request state.
+  auto prepared = std::make_shared<std::vector<Prepared>>(reqs.size());
 
   // One query timestamp for the whole batch.
   const Timestamp batch_ts = ctx_.tso->Allocate();
@@ -216,9 +221,9 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
       results[i] = prep.status();
       continue;
     }
-    prepared[i] = std::move(prep).value();
-    if (reqs[i].travel_ts == 0) prepared[i].nreq.read_ts = batch_ts;
-    by_collection[prepared[i].meta.id].push_back(i);
+    (*prepared)[i] = std::move(prep).value();
+    if (reqs[i].travel_ts == 0) (*prepared)[i].nreq.read_ts = batch_ts;
+    by_collection[(*prepared)[i].meta.id].push_back(i);
   }
 
   for (const auto& [collection, indices] : by_collection) {
@@ -229,9 +234,35 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
       }
       continue;
     }
-    std::vector<NodeSearchRequest> batch;
-    batch.reserve(indices.size());
-    for (size_t i : indices) batch.push_back(prepared[i].nreq);
+    // Coverage weights, as in Search().
+    std::vector<int64_t> weights;
+    weights.reserve(nodes.size());
+    int64_t total_weight = 0;
+    for (const auto& node : nodes) {
+      const int64_t w =
+          std::max<int64_t>(1, node->NumServingSegments(collection));
+      weights.push_back(w);
+      total_weight += w;
+    }
+
+    // The group waits as long as its most patient request allows; stricter
+    // per-request deadlines are not individually enforced (batching trades
+    // that precision for one dispatch per node).
+    int64_t deadline_ms = 0;
+    for (size_t i : indices) {
+      const int64_t eff = reqs[i].node_deadline_ms > 0
+                              ? reqs[i].node_deadline_ms
+                              : ctx_.config.node_search_deadline_ms;
+      deadline_ms = std::max(deadline_ms, eff);
+    }
+
+    auto batch = std::make_shared<std::vector<NodeSearchRequest>>();
+    batch->reserve(indices.size());
+    for (size_t i : indices) batch->push_back((*prepared)[i].nreq);
+    if (deadline_ms > 0) {
+      const int64_t deadline_us = NowMicros() + deadline_ms * 1000;
+      for (auto& nreq : *batch) nreq.deadline_us = deadline_us;
+    }
 
     // One dispatch per node for the whole group.
     std::vector<
@@ -239,32 +270,82 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
         futures;
     futures.reserve(nodes.size());
     for (auto& node : nodes) {
-      futures.push_back(pool_.Submit(
-          [node, &batch]() { return node->SearchBatch(batch); }));
+      futures.push_back(pool_.Submit([node, prepared, batch]() {
+        return node->SearchBatch(*batch);
+      }));
     }
-    std::vector<std::vector<Result<std::vector<SegmentHit>>>> per_node;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              std::max<int64_t>(0, deadline_ms));
+    // One slot per node; nullopt = the node missed the deadline (it keeps
+    // running against the shared_ptr state; the proxy stops waiting).
+    std::vector<
+        std::optional<std::vector<Result<std::vector<SegmentHit>>>>>
+        per_node;
     per_node.reserve(nodes.size());
-    for (auto& fut : futures) per_node.push_back(fut.get());
+    for (auto& fut : futures) {
+      if (deadline_ms > 0 &&
+          fut.wait_until(deadline) == std::future_status::timeout) {
+        per_node.emplace_back(std::nullopt);
+        continue;
+      }
+      per_node.emplace_back(fut.get());
+    }
 
     for (size_t pos = 0; pos < indices.size(); ++pos) {
       const size_t i = indices[pos];
       std::vector<std::vector<Neighbor>> lists;
+      int64_t covered_weight = 0;
+      int64_t degraded_nodes = 0;
       Status failure;
-      for (const auto& node_results : per_node) {
-        const auto& hits = node_results[pos];
-        if (!hits.ok()) {
-          failure = hits.status();
-          break;
+      for (size_t n = 0; n < per_node.size(); ++n) {
+        if (!per_node[n].has_value()) {
+          if (!reqs[i].allow_partial) {
+            failure = Status::Timeout(
+                "query node missed the search deadline");
+            break;
+          }
+          ++degraded_nodes;
+          continue;
         }
+        const auto& hits = (*per_node[n])[pos];
+        if (!hits.ok()) {
+          if (!reqs[i].allow_partial) {
+            failure = hits.status();
+            break;
+          }
+          ++degraded_nodes;
+          continue;
+        }
+        covered_weight += weights[n];
         std::vector<Neighbor> list;
         list.reserve(hits.value().size());
         for (const auto& h : hits.value()) list.push_back({h.pk, h.score});
         lists.push_back(std::move(list));
       }
-      results[i] = failure.ok()
-                       ? Result<SearchResult>(ToResult(
-                             MergeTopK(lists, reqs[i].k, true)))
-                       : Result<SearchResult>(failure);
+      if (!failure.ok()) {
+        results[i] = failure;
+        continue;
+      }
+      if (lists.empty()) {
+        results[i] =
+            Status::Unavailable("every query node failed or timed out");
+        continue;
+      }
+      SearchResult out =
+          ToResult(MergeTopK(lists, reqs[i].k, /*dedup_ids=*/true));
+      out.coverage = total_weight > 0
+                         ? static_cast<double>(covered_weight) / total_weight
+                         : 1.0;
+      if (degraded_nodes > 0) {
+        MetricsRegistry::Global()
+            .GetCounter("proxy.degraded_nodes")
+            ->Add(degraded_nodes);
+      }
+      if (out.coverage < 1.0) {
+        MetricsRegistry::Global().GetCounter("proxy.partial_results")->Add(1);
+      }
+      results[i] = std::move(out);
     }
   }
 

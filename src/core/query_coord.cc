@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "core/lease.h"
 
 namespace manu {
 
@@ -134,40 +135,51 @@ Status QueryCoordinator::RemoveQueryNode(NodeId id) {
       auto victim_it = std::find(owners.begin(), owners.end(), id);
       if (victim_it == owners.end()) continue;
       owners.erase(victim_it);
-      victim->ReleaseSegment(collection, segment);
-      if (!owners.empty()) continue;  // Other replicas keep serving.
-      auto meta = data_coord_->GetSegment(collection, segment);
-      if (!meta.ok()) continue;
-      std::shared_ptr<QueryNode> target;
-      for (const auto& node : nodes_) {
-        if (node->id() != id &&
-            (target == nullptr ||
-             node->MemoryBytes() < target->MemoryBytes())) {
-          target = node;
+      if (owners.empty()) {
+        auto meta = data_coord_->GetSegment(collection, segment);
+        if (!meta.ok()) continue;
+        // Prefer the shard's channel owner (already reassigned above): it
+        // sits in every fan-out set and suppresses any replayed growing
+        // twin via the sealed-twin-wins rule.
+        std::shared_ptr<QueryNode> target;
+        auto primary_it = serving.channel_owner.find(meta.value().shard);
+        if (primary_it != serving.channel_owner.end() &&
+            primary_it->second != id) {
+          target = NodeById(primary_it->second);
         }
+        if (target == nullptr) {
+          for (const auto& node : nodes_) {
+            if (node->id() != id &&
+                (target == nullptr ||
+                 node->MemoryBytes() < target->MemoryBytes())) {
+              target = node;
+            }
+          }
+        }
+        if (target == nullptr) continue;
+        MANU_RETURN_NOT_OK(
+            target->LoadSealedSegment(meta.value(), serving.schema));
+        owners.push_back(target->id());
       }
-      if (target == nullptr) continue;
-      MANU_RETURN_NOT_OK(
-          target->LoadSealedSegment(meta.value(), serving.schema));
-      owners.push_back(target->id());
+      // Release only after the survivor serves the segment.
+      victim->ReleaseSegment(collection, segment);
     }
     victim->RemoveCollection(collection);
   }
   victim->Stop();
   std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+  if (ctx_.leases != nullptr) ctx_.leases->Deregister(id);
   MANU_LOG_INFO << "query node " << id << " removed (scale-down)";
   return Status::OK();
 }
 
-Status QueryCoordinator::KillQueryNode(NodeId id) {
+Status QueryCoordinator::RecoverDeadNodeLocked(NodeId id) {
   const int64_t t0 = NowMicros();
-  std::lock_guard<std::mutex> lk(mu_);
   auto victim = NodeById(id);
   if (victim == nullptr) return Status::NotFound("query node");
   if (nodes_.size() <= 1) {
     return Status::InvalidArgument("cannot kill the last query node");
   }
-  MetricsRegistry::Global().GetCounter("query_coord.nodes_killed")->Add(1);
   // Crash first: no cooperation from the victim.
   victim->Stop();
   std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
@@ -186,7 +198,16 @@ Status QueryCoordinator::KillQueryNode(NodeId id) {
       if (!owners.empty()) continue;  // A hot replica already serves it.
       auto meta = data_coord_->GetSegment(collection, segment);
       if (!meta.ok()) continue;
-      auto target = LeastLoadedLocked();
+      // Prefer the shard's channel owner: the promoted primary replays the
+      // channel from the beginning, and hosting the sealed copy there lets
+      // the sealed-twin-wins rule suppress the replayed growing twin
+      // instead of serving the rows twice from two nodes.
+      std::shared_ptr<QueryNode> target;
+      auto primary_it = serving.channel_owner.find(meta.value().shard);
+      if (primary_it != serving.channel_owner.end()) {
+        target = NodeById(primary_it->second);
+      }
+      if (target == nullptr) target = LeastLoadedLocked();
       if (target == nullptr) continue;
       Status st = target->LoadSealedSegment(meta.value(), serving.schema);
       if (st.ok()) owners.push_back(target->id());
@@ -198,7 +219,37 @@ Status QueryCoordinator::KillQueryNode(NodeId id) {
   MetricsRegistry::Global()
       .GetHistogram("query_coord.recovery_us")
       ->Observe(static_cast<double>(NowMicros() - t0));
+  return Status::OK();
+}
+
+Status QueryCoordinator::KillQueryNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MANU_RETURN_NOT_OK(RecoverDeadNodeLocked(id));
+  MetricsRegistry::Global().GetCounter("query_coord.nodes_killed")->Add(1);
+  // Manual kill: drop the lease too, so the watchdog does not fire a second
+  // (NotFound) recovery for the same node.
+  if (ctx_.leases != nullptr) ctx_.leases->Deregister(id);
   MANU_LOG_INFO << "query node " << id << " killed and recovered";
+  return Status::OK();
+}
+
+Status QueryCoordinator::OnNodeDead(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MANU_RETURN_NOT_OK(RecoverDeadNodeLocked(id));
+  MANU_LOG_INFO << "query node " << id
+                << " lease expired; channels and segments reassigned";
+  return Status::OK();
+}
+
+Status QueryCoordinator::CrashNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto victim = NodeById(id);
+  if (victim == nullptr) return Status::NotFound("query node");
+  // Stop the pump only: the node stays registered as a channel/segment
+  // owner and its lease keeps counting down. Detection and recovery are the
+  // watchdog's job.
+  victim->Stop();
+  MANU_LOG_INFO << "query node " << id << " crashed (abrupt, no recovery)";
   return Status::OK();
 }
 
@@ -280,7 +331,8 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
   CollectionServing& serving = it->second;
 
   // Pick the replica set: existing owners reload in place (new index
-  // version); missing replicas go to the least-loaded remaining nodes.
+  // version); then the shard's channel owner; missing replicas go to the
+  // least-loaded remaining nodes.
   std::vector<std::shared_ptr<QueryNode>> targets;
   auto owner = serving.segment_owner.find(meta.id);
   if (owner != serving.segment_owner.end()) {
@@ -292,6 +344,23 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
   const size_t want = std::max<size_t>(
       1, std::min<size_t>(static_cast<size_t>(ctx_.config.replica_factor),
                           nodes_.size()));
+  // The channel owner hosts the growing twin and sits in every proxy
+  // fan-out set for this collection, so loading the sealed segment there
+  // makes the growing->sealed handoff atomic for in-flight searches: a
+  // search that fanned out before this handoff still reaches a node that
+  // serves the rows, either from the growing twin (pre-load) or from the
+  // sealed copy (the sealed-twin-wins rule covers the overlap). Loading
+  // only onto some other node would let DropGrowing below race ahead of a
+  // search already queued on the primary, losing the segment's rows from
+  // that search entirely.
+  auto primary_it = serving.channel_owner.find(meta.shard);
+  if (primary_it != serving.channel_owner.end() && targets.size() < want) {
+    auto primary = NodeById(primary_it->second);
+    if (primary != nullptr &&
+        std::find(targets.begin(), targets.end(), primary) == targets.end()) {
+      targets.push_back(primary);
+    }
+  }
   std::vector<std::shared_ptr<QueryNode>> candidates = nodes_;
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) {

@@ -44,7 +44,19 @@ class QueryCoordinator {
 
   /// Simulated crash: drops the node without cooperation and restores its
   /// segments on healthy nodes from object storage (failure recovery).
+  /// Manual test hook — the automatic path is the watchdog calling
+  /// OnNodeDead after the node's lease expires.
   Status KillQueryNode(NodeId id);
+
+  /// Watchdog failover: same recovery as KillQueryNode, driven by lease
+  /// expiry instead of a manual call. NotFound when the node was already
+  /// removed (e.g. a manual kill raced the watchdog).
+  Status OnNodeDead(NodeId id);
+
+  /// Abrupt-kill test hook: stops the node's pump (searches start failing,
+  /// heartbeats stop) but tells the coordinator NOTHING — recovery must
+  /// come from the watchdog noticing the expired lease.
+  Status CrashNode(NodeId id);
 
   size_t NumQueryNodes() const;
   std::vector<std::shared_ptr<QueryNode>> Nodes() const;
@@ -80,6 +92,9 @@ class QueryCoordinator {
   };
 
   void Run();
+  /// Shared crash-recovery body (mu_ held): stops/evicts the victim,
+  /// promotes its channels and reloads orphaned segments on survivors.
+  Status RecoverDeadNodeLocked(NodeId id);
   void OnSegmentReady(const SegmentMeta& meta);
   /// Releases `segments` from their owners (mu_ held by caller).
   void ReleaseSegmentsLocked(CollectionId collection,

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "core/lease.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
 
@@ -49,6 +50,9 @@ std::vector<Result<std::vector<SegmentHit>>> QueryNode::SearchBatch(
 }
 
 void QueryNode::Start() {
+  if (ctx_.leases != nullptr) {
+    lease_epoch_ = ctx_.leases->Register(id_, "query");
+  }
   stop_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { Run(); });
 }
@@ -120,7 +124,14 @@ void QueryNode::RemoveCollection(CollectionId collection) {
 }
 
 void QueryNode::Run() {
+  int64_t next_heartbeat_ms = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    if (ctx_.leases != nullptr && NowMs() >= next_heartbeat_ms) {
+      // Renewal failures (dropped heartbeat failpoint, fenced epoch) are
+      // deliberate no-ops: the watchdog decides liveness, not the worker.
+      (void)ctx_.leases->Renew(id_, lease_epoch_);
+      next_heartbeat_ms = NowMs() + ctx_.config.heartbeat_interval_ms;
+    }
     bool idle = true;
     std::vector<std::shared_ptr<ChannelState>> channels;
     {
@@ -353,6 +364,21 @@ bool QueryNode::WaitServiceTs(CollectionId collection, Timestamp ts,
 bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
                                 int64_t staleness_ms) {
   if (staleness_ms < 0) return true;  // Eventual: never wait.
+  if (staleness_ms == 0) {
+    // tau=0 (strong): compare full hybrid timestamps. The millisecond
+    // comparison below would let a time-tick from the same millisecond as
+    // the inserts — published before them, so consumed first — open the
+    // gate while the inserts are still in the channel, and the "strong"
+    // search would miss acked rows.
+    std::shared_lock lk(mu_);
+    tick_cv_.wait_for(
+        lk, std::chrono::milliseconds(ctx_.config.max_consistency_wait_ms),
+        [&] {
+          return ServiceTsLocked(collection) >= read_ts ||
+                 stop_.load(std::memory_order_acquire);
+        });
+    return ServiceTsLocked(collection) >= read_ts;
+  }
   const int64_t target_ms =
       static_cast<int64_t>(PhysicalMs(read_ts)) - staleness_ms;
   std::shared_lock lk(mu_);

@@ -186,6 +186,8 @@ class QueryNode {
 
   NodeId id_;
   CoreContext ctx_;
+  /// Lease fencing epoch (0 when liveness is off); granted in Start().
+  int64_t lease_epoch_ = 0;
 
   mutable std::shared_mutex mu_;
   std::condition_variable_any tick_cv_;

@@ -112,6 +112,27 @@ Result<CollectionMeta> RootCoordinator::GetCollectionById(
   return it->second;
 }
 
+std::vector<CollectionMeta> RootCoordinator::Restore() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CollectionMeta> restored;
+  for (const auto& [key, entry] : ctx_.meta->List("collection/")) {
+    auto meta = CollectionMeta::Deserialize(entry.value);
+    if (!meta.ok()) {
+      MANU_LOG_WARN << "root coord restore: bad collection meta at " << key;
+      continue;
+    }
+    if (meta.value().dropped) continue;
+    by_name_[meta.value().schema.name()] = meta.value().id;
+    cache_[meta.value().id] = meta.value();
+    restored.push_back(meta.value());
+  }
+  if (!restored.empty()) {
+    MANU_LOG_INFO << "root coord restored " << restored.size()
+                  << " collections from durable state";
+  }
+  return restored;
+}
+
 std::vector<CollectionMeta> RootCoordinator::ListCollections() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<CollectionMeta> out;

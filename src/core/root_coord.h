@@ -34,6 +34,12 @@ class RootCoordinator {
   Result<CollectionMeta> GetCollectionById(CollectionId id) const;
   std::vector<CollectionMeta> ListCollections() const;
 
+  /// Crash recovery: repopulates the cache from the MetaStore
+  /// ("collection/<id>" keys), skipping dropped collections. Returns the
+  /// surviving collections (the recovery driver re-binds their channels and
+  /// serving state).
+  std::vector<CollectionMeta> Restore();
+
  private:
   CollectionId NextId();
 

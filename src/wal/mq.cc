@@ -1,5 +1,7 @@
 #include "wal/mq.h"
 
+#include <algorithm>
+
 #include "common/failpoint.h"
 
 namespace manu {
@@ -79,9 +81,29 @@ void MessageQueue::TruncateBefore(const std::string& channel,
   ChannelState* state = GetOrCreate(channel);
   std::lock_guard<std::mutex> lk(state->mu);
   while (!state->entries.empty() && state->base_offset < offset) {
+    const LogEntry& dropped = *state->entries.front();
+    state->truncated_ts = std::max(state->truncated_ts, dropped.timestamp);
+    if (dropped.type == LogEntryType::kDelete) {
+      state->truncated_delete_ts =
+          std::max(state->truncated_delete_ts, dropped.timestamp);
+    }
     state->entries.pop_front();
     ++state->base_offset;
   }
+}
+
+Timestamp MessageQueue::TruncatedBelowTs(const std::string& channel) const {
+  const ChannelState* state = Find(channel);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(state->mu);
+  return state->truncated_ts;
+}
+
+Timestamp MessageQueue::TruncatedDeleteTs(const std::string& channel) const {
+  const ChannelState* state = Find(channel);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(state->mu);
+  return state->truncated_delete_ts;
 }
 
 int64_t MessageQueue::FirstOffsetAtOrAfter(const std::string& channel,

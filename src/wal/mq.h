@@ -55,8 +55,18 @@ class MessageQueue {
   int64_t BeginOffset(const std::string& channel) const;
 
   /// Drops entries with offset < `offset` (log expiration). Offsets of
-  /// retained entries are unchanged.
+  /// retained entries are unchanged. The max LSN dropped (overall, and of
+  /// kDelete entries specifically) is recorded so crash recovery can tell a
+  /// safe truncation (everything dropped was archived) from data loss.
   void TruncateBefore(const std::string& channel, int64_t offset);
+
+  /// Highest LSN ever truncated out of `channel` (0 = nothing truncated).
+  /// Recovery compares this against the archived-segment floor: a truncated
+  /// LSN above the floor means acked writes are unrecoverable (DataLoss).
+  Timestamp TruncatedBelowTs(const std::string& channel) const;
+  /// Same, restricted to kDelete entries. Deletes are never archived in
+  /// binlogs, so recovery flags truncated deletes above the floor.
+  Timestamp TruncatedDeleteTs(const std::string& channel) const;
 
   /// Offset of the first retained entry with LSN >= `ts` (EndOffset if
   /// none). Entries are LSN-ordered per channel, so this supports
@@ -81,6 +91,8 @@ class MessageQueue {
     std::condition_variable cv;
     std::deque<std::shared_ptr<const LogEntry>> entries;
     int64_t base_offset = 0;  ///< Offset of entries.front().
+    Timestamp truncated_ts = 0;         ///< Max LSN dropped by truncation.
+    Timestamp truncated_delete_ts = 0;  ///< Max kDelete LSN dropped.
   };
 
   ChannelState* GetOrCreate(const std::string& channel);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <set>
 #include <thread>
@@ -444,6 +445,278 @@ TEST(Chaos, ConcurrentSearchBatchUnderWalPump) {
   stop.store(true);
   writer.join();
   EXPECT_EQ(batches_ok.load(), 3 * 25);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: lease-expiry-driven automatic failover (Section 3.6)
+// ---------------------------------------------------------------------------
+
+/// Shrunken lease timings so the watchdog acts within a second while still
+/// leaving headroom for sanitizer-slowed pump loops.
+ManuConfig LivenessConfig() {
+  ManuConfig config;
+  config.num_shards = 2;
+  config.num_query_nodes = 2;
+  config.segment_seal_rows = 100000;
+  config.segment_idle_seal_ms = 600000;
+  config.time_tick_interval_ms = 10;
+  config.lease_ttl_ms = 600;
+  config.heartbeat_interval_ms = 100;
+  config.watchdog_interval_ms = 100;
+  return config;
+}
+
+int64_t Counter(const std::string& name) {
+  return MetricsRegistry::Global().CounterValue(name);
+}
+
+TEST(Liveness, QueryNodeLeaseExpiryAutoFailover) {
+  ManuConfig config = LivenessConfig();
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("qlease", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 4;
+  ASSERT_TRUE(db.CreateIndex("qlease", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 300;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  // Sealed segments on the victim make the failover move real state.
+  ASSERT_TRUE(db.Insert("qlease", VecBatch(meta.value(), data, 0, 200)).ok());
+  ASSERT_TRUE(db.FlushAndWait("qlease").ok());
+  auto ts = db.Insert("qlease", VecBatch(meta.value(), data, 200, 300));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("qlease", ts.value()).ok());
+
+  const int64_t missed_before = Counter("lease.missed_heartbeats");
+  ASSERT_EQ(db.NumQueryNodes(), 2u);
+  const NodeId victim = db.query_coord()->Nodes()[0]->id();
+  // Abrupt crash: nothing is told to any coordinator. The ONLY recovery
+  // path is the watchdog noticing the expired lease.
+  ASSERT_TRUE(db.CrashQueryNode(victim).ok());
+
+  const int64_t deadline = NowMs() + 15000;
+  while (db.NumQueryNodes() > 1 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(db.NumQueryNodes(), 1u) << "watchdog never failed the node over";
+  EXPECT_GT(Counter("lease.missed_heartbeats"), missed_before);
+  EXPECT_GT(MetricsRegistry::Global().GaugeValue("cluster.mttr_ms"), 0);
+
+  // tau=0 on the survivor: every acked write, full coverage.
+  SearchRequest req;
+  req.collection = "qlease";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 300;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().coverage, 1.0);
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(found.size(), res.value().ids.size()) << "duplicate pks";
+  for (int64_t pk = 0; pk < 300; ++pk) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
+}
+
+TEST(Liveness, DataNodeLeaseExpiryAutoFailover) {
+  ManuConfig config = LivenessConfig();
+  config.num_data_nodes = 2;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("dlease", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 400;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  // Acked but unarchived: these rows exist only in the WAL, so the shard
+  // handoff below must replay them into the survivor for sealing to work.
+  auto ts = db.Insert("dlease", VecBatch(meta.value(), data, 0, 200));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("dlease", ts.value()).ok());
+
+  NodeId victim = kInvalidNodeId;
+  for (const LeaseInfo& info : db.leases()->Snapshot()) {
+    if (info.role == "data") {
+      victim = info.node;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNodeId);
+  const int64_t missed_before = Counter("lease.missed_heartbeats");
+  ASSERT_TRUE(db.CrashDataNode(victim).ok());
+
+  // Wait for the watchdog to revoke the lease and hand the channel over.
+  const int64_t deadline = NowMs() + 15000;
+  while (Counter("lease.missed_heartbeats") <= missed_before &&
+         NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GT(Counter("lease.missed_heartbeats"), missed_before)
+      << "watchdog never saw the dead data node";
+
+  // Writes keep flowing, and a flush archives BOTH the replayed backlog
+  // and the new rows — it would time out if any shard channel were left
+  // without an owner.
+  ASSERT_TRUE(db.Insert("dlease", VecBatch(meta.value(), data, 200, 400)).ok());
+  ASSERT_TRUE(db.FlushAndWait("dlease").ok());
+  int64_t archived = 0;
+  for (const SegmentMeta& seg : db.data_coord()->ListSegments(meta.value().id)) {
+    if (seg.state != SegmentState::kDropped) archived += seg.num_rows;
+  }
+  EXPECT_EQ(archived, 400);
+
+  SearchRequest req;
+  req.collection = "dlease";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 400;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(found.size(), res.value().ids.size()) << "duplicate pks";
+  for (int64_t pk = 0; pk < 400; ++pk) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
+}
+
+TEST(Liveness, ZombieDataNodeFencedAtArchiveCommitPoint) {
+  // A zombie: the worker is alive and consuming, only its heartbeats are
+  // dropped (a network partition, modeled by the per-node failpoint). The
+  // watchdog revokes the lease — bumping the persisted epoch — and the
+  // zombie's next binlog archive is rejected at the commit point instead
+  // of corrupting state the survivor now owns.
+  ManuConfig config = LivenessConfig();
+  config.num_data_nodes = 2;
+  config.segment_seal_rows = 50;  // Every shard's growing segment will seal.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("zombie", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 300;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  auto ts0 = db.Insert("zombie", VecBatch(meta.value(), data, 0, 40));
+  ASSERT_TRUE(ts0.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("zombie", ts0.value()).ok());
+
+  NodeId zombie = kInvalidNodeId;
+  for (const LeaseInfo& info : db.leases()->Snapshot()) {
+    if (info.role == "data") {
+      zombie = info.node;
+      break;
+    }
+  }
+  ASSERT_NE(zombie, kInvalidNodeId);
+
+  const int64_t missed_before = Counter("lease.missed_heartbeats");
+  ScopedFailPoint partition("lease.heartbeat." + std::to_string(zombie),
+                            FailPointPolicy::ErrorWithProbability(1.0));
+  const int64_t deadline = NowMs() + 15000;
+  while (Counter("lease.missed_heartbeats") <= missed_before &&
+         NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GT(Counter("lease.missed_heartbeats"), missed_before)
+      << "watchdog never revoked the partitioned node";
+
+  // Push every shard past the seal threshold: the zombie (still pumping
+  // its old channel) tries to archive and is fenced; the survivor, which
+  // replayed the channel after the handoff, archives successfully.
+  const int64_t rejected_before = Counter("lease.fencing_rejections");
+  ASSERT_TRUE(db.Insert("zombie", VecBatch(meta.value(), data, 40, 300)).ok());
+  const int64_t fence_deadline = NowMs() + 15000;
+  while (Counter("lease.fencing_rejections") <= rejected_before &&
+         NowMs() < fence_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(Counter("lease.fencing_rejections"), rejected_before)
+      << "zombie's archive was never rejected";
+
+  // No acked write lost and none duplicated despite the split brain.
+  ASSERT_TRUE(db.FlushAndWait("zombie").ok());
+  SearchRequest req;
+  req.collection = "zombie";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 300;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(found.size(), res.value().ids.size()) << "duplicate pks";
+  for (int64_t pk = 0; pk < 300; ++pk) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
+}
+
+TEST(Liveness, BatchSearchReportsReducedCoverageDuringFailover) {
+  ManuConfig config = LivenessConfig();
+  config.lease_ttl_ms = 2500;  // Wide pre-failover window to observe.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("bcov", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 4;
+  ASSERT_TRUE(db.CreateIndex("bcov", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 200;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("bcov", VecBatch(meta.value(), data, 0, 200)).ok());
+  ASSERT_TRUE(db.FlushAndWait("bcov").ok());
+
+  ASSERT_EQ(db.NumQueryNodes(), 2u);
+  const NodeId victim = db.query_coord()->Nodes()[0]->id();
+  ASSERT_TRUE(db.CrashQueryNode(victim).ok());
+
+  // In the window between the crash and the watchdog's failover, the dead
+  // node is still in the fan-out set: allow_partial keeps the batch
+  // serving but must REPORT the reduced coverage, not paper over it.
+  std::vector<SearchRequest> reqs(4);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].collection = "bcov";
+    reqs[i].query.assign(data.Row(i), data.Row(i) + 8);
+    reqs[i].k = 10;
+    reqs[i].consistency = ConsistencyLevel::kEventually;
+    reqs[i].allow_partial = true;
+  }
+  double min_coverage = 1.0;
+  auto results = db.BatchSearch(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (const auto& res : results) {
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    min_coverage = std::min(min_coverage, res.value().coverage);
+  }
+  EXPECT_LT(min_coverage, 1.0)
+      << "degraded batch reported full coverage with a node down";
+
+  // After the watchdog rebalances, the same batch reaches full coverage
+  // and, at tau=0, full content.
+  const int64_t deadline = NowMs() + 15000;
+  while (db.NumQueryNodes() > 1 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(db.NumQueryNodes(), 1u) << "watchdog never failed the node over";
+  for (auto& req : reqs) {
+    req.consistency = ConsistencyLevel::kStrong;
+    req.k = 200;
+  }
+  results = db.BatchSearch(reqs);
+  for (const auto& res : results) {
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res.value().coverage, 1.0);
+    std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+    for (int64_t pk = 0; pk < 200; ++pk) {
+      EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+    }
+  }
 }
 
 }  // namespace
