@@ -5,7 +5,9 @@
 // (IP); we run matched-structure synthetic datasets at laptop scale and
 // check the *ordering*: Manu > Vespa/Vald >> Vearch > ES.
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 #include "baselines/engine.h"
 #include "bench/bench_util.h"
@@ -13,8 +15,22 @@
 namespace manu {
 namespace {
 
+// Dataset label -> JSON-key fragment ("SIFT-like, L2" -> "sift_like_l2").
+std::string KeyFragment(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
 void RunDataset(const char* label, const VectorDataset& data,
-                const SyntheticOptions& opts) {
+                const SyntheticOptions& opts, bench::BenchReport* report) {
   const size_t k = 50;  // Paper: top-50.
   const int64_t num_queries = 128;
   VectorDataset queries = MakeQueries(opts, num_queries, 7);
@@ -52,15 +68,20 @@ void RunDataset(const char* label, const VectorDataset& data,
           4, 1200, [&](int32_t, int64_t i) {
             (void)engine->Search(queries.Row(i % num_queries), k, knob);
           });
+      const double recall = recall_sum / num_queries;
       table.AddRow({engine->name(), bench::Fmt(knob, 2),
-                    bench::Fmt(recall_sum / num_queries, 3),
-                    bench::Fmt(tp.qps, 0)});
+                    bench::Fmt(recall, 3), bench::Fmt(tp.qps, 0)});
+      report->Add(KeyFragment(label) + "." + KeyFragment(engine->name()) +
+                      ".knob_" + bench::Fmt(knob, 2),
+                  {{"recall_at_50", recall},
+                   {"qps", tp.qps},
+                   {"p99_ms", tp.p99_ms}});
     }
   }
   table.Print();
 }
 
-void Run() {
+void Run(bench::BenchReport* report) {
   // The paper runs SIFT10M/DEEP10M on an EC2 fleet; the graph builds alone
   // would take hours here, so the default scale keeps the same clustered
   // structure at 30k rows (MANU_BENCH_SCALE multiplies it).
@@ -74,7 +95,7 @@ void Run() {
     opts.num_clusters = 1000;
     opts.cluster_spread = 0.25;
     opts.metric = MetricType::kL2;
-    RunDataset("SIFT-like, L2", MakeClusteredDataset(opts), opts);
+    RunDataset("SIFT-like, L2", MakeClusteredDataset(opts), opts, report);
   }
   {
     SyntheticOptions opts;
@@ -84,7 +105,7 @@ void Run() {
     opts.cluster_spread = 0.3;
     opts.normalize = true;
     opts.metric = MetricType::kInnerProduct;
-    RunDataset("DEEP-like, IP", MakeClusteredDataset(opts), opts);
+    RunDataset("DEEP-like, IP", MakeClusteredDataset(opts), opts, report);
   }
 }
 
@@ -92,6 +113,8 @@ void Run() {
 }  // namespace manu
 
 int main() {
-  manu::Run();
+  manu::bench::BenchReport report("fig8_recall_throughput");
+  manu::Run(&report);
+  report.WriteIfRequested();
   return 0;
 }

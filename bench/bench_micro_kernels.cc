@@ -6,7 +6,10 @@
 
 #include <algorithm>
 #include <random>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/bitset.h"
 #include "common/threadpool.h"
 #include "common/topk.h"
@@ -207,6 +210,54 @@ void BM_BitsetFilter(benchmark::State& state) {
 BENCHMARK(BM_BitsetFilter);
 
 }  // namespace
+
+// Console reporter that also captures each run for the BENCH_*.json
+// artifact. Per-iteration adjusted real time plus the items/s counter
+// (populated by SetItemsProcessed) are the trajectory fields.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_time = 0;       // per-iteration, in the run's time unit
+    double items_per_second = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Captured c;
+      c.name = run.benchmark_name();
+      c.real_time = run.GetAdjustedRealTime();
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) c.items_per_second = it->second;
+      captured_.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace manu
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  manu::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // JSON keys can't contain '/', so BM_L2Blocked/128 -> BM_L2Blocked_128.
+  manu::bench::BenchReport report("micro_kernels");
+  for (const auto& c : reporter.captured()) {
+    std::string key = c.name;
+    std::replace(key.begin(), key.end(), '/', '_');
+    report.Add(key, {{"real_time_ns", c.real_time},
+                     {"items_per_second", c.items_per_second}});
+  }
+  report.WriteIfRequested();
+  return 0;
+}

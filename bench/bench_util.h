@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -103,6 +104,59 @@ inline std::string Fmt(double v, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Collects named per-result metric maps and writes them as one JSON
+/// artifact — the committed `BENCH_*.json` perf trajectory. Each result is a
+/// flat {field: number} object under a unique name; the file embeds the
+/// bench scale so cross-PR comparisons know what was measured.
+///
+/// The file is written only when `MANU_BENCH_JSON` names a path (so ad-hoc
+/// bench runs don't churn committed artifacts); scripts/bench_report.sh
+/// sets it.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    results_.emplace_back(name, std::move(fields));
+  }
+
+  /// Writes the artifact if MANU_BENCH_JSON is set. Returns the path
+  /// written, or "" when disabled / on error.
+  std::string WriteIfRequested() const {
+    const char* path = std::getenv("MANU_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') return "";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot open %s\n", path);
+      return "";
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n",
+                 bench_name_.c_str(), Scale());
+    std::fprintf(f, "  \"results\": {");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": {", i > 0 ? "," : "",
+                   results_[i].first.c_str());
+      const auto& fields = results_[i].second;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %.6g", j > 0 ? ", " : "",
+                     fields[j].first.c_str(), fields[j].second);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench report written to %s\n", path);
+    return path;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      results_;
+};
 
 }  // namespace manu::bench
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_*.json perf-trajectory artifacts at the
+# repo root:
+#   BENCH_micro_kernels.json  — google-benchmark kernel timings (ns/op,
+#                               items/s) from bench_micro_kernels
+#   BENCH_fig8.json           — recall@50 / QPS / p99 per engine+knob from
+#                               bench_fig8_recall_throughput
+#
+# Each bench writes its artifact only when MANU_BENCH_JSON names a path
+# (see bench/bench_util.h), so plain bench runs never churn the committed
+# files. Numbers are machine-dependent; compare trajectories on the same
+# hardware, not across machines.
+#
+# Usage: scripts/bench_report.sh             # build if needed, run both
+#        MANU_BENCH_SCALE=4 scripts/bench_report.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_micro_kernels \
+  bench_fig8_recall_throughput
+
+echo "=== micro kernels ==="
+MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
+  ./build/bench/bench_micro_kernels --benchmark_min_time=0.05
+
+echo "=== figure 8: recall vs throughput ==="
+MANU_BENCH_JSON="$ROOT/BENCH_fig8.json" \
+  ./build/bench/bench_fig8_recall_throughput
+
+echo "=== artifacts ==="
+ls -l "$ROOT"/BENCH_*.json

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # Full verification matrix:
+#   0. metrics-name lint (scripts/metrics_lint.sh)
 #   1. release build, complete ctest suite (unit + e2e + chaos + perf)
 #   2. AddressSanitizer build, ctest -LE perf (chaos suite included)
 #   3. ThreadSanitizer build,  ctest -LE perf (chaos suite included)
@@ -16,6 +17,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+
+echo "=== metrics-name lint ==="
+scripts/metrics_lint.sh
 
 echo "=== release: build + full test suite ==="
 cmake -B build -S . >/dev/null

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Metric-name lint (run by scripts/check.sh):
+#   1. Every literal metric registration uses the repo convention:
+#      dotted lower-case `component.metric_name` (see common/metrics.h).
+#   2. No name is registered as two different metric kinds (a counter and
+#      a histogram sharing a name would collide in the exporters).
+#
+# Only string-literal first arguments are linted; dynamically composed
+# names (e.g. "retry." + op + ".attempts") are built from linted prefixes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# (kind, name) pairs: the literal must be the whole argument, i.e. the
+# closing quote is followed by ',' (labels) or ')' — not '+' (concat).
+pairs=$(grep -rhoE 'Get(Counter|Histogram|Gauge|Rate)\("[^"]+"[,)]' src \
+  | sed -E 's/Get([A-Za-z]+)\("([^"]+)".*/\1 \2/' | sort -u)
+
+fail=0
+while read -r kind name; do
+  [[ -z "${name:-}" ]] && continue
+  if ! [[ "$name" =~ ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$ ]]; then
+    echo "metrics lint: '$name' ($kind) violates dotted lower-case naming" \
+         "(want e.g. proxy.search_latency)" >&2
+    fail=1
+  fi
+done <<< "$pairs"
+
+dups=$(echo "$pairs" | awk '{print $2}' | sort | uniq -d)
+if [[ -n "$dups" ]]; then
+  echo "metrics lint: names registered as more than one metric kind:" >&2
+  echo "$dups" >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "metrics lint: FAILED" >&2
+  exit 1
+fi
+echo "metrics lint: OK ($(echo "$pairs" | wc -l) literal registrations)"

@@ -2,28 +2,72 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace manu {
 
-void LatencyHistogram::Observe(double micros) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (samples_.size() < max_samples_) {
-    samples_.push_back(micros);
-  } else {
-    samples_[next_] = micros;
-    next_ = (next_ + 1) % max_samples_;
+// ---------------------------------------------------------------------------
+// RateGauge
+
+void RateGauge::Mark(int64_t n) {
+  const int64_t sec = NowMs() / 1000;
+  Bucket& b = buckets_[static_cast<size_t>(sec % kBuckets)];
+  int64_t cur = b.second.load(std::memory_order_acquire);
+  if (cur != sec) {
+    // First writer of this second claims the bucket and drops the stale
+    // count from `kBuckets` seconds ago. A racing Mark may lose its count
+    // to the concurrent reset; at one bucket per second and the rates we
+    // track, the error is negligible.
+    if (b.second.compare_exchange_strong(cur, sec,
+                                         std::memory_order_acq_rel)) {
+      b.count.store(0, std::memory_order_relaxed);
+    }
   }
-  ++total_count_;
-  total_sum_ += micros;
-  max_ = std::max(max_, micros);
+  b.count.fetch_add(n, std::memory_order_relaxed);
+  total_.fetch_add(n, std::memory_order_relaxed);
 }
 
-double LatencyHistogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+double RateGauge::RatePerSec(int64_t window_sec) const {
+  window_sec = std::clamp<int64_t>(window_sec, 1, kBuckets - 1);
+  const int64_t now_sec = NowMs() / 1000;
+  int64_t sum = 0;
+  for (int64_t s = now_sec - window_sec + 1; s <= now_sec; ++s) {
+    const Bucket& b = buckets_[static_cast<size_t>(s % kBuckets)];
+    if (b.second.load(std::memory_order_acquire) == s) {
+      sum += b.count.load(std::memory_order_relaxed);
+    }
+  }
+  return static_cast<double>(sum) / static_cast<double>(window_sec);
+}
+
+void RateGauge::Reset() {
+  for (auto& b : buckets_) {
+    b.second.store(-1, std::memory_order_relaxed);
+    b.count.store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+namespace {
+
+/// Stable per-thread stripe assignment, round-robin over threads so the
+/// parallel-search workers spread across stripes instead of hashing to a
+/// shared one.
+size_t ThisThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) %
+      LatencyHistogram::kStripes;
+  return stripe;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -31,28 +75,115 @@ double LatencyHistogram::Percentile(double p) const {
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
 }
 
+}  // namespace
+
+void LatencyHistogram::Observe(double micros) {
+  Stripe& s = stripes_[ThisThreadStripe()];
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.samples.size() < stripe_capacity_) {
+    s.samples.push_back(micros);
+  } else {
+    s.samples[s.next] = micros;
+    s.next = (s.next + 1) % stripe_capacity_;
+  }
+  ++s.count;
+  s.sum += micros;
+  s.max = std::max(s.max, micros);
+}
+
+std::vector<double> LatencyHistogram::MergedSamples() const {
+  std::vector<double> all;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    all.insert(all.end(), s.samples.begin(), s.samples.end());
+  }
+  return all;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::vector<double> sorted = MergedSamples();
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
 double LatencyHistogram::Mean() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return total_count_ == 0 ? 0 : total_sum_ / static_cast<double>(total_count_);
+  int64_t count = 0;
+  double sum = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    count += s.count;
+    sum += s.sum;
+  }
+  return count == 0 ? 0 : sum / static_cast<double>(count);
 }
 
 double LatencyHistogram::Max() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return max_;
+  double max = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    max = std::max(max, s.max);
+  }
+  return max;
 }
 
 int64_t LatencyHistogram::Count() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return total_count_;
+  int64_t count = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    count += s.count;
+  }
+  return count;
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
-  samples_.clear();
-  next_ = 0;
-  total_count_ = 0;
-  total_sum_ = 0;
-  max_ = 0;
+  for (auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.samples.clear();
+    s.next = 0;
+    s.count = 0;
+    s.sum = 0;
+    s.max = 0;
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  std::vector<double> sorted;
+  double sum = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    sorted.insert(sorted.end(), s.samples.begin(), s.samples.end());
+    snap.count += s.count;
+    sum += s.sum;
+    snap.max = std::max(snap.max, s.max);
+  }
+  if (snap.count > 0) snap.mean = sum / static_cast<double>(snap.count);
+  std::sort(sorted.begin(), sorted.end());
+  snap.p50 = PercentileOfSorted(sorted, 50);
+  snap.p95 = PercentileOfSorted(sorted, 95);
+  snap.p99 = PercentileOfSorted(sorted, 99);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+std::string EncodeMetricKey(const std::string& name,
+                            const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -81,22 +212,60 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return slot.get();
 }
 
-int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+RateGauge* MetricsRegistry::GetRate(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = gauges_.find(name);
+  auto& slot = rates_[name];
+  if (slot == nullptr) slot = std::make_unique<RateGauge>();
+  return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  return GetCounter(EncodeMetricKey(name, labels));
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const MetricLabels& labels) {
+  return GetHistogram(EncodeMetricKey(name, labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  return GetGauge(EncodeMetricKey(name, labels));
+}
+
+RateGauge* MetricsRegistry::GetRate(const std::string& name,
+                                    const MetricLabels& labels) {
+  return GetRate(EncodeMetricKey(name, labels));
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name,
+                                    const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(EncodeMetricKey(name, labels));
   return it == gauges_.end() ? 0 : it->second->Get();
 }
 
-int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const MetricLabels& labels) const {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = counters_.find(name);
+  auto it = counters_.find(EncodeMetricKey(name, labels));
   return it == counters_.end() ? 0 : it->second->Get();
 }
 
-int64_t MetricsRegistry::HistogramCount(const std::string& name) const {
+int64_t MetricsRegistry::HistogramCount(const std::string& name,
+                                        const MetricLabels& labels) const {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = histograms_.find(name);
+  auto it = histograms_.find(EncodeMetricKey(name, labels));
   return it == histograms_.end() ? 0 : it->second->Count();
+}
+
+double MetricsRegistry::RateValue(const std::string& name,
+                                  const MetricLabels& labels,
+                                  int64_t window_sec) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rates_.find(EncodeMetricKey(name, labels));
+  return it == rates_.end() ? 0 : it->second->RatePerSec(window_sec);
 }
 
 std::string MetricsRegistry::Dump() const {
@@ -108,30 +277,187 @@ std::string MetricsRegistry::Dump() const {
   for (const auto& [name, g] : gauges_) {
     out << name << " " << g->Get() << " (gauge)\n";
   }
+  for (const auto& [name, r] : rates_) {
+    out << name << " " << r->RatePerSec() << "/s total=" << r->Total()
+        << "\n";
+  }
   for (const auto& [name, h] : histograms_) {
-    out << name << " count=" << h->Count() << " mean_us=" << h->Mean()
-        << " p50_us=" << h->Percentile(50) << " p95_us=" << h->Percentile(95)
-        << " p99_us=" << h->Percentile(99) << "\n";
+    const LatencyHistogram::Snapshot s = h->Snap();
+    out << name << " count=" << s.count << " mean_us=" << s.mean
+        << " p50_us=" << s.p50 << " p95_us=" << s.p95 << " p99_us=" << s.p99
+        << "\n";
   }
   return out.str();
+}
+
+namespace {
+
+/// Splits a registry key into (name, label part). The label part keeps its
+/// braces: `proxy.searches{collection="sift"}` -> ("proxy.searches",
+/// "{collection=\"sift\"}").
+std::pair<std::string, std::string> SplitKey(const std::string& key) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+/// Prometheus family name: dots -> underscores, `manu_` prefix.
+std::string PromName(const std::string& name) {
+  std::string out = "manu_";
+  for (char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+/// Inserts an extra label into an encoded label part (possibly empty), for
+/// summary quantile series.
+std::string WithExtraLabel(const std::string& label_part,
+                           const std::string& key, const std::string& value) {
+  std::string extra = key + "=\"" + value + "\"";
+  if (label_part.empty()) return "{" + extra + "}";
+  std::string out = label_part;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+void JsonEscape(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  std::string last_family;
+  auto type_line = [&](const std::string& name, const char* type) {
+    const std::string fam = PromName(name);
+    if (fam != last_family) {
+      out << "# TYPE " << fam << " " << type << "\n";
+      last_family = fam;
+    }
+    return fam;
+  };
+  for (const auto& [key, c] : counters_) {
+    auto [name, labels] = SplitKey(key);
+    out << type_line(name, "counter") << labels << " " << c->Get() << "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    auto [name, labels] = SplitKey(key);
+    out << type_line(name, "gauge") << labels << " " << g->Get() << "\n";
+  }
+  for (const auto& [key, r] : rates_) {
+    auto [name, labels] = SplitKey(key);
+    out << type_line(name, "gauge") << labels << " " << r->RatePerSec()
+        << "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    auto [name, labels] = SplitKey(key);
+    const LatencyHistogram::Snapshot s = h->Snap();
+    const std::string fam = type_line(name, "summary");
+    out << fam << WithExtraLabel(labels, "quantile", "0.5") << " " << s.p50
+        << "\n";
+    out << fam << WithExtraLabel(labels, "quantile", "0.95") << " " << s.p95
+        << "\n";
+    out << fam << WithExtraLabel(labels, "quantile", "0.99") << " " << s.p99
+        << "\n";
+    out << fam << "_sum" << labels << " "
+        << s.mean * static_cast<double>(s.count) << "\n";
+    out << fam << "_count" << labels << " " << s.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  out << "{\n";
+  auto emit_section = [&](const char* section, auto& map, auto&& value_fn,
+                          bool last) {
+    out << "  \"" << section << "\": {";
+    bool first = true;
+    for (const auto& [key, v] : map) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"";
+      JsonEscape(out, key);
+      out << "\": ";
+      value_fn(v.get());
+    }
+    if (!first) out << "\n  ";
+    out << "}" << (last ? "\n" : ",\n");
+  };
+  emit_section("counters", counters_,
+               [&](const Counter* c) { out << c->Get(); }, false);
+  emit_section("gauges", gauges_, [&](const Gauge* g) { out << g->Get(); },
+               false);
+  emit_section("rates", rates_,
+               [&](const RateGauge* r) {
+                 out << "{\"per_sec\": " << r->RatePerSec()
+                     << ", \"total\": " << r->Total() << "}";
+               },
+               false);
+  emit_section("histograms", histograms_,
+               [&](const LatencyHistogram* h) {
+                 const LatencyHistogram::Snapshot s = h->Snap();
+                 out << "{\"count\": " << s.count << ", \"mean_us\": "
+                     << s.mean << ", \"max_us\": " << s.max
+                     << ", \"p50_us\": " << s.p50 << ", \"p95_us\": " << s.p95
+                     << ", \"p99_us\": " << s.p99 << "}";
+               },
+               true);
+  out << "}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ExportJson();
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return false;
+  f << json;
+  return f.good();
 }
 
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [_, c] : counters_) c->Reset();
   for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, r] : rates_) r->Reset();
   for (auto& [_, h] : histograms_) h->Reset();
 }
 
+// ---------------------------------------------------------------------------
+// Clocks
+
 int64_t NowMs() {
   using namespace std::chrono;
-  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
       .count();
 }
 
 int64_t NowMicros() {
   using namespace std::chrono;
   return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallTimeMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
       .count();
 }
 

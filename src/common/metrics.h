@@ -1,12 +1,15 @@
 #ifndef MANU_COMMON_METRICS_H_
 #define MANU_COMMON_METRICS_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace manu {
@@ -33,13 +36,43 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// Sliding-window rate gauge: Mark(n) events, read back events/second over
+/// the trailing window. Backs the paper's "system view" QPS / ingest-rate
+/// panels. One-second buckets on the steady clock; writers touch a single
+/// atomic bucket, readers sum the window.
+class RateGauge {
+ public:
+  static constexpr int64_t kBuckets = 64;
+  static constexpr int64_t kDefaultWindowSec = 10;
+
+  void Mark(int64_t n = 1);
+  /// Events/second averaged over the trailing `window_sec` seconds.
+  double RatePerSec(int64_t window_sec = kDefaultWindowSec) const;
+  int64_t Total() const { return total_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  struct Bucket {
+    std::atomic<int64_t> second{-1};
+    std::atomic<int64_t> count{0};
+  };
+  mutable std::array<Bucket, kBuckets> buckets_;
+  std::atomic<int64_t> total_{0};
+};
+
 /// Thread-safe latency histogram with exact percentile queries over a sliding
 /// sample buffer. Exact-on-samples (not bucketed) keeps bench output honest
 /// at the scales we run (<= a few million observations).
+///
+/// Observe is striped: each thread hashes to one of kStripes independent
+/// (mutex, ring) pairs, so concurrent probes on the parallel-search hot path
+/// don't serialize on a single histogram lock. Readers merge all stripes.
 class LatencyHistogram {
  public:
+  static constexpr size_t kStripes = 16;
+
   explicit LatencyHistogram(size_t max_samples = 1 << 20)
-      : max_samples_(max_samples) {}
+      : stripe_capacity_(std::max<size_t>(1, max_samples / kStripes)) {}
 
   void Observe(double micros);
 
@@ -50,19 +83,54 @@ class LatencyHistogram {
   int64_t Count() const;
   void Reset();
 
+  /// One consistent read of the histogram: merges the stripes and sorts the
+  /// sample buffer ONCE, so Dump / exporters don't pay three O(n log n)
+  /// sorts for p50/p95/p99.
+  struct Snapshot {
+    int64_t count = 0;
+    double mean = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  Snapshot Snap() const;
+
  private:
-  mutable std::mutex mu_;
-  size_t max_samples_;
-  size_t next_ = 0;  ///< Ring-buffer write position once full.
-  std::vector<double> samples_;
-  int64_t total_count_ = 0;
-  double total_sum_ = 0;
-  double max_ = 0;
+  struct Stripe {
+    mutable std::mutex mu;
+    size_t next = 0;  ///< Ring-buffer write position once full.
+    std::vector<double> samples;
+    int64_t count = 0;
+    double sum = 0;
+    double max = 0;
+  };
+
+  /// All samples across stripes, unsorted.
+  std::vector<double> MergedSamples() const;
+
+  size_t stripe_capacity_;
+  mutable std::array<Stripe, kStripes> stripes_;
 };
 
-/// Process-wide registry keyed by name; the stand-in for the paper's Attu
-/// GUI "system view" (QPS, latency, memory). Components register counters
-/// and histograms here; benches and examples read them back.
+/// Label set for a metric series, e.g. {{"collection","sift"}} or
+/// {{"role","query_node"},{"node","3"}}. Encoded into the registry key in
+/// canonical (sorted) order, so label order at the call site is irrelevant.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series key: `name` or `name{k="v",k2="v2"}` with keys sorted.
+std::string EncodeMetricKey(const std::string& name,
+                            const MetricLabels& labels);
+
+/// Process-wide registry keyed by name (+ optional labels); the stand-in for
+/// the paper's Attu GUI "system view" (QPS, latency, memory). Components
+/// register counters, gauges, rates and histograms here; benches, tests and
+/// the exporters read them back.
+///
+/// Naming convention (enforced by scripts/metrics_lint.sh): dotted
+/// lower-case, `component.metric` — e.g. `proxy.searches`,
+/// `query_node.search_latency`. Labels carry the per-collection /
+/// per-node-role dimension; they are NOT encoded into the name.
 ///
 /// Robustness metrics published by the fault-injection / retry / degradation
 /// machinery (asserted on by the chaos suite):
@@ -70,6 +138,7 @@ class LatencyHistogram {
 ///   retry.attempts, retry.giveups               plus retry.<op>.* breakdown
 ///   proxy.partial_results                       degraded (coverage < 1)
 ///   proxy.degraded_nodes                        node replies dropped
+///   proxy.search_retries                        proxy-level re-dispatches
 ///   query_coord.nodes_killed                    crash recoveries handled
 ///   query_coord.recovery_us (histogram)         node-recovery duration
 ///
@@ -78,6 +147,10 @@ class LatencyHistogram {
 ///   lease.fencing_rejections                    stale-epoch commits refused
 ///   cluster.mttr_ms (gauge)                     last failover: lease grant
 ///                                               lost -> failover complete
+///
+/// Observability metrics (PR 6):
+///   trace.slow_queries                          over-threshold requests
+///   proxy.search_rate / logger.insert_rate      windowed QPS / ingest rate
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -85,17 +158,41 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
   Gauge* GetGauge(const std::string& name);
+  RateGauge* GetRate(const std::string& name);
+
+  /// Labeled series: same metric name, one instrument per label set.
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels);
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const MetricLabels& labels);
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels);
+  RateGauge* GetRate(const std::string& name, const MetricLabels& labels);
 
   /// Read-only lookups that never create: the counter's value (0 when
   /// absent) / the histogram's observation count. Tests and benches assert
   /// on metrics without perturbing the registry.
-  int64_t CounterValue(const std::string& name) const;
-  int64_t HistogramCount(const std::string& name) const;
-  int64_t GaugeValue(const std::string& name) const;
+  int64_t CounterValue(const std::string& name,
+                       const MetricLabels& labels = {}) const;
+  int64_t HistogramCount(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+  int64_t GaugeValue(const std::string& name,
+                     const MetricLabels& labels = {}) const;
+  double RateValue(const std::string& name, const MetricLabels& labels = {},
+                   int64_t window_sec = RateGauge::kDefaultWindowSec) const;
 
-  /// Formats all metrics as "name value" lines (counters) and
-  /// "name p50/p95/p99/mean" lines (histograms).
+  /// Formats all metrics as "name value" lines (counters/gauges/rates) and
+  /// "name count/mean/p50/p95/p99" lines (histograms).
   std::string Dump() const;
+
+  /// Prometheus text exposition (v0.0.4): dots become underscores, every
+  /// family is prefixed `manu_`, labels pass through, histograms export as
+  /// summaries (quantile series + _sum/_count).
+  std::string ExportPrometheus() const;
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"rates":{...},
+  /// "histograms":{name:{count,mean_us,...}}}.
+  std::string ExportJson() const;
+  /// Writes ExportJson() to `path`; returns false on I/O error.
+  bool WriteJsonFile(const std::string& path) const;
+
   void ResetAll();
 
  private:
@@ -103,11 +200,19 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<RateGauge>> rates_;
 };
 
-/// Wall-clock helpers.
+/// Steady-clock readings for durations and deadlines: immune to wall-clock
+/// adjustment (NTP step, manual set). The epoch is arbitrary — only
+/// differences are meaningful.
 int64_t NowMs();
 int64_t NowMicros();
+
+/// Wall-clock milliseconds since the Unix epoch. ONLY for values that must
+/// be real timestamps (the TSO's hybrid-timestamp physical part, log
+/// prefixes) — never for measuring durations.
+int64_t WallTimeMs();
 
 /// RAII latency probe: records elapsed microseconds into a histogram.
 class ScopedLatency {

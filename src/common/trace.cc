@@ -1,0 +1,249 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/metrics.h"
+
+namespace manu {
+
+// ---------------------------------------------------------------------------
+// Trace
+
+void Trace::Record(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Trace::root_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : spans_) {
+    if (s.parent_id == 0) return s.name;
+  }
+  return spans_.empty() ? "" : spans_.back().name;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(const TraceContext& ctx, std::string name) {
+  if (!ctx.trace) return;
+  trace_ = ctx.trace;
+  span_id_ = trace_->NextSpanId();
+  start_us_ = NowMicros();
+  rec_.span_id = span_id_;
+  rec_.parent_id = ctx.parent_span_id;
+  rec_.name = std::move(name);
+  rec_.start_us = start_us_;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    trace_ = std::move(other.trace_);
+    span_id_ = other.span_id_;
+    start_us_ = other.start_us_;
+    is_root_ = other.is_root_;
+    rec_ = std::move(other.rec_);
+    other.trace_.reset();
+    other.is_root_ = false;
+  }
+  return *this;
+}
+
+void Span::Tag(const std::string& key, std::string value) {
+  if (!trace_) return;
+  rec_.tags.emplace_back(key, std::move(value));
+}
+
+void Span::Tag(const std::string& key, int64_t value) {
+  if (!trace_) return;
+  rec_.tags.emplace_back(key, std::to_string(value));
+}
+
+void Span::Tag(const std::string& key, double value) {
+  if (!trace_) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  rec_.tags.emplace_back(key, buf);
+}
+
+void Span::Event(std::string message) {
+  if (!trace_) return;
+  rec_.events.emplace_back(NowMicros() - start_us_, std::move(message));
+}
+
+void Span::End() {
+  if (!trace_) return;
+  rec_.duration_us = NowMicros() - start_us_;
+  std::shared_ptr<Trace> trace = std::move(trace_);
+  trace_.reset();
+  const int64_t duration_us = rec_.duration_us;
+  trace->Record(std::move(rec_));
+  if (is_root_) {
+    trace->set_root_duration_us(duration_us);
+    Tracer::Global().FinishRoot(std::move(trace), duration_us);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+
+void TraceCollector::Add(std::shared_ptr<Trace> trace, bool slow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow) {
+    slow_ring_.push_back(trace);
+    while (slow_ring_.size() > slow_capacity_) slow_ring_.pop_front();
+  }
+  if (trace->sampled()) {
+    ring_.push_back(std::move(trace));
+    while (ring_.size() > capacity_) ring_.pop_front();
+  }
+}
+
+std::vector<std::shared_ptr<Trace>> TraceCollector::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::shared_ptr<Trace>> TraceCollector::SlowTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_ring_.begin(), slow_ring_.end()};
+}
+
+std::shared_ptr<Trace> TraceCollector::Find(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : ring_) {
+    if (t->id() == trace_id) return t;
+  }
+  for (const auto& t : slow_ring_) {
+    if (t->id() == trace_id) return t;
+  }
+  return nullptr;
+}
+
+void TraceCollector::SetCapacity(size_t traces, size_t slow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = traces;
+  slow_capacity_ = slow;
+  while (ring_.size() > capacity_) ring_.pop_front();
+  while (slow_ring_.size() > slow_capacity_) slow_ring_.pop_front();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  slow_ring_.clear();
+}
+
+namespace {
+
+void AppendSpanLine(std::ostringstream& out, const SpanRecord& span,
+                    const std::string& prefix, bool last) {
+  out << prefix << (last ? "`- " : "|- ") << span.name << " "
+      << span.duration_us << "us";
+  for (const auto& [k, v] : span.tags) out << " " << k << "=" << v;
+  out << "\n";
+  for (const auto& [offset_us, msg] : span.events) {
+    out << prefix << (last ? "   " : "|  ") << "   @" << offset_us << "us "
+        << msg << "\n";
+  }
+}
+
+void RenderSubtree(std::ostringstream& out,
+                   const std::multimap<uint64_t, const SpanRecord*>& children,
+                   uint64_t parent, const std::string& prefix) {
+  auto [begin, end] = children.equal_range(parent);
+  std::vector<const SpanRecord*> kids;
+  for (auto it = begin; it != end; ++it) kids.push_back(it->second);
+  std::sort(kids.begin(), kids.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->start_us != b->start_us ? a->start_us < b->start_us
+                                                : a->span_id < b->span_id;
+            });
+  for (size_t i = 0; i < kids.size(); ++i) {
+    const bool last = i + 1 == kids.size();
+    AppendSpanLine(out, *kids[i], prefix, last);
+    RenderSubtree(out, children, kids[i]->span_id,
+                  prefix + (last ? "   " : "|  "));
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::Render(const Trace& trace) {
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  std::multimap<uint64_t, const SpanRecord*> children;
+  for (const auto& s : spans) children.emplace(s.parent_id, &s);
+  std::ostringstream out;
+  out << "trace " << trace.id() << " " << trace.root_name() << " "
+      << trace.root_duration_us() << "us"
+      << (trace.sampled() ? " sampled" : "") << "\n";
+  RenderSubtree(out, children, /*parent=*/0, "");
+  return out.str();
+}
+
+std::string TraceCollector::DumpSlow() const {
+  std::ostringstream out;
+  for (const auto& t : SlowTraces()) out << Render(*t);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Configure(int64_t sample_every, int64_t slow_us) {
+  sample_every_.store(sample_every, std::memory_order_relaxed);
+  slow_us_.store(slow_us, std::memory_order_relaxed);
+}
+
+Span Tracer::StartTrace(std::string name, bool force_sample) {
+  const int64_t every = sample_every_.load(std::memory_order_relaxed);
+  bool sampled = force_sample;
+  if (!sampled && every > 0) {
+    // Deterministic 1-in-N: the first request is sampled, so short tests
+    // with sample_every=1..N still retain something.
+    sampled = sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+                  static_cast<uint64_t>(every) ==
+              0;
+  }
+  auto trace = std::make_shared<Trace>(
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed), sampled);
+  Span root({trace, 0}, std::move(name));
+  root.is_root_ = true;
+  return root;
+}
+
+void Tracer::FinishRoot(std::shared_ptr<Trace> trace, int64_t duration_us) {
+  const int64_t slow = slow_us_.load(std::memory_order_relaxed);
+  const bool is_slow = slow > 0 && duration_us >= slow;
+  if (is_slow) {
+    MetricsRegistry::Global().GetCounter("trace.slow_queries")->Add();
+  }
+  if (trace->sampled() || is_slow) {
+    collector_.Add(std::move(trace), is_slow);
+  }
+}
+
+void Tracer::ResetForTest() {
+  sample_every_.store(64, std::memory_order_relaxed);
+  slow_us_.store(500000, std::memory_order_relaxed);
+  sample_counter_.store(0, std::memory_order_relaxed);
+  collector_.SetCapacity(128, 64);
+  collector_.Clear();
+}
+
+}  // namespace manu

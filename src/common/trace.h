@@ -1,0 +1,192 @@
+#ifndef MANU_COMMON_TRACE_H_
+#define MANU_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manu {
+
+/// One finished span of a trace. Spans form a tree via parent_id; span id 0
+/// is "no parent" (the root). Times are NowMicros() (steady clock), so
+/// durations are immune to wall-clock adjustment.
+struct SpanRecord {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  int64_t start_us = 0;     ///< Steady-clock start (relative ordering only).
+  int64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+  /// Point-in-time annotations: (offset from span start in us, message).
+  std::vector<std::pair<int64_t, std::string>> events;
+};
+
+/// Shared state of one request's trace: every Span of the request appends
+/// its finished record here. Spans may finish from any thread (segment
+/// fan-out workers, abandoned stragglers), so Record is mutex-guarded;
+/// traces are tiny (tens of spans) and only sampled/slow ones are retained.
+class Trace {
+ public:
+  Trace(uint64_t id, bool sampled) : id_(id), sampled_(sampled) {}
+
+  uint64_t id() const { return id_; }
+  bool sampled() const { return sampled_; }
+
+  uint64_t NextSpanId() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Record(SpanRecord rec);
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Root duration, set when the root span finishes (0 while in flight).
+  int64_t root_duration_us() const {
+    return root_duration_us_.load(std::memory_order_acquire);
+  }
+  void set_root_duration_us(int64_t us) {
+    root_duration_us_.store(us, std::memory_order_release);
+  }
+  /// Root span name ("proxy.search", "data_node.seal", ...).
+  std::string root_name() const;
+
+ private:
+  const uint64_t id_;
+  const bool sampled_;
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<int64_t> root_duration_us_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// What a request carries across component boundaries: which trace it
+/// belongs to and which span is the parent of whatever the callee opens.
+/// Copyable and cheap (one shared_ptr); a default-constructed context is
+/// inactive and makes every Span built from it a no-op.
+struct TraceContext {
+  std::shared_ptr<Trace> trace;
+  uint64_t parent_span_id = 0;
+
+  bool active() const { return trace != nullptr; }
+};
+
+/// RAII span: records its duration and tags into the owning Trace when
+/// destroyed (or on End()). Built from a TraceContext; an inactive context
+/// yields a no-op span, so probe sites pay one branch when tracing is off.
+class Span {
+ public:
+  Span() = default;  ///< No-op span.
+  /// Opens a child span under `ctx.parent_span_id`.
+  Span(const TraceContext& ctx, std::string name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+
+  bool active() const { return trace_ != nullptr; }
+
+  void Tag(const std::string& key, std::string value);
+  void Tag(const std::string& key, int64_t value);
+  void Tag(const std::string& key, double value);
+  void Event(std::string message);
+
+  /// Context for children of this span.
+  TraceContext context() const { return {trace_, span_id_}; }
+
+  /// Finishes the span now (idempotent; the destructor calls it too). Root
+  /// spans additionally hand their trace to the collector for retention.
+  void End();
+
+ private:
+  friend class Tracer;
+
+  std::shared_ptr<Trace> trace_;
+  uint64_t span_id_ = 0;
+  int64_t start_us_ = 0;
+  bool is_root_ = false;
+  SpanRecord rec_;
+};
+
+/// Bounded ring of retained traces plus a separate ring for slow queries
+/// (force-retained regardless of the sampling decision). The stand-in for a
+/// Jaeger/Tempo backend at this repo's scale: everything stays in memory
+/// and renders as annotated text trees.
+class TraceCollector {
+ public:
+  /// `rec` is the root span's record (already in the trace).
+  void Add(std::shared_ptr<Trace> trace, bool slow);
+
+  std::vector<std::shared_ptr<Trace>> Traces() const;
+  std::vector<std::shared_ptr<Trace>> SlowTraces() const;
+  /// Retained trace by id (sampled ring first, then slow ring).
+  std::shared_ptr<Trace> Find(uint64_t trace_id) const;
+
+  void SetCapacity(size_t traces, size_t slow);
+  void Clear();
+
+  /// Renders one trace as an indented span tree with durations, tags and
+  /// events, e.g.
+  ///   trace 42 proxy.search 1834us
+  ///   `- proxy.search 1834us collection=chaos coverage=1.00
+  ///      |- query_coord.route 3us
+  ///      `- query_node.search 1702us node=101 segments=4
+  ///         |- segment.scan 401us segment=10 hits=5
+  static std::string Render(const Trace& trace);
+  /// Renders every retained slow trace (the slow-query log dump).
+  std::string DumpSlow() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_ = 128;
+  size_t slow_capacity_ = 64;
+  std::deque<std::shared_ptr<Trace>> ring_;
+  std::deque<std::shared_ptr<Trace>> slow_ring_;
+};
+
+/// Process-wide tracing entry point. Requests call StartTrace to open a
+/// root span; the sampling decision (1-in-N) picks which traces are
+/// *retained* — spans are recorded for every request so that a query that
+/// turns out slow can be force-retained with its full tree (tail-based
+/// retention: you only know it was slow once it finished).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// `sample_every`: retain every Nth root trace (<=0 disables sampling
+  /// retention; slow traces are still kept). `slow_us`: root spans at least
+  /// this long are force-retained (<=0 disables the slow-query log).
+  void Configure(int64_t sample_every, int64_t slow_us);
+
+  /// Opens a root span (and the Trace behind it). `force_sample` retains
+  /// the trace regardless of the 1-in-N decision — for rare background
+  /// operations (segment seal, index build) that would otherwise almost
+  /// never be sampled.
+  Span StartTrace(std::string name, bool force_sample = false);
+
+  TraceCollector& collector() { return collector_; }
+  int64_t slow_us() const { return slow_us_.load(std::memory_order_relaxed); }
+
+  /// Tests: restore defaults, clear rings, reset the sampling counter.
+  void ResetForTest();
+
+ private:
+  friend class Span;
+
+  /// Root-span completion: retention decision + hand-off to the collector.
+  void FinishRoot(std::shared_ptr<Trace> trace, int64_t duration_us);
+
+  std::atomic<int64_t> sample_every_{64};
+  std::atomic<int64_t> slow_us_{500000};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> sample_counter_{0};
+  TraceCollector collector_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_COMMON_TRACE_H_

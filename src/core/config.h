@@ -99,6 +99,20 @@ struct ManuConfig {
   /// instead of failing the query.
   int64_t node_search_deadline_ms = -1;
 
+  /// Proxy-level search retries on transient fan-out failure (Unavailable /
+  /// Timeout). Each retry re-fetches the routing snapshot, so a search that
+  /// raced a node crash re-dispatches to the failover survivor instead of
+  /// failing. 0 (default) = single attempt, the pre-retry behavior.
+  int32_t search_retry_attempts = 0;
+
+  // --- Observability (common/trace.h) ---
+  /// Retain every Nth request trace in the in-memory collector; <= 0
+  /// disables sampling retention (slow queries are still captured).
+  int64_t trace_sample_every = 64;
+  /// Requests slower than this are force-retained in the slow-query log
+  /// regardless of sampling; <= 0 disables the slow-query log.
+  int64_t slow_query_trace_ms = 500;
+
   // --- Scaling-simulation knob ---
   /// When > 0, each query-node search takes at least
   /// `sim_segment_search_us * segments_searched` microseconds (the node

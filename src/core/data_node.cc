@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "core/lease.h"
 #include "storage/binlog.h"
 
@@ -137,6 +138,14 @@ void DataNode::HandleEntry(ChannelState* ch, const LogEntry& entry) {
 void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
                           Buffer buffer) {
   if (buffer.rows.NumRows() == 0) return;
+  // The WAL decouples sealing from the originating inserts, so this stage
+  // cannot join a request trace; it opens its own force-sampled root (seals
+  // are rare enough that 1-in-N sampling would almost never catch one).
+  Span root = Tracer::Global().StartTrace("data_node.seal",
+                                          /*force_sample=*/true);
+  root.Tag("node", static_cast<int64_t>(id_));
+  root.Tag("segment", static_cast<int64_t>(segment));
+  root.Tag("rows", buffer.rows.NumRows());
   // Commit-point fence (binlog archive): a zombie that lost its lease while
   // paused must not archive — the channel's new owner will seal these rows.
   if (ctx_.leases != nullptr) {
@@ -144,6 +153,7 @@ void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
     if (!fenced.ok()) {
       MANU_LOG_WARN << "data node " << id_ << " seal of segment " << segment
                     << " rejected: " << fenced.ToString();
+      root.Tag("error", "fenced: " + fenced.ToString());
       return;
     }
   }
@@ -155,16 +165,20 @@ void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
     // Not data loss: the WAL retains the rows and the shard's primary
     // query node keeps serving the growing twin; only the move to object
     // storage is skipped.
+    root.Tag("error", "injected: " + fp.ToString());
     return;
   }
   const std::string path = "binlog/c" + std::to_string(ch->collection) +
                            "/seg" + std::to_string(segment);
+  Span write_span(root.context(), "binlog.write");
   Status st = RetryOp(MakeIoRetryPolicy(ctx_.config), "data_node.seal", [&] {
     return binlog::WriteSegment(ctx_.store, path, buffer.rows);
   });
+  write_span.End();
   if (!st.ok()) {
     MANU_LOG_ERROR << "data node " << id_ << " binlog write failed: "
                    << st.ToString();
+    root.Tag("error", st.ToString());
     return;
   }
 
@@ -176,10 +190,14 @@ void DataNode::SealBuffer(ChannelState* ch, SegmentId segment,
   meta.num_rows = buffer.rows.NumRows();
   meta.binlog_path = path;
   meta.last_lsn = buffer.last_lsn;
-  st = data_coord_->RegisterSealed(meta);
+  {
+    Span reg_span(root.context(), "data_coord.register_sealed");
+    st = data_coord_->RegisterSealed(meta);
+  }
   if (!st.ok()) {
     MANU_LOG_ERROR << "data node " << id_ << " register failed: "
                    << st.ToString();
+    root.Tag("error", st.ToString());
     return;
   }
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "core/lease.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
@@ -57,6 +58,13 @@ void IndexNode::WaitIdle() const {
 void IndexNode::Build(const SegmentMeta& segment, FieldId field,
                       const IndexParams& params, int32_t version) {
   const int64_t start = NowMicros();
+  // Like sealing, index builds are WAL-decoupled from their inserts: each
+  // build opens its own force-sampled root trace.
+  Span root = Tracer::Global().StartTrace("index_node.build",
+                                          /*force_sample=*/true);
+  root.Tag("node", static_cast<int64_t>(id_));
+  root.Tag("segment", static_cast<int64_t>(segment.id));
+  root.Tag("field", static_cast<int64_t>(field));
   {
     Status fp;
     MANU_FAILPOINT_CAPTURE("index_node.build", fp);
@@ -65,17 +73,21 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
       // coordinator requests another build.
       MANU_LOG_WARN << "index node " << id_ << " build aborted (injected): "
                     << fp.ToString();
+      root.Tag("error", "injected: " + fp.ToString());
       return;
     }
   }
   const RetryPolicy retry = MakeIoRetryPolicy(ctx_.config);
   // Column-based binlog: fetch just the vector column.
+  Span load_span(root.context(), "binlog.load_field");
   auto column = RetryResult(retry, "index_node.read_binlog", [&] {
     return binlog::ReadField(ctx_.store, segment.binlog_path, field);
   });
+  load_span.End();
   if (!column.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " read binlog failed: "
                    << column.status().ToString();
+    root.Tag("error", column.status().ToString());
     return;
   }
   const FieldColumn& col = column.value();
@@ -85,22 +97,29 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
       "index/c" + std::to_string(segment.collection) + "/seg" +
       std::to_string(segment.id) + "/f" + std::to_string(field) + "/v" +
       std::to_string(version);
+  Span build_span(root.context(), "index.build");
+  build_span.Tag("rows", col.NumRows());
   auto built = BuildVectorIndex(params, col.f32.data(), col.NumRows(),
                                 ctx_.store, index_path + "/buckets");
+  build_span.End();
   if (!built.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " build failed: "
                    << built.status().ToString();
+    root.Tag("error", built.status().ToString());
     return;
   }
 
   BinaryWriter w;
   built.value()->Serialize(&w);
   const std::string framed = binlog::Frame(w.Release());
+  Span persist_span(root.context(), "index.persist");
   Status st = RetryOp(retry, "index_node.persist_index",
                       [&] { return ctx_.store->Put(index_path, framed); });
+  persist_span.End();
   if (!st.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " persist failed: "
                    << st.ToString();
+    root.Tag("error", st.ToString());
     return;
   }
   // Commit-point fence (index registration): a zombie index node that lost
@@ -113,11 +132,15 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
       return;
     }
   }
-  st = data_coord_->RegisterIndex(segment.collection, segment.id, field,
-                                  index_path, version);
+  {
+    Span reg_span(root.context(), "data_coord.register_index");
+    st = data_coord_->RegisterIndex(segment.collection, segment.id, field,
+                                    index_path, version);
+  }
   if (!st.ok()) {
     MANU_LOG_ERROR << "index node " << id_ << " register failed: "
                    << st.ToString();
+    root.Tag("error", st.ToString());
     return;
   }
 

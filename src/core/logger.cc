@@ -32,10 +32,15 @@ LsmEntityMap* Logger::MapFor(CollectionId collection, ShardId shard) {
 }
 
 Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
-                                 EntityBatch batch) {
+                                 EntityBatch batch,
+                                 const TraceContext& trace) {
+  Span span(trace, "logger.append");
+  span.Tag("logger", static_cast<int64_t>(id_));
+  span.Tag("shard", static_cast<int64_t>(shard));
   MANU_RETURN_NOT_OK(batch.ValidateAgainst(meta.schema));
   const int64_t rows = batch.NumRows();
   if (rows == 0) return Status::InvalidArgument("empty batch");
+  span.Tag("rows", rows);
 
   // One TSO round trip stamps the whole batch.
   const Timestamp first =
@@ -67,18 +72,32 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
   entry.shard = shard;
   entry.segment = segment;
   entry.batch = std::move(batch);
+  span.Tag("segment", static_cast<int64_t>(segment));
   // The WAL append IS the commit point: a refused publish (broker fault /
   // shutdown) means the rows were never durable and must not be acked.
-  if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry)) <
-      0) {
-    return Status::Unavailable("wal publish failed");
+  {
+    Span publish(span.context(), "wal.publish");
+    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard),
+                         std::move(entry)) < 0) {
+      publish.Tag("acked", "false");
+      span.Tag("error", "wal publish failed");
+      return Status::Unavailable("wal publish failed");
+    }
+    publish.Tag("acked", "true");
   }
+  span.Tag("lsn", static_cast<int64_t>(last));
   MetricsRegistry::Global().GetCounter("logger.rows_inserted")->Add(rows);
+  MetricsRegistry::Global().GetRate("logger.insert_rate")->Mark(rows);
   return last;
 }
 
 Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
-                                 std::vector<int64_t> pks) {
+                                 std::vector<int64_t> pks,
+                                 const TraceContext& trace) {
+  Span span(trace, "logger.delete");
+  span.Tag("logger", static_cast<int64_t>(id_));
+  span.Tag("shard", static_cast<int64_t>(shard));
+  span.Tag("pks", static_cast<int64_t>(pks.size()));
   LsmEntityMap* map = MapFor(meta.id, shard);
   std::vector<int64_t> existing;
   existing.reserve(pks.size());
@@ -100,9 +119,15 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   entry.shard = shard;
   entry.delete_pks = std::move(existing);
   const Timestamp ts = entry.timestamp;
-  if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry)) <
-      0) {
-    return Status::Unavailable("wal publish failed");
+  {
+    Span publish(span.context(), "wal.publish");
+    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard),
+                         std::move(entry)) < 0) {
+      publish.Tag("acked", "false");
+      span.Tag("error", "wal publish failed");
+      return Status::Unavailable("wal publish failed");
+    }
+    publish.Tag("acked", "true");
   }
   MetricsRegistry::Global().GetCounter("logger.rows_deleted")->Add(1);
   return ts;
@@ -143,7 +168,8 @@ Logger* LoggerFleet::LoggerFor(CollectionId collection, ShardId shard) {
 }
 
 Result<Timestamp> LoggerFleet::Insert(const CollectionMeta& meta,
-                                      EntityBatch batch) {
+                                      EntityBatch batch,
+                                      const TraceContext& trace) {
   MANU_RETURN_NOT_OK(batch.ValidateAgainst(meta.schema));
   const int32_t num_shards = meta.num_shards;
   // Partition row indices by shard, preserving order within each shard.
@@ -191,16 +217,17 @@ Result<Timestamp> LoggerFleet::Insert(const CollectionMeta& meta,
       }
       sub.columns.push_back(std::move(out));
     }
-    MANU_ASSIGN_OR_RETURN(
-        Timestamp ts,
-        LoggerFor(meta.id, shard)->Append(meta, shard, std::move(sub)));
+    MANU_ASSIGN_OR_RETURN(Timestamp ts,
+                          LoggerFor(meta.id, shard)
+                              ->Append(meta, shard, std::move(sub), trace));
     max_ts = std::max(max_ts, ts);
   }
   return max_ts;
 }
 
 Result<Timestamp> LoggerFleet::Delete(const CollectionMeta& meta,
-                                      const std::vector<int64_t>& pks) {
+                                      const std::vector<int64_t>& pks,
+                                      const TraceContext& trace) {
   std::vector<std::vector<int64_t>> shard_pks(meta.num_shards);
   for (int64_t pk : pks) {
     shard_pks[ShardOf(pk, meta.num_shards)].push_back(pk);
@@ -211,7 +238,7 @@ Result<Timestamp> LoggerFleet::Delete(const CollectionMeta& meta,
     MANU_ASSIGN_OR_RETURN(Timestamp ts,
                           LoggerFor(meta.id, shard)
                               ->Delete(meta, shard,
-                                       std::move(shard_pks[shard])));
+                                       std::move(shard_pks[shard]), trace));
     max_ts = std::max(max_ts, ts);
   }
   return max_ts;

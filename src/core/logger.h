@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/collection_meta.h"
 #include "core/context.h"
 #include "core/data_coord.h"
@@ -28,14 +29,16 @@ class Logger {
 
   /// Publishes one shard's worth of rows. `batch` must contain rows of a
   /// single shard; timestamps are assigned here. Returns the max LSN.
+  /// `trace` (optional) parents this shard's logger.append span.
   Result<Timestamp> Append(const CollectionMeta& meta, ShardId shard,
-                           EntityBatch batch);
+                           EntityBatch batch, const TraceContext& trace = {});
 
   /// Publishes tombstones for `pks` on `shard`. Unknown pks are filtered
   /// out using the LSM map (the paper's "checking if the entity to delete
   /// exists"). Returns the LSN (0 if everything was filtered).
   Result<Timestamp> Delete(const CollectionMeta& meta, ShardId shard,
-                           std::vector<int64_t> pks);
+                           std::vector<int64_t> pks,
+                           const TraceContext& trace = {});
 
   /// Flushes all LSM memtables (called on shutdown / failover drills).
   Status FlushMaps();
@@ -65,11 +68,13 @@ class LoggerFleet {
 
   /// Hash-partitions `batch` by primary key and appends every sub-batch.
   /// Returns the max LSN across shards (the insert's visibility point).
-  Result<Timestamp> Insert(const CollectionMeta& meta, EntityBatch batch);
+  Result<Timestamp> Insert(const CollectionMeta& meta, EntityBatch batch,
+                           const TraceContext& trace = {});
 
   /// Routes deletes to shards by pk hash.
   Result<Timestamp> Delete(const CollectionMeta& meta,
-                           const std::vector<int64_t>& pks);
+                           const std::vector<int64_t>& pks,
+                           const TraceContext& trace = {});
 
   /// Shard of a primary key (hash partitioning, Section 3.1).
   static ShardId ShardOf(int64_t pk, int32_t num_shards);

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace manu {
 
@@ -87,6 +88,11 @@ ManuInstance::ManuInstance(ManuConfig config,
                            std::shared_ptr<DurableState> durable,
                            bool recovered)
     : config_(config), durable_(std::move(durable)) {
+  // Process-wide tracer follows the last-constructed instance's config
+  // (tests construct instances serially; a production deployment has one).
+  Tracer::Global().Configure(config_.trace_sample_every,
+                             config_.slow_query_trace_ms * 1000);
+
   ticker_ = std::make_unique<TimeTickEmitter>(
       &durable_->mq, &durable_->tso, config_.time_tick_interval_ms);
 
@@ -527,6 +533,13 @@ std::string ManuInstance::DescribeCluster() {
   }
 
   out << "--- metrics ---\n" << MetricsRegistry::Global().Dump();
+
+  const std::string slow = Tracer::Global().collector().DumpSlow();
+  if (!slow.empty()) {
+    out << "--- slow queries (>= " << config_.slow_query_trace_ms
+        << "ms) ---\n"
+        << slow;
+  }
   return out.str();
 }
 

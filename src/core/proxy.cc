@@ -103,16 +103,14 @@ SearchResult Proxy::ToResult(std::vector<Neighbor> merged) {
   return out;
 }
 
-Result<SearchResult> Proxy::Search(const SearchRequest& req) {
-  const int64_t t0 = NowMicros();
-  MANU_ASSIGN_OR_RETURN(Prepared prepared, Prepare(req));
-  // shared_ptr: with allow_partial the proxy may return while an abandoned
-  // node task is still running; the task keeps the request state alive.
-  auto prep = std::make_shared<Prepared>(std::move(prepared));
-  if (req.travel_ts == 0) prep->nreq.read_ts = ctx_.tso->Allocate();
-
+Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
+                                       const std::shared_ptr<Prepared>& prep,
+                                       Span* parent) {
   // --- Fan out to the nodes serving this collection. ---
+  Span route(parent->context(), "query_coord.route");
   auto nodes = query_coord_->NodesFor(prep->meta.id);
+  route.Tag("nodes", static_cast<int64_t>(nodes.size()));
+  route.End();
   if (nodes.empty()) {
     return Status::Unavailable("collection is not loaded on any query node");
   }
@@ -131,20 +129,25 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   const int64_t deadline_ms = req.node_deadline_ms > 0
                                   ? req.node_deadline_ms
                                   : ctx_.config.node_search_deadline_ms;
+  // Each attempt dispatches its own copy of the node request (cheap: the
+  // targets point into prep-owned storage, which the captured shared_ptr
+  // keeps alive). Mutating prep->nreq instead would race an abandoned
+  // straggler from a previous attempt that is still reading it.
+  NodeSearchRequest nreq = prep->nreq;
+  nreq.trace = parent->context();
   // Stamp the absolute deadline into the node request: a straggler the
-  // proxy abandons below keeps running on its executor (the shared_ptr
-  // keeps the request alive), but its parallel segment fan-out checks this
-  // and stops claiming new segment work instead of finishing a result
-  // nobody will read.
+  // proxy abandons below keeps running on its executor, but its parallel
+  // segment fan-out checks this and stops claiming new segment work
+  // instead of finishing a result nobody will read.
   if (deadline_ms > 0) {
-    prep->nreq.deadline_us = NowMicros() + deadline_ms * 1000;
+    nreq.deadline_us = NowMicros() + deadline_ms * 1000;
   }
 
   std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
   futures.reserve(nodes.size());
   for (auto& node : nodes) {
     futures.push_back(
-        pool_.Submit([node, prep]() { return node->Search(prep->nreq); }));
+        pool_.Submit([node, prep, nreq]() { return node->Search(nreq); }));
   }
 
   const auto deadline = std::chrono::steady_clock::now() +
@@ -163,12 +166,14 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
       if (!req.allow_partial) {
         return Status::Timeout("query node missed the search deadline");
       }
+      parent->Event("node abandoned (deadline)");
       ++degraded_nodes;
       continue;
     }
     Result<std::vector<SegmentHit>> hits = fut.get();
     if (!hits.ok()) {
       if (!req.allow_partial) return hits.status();
+      parent->Event("node dropped: " + hits.status().ToString());
       ++degraded_nodes;
       continue;
     }
@@ -183,7 +188,10 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   }
 
   // --- Global reduce with pk dedup. ---
+  Span merge(parent->context(), "proxy.merge");
+  merge.Tag("lists", static_cast<int64_t>(lists.size()));
   SearchResult out = ToResult(MergeTopK(lists, req.k, /*dedup_ids=*/true));
+  merge.End();
   out.coverage = total_weight > 0
                      ? static_cast<double>(covered_weight) / total_weight
                      : 1.0;
@@ -195,9 +203,53 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   if (out.coverage < 1.0) {
     MetricsRegistry::Global().GetCounter("proxy.partial_results")->Add(1);
   }
-  MetricsRegistry::Global().GetCounter("proxy.searches")->Add(1);
-  MetricsRegistry::Global()
-      .GetHistogram("proxy.search_latency")
+  return out;
+}
+
+Result<SearchResult> Proxy::Search(const SearchRequest& req) {
+  const int64_t t0 = NowMicros();
+  Span root = Tracer::Global().StartTrace("proxy.search");
+  root.Tag("collection", req.collection);
+  root.Tag("k", static_cast<int64_t>(req.k));
+  auto prep_res = Prepare(req);
+  if (!prep_res.ok()) {
+    root.Tag("error", prep_res.status().ToString());
+    return prep_res.status();
+  }
+  // shared_ptr: with allow_partial the proxy may return while an abandoned
+  // node task is still running; the task keeps the request state alive.
+  auto prep = std::make_shared<Prepared>(std::move(prep_res).value());
+  if (req.travel_ts == 0) prep->nreq.read_ts = ctx_.tso->Allocate();
+
+  Result<SearchResult> out = SearchOnce(req, prep, &root);
+  const int32_t retries = std::max(0, ctx_.config.search_retry_attempts);
+  for (int32_t attempt = 1; attempt <= retries && !out.ok(); ++attempt) {
+    const StatusCode code = out.status().code();
+    // Only transient fan-out failures are worth re-dispatching; each retry
+    // re-fetches the routing snapshot, so a search that raced a node crash
+    // lands on the failover survivor.
+    if (code != StatusCode::kUnavailable && code != StatusCode::kTimeout) {
+      break;
+    }
+    MetricsRegistry::Global().GetCounter("proxy.search_retries")->Add(1);
+    Span retry(root.context(), "proxy.retry");
+    retry.Tag("attempt", static_cast<int64_t>(attempt));
+    retry.Tag("cause", out.status().ToString());
+    out = SearchOnce(req, prep, &retry);
+  }
+  if (!out.ok()) {
+    root.Tag("error", out.status().ToString());
+    return out.status();
+  }
+
+  root.Tag("coverage", out.value().coverage);
+  root.Tag("hits", static_cast<int64_t>(out.value().ids.size()));
+  auto& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("proxy.searches")->Add(1);
+  metrics.GetCounter("proxy.searches", {{"collection", req.collection}})
+      ->Add(1);
+  metrics.GetRate("proxy.search_rate")->Mark();
+  metrics.GetHistogram("proxy.search_latency")
       ->Observe(static_cast<double>(NowMicros() - t0));
   return out;
 }
@@ -205,6 +257,10 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
 std::vector<Result<SearchResult>> Proxy::BatchSearch(
     const std::vector<SearchRequest>& reqs) {
   const int64_t t0 = NowMicros();
+  // One trace for the whole batch: per-node spans show how the grouped
+  // dispatch amortizes across requests.
+  Span root = Tracer::Global().StartTrace("proxy.batch_search");
+  root.Tag("requests", static_cast<int64_t>(reqs.size()));
   std::vector<Result<SearchResult>> results(reqs.size());
   // shared_ptr: the NodeSearchRequests handed to node tasks point into
   // these Prepared objects (filter, query vectors). With allow_partial the
@@ -259,9 +315,11 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
     auto batch = std::make_shared<std::vector<NodeSearchRequest>>();
     batch->reserve(indices.size());
     for (size_t i : indices) batch->push_back((*prepared)[i].nreq);
-    if (deadline_ms > 0) {
-      const int64_t deadline_us = NowMicros() + deadline_ms * 1000;
-      for (auto& nreq : *batch) nreq.deadline_us = deadline_us;
+    const int64_t deadline_us =
+        deadline_ms > 0 ? NowMicros() + deadline_ms * 1000 : 0;
+    for (auto& nreq : *batch) {
+      nreq.deadline_us = deadline_us;
+      nreq.trace = root.context();
     }
 
     // One dispatch per node for the whole group.
@@ -352,6 +410,8 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
   MetricsRegistry::Global()
       .GetCounter("proxy.searches")
       ->Add(static_cast<int64_t>(reqs.size()));
+  MetricsRegistry::Global().GetRate("proxy.search_rate")->Mark(
+      static_cast<int64_t>(reqs.size()));
   MetricsRegistry::Global()
       .GetHistogram("proxy.batch_latency")
       ->Observe(static_cast<double>(NowMicros() - t0));
@@ -360,16 +420,30 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
 
 Result<Timestamp> Proxy::Insert(const std::string& collection,
                                 EntityBatch batch) {
+  Span root = Tracer::Global().StartTrace("proxy.insert");
+  root.Tag("collection", collection);
+  root.Tag("rows", batch.NumRows());
   MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
                         root_coord_->GetCollection(collection));
-  return loggers_->Insert(meta, std::move(batch));
+  auto res = loggers_->Insert(meta, std::move(batch), root.context());
+  if (!res.ok()) {
+    root.Tag("error", res.status().ToString());
+  } else {
+    root.Tag("lsn", static_cast<int64_t>(res.value()));
+  }
+  return res;
 }
 
 Result<Timestamp> Proxy::Delete(const std::string& collection,
                                 const std::vector<int64_t>& pks) {
+  Span root = Tracer::Global().StartTrace("proxy.delete");
+  root.Tag("collection", collection);
+  root.Tag("pks", static_cast<int64_t>(pks.size()));
   MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
                         root_coord_->GetCollection(collection));
-  return loggers_->Delete(meta, pks);
+  auto res = loggers_->Delete(meta, pks, root.context());
+  if (!res.ok()) root.Tag("error", res.status().ToString());
+  return res;
 }
 
 }  // namespace manu

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "core/context.h"
 #include "core/expr.h"
 #include "core/logger.h"
@@ -109,6 +110,14 @@ class Proxy {
   /// Runs verification + consistency setup; read_ts is left for the caller
   /// (single searches and batches stamp differently).
   Result<Prepared> Prepare(const SearchRequest& req);
+
+  /// One fan-out attempt: routes via the coordinator's current snapshot,
+  /// dispatches, gathers, merges. Node spans parent to `parent` (the root
+  /// span on the first attempt, a proxy.retry span on re-dispatch), so a
+  /// retried search renders with its attempts as siblings.
+  Result<SearchResult> SearchOnce(const SearchRequest& req,
+                                  const std::shared_ptr<Prepared>& prep,
+                                  Span* parent);
 
   static SearchResult ToResult(std::vector<Neighbor> merged);
 

@@ -400,9 +400,12 @@ bool QueryNode::WaitConsistency(CollectionId collection, Timestamp read_ts,
 
 Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     const NodeSearchRequest& req) {
+  Span span(req.trace, "query_node.search");
+  span.Tag("node", static_cast<int64_t>(id_));
   if (stop_.load(std::memory_order_acquire)) {
     // A crashed (killed) node refuses searches instead of serving whatever
     // stale state its last pump iteration left behind.
+    span.Tag("error", "node stopped");
     return Status::Unavailable("query node " + std::to_string(id_) +
                                " is stopped");
   }
@@ -413,16 +416,20 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       MetricsRegistry::Global().GetHistogram("query_node.consistency_wait");
   {
     const int64_t t0 = NowMicros();
+    Span wait_span(span.context(), "query_node.wait_consistency");
     const bool fresh =
         WaitConsistency(req.collection, req.read_ts, req.staleness_ms);
     // Re-check stop_ after the wait: stopping satisfies the wait predicate,
     // and a node killed mid-wait must refuse instead of serving whatever
     // snapshot its last pump iteration left behind.
     if (stop_.load(std::memory_order_acquire)) {
+      span.Tag("error", "node stopped during wait");
       return Status::Unavailable("query node " + std::to_string(id_) +
                                  " stopped during consistency wait");
     }
     if (!fresh) {
+      wait_span.Tag("fresh", "false");
+      span.Tag("error", "consistency wait exceeded bound");
       return Status::Timeout("consistency wait exceeded bound");
     }
     wait_hist->Observe(static_cast<double>(NowMicros() - t0));
@@ -434,9 +441,11 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
   std::shared_lock lk(mu_);
   std::vector<std::shared_ptr<GrowingSegment>> growing;
   std::vector<std::shared_ptr<SealedSegment>> sealed;
+  int64_t tombstones = 0;
   {
     auto it = collections_.find(req.collection);
     if (it == collections_.end()) {
+      span.Tag("error", "collection not served");
       return Status::NotFound("collection not served by node " +
                               std::to_string(id_));
     }
@@ -445,9 +454,11 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       growing.push_back(seg);
     }
     for (const auto& [_, seg] : it->second.sealed) sealed.push_back(seg);
+    tombstones = static_cast<int64_t>(it->second.deletes_count);
   }
 
   if (req.targets.empty()) {
+    span.Tag("error", "no search targets");
     return Status::InvalidArgument("no search targets");
   }
 
@@ -461,6 +472,8 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
   // the serial scan.
   std::vector<std::vector<Neighbor>> per_segment(num_segments);
   std::vector<Status> statuses(num_segments);
+  span.Tag("segments", num_segments);
+  span.Tag("tombstones", tombstones);
 
   // Single-vector per-segment top-k.
   auto single_search = [&](int64_t i) -> Status {
@@ -524,14 +537,30 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     return Status::OK();
   };
 
+  // Per-segment scan spans record on worker threads; safe because
+  // ParallelFor completes before SearchInternal (and thus the parent span)
+  // returns, and Trace::Record is thread-safe.
+  const TraceContext scan_ctx = span.context();
   auto search_one = [&](int64_t i) {
     // A straggler whose proxy already gave up stops fanning out work.
     if (req.deadline_us > 0 && NowMicros() > req.deadline_us) {
       statuses[i] = Status::Timeout("proxy deadline passed, segment skipped");
       return;
     }
+    Span seg_span(scan_ctx, "segment.scan");
+    if (seg_span.active()) {
+      seg_span.Tag("segment", static_cast<int64_t>(
+                                  i < num_sealed
+                                      ? sealed[i]->id()
+                                      : growing[i - num_sealed]->id()));
+      seg_span.Tag("kind", i < num_sealed ? "sealed" : "growing");
+    }
     statuses[i] =
         req.targets.size() == 1 ? single_search(i) : multi_search(i);
+    if (seg_span.active()) {
+      seg_span.Tag("hits", static_cast<int64_t>(per_segment[i].size()));
+      if (!statuses[i].ok()) seg_span.Tag("error", statuses[i].ToString());
+    }
   };
 
   // Intra-query fan-out (Section 6.4 / Fig. 8): per-segment searches run
@@ -548,7 +577,10 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       std::max<int64_t>(1, ctx_.config.search_parallel_grain);
   ParallelFor(fanout, num_segments, search_one, grain);
   for (Status& st : statuses) {
-    if (!st.ok()) return std::move(st);
+    if (!st.ok()) {
+      span.Tag("error", st.ToString());
+      return std::move(st);
+    }
   }
 
   // Node-level reduce (phase one of the two-phase reduce).
@@ -591,6 +623,7 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       .GetHistogram("query_node.search_latency")
       ->Observe(static_cast<double>(NowMicros() - t0));
 
+  span.Tag("hits", static_cast<int64_t>(merged.size()));
   std::vector<SegmentHit> out;
   out.reserve(merged.size());
   for (const Neighbor& n : merged) out.push_back({n.id, n.score});

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "core/collection_meta.h"
 #include "core/context.h"
 #include "core/segment.h"
@@ -43,6 +44,10 @@ struct NodeSearchRequest {
   /// of burning its executor on a result nobody will read.
   int64_t deadline_us = 0;
   const FilterExpr* filter = nullptr;
+  /// Tracing context of the originating request (inactive by default, which
+  /// makes every span on the node path a no-op). Spans opened here parent
+  /// to the proxy's fan-out (or retry) span.
+  TraceContext trace;
 };
 
 /// Query node (Sections 3.2/3.6): serves vector searches over its local

@@ -8,7 +8,9 @@ Timestamp Tso::Allocate() { return AllocateBlock(1); }
 
 Timestamp Tso::AllocateBlock(uint32_t n) {
   std::lock_guard<std::mutex> lk(mu_);
-  const uint64_t now = static_cast<uint64_t>(NowMs());
+  // Hybrid timestamps carry a real wall-clock physical part; WallTimeMs, not
+  // the steady-clock NowMs (whose epoch is arbitrary).
+  const uint64_t now = static_cast<uint64_t>(WallTimeMs());
   if (now > physical_) {
     physical_ = now;
     logical_ = 0;

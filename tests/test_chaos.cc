@@ -12,6 +12,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/synthetic.h"
+#include "common/trace.h"
 #include "core/manu.h"
 #include "storage/lsm_map.h"
 
@@ -717,6 +718,129 @@ TEST(Liveness, BatchSearchReportsReducedCoverageDuringFailover) {
       EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Trace propagation under faults
+// ---------------------------------------------------------------------------
+
+const SpanRecord* FindSpanNamed(const std::vector<SpanRecord>& spans,
+                                const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string SpanTag(const SpanRecord& rec, const std::string& key) {
+  for (const auto& [k, v] : rec.tags) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+std::shared_ptr<Trace> LastSearchTrace() {
+  auto traces = Tracer::Global().collector().Traces();
+  for (auto it = traces.rbegin(); it != traces.rend(); ++it) {
+    if ((*it)->root_name() == "proxy.search") return *it;
+  }
+  return nullptr;
+}
+
+TEST(Liveness, TraceSurvivesRetryAndFailoverRedispatch) {
+  Tracer::Global().ResetForTest();
+  ManuConfig config = LivenessConfig();
+  config.search_retry_attempts = 1;
+  config.trace_sample_every = 1;  // Retain every request's trace.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("tprop", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 200;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  auto ts = db.Insert("tprop", VecBatch(meta.value(), data, 0, 200));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("tprop", ts.value()).ok());
+
+  SearchRequest req;
+  req.collection = "tprop";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 10;
+
+  // Phase 1: transient fault. The first fan-out hits an injected
+  // kUnavailable, the proxy retries, and the retry succeeds — the whole
+  // story must land in ONE trace: the failed attempt's node span under the
+  // root, the re-dispatched node span under a proxy.retry child.
+  const int64_t retries_before = Counter("proxy.search_retries");
+  {
+    ScopedFailPoint fp(
+        "query_node.search_segment",
+        FailPointPolicy::ErrorOnce(StatusCode::kUnavailable));
+    auto res = db.Search(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(fp.trips(), 1);
+  }
+  EXPECT_EQ(Counter("proxy.search_retries"), retries_before + 1);
+
+  auto trace = LastSearchTrace();
+  ASSERT_NE(trace, nullptr);
+  auto spans = trace->Snapshot();
+  const SpanRecord* root = FindSpanNamed(spans, "proxy.search");
+  const SpanRecord* retry = FindSpanNamed(spans, "proxy.retry");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(retry, nullptr) << "retry attempt did not record a span";
+  EXPECT_EQ(retry->parent_id, root->span_id);
+  EXPECT_EQ(SpanTag(*retry, "attempt"), "1");
+  EXPECT_NE(SpanTag(*retry, "cause"), "");
+  bool failed_attempt_under_root = false;
+  bool redispatch_under_retry = false;
+  for (const auto& s : spans) {
+    if (s.name != "query_node.search") continue;
+    if (s.parent_id == root->span_id) failed_attempt_under_root = true;
+    if (s.parent_id == retry->span_id) redispatch_under_retry = true;
+  }
+  EXPECT_TRUE(failed_attempt_under_root)
+      << "first attempt's node span lost from the trace";
+  EXPECT_TRUE(redispatch_under_retry)
+      << "re-dispatched node search not parented to the retry span";
+
+  // Phase 2: hard failover. Crash a query node, let the watchdog hand its
+  // shards to the survivor, and verify a fresh search traces end-to-end on
+  // the NEW routing — node spans tagged with the survivor's id, with
+  // per-segment scans underneath.
+  ASSERT_EQ(db.NumQueryNodes(), 2u);
+  const NodeId victim = db.query_coord()->Nodes()[0]->id();
+  ASSERT_TRUE(db.CrashQueryNode(victim).ok());
+  const int64_t deadline = NowMs() + 15000;
+  while (db.NumQueryNodes() > 1 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(db.NumQueryNodes(), 1u) << "watchdog never failed the node over";
+  const NodeId survivor = db.query_coord()->Nodes()[0]->id();
+
+  req.k = 200;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().coverage, 1.0);
+
+  trace = LastSearchTrace();
+  ASSERT_NE(trace, nullptr);
+  spans = trace->Snapshot();
+  root = FindSpanNamed(spans, "proxy.search");
+  ASSERT_NE(root, nullptr);
+  int node_spans = 0;
+  for (const auto& s : spans) {
+    if (s.name != "query_node.search") continue;
+    ++node_spans;
+    EXPECT_EQ(SpanTag(s, "node"), std::to_string(survivor))
+        << "post-failover trace still references a dead node";
+  }
+  EXPECT_GT(node_spans, 0);
+  EXPECT_NE(FindSpanNamed(spans, "segment.scan"), nullptr);
+  Tracer::Global().ResetForTest();
 }
 
 }  // namespace

@@ -1,0 +1,395 @@
+// Observability suite: trace span trees, tail-based slow-query retention,
+// labeled metrics, rate gauges and the Prometheus/JSON exporters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/synthetic.h"
+#include "common/trace.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool HasTag(const SpanRecord& rec, const std::string& key) {
+  for (const auto& [k, v] : rec.tags) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string TagValue(const SpanRecord& rec, const std::string& key) {
+  for (const auto& [k, v] : rec.tags) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+/// Latest retained trace whose root span has the given name ("" if none).
+std::shared_ptr<Trace> LastTraceNamed(const std::string& root_name) {
+  auto traces = Tracer::Global().collector().Traces();
+  for (auto it = traces.rbegin(); it != traces.rend(); ++it) {
+    if ((*it)->root_name() == root_name) return *it;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Trace core
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SpanTreeStructureAndRender) {
+  Tracer::Global().ResetForTest();
+  {
+    Span root = Tracer::Global().StartTrace("op.root", /*force_sample=*/true);
+    root.Tag("collection", "books");
+    {
+      Span child(root.context(), "op.child");
+      child.Tag("rows", static_cast<int64_t>(42));
+      child.Event("halfway");
+      Span grandchild(child.context(), "op.grandchild");
+    }
+    Span sibling(root.context(), "op.sibling");
+  }
+
+  auto traces = Tracer::Global().collector().Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  auto spans = traces[0]->Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const SpanRecord* root = FindSpan(spans, "op.root");
+  const SpanRecord* child = FindSpan(spans, "op.child");
+  const SpanRecord* grand = FindSpan(spans, "op.grandchild");
+  const SpanRecord* sibling = FindSpan(spans, "op.sibling");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(grand, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_EQ(grand->parent_id, child->span_id);
+  EXPECT_EQ(sibling->parent_id, root->span_id);
+  EXPECT_EQ(TagValue(*root, "collection"), "books");
+  EXPECT_EQ(TagValue(*child, "rows"), "42");
+  ASSERT_EQ(child->events.size(), 1u);
+  EXPECT_EQ(child->events[0].second, "halfway");
+  EXPECT_EQ(traces[0]->root_name(), "op.root");
+  EXPECT_GT(traces[0]->root_duration_us(), 0);
+
+  const std::string rendered = TraceCollector::Render(*traces[0]);
+  EXPECT_NE(rendered.find("op.root"), std::string::npos);
+  EXPECT_NE(rendered.find("op.grandchild"), std::string::npos);
+  EXPECT_NE(rendered.find("collection=books"), std::string::npos);
+  EXPECT_NE(rendered.find("halfway"), std::string::npos);
+}
+
+TEST(Trace, SamplingRetainsOneInN) {
+  Tracer::Global().ResetForTest();
+  Tracer::Global().Configure(/*sample_every=*/4, /*slow_us=*/0);
+  for (int i = 0; i < 8; ++i) {
+    Span root = Tracer::Global().StartTrace("op.sampled");
+  }
+  EXPECT_EQ(Tracer::Global().collector().Traces().size(), 2u);
+  EXPECT_TRUE(Tracer::Global().collector().SlowTraces().empty());
+  Tracer::Global().ResetForTest();
+}
+
+TEST(Trace, SlowQueryForceRetainedRegardlessOfSampling) {
+  Tracer::Global().ResetForTest();
+  // Sampling off entirely; only the slow-query log (>= 1ms) retains.
+  Tracer::Global().Configure(/*sample_every=*/0, /*slow_us=*/1000);
+  const int64_t slow_before =
+      MetricsRegistry::Global().CounterValue("trace.slow_queries");
+  {
+    Span fast = Tracer::Global().StartTrace("op.fast");
+  }
+  {
+    Span slow = Tracer::Global().StartTrace("op.slow");
+    slow.Tag("k", static_cast<int64_t>(7));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(Tracer::Global().collector().Traces().empty());
+  auto slow_traces = Tracer::Global().collector().SlowTraces();
+  ASSERT_EQ(slow_traces.size(), 1u);
+  EXPECT_EQ(slow_traces[0]->root_name(), "op.slow");
+  EXPECT_GE(slow_traces[0]->root_duration_us(), 1000);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("trace.slow_queries"),
+            slow_before + 1);
+
+  const std::string dump = Tracer::Global().collector().DumpSlow();
+  EXPECT_NE(dump.find("op.slow"), std::string::npos);
+  EXPECT_NE(dump.find("k=7"), std::string::npos);
+  Tracer::Global().ResetForTest();
+}
+
+TEST(Trace, CollectorRingsAreBounded) {
+  Tracer::Global().ResetForTest();
+  Tracer::Global().collector().SetCapacity(/*traces=*/4, /*slow=*/2);
+  uint64_t last_id = 0;
+  for (int i = 0; i < 10; ++i) {
+    Span root = Tracer::Global().StartTrace("op.ring", /*force_sample=*/true);
+    last_id = root.context().trace->id();
+  }
+  auto traces = Tracer::Global().collector().Traces();
+  EXPECT_EQ(traces.size(), 4u);
+  // Eviction is oldest-first: the newest trace is still findable.
+  EXPECT_NE(Tracer::Global().collector().Find(last_id), nullptr);
+  Tracer::Global().ResetForTest();
+}
+
+TEST(Trace, InactiveContextSpansAreNoOps) {
+  TraceContext inactive;
+  EXPECT_FALSE(inactive.active());
+  Span span(inactive, "op.ignored");
+  EXPECT_FALSE(span.active());
+  span.Tag("k", "v");
+  span.Event("nothing");
+  span.End();  // Must not crash; nothing recorded anywhere.
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end propagation
+// ---------------------------------------------------------------------------
+
+CollectionSchema TraceVecSchema(const std::string& name, int32_t dim) {
+  CollectionSchema schema(name);
+  FieldSchema vec;
+  vec.name = "v";
+  vec.type = DataType::kFloatVector;
+  vec.dim = dim;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+EntityBatch TraceVecBatch(const CollectionMeta& meta,
+                          const VectorDataset& data, int64_t begin,
+                          int64_t end) {
+  EntityBatch batch;
+  for (int64_t i = begin; i < end; ++i) batch.primary_keys.push_back(i);
+  batch.columns.push_back(FieldColumn::MakeFloatVector(
+      meta.schema.FieldByName("v")->id, data.dim,
+      std::vector<float>(data.Row(begin),
+                         data.Row(begin) + (end - begin) * data.dim)));
+  return batch;
+}
+
+TEST(TraceE2E, SearchProducesFullSpanTree) {
+  Tracer::Global().ResetForTest();
+  ManuConfig config;
+  config.trace_sample_every = 1;  // Retain every request.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(TraceVecSchema("tsearch", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 200;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  auto ts = db.Insert("tsearch", TraceVecBatch(meta.value(), data, 0, 200));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("tsearch", ts.value()).ok());
+
+  SearchRequest req;
+  req.collection = "tsearch";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 10;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  auto trace = LastTraceNamed("proxy.search");
+  ASSERT_NE(trace, nullptr);
+  auto spans = trace->Snapshot();
+
+  const SpanRecord* root = FindSpan(spans, "proxy.search");
+  const SpanRecord* route = FindSpan(spans, "query_coord.route");
+  const SpanRecord* node = FindSpan(spans, "query_node.search");
+  const SpanRecord* scan = FindSpan(spans, "segment.scan");
+  const SpanRecord* merge = FindSpan(spans, "proxy.merge");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(route, nullptr);
+  ASSERT_NE(node, nullptr);
+  ASSERT_NE(scan, nullptr) << "per-segment scan spans missing";
+  ASSERT_NE(merge, nullptr);
+
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(route->parent_id, root->span_id);
+  EXPECT_EQ(node->parent_id, root->span_id);
+  EXPECT_EQ(merge->parent_id, root->span_id);
+  // Scans parent to *a* query_node.search span (several nodes may report).
+  bool scan_parent_is_node_search = false;
+  for (const auto& s : spans) {
+    if (s.name == "query_node.search" && s.span_id == scan->parent_id) {
+      scan_parent_is_node_search = true;
+    }
+  }
+  EXPECT_TRUE(scan_parent_is_node_search);
+
+  // Durations are measured, tags annotated.
+  EXPECT_GE(root->duration_us, node->duration_us);
+  EXPECT_TRUE(HasTag(*root, "collection"));
+  EXPECT_TRUE(HasTag(*root, "coverage"));
+  EXPECT_TRUE(HasTag(*node, "segments"));
+  EXPECT_TRUE(HasTag(*scan, "segment"));
+  Tracer::Global().ResetForTest();
+}
+
+TEST(TraceE2E, InsertTraceCoversWalPublish) {
+  Tracer::Global().ResetForTest();
+  ManuConfig config;
+  config.trace_sample_every = 1;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(TraceVecSchema("tinsert", 8));
+  ASSERT_TRUE(meta.ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 50;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  auto ts = db.Insert("tinsert", TraceVecBatch(meta.value(), data, 0, 50));
+  ASSERT_TRUE(ts.ok());
+
+  auto trace = LastTraceNamed("proxy.insert");
+  ASSERT_NE(trace, nullptr);
+  auto spans = trace->Snapshot();
+  const SpanRecord* root = FindSpan(spans, "proxy.insert");
+  const SpanRecord* append = FindSpan(spans, "logger.append");
+  const SpanRecord* publish = FindSpan(spans, "wal.publish");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(append, nullptr);
+  ASSERT_NE(publish, nullptr);
+  EXPECT_EQ(append->parent_id, root->span_id);
+  EXPECT_EQ(publish->parent_id, append->span_id);
+  EXPECT_EQ(TagValue(*publish, "acked"), "true");
+  EXPECT_TRUE(HasTag(*append, "segment"));
+  EXPECT_TRUE(HasTag(*root, "rows"));
+  Tracer::Global().ResetForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: labels, rates, exporters
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, LabeledCountersAreDistinctSeries) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs.test_hits", {{"collection", "a"}})->Add(2);
+  reg.GetCounter("obs.test_hits", {{"collection", "b"}})->Add(5);
+  reg.GetCounter("obs.test_hits")->Add(1);
+
+  EXPECT_EQ(reg.CounterValue("obs.test_hits", {{"collection", "a"}}), 2);
+  EXPECT_EQ(reg.CounterValue("obs.test_hits", {{"collection", "b"}}), 5);
+  EXPECT_EQ(reg.CounterValue("obs.test_hits"), 1);
+}
+
+TEST(Metrics, EncodeMetricKeyIsCanonical) {
+  // Label order must not matter: keys are sorted before encoding.
+  const std::string a =
+      EncodeMetricKey("m.x", {{"b", "2"}, {"a", "1"}});
+  const std::string b =
+      EncodeMetricKey("m.x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "m.x{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(EncodeMetricKey("m.x", {}), "m.x");
+}
+
+TEST(Metrics, RateGaugeWindowedRate) {
+  RateGauge rate;
+  rate.Mark(10);
+  rate.Mark(20);
+  EXPECT_EQ(rate.Total(), 30);
+  // All 30 marks land in the current 1s bucket; over a 10s window ~3/s.
+  EXPECT_NEAR(rate.RatePerSec(10), 3.0, 0.01);
+  rate.Reset();
+  EXPECT_EQ(rate.Total(), 0);
+  EXPECT_EQ(rate.RatePerSec(10), 0.0);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs.prom_total", {{"role", "proxy"}})->Add(3);
+  reg.GetHistogram("obs.prom_latency")->Observe(5.0);
+  reg.GetGauge("obs.prom_depth")->Set(9);
+  reg.GetRate("obs.prom_rate")->Mark(4);
+
+  const std::string text = reg.ExportPrometheus();
+  // Dotted names become manu_-prefixed underscore names; labels survive.
+  EXPECT_NE(text.find("manu_obs_prom_total{role=\"proxy\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE manu_obs_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("manu_obs_prom_depth 9"), std::string::npos);
+  // Histograms export as summaries with quantile labels + _sum/_count.
+  EXPECT_NE(text.find("manu_obs_prom_latency{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("manu_obs_prom_latency_count 1"), std::string::npos);
+  EXPECT_NE(text.find("manu_obs_prom_rate"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportRoundTrips) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs.json_total")->Add(7);
+  reg.GetHistogram("obs.json_latency")->Observe(2.5);
+
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"obs.json_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"obs.json_latency\""), std::string::npos);
+  // Structurally sound: balanced braces, sections present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  const std::string path = "/tmp/manu_test_metrics.json";
+  ASSERT_TRUE(reg.WriteJsonFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, StripedHistogramConcurrentObserve) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto snap = hist.Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max, kThreads * kPerThread - 1.0);
+  EXPECT_GT(snap.p95, snap.p50);
+  EXPECT_GE(snap.p99, snap.p95);
+}
+
+TEST(Metrics, ClockRoles) {
+  // NowMs/NowMicros are steady: never go backwards across a sleep.
+  const int64_t us0 = NowMicros();
+  const int64_t ms0 = NowMs();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(NowMicros() - us0, 2000);
+  EXPECT_GE(NowMs(), ms0);
+  // WallTimeMs is a real timestamp (after 2020-01-01 in ms-since-epoch),
+  // unlike the steady clocks whose epoch is arbitrary.
+  EXPECT_GT(WallTimeMs(), 1577836800000LL);
+}
+
+}  // namespace
+}  // namespace manu
