@@ -5,6 +5,8 @@
 #                               items/s) from bench_micro_kernels
 #   BENCH_fig8.json           — recall@50 / QPS / p99 per engine+knob from
 #                               bench_fig8_recall_throughput
+#   BENCH_overload_brownout.json — goodput / shed / brownout stage per
+#                               offered-load multiple from bench_overload
 #
 # Each bench writes its artifact only when MANU_BENCH_JSON names a path
 # (see bench/bench_util.h), so plain bench runs never churn the committed
@@ -21,7 +23,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_micro_kernels \
-  bench_fig8_recall_throughput
+  bench_fig8_recall_throughput bench_overload
 
 echo "=== micro kernels ==="
 MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
@@ -30,6 +32,10 @@ MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
 echo "=== figure 8: recall vs throughput ==="
 MANU_BENCH_JSON="$ROOT/BENCH_fig8.json" \
   ./build/bench/bench_fig8_recall_throughput
+
+echo "=== overload: brownout ladder goodput ==="
+MANU_BENCH_JSON="$ROOT/BENCH_overload_brownout.json" \
+  ./build/bench/bench_overload
 
 echo "=== artifacts ==="
 ls -l "$ROOT"/BENCH_*.json

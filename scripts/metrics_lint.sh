@@ -25,6 +25,17 @@ while read -r kind name; do
   fi
 done <<< "$pairs"
 
+# 3. Required overload-observability families: the admission front door,
+#    shedding and backpressure paths must stay instrumented (the chaos
+#    storm test and DescribeCluster read these).
+for family in admission. shed. backpressure.; do
+  if ! echo "$pairs" | awk '{print $2}' | grep -q "^${family//./\\.}"; then
+    echo "metrics lint: no metric registered under required family" \
+         "'${family}*'" >&2
+    fail=1
+  fi
+done
+
 dups=$(echo "$pairs" | awk '{print $2}' | sort | uniq -d)
 if [[ -n "$dups" ]]; then
   echo "metrics lint: names registered as more than one metric kind:" >&2

@@ -151,6 +151,17 @@ std::string EncodeMetricKey(const std::string& name,
 /// Observability metrics (PR 6):
 ///   trace.slow_queries                          over-threshold requests
 ///   proxy.search_rate / logger.insert_rate      windowed QPS / ingest rate
+///
+/// Overload metrics (PR 7; metrics_lint.sh requires these three families
+/// to stay registered):
+///   admission.admitted/.degraded/.rejected      front-door outcomes
+///   admission.stage/.pressure_bp/.inflight      ladder gauges (bp = 1e-4)
+///   shed.requests{reason=...,stage=...}         refused work, by cause
+///   shed.tenant_throttles                       token-bucket refusals
+///   backpressure.logger_rejections              bounded write-window hits
+///   backpressure.write_retries                  proxy retry-after sleeps
+///   query_node.deadline_rejects                 dead-on-arrival drops
+///   query_node.overload_rejects                 per-node inflight-cap sheds
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();

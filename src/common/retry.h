@@ -21,6 +21,13 @@ namespace manu {
 /// semantic failures (kNotFound, kCorruption, kInvalidArgument, CAS
 /// kAborted...) propagate immediately — retrying cannot fix them.
 ///
+/// kResourceExhausted is deliberately NOT retryable: it is the overload
+/// signal (admission shedding, write-path backpressure — see status.h and
+/// core/admission.h), and blind retry loops turn one refusal into a retry
+/// storm that amplifies the very overload it reports. Only the proxy front
+/// door may re-attempt, and only after honoring the "retry-after-ms=N"
+/// hint plus jitter (admission_write_retry_attempts).
+///
 /// Metrics (registered on first use):
 ///   retry.attempts   total extra attempts across all ops
 ///   retry.giveups    ops that exhausted their budget

@@ -9,17 +9,42 @@ namespace manu {
 
 /// Error codes used across the system. Mirrors the RocksDB/Arrow convention:
 /// functions that can fail return a Status (or Result<T>) instead of throwing.
+///
+/// Retryability contract (common/retry.h): only kIOError, kUnavailable and
+/// kTimeout are transient — "try the same call again and it may succeed".
+/// Everything else is either a caller bug (kInvalidArgument), a durable fact
+/// (kNotFound, kAlreadyExists, kCorruption, kDataLoss), a deliberate refusal
+/// (kAborted — e.g. epoch fencing), or — critically — kResourceExhausted.
 enum class StatusCode : int {
   kOk = 0,
+  /// The request itself is malformed (bad dimension, unknown field).
+  /// Retrying the identical call can never succeed.
   kInvalidArgument = 1,
   kNotFound = 2,
   kAlreadyExists = 3,
+  /// A storage/transport operation failed in a way that is usually
+  /// transient (fault-injected object store, flaky I/O). Retryable.
   kIOError = 4,
+  /// Stored bytes are mangled. Never retryable.
   kCorruption = 5,
+  /// A bounded wait elapsed (per-node search deadline, consistency wait,
+  /// flush wait). Retryable — the next attempt gets a fresh budget.
   kTimeout = 6,
+  /// The serving component is (re)starting, stopping or failing over.
+  /// Retryable — routing may land the retry on a survivor.
   kUnavailable = 7,
   kNotImplemented = 8,
+  /// Deliberately refused to protect an invariant (e.g. a stale-epoch
+  /// commit fenced by LeaseManager). Not retryable as-is.
   kAborted = 9,
+  /// OVERLOAD signal: admission control, brownout shedding, or write-path
+  /// backpressure refused the request to protect the system
+  /// (core/admission.h). The message may carry a machine-readable
+  /// "retry-after-ms=N" hint (AdmissionController::RetryAfterHintMs).
+  /// NEVER blindly retried by RetryPolicy loops — immediate retries are
+  /// exactly the storm the refusal exists to stop. The proxy front door
+  /// alone may honor the hint, waiting retry-after + jitter first
+  /// (admission_write_retry_attempts).
   kResourceExhausted = 10,
   kInternal = 11,
   /// Durably-acked data is gone (e.g. the WAL was truncated above the

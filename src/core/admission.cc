@@ -1,0 +1,186 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/metrics.h"
+
+namespace manu {
+
+namespace {
+
+// Pressure smoothing time constant: a sample dt ms apart moves the EWMA by
+// alpha = clamp(dt / 100ms, 0.05, 1.0). Tests sleep ~120 ms after forcing a
+// probe value to snap the smoothed pressure to it.
+constexpr double kSmoothTauUs = 100'000.0;
+// Probe sample cadence: don't re-poll the query-node fleet more often than
+// this per admission decision.
+constexpr int64_t kProbeCacheUs = 2'000;
+// Stages release when pressure falls below engage_threshold * this.
+constexpr double kHysteresis = 0.85;
+
+}  // namespace
+
+AdmissionController::AdmissionController(const ManuConfig& config)
+    : max_inflight_(config.admission_max_inflight),
+      tenant_qps_(config.admission_tenant_qps),
+      tenant_burst_(config.admission_tenant_burst > 0
+                        ? config.admission_tenant_burst
+                        : std::max(1.0, config.admission_tenant_qps)),
+      degrade_pressure_(config.shed_degrade_pressure),
+      low_priority_pressure_(config.shed_low_priority_pressure),
+      reject_pressure_(config.shed_reject_pressure),
+      retry_after_ms_(std::max<int64_t>(1, config.shed_retry_after_ms)) {}
+
+void AdmissionController::SetPressureProbe(std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_ = std::move(probe);
+  probe_cache_us_ = 0;  // Next Admit re-samples immediately.
+}
+
+int32_t AdmissionController::UpdatePressureLocked(int64_t now_us) {
+  if (probe_ && now_us - probe_cache_us_ >= kProbeCacheUs) {
+    probe_cache_ = std::clamp(probe_(), 0.0, 1.0);
+    probe_cache_us_ = now_us;
+  }
+  double raw = probe_cache_;
+  if (max_inflight_ > 0) {
+    raw = std::max(raw, static_cast<double>(
+                            inflight_.load(std::memory_order_relaxed)) /
+                            static_cast<double>(max_inflight_));
+  }
+  raw = std::clamp(raw, 0.0, 1.0);
+
+  if (smoothed_at_us_ == 0) {
+    smoothed_ = raw;
+  } else {
+    double alpha = std::clamp(
+        static_cast<double>(now_us - smoothed_at_us_) / kSmoothTauUs, 0.05,
+        1.0);
+    smoothed_ += alpha * (raw - smoothed_);
+  }
+  smoothed_at_us_ = now_us;
+  pressure_bp_.store(static_cast<int64_t>(smoothed_ * 10000.0),
+                     std::memory_order_relaxed);
+
+  const double thresholds[3] = {degrade_pressure_, low_priority_pressure_,
+                                reject_pressure_};
+  int32_t stage = stage_.load(std::memory_order_relaxed);
+  // Engage upward through every threshold we now exceed; release downward
+  // only once pressure drops below the hysteresis band of the current stage.
+  while (stage < 3 && smoothed_ >= thresholds[stage]) ++stage;
+  while (stage > 0 && smoothed_ < thresholds[stage - 1] * kHysteresis) {
+    --stage;
+  }
+  int32_t prev = stage_.exchange(stage, std::memory_order_relaxed);
+  if (stage != prev) {
+    MetricsRegistry::Global().GetGauge("admission.stage")->Set(stage);
+  }
+  for (int32_t s = prev + 1; s <= stage; ++s) {
+    int64_t expected = 0;
+    stage_first_ms_[s].compare_exchange_strong(expected, NowMs(),
+                                               std::memory_order_relaxed);
+  }
+  return stage;
+}
+
+AdmitDecision AdmissionController::Admit(const std::string& tenant,
+                                         int32_t priority) {
+  const int64_t now_us = NowMicros();
+  AdmitDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decision.stage = UpdatePressureLocked(now_us);
+
+    // Per-tenant token bucket: rate fairness is enforced at every stage so
+    // a hot tenant cannot monopolize whatever capacity the ladder leaves.
+    if (tenant_qps_ > 0) {
+      TokenBucket& bucket = buckets_[tenant];
+      if (bucket.last_refill_us == 0) {
+        bucket.tokens = tenant_burst_;
+      } else {
+        bucket.tokens = std::min(
+            tenant_burst_,
+            bucket.tokens + tenant_qps_ *
+                                static_cast<double>(now_us -
+                                                    bucket.last_refill_us) /
+                                1e6);
+      }
+      bucket.last_refill_us = now_us;
+      if (bucket.tokens < 1.0) {
+        decision.action = AdmitAction::kShed;
+        decision.reason = "tenant_throttle";
+        // Hint when this tenant's bucket will hold a whole token again.
+        decision.retry_after_ms = std::max(
+            retry_after_ms_,
+            static_cast<int64_t>(
+                std::ceil((1.0 - bucket.tokens) / tenant_qps_ * 1e3)));
+        MetricsRegistry::Global().GetCounter("shed.tenant_throttles")->Add();
+        return decision;
+      }
+      bucket.tokens -= 1.0;
+    }
+
+    if (decision.stage >= 3) {
+      decision.action = AdmitAction::kReject;
+      decision.reason = "reject";
+      decision.retry_after_ms = retry_after_ms_;
+    } else if (decision.stage >= 2 && priority > 0) {
+      decision.action = AdmitAction::kShed;
+      decision.reason = "low_priority_shed";
+      decision.retry_after_ms = retry_after_ms_;
+    } else if (decision.stage >= 1) {
+      decision.action = AdmitAction::kDegrade;
+      decision.reason = "degrade";
+    }
+  }
+
+  if (decision.admitted() && max_inflight_ > 0) {
+    // Optimistic reserve; back out if we hit the ceiling.
+    int64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (inflight > max_inflight_) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      decision.action = AdmitAction::kShed;
+      decision.reason = "inflight_ceiling";
+      decision.retry_after_ms = retry_after_ms_;
+    }
+  } else if (decision.admitted()) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void AdmissionController::Release() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int64_t AdmissionController::StageFirstEngagedMs(int32_t stage) const {
+  if (stage < 1 || stage > 3) return 0;
+  return stage_first_ms_[stage].load(std::memory_order_relaxed);
+}
+
+Status AdmissionController::ShedStatus(const std::string& what, int32_t stage,
+                                       int64_t retry_after_ms) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s overloaded (brownout stage %d): retry-after-ms=%lld",
+                what.c_str(), stage,
+                static_cast<long long>(retry_after_ms));
+  return Status::ResourceExhausted(buf);
+}
+
+int64_t AdmissionController::RetryAfterHintMs(const Status& st) {
+  const std::string& msg = st.message();
+  static constexpr char kKey[] = "retry-after-ms=";
+  size_t pos = msg.find(kKey);
+  if (pos == std::string::npos) return -1;
+  const char* digits = msg.c_str() + pos + sizeof(kKey) - 1;
+  char* end = nullptr;
+  long long value = std::strtoll(digits, &end, 10);
+  if (end == digits || value < 0) return -1;
+  return value;
+}
+
+}  // namespace manu

@@ -1,0 +1,159 @@
+#ifndef MANU_CORE_ADMISSION_H_
+#define MANU_CORE_ADMISSION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/config.h"
+
+namespace manu {
+
+/// What the front door decided for one request.
+enum class AdmitAction {
+  kAdmit,    ///< Serve normally.
+  kDegrade,  ///< Serve, but force allow_partial and tighten deadlines.
+  kShed,     ///< Refuse with kResourceExhausted + retry-after (recoverable).
+  kReject,   ///< Refuse outright (ladder stage 3 / hard ceilings).
+};
+
+struct AdmitDecision {
+  AdmitAction action = AdmitAction::kAdmit;
+  /// Brownout ladder stage at decision time: 0 normal, 1 degrade,
+  /// 2 shed-low-priority, 3 reject.
+  int32_t stage = 0;
+  /// Backoff guidance for refused requests (kShed/kReject), in ms. Clients
+  /// and the proxy's write-retry honor it with jitter; RetryPolicy never
+  /// retries kResourceExhausted on its own (retry storms amplify overload).
+  int64_t retry_after_ms = 0;
+  /// Why: "ok" | "degrade" | "tenant_throttle" | "inflight_ceiling" |
+  /// "low_priority_shed" | "reject".
+  const char* reason = "ok";
+
+  bool admitted() const {
+    return action == AdmitAction::kAdmit || action == AdmitAction::kDegrade;
+  }
+};
+
+/// The proxy's overload front door (ROADMAP item 3; Taurus discipline: shed
+/// work early, protect serving state, never queue unboundedly).
+///
+/// Three mechanisms compose, evaluated per request in this order:
+///
+///  1. **Per-tenant token buckets** (admission_tenant_qps / _burst): rate
+///     fairness between tenants. A tenant over its rate is shed with a
+///     retry-after hint sized to when its bucket refills — independent of
+///     how loaded the system is, so one hot tenant cannot starve the rest.
+///  2. **Global inflight ceiling** (admission_max_inflight): a hard bound on
+///     concurrently admitted requests. At the ceiling, requests are shed
+///     immediately instead of queueing.
+///  3. **Brownout ladder** driven by measured pressure — the max of the
+///     inflight ratio and a pluggable probe (query-node queue ratios),
+///     smoothed with a time-based EWMA so a single burst does not flap the
+///     stage:
+///        stage 1 (>= shed_degrade_pressure):       degrade — force
+///            allow_partial, tighten per-node deadlines; everything serves.
+///        stage 2 (>= shed_low_priority_pressure):  shed requests with
+///            priority > 0 (low) with kResourceExhausted + retry-after;
+///            normal-priority requests still serve degraded.
+///        stage 3 (>= shed_reject_pressure):        reject everything.
+///     Stages release with hysteresis (pressure must fall below ~0.85x the
+///     engage threshold), and the first engage time of each stage is
+///     recorded so tests can assert degrade -> shed -> reject ordering.
+///
+/// All knobs default to 0 = unlimited, making the controller a pass-through
+/// until a deployment opts in (tests/benches arm it explicitly).
+class AdmissionController {
+ public:
+  explicit AdmissionController(const ManuConfig& config);
+
+  /// External pressure signal in [0, 1] (the proxy wires the query-node
+  /// queue ratio here). Sampled at most every few ms; may be empty.
+  void SetPressureProbe(std::function<double()> probe);
+
+  /// Front-door decision for one request. Admitted decisions reserve an
+  /// inflight slot that MUST be returned via Release() (use
+  /// AdmissionGuard). Thread-safe.
+  AdmitDecision Admit(const std::string& tenant, int32_t priority);
+  void Release();
+
+  // --- Introspection (DescribeCluster, tests) ---
+  int32_t stage() const { return stage_.load(std::memory_order_relaxed); }
+  double pressure() const {
+    return static_cast<double>(
+               pressure_bp_.load(std::memory_order_relaxed)) /
+           10000.0;
+  }
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  /// NowMs() of the first time `stage` (1..3) engaged; 0 = never.
+  int64_t StageFirstEngagedMs(int32_t stage) const;
+
+  /// kResourceExhausted carrying the machine-readable retry-after hint
+  /// ("... retry-after-ms=N"). `what` names the refusing component.
+  static Status ShedStatus(const std::string& what, int32_t stage,
+                           int64_t retry_after_ms);
+  /// Parses the retry-after hint out of a ShedStatus message; -1 if absent.
+  static int64_t RetryAfterHintMs(const Status& st);
+
+ private:
+  struct TokenBucket {
+    double tokens = 0;
+    int64_t last_refill_us = 0;
+  };
+
+  /// Recomputes smoothed pressure + ladder stage. Returns the stage.
+  int32_t UpdatePressureLocked(int64_t now_us);
+
+  const int64_t max_inflight_;
+  const double tenant_qps_;
+  const double tenant_burst_;
+  const double degrade_pressure_;
+  const double low_priority_pressure_;
+  const double reject_pressure_;
+  const int64_t retry_after_ms_;
+
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<int32_t> stage_{0};
+  std::atomic<int64_t> pressure_bp_{0};  ///< Smoothed, in basis points.
+  std::array<std::atomic<int64_t>, 4> stage_first_ms_{};
+
+  mutable std::mutex mu_;
+  std::function<double()> probe_;
+  double probe_cache_ = 0;
+  int64_t probe_cache_us_ = 0;
+  double smoothed_ = 0;
+  int64_t smoothed_at_us_ = 0;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+/// RAII inflight slot: constructed from an admitted decision, releases on
+/// scope exit. Safe to construct disengaged (refused / admission off).
+class AdmissionGuard {
+ public:
+  AdmissionGuard() = default;
+  AdmissionGuard(AdmissionController* controller, bool engaged)
+      : controller_(engaged ? controller : nullptr) {}
+  ~AdmissionGuard() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+  AdmissionGuard(AdmissionGuard&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_ADMISSION_H_

@@ -105,6 +105,53 @@ struct ManuConfig {
   /// failing. 0 (default) = single attempt, the pre-retry behavior.
   int32_t search_retry_attempts = 0;
 
+  // --- Overload control (core/admission.h; ROADMAP item 3) ---
+  // All knobs default to 0 = off/unlimited: the front door is a pure
+  // pass-through until a deployment opts in. Chaos tests and
+  // bench_overload arm it.
+  /// Global ceiling on concurrently admitted proxy requests; at the
+  /// ceiling new requests are shed with kResourceExhausted + retry-after
+  /// instead of queueing. 0 = unlimited.
+  int64_t admission_max_inflight = 0;
+  /// Per-tenant token-bucket rate (requests/sec). 0 = no per-tenant limit.
+  double admission_tenant_qps = 0;
+  /// Per-tenant bucket depth (burst allowance); <= 0 derives
+  /// max(1, admission_tenant_qps).
+  double admission_tenant_burst = 0;
+  /// How many times Proxy::Insert/Delete re-attempts after write-path
+  /// backpressure (kResourceExhausted), sleeping the retry-after hint plus
+  /// jitter between attempts. This is the ONLY place the hint is honored;
+  /// RetryPolicy never retries kResourceExhausted. 0 = surface immediately.
+  int32_t admission_write_retry_attempts = 0;
+  /// Per-query-node cap on outstanding (queued + executing) searches; at
+  /// the cap a node refuses new work with kResourceExhausted so the proxy
+  /// degrades/sheds instead of the node queueing unboundedly. 0 = unlimited.
+  int64_t admission_node_inflight = 0;
+
+  /// Brownout ladder thresholds on smoothed pressure in [0,1] (max of
+  /// proxy inflight ratio and worst query-node queue ratio). Stages engage
+  /// at the threshold and release below ~0.85x of it (hysteresis).
+  /// Stage 1: force allow_partial + tighten per-node deadlines.
+  double shed_degrade_pressure = 0.65;
+  /// Stage 2: shed priority > 0 (low-priority) requests with retry-after.
+  double shed_low_priority_pressure = 0.80;
+  /// Stage 3: reject all requests.
+  double shed_reject_pressure = 0.95;
+  /// Default backoff guidance attached to shed/reject responses, in ms.
+  int64_t shed_retry_after_ms = 50;
+  /// Stage >= 1 multiplies node_search_deadline_ms by this factor
+  /// (degraded requests get tighter per-node deadlines).
+  double shed_deadline_factor = 0.5;
+  /// Degraded per-node deadline when node_search_deadline_ms <= 0
+  /// (unbounded): brownout must still bound per-node wait, in ms.
+  int64_t shed_degraded_deadline_ms = 250;
+
+  /// Write-path backpressure: max concurrently in-flight Append/Delete
+  /// calls per logger ahead of the WAL commit point. At the limit ingest
+  /// returns kResourceExhausted + retry-after BEFORE any side effect (no
+  /// publish => no ack is preserved). 0 = unlimited.
+  int64_t logger_inflight_limit = 0;
+
   // --- Observability (common/trace.h) ---
   /// Retain every Nth request trace in the in-memory collector; <= 0
   /// disables sampling retention (slow queries are still captured).

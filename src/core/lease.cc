@@ -77,6 +77,21 @@ Status LeaseManager::Renew(NodeId node, int64_t epoch) {
   return Status::OK();
 }
 
+Status LeaseManager::Renew(NodeId node, int64_t epoch, const NodeLoad& load) {
+  MANU_RETURN_NOT_OK(Renew(node, epoch));
+  std::lock_guard<std::mutex> lk(mu_);
+  NodeLoad stamped = load;
+  stamped.updated_ms = NowMs();
+  loads_[node] = stamped;
+  return Status::OK();
+}
+
+NodeLoad LeaseManager::LoadOf(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = loads_.find(node);
+  return it == loads_.end() ? NodeLoad{} : it->second;
+}
+
 Status LeaseManager::CheckEpoch(NodeId node, int64_t epoch) {
   const int64_t persisted = PersistedEpoch(NodeLeaseKey(node));
   if (persisted != epoch) {
@@ -96,6 +111,7 @@ int64_t LeaseManager::Revoke(NodeId node) {
 void LeaseManager::Deregister(NodeId node) {
   std::lock_guard<std::mutex> lk(mu_);
   nodes_.erase(node);
+  loads_.erase(node);
 }
 
 std::vector<LeaseInfo> LeaseManager::ExpiredLeases(int64_t now_ms) const {

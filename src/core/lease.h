@@ -23,6 +23,19 @@ struct LeaseInfo {
   bool dead = false;          ///< Revoked by the watchdog (lease expired).
 };
 
+/// Load signal a query node piggybacks on its lease heartbeat (ROADMAP
+/// item 3): the coordinator/proxy reads these for load-aware replica
+/// selection (power-of-two-choices over a sealed segment's owner set) and
+/// for the brownout pressure probe, without any extra RPC or polling.
+struct NodeLoad {
+  int64_t queue_depth = 0;       ///< Searches admitted but not yet running.
+  int64_t inflight = 0;          ///< Admitted searches (queued + executing).
+  int64_t ewma_latency_us = 0;   ///< Smoothed per-search service time.
+  int64_t deadline_rejects = 0;  ///< Cumulative dead-on-arrival drops.
+  int64_t overload_rejects = 0;  ///< Cumulative inflight-cap refusals.
+  int64_t updated_ms = 0;        ///< NowMs() of the carrying heartbeat.
+};
+
 /// Heartbeat leases with persisted fencing epochs — the failure-detection
 /// half of Section 3.6's "components are stateless log subscribers" story
 /// (the Taurus/LogBase recipe: lease-fenced ownership).
@@ -54,6 +67,12 @@ class LeaseManager {
   /// Heartbeat. Aborted when the caller's epoch was superseded (fenced) or
   /// when the failpoint "lease.heartbeat.<node>" drops the heartbeat.
   Status Renew(NodeId node, int64_t epoch);
+  /// Heartbeat carrying a load snapshot; the load is stored only when the
+  /// renewal succeeds (a fenced zombie's stale load must not steer routing).
+  Status Renew(NodeId node, int64_t epoch, const NodeLoad& load);
+  /// Last load snapshot heartbeat by `node`; zeroed default when the node
+  /// never reported (callers check updated_ms for freshness).
+  NodeLoad LoadOf(NodeId node) const;
   /// Commit-point fencing check: OK iff `epoch` is still the persisted
   /// epoch for `node`. Bumps lease.fencing_rejections on rejection.
   Status CheckEpoch(NodeId node, int64_t epoch);
@@ -96,6 +115,7 @@ class LeaseManager {
 
   mutable std::mutex mu_;
   std::map<NodeId, LeaseInfo> nodes_;
+  std::map<NodeId, NodeLoad> loads_;
 };
 
 }  // namespace manu

@@ -2,12 +2,50 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "core/admission.h"
 #include "core/lease.h"
 
 namespace manu {
 
+namespace {
+/// Releases a Logger's in-flight slot on every exit path of Append/Delete.
+class SlotRelease {
+ public:
+  explicit SlotRelease(std::atomic<int64_t>* inflight) : inflight_(inflight) {}
+  ~SlotRelease() {
+    if (inflight_ != nullptr) {
+      inflight_->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  SlotRelease(const SlotRelease&) = delete;
+  SlotRelease& operator=(const SlotRelease&) = delete;
+
+ private:
+  std::atomic<int64_t>* inflight_;
+};
+}  // namespace
+
 Logger::Logger(NodeId id, const CoreContext& ctx, DataCoordinator* data_coord)
     : id_(id), ctx_(ctx), data_coord_(data_coord) {}
+
+Status Logger::ReserveSlot() {
+  const int64_t limit = ctx_.config.logger_inflight_limit;
+  if (limit <= 0) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  const int64_t prev = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= limit) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()
+        .GetCounter("backpressure.logger_rejections")
+        ->Add();
+    return AdmissionController::ShedStatus(
+        "logger " + std::to_string(id_), /*stage=*/0,
+        std::max<int64_t>(1, ctx_.config.shed_retry_after_ms));
+  }
+  return Status::OK();
+}
 
 LsmEntityMap* Logger::MapFor(CollectionId collection, ShardId shard) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -37,6 +75,16 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
   Span span(trace, "logger.append");
   span.Tag("logger", static_cast<int64_t>(id_));
   span.Tag("shard", static_cast<int64_t>(shard));
+  // Backpressure gate FIRST — before the TSO round trip and before any LSM
+  // mutation, so a shed write has zero side effects.
+  {
+    Status admit = ReserveSlot();
+    if (!admit.ok()) {
+      span.Tag("error", admit.ToString());
+      return admit;
+    }
+  }
+  SlotRelease slot(&inflight_);
   MANU_RETURN_NOT_OK(batch.ValidateAgainst(meta.schema));
   const int64_t rows = batch.NumRows();
   if (rows == 0) return Status::InvalidArgument("empty batch");
@@ -98,6 +146,15 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   span.Tag("logger", static_cast<int64_t>(id_));
   span.Tag("shard", static_cast<int64_t>(shard));
   span.Tag("pks", static_cast<int64_t>(pks.size()));
+  // Same gate as Append: refuse before the LSM Lookup/Remove side effects.
+  {
+    Status admit = ReserveSlot();
+    if (!admit.ok()) {
+      span.Tag("error", admit.ToString());
+      return admit;
+    }
+  }
+  SlotRelease slot(&inflight_);
   LsmEntityMap* map = MapFor(meta.id, shard);
   std::vector<int64_t> existing;
   existing.reserve(pks.size());

@@ -1,6 +1,7 @@
 #ifndef MANU_CORE_LOGGER_H_
 #define MANU_CORE_LOGGER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,12 +48,24 @@ class Logger {
   Result<SegmentId> LookupEntity(CollectionId collection, ShardId shard,
                                  int64_t pk);
 
+  /// Requests currently inside Append/Delete (backpressure window).
+  int64_t Inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   LsmEntityMap* MapFor(CollectionId collection, ShardId shard);
+  /// Reserves one slot in the bounded in-flight window
+  /// (ManuConfig::logger_inflight_limit; <= 0 = unbounded). A full window
+  /// returns kResourceExhausted with a retry-after hint BEFORE any side
+  /// effect (no TSO allocation, no LSM mutation), so a rejected write is a
+  /// pure no-op the proxy can safely re-attempt.
+  Status ReserveSlot();
 
   NodeId id_;
   CoreContext ctx_;
   DataCoordinator* data_coord_;
+  std::atomic<int64_t> inflight_{0};
   std::mutex mu_;
   std::map<std::pair<CollectionId, ShardId>, std::unique_ptr<LsmEntityMap>>
       maps_;

@@ -516,8 +516,19 @@ std::string ManuInstance::DescribeCluster() {
 
   out << "query nodes:\n";
   for (const auto& node : query_coord_->Nodes()) {
+    const NodeLoad load = node->LoadSnapshot();
     out << "  node " << node->id() << ": mem="
-        << node->MemoryBytes() / (1 << 20) << "MB\n";
+        << node->MemoryBytes() / (1 << 20) << "MB inflight=" << load.inflight
+        << " queue_depth=" << load.queue_depth
+        << " ewma_latency_us=" << load.ewma_latency_us
+        << " deadline_rejects=" << load.deadline_rejects
+        << " overload_rejects=" << load.overload_rejects << "\n";
+  }
+
+  if (proxy_ != nullptr) {
+    const AdmissionController& adm = proxy_->admission();
+    out << "admission: brownout_stage=" << adm.stage() << " pressure="
+        << adm.pressure() << " inflight=" << adm.inflight() << "\n";
   }
 
   if (leases_ != nullptr) {

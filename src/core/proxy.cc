@@ -5,6 +5,7 @@
 #include <future>
 #include <map>
 #include <optional>
+#include <thread>
 
 #include "common/metrics.h"
 
@@ -16,9 +17,61 @@ Proxy::Proxy(const CoreContext& ctx, RootCoordinator* root_coord,
       root_coord_(root_coord),
       query_coord_(query_coord),
       loggers_(loggers),
+      admission_(ctx.config),
       // Fan-out workers mostly wait on node executors; size generously so
       // the proxy never serializes multi-node dispatch.
-      pool_(64) {}
+      pool_(64) {
+  // Brownout pressure = the worst query-node inflight ratio: the fleet's
+  // queues are the paper's "degrade before you fall over" signal. Zero
+  // when node caps are off (the inflight-ratio term in the controller
+  // still applies).
+  admission_.SetPressureProbe([this]() -> double {
+    const int64_t cap = ctx_.config.admission_node_inflight;
+    if (cap <= 0) return 0.0;
+    double worst = 0.0;
+    for (const auto& node : query_coord_->Nodes()) {
+      worst = std::max(worst,
+                       static_cast<double>(node->LoadSnapshot().inflight) /
+                           static_cast<double>(cap));
+    }
+    return worst;
+  });
+}
+
+void Proxy::RecordAdmission(Span* span, const AdmitDecision& decision) {
+  if (span != nullptr) {
+    span->Tag("admission", decision.reason);
+    if (decision.stage > 0) {
+      span->Tag("admission_stage", static_cast<int64_t>(decision.stage));
+    }
+  }
+  auto& metrics = MetricsRegistry::Global();
+  if (decision.admitted()) {
+    metrics.GetCounter("admission.admitted")->Add();
+    if (decision.action == AdmitAction::kDegrade) {
+      metrics.GetCounter("admission.degraded")->Add();
+    }
+  } else {
+    metrics.GetCounter("admission.rejected")->Add();
+    metrics.GetCounter("shed.requests", {{"reason", decision.reason}})->Add();
+  }
+  metrics.GetGauge("admission.inflight")->Set(admission_.inflight());
+  metrics.GetGauge("admission.pressure_bp")
+      ->Set(static_cast<int64_t>(admission_.pressure() * 10000.0));
+}
+
+int64_t Proxy::DegradedDeadlineMs(int64_t request_deadline_ms) const {
+  const int64_t base = request_deadline_ms > 0
+                           ? request_deadline_ms
+                           : ctx_.config.node_search_deadline_ms;
+  if (base <= 0) {
+    // Brownout must bound per-node waits even when the request didn't.
+    return std::max<int64_t>(1, ctx_.config.shed_degraded_deadline_ms);
+  }
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(base) *
+                              ctx_.config.shed_deadline_factor));
+}
 
 Result<Proxy::Prepared> Proxy::Prepare(const SearchRequest& req) {
   Prepared out;
@@ -106,22 +159,23 @@ SearchResult Proxy::ToResult(std::vector<Neighbor> merged) {
 Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
                                        const std::shared_ptr<Prepared>& prep,
                                        Span* parent) {
-  // --- Fan out to the nodes serving this collection. ---
+  // --- Fan out per the coordinator's load-aware plan: every channel owner
+  // (growing data), each sealed segment on exactly one p2c-chosen owner. ---
   Span route(parent->context(), "query_coord.route");
-  auto nodes = query_coord_->NodesFor(prep->meta.id);
-  route.Tag("nodes", static_cast<int64_t>(nodes.size()));
+  auto plan = query_coord_->PlanFor(prep->meta.id);
+  route.Tag("nodes", static_cast<int64_t>(plan.size()));
   route.End();
-  if (nodes.empty()) {
+  if (plan.empty()) {
     return Status::Unavailable("collection is not loaded on any query node");
   }
-  // Coverage weights: how much of the collection each node answers for.
-  // A node serving only a shard channel (growing data) still weighs 1.
+  // Coverage weights: how much of the collection each route answers for —
+  // its assigned sealed segments plus its growing-only ones. A node in the
+  // plan only for its shard channel (no data yet) still weighs 1.
   std::vector<int64_t> weights;
-  weights.reserve(nodes.size());
+  weights.reserve(plan.size());
   int64_t total_weight = 0;
-  for (const auto& node : nodes) {
-    const int64_t w =
-        std::max<int64_t>(1, node->NumServingSegments(prep->meta.id));
+  for (const auto& r : plan) {
+    const int64_t w = std::max<int64_t>(1, r.weight);
     weights.push_back(w);
     total_weight += w;
   }
@@ -133,28 +187,31 @@ Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
   // targets point into prep-owned storage, which the captured shared_ptr
   // keeps alive). Mutating prep->nreq instead would race an abandoned
   // straggler from a previous attempt that is still reading it.
-  NodeSearchRequest nreq = prep->nreq;
-  nreq.trace = parent->context();
+  NodeSearchRequest base = prep->nreq;
+  base.trace = parent->context();
   // Stamp the absolute deadline into the node request: a straggler the
   // proxy abandons below keeps running on its executor, but its parallel
   // segment fan-out checks this and stops claiming new segment work
   // instead of finishing a result nobody will read.
   if (deadline_ms > 0) {
-    nreq.deadline_us = NowMicros() + deadline_ms * 1000;
+    base.deadline_us = NowMicros() + deadline_ms * 1000;
   }
 
   std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
-  futures.reserve(nodes.size());
-  for (auto& node : nodes) {
-    futures.push_back(
-        pool_.Submit([node, prep, nreq]() { return node->Search(nreq); }));
+  futures.reserve(plan.size());
+  for (auto& r : plan) {
+    NodeSearchRequest nreq = base;
+    nreq.sealed_filter = r.sealed_filter;
+    auto node = r.node;
+    futures.push_back(pool_.Submit(
+        [node, prep, nreq = std::move(nreq)]() { return node->Search(nreq); }));
   }
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(std::max<int64_t>(
                             0, deadline_ms));
   std::vector<std::vector<Neighbor>> lists;
-  lists.reserve(nodes.size());
+  lists.reserve(plan.size());
   int64_t covered_weight = 0;
   int64_t degraded_nodes = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -211,7 +268,31 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   Span root = Tracer::Global().StartTrace("proxy.search");
   root.Tag("collection", req.collection);
   root.Tag("k", static_cast<int64_t>(req.k));
-  auto prep_res = Prepare(req);
+
+  // --- Overload front door (core/admission.h). ---
+  const AdmitDecision decision = admission_.Admit(req.tenant, req.priority);
+  AdmissionGuard guard(&admission_, decision.admitted());
+  RecordAdmission(&root, decision);
+  if (!decision.admitted()) {
+    Status st = AdmissionController::ShedStatus(
+        "proxy (" + std::string(decision.reason) + ")", decision.stage,
+        decision.retry_after_ms);
+    root.Tag("error", st.ToString());
+    return st;
+  }
+  // Brownout stage 1+: serve, but degraded — partial results allowed and
+  // tighter per-node deadlines, trading completeness for bounded latency.
+  SearchRequest degraded_req;
+  const SearchRequest* effective = &req;
+  if (decision.action == AdmitAction::kDegrade) {
+    degraded_req = req;
+    degraded_req.allow_partial = true;
+    degraded_req.node_deadline_ms = DegradedDeadlineMs(req.node_deadline_ms);
+    effective = &degraded_req;
+  }
+  const SearchRequest& ereq = *effective;
+
+  auto prep_res = Prepare(ereq);
   if (!prep_res.ok()) {
     root.Tag("error", prep_res.status().ToString());
     return prep_res.status();
@@ -219,15 +300,16 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
   // shared_ptr: with allow_partial the proxy may return while an abandoned
   // node task is still running; the task keeps the request state alive.
   auto prep = std::make_shared<Prepared>(std::move(prep_res).value());
-  if (req.travel_ts == 0) prep->nreq.read_ts = ctx_.tso->Allocate();
+  if (ereq.travel_ts == 0) prep->nreq.read_ts = ctx_.tso->Allocate();
 
-  Result<SearchResult> out = SearchOnce(req, prep, &root);
+  Result<SearchResult> out = SearchOnce(ereq, prep, &root);
   const int32_t retries = std::max(0, ctx_.config.search_retry_attempts);
   for (int32_t attempt = 1; attempt <= retries && !out.ok(); ++attempt) {
     const StatusCode code = out.status().code();
     // Only transient fan-out failures are worth re-dispatching; each retry
     // re-fetches the routing snapshot, so a search that raced a node crash
-    // lands on the failover survivor.
+    // lands on the failover survivor. kResourceExhausted is deliberately
+    // NOT here: a shed/backpressured fan-out must surface, not add load.
     if (code != StatusCode::kUnavailable && code != StatusCode::kTimeout) {
       break;
     }
@@ -235,7 +317,7 @@ Result<SearchResult> Proxy::Search(const SearchRequest& req) {
     Span retry(root.context(), "proxy.retry");
     retry.Tag("attempt", static_cast<int64_t>(attempt));
     retry.Tag("cause", out.status().ToString());
-    out = SearchOnce(req, prep, &retry);
+    out = SearchOnce(ereq, prep, &retry);
   }
   if (!out.ok()) {
     root.Tag("error", out.status().ToString());
@@ -268,10 +350,37 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
   // — not this stack frame — must own the request state.
   auto prepared = std::make_shared<std::vector<Prepared>>(reqs.size());
 
+  // --- Overload front door, per request (each tenant/priority gets its
+  // own decision; refused requests fail in place without preparation). ---
+  std::vector<AdmissionGuard> guards;
+  guards.reserve(reqs.size());
+  std::vector<char> degraded(reqs.size(), 0);
+  std::vector<char> refused(reqs.size(), 0);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const AdmitDecision decision =
+        admission_.Admit(reqs[i].tenant, reqs[i].priority);
+    guards.emplace_back(&admission_, decision.admitted());
+    RecordAdmission(nullptr, decision);
+    if (!decision.admitted()) {
+      refused[i] = 1;
+      results[i] = AdmissionController::ShedStatus(
+          "proxy (" + std::string(decision.reason) + ")", decision.stage,
+          decision.retry_after_ms);
+    } else if (decision.action == AdmitAction::kDegrade) {
+      degraded[i] = 1;
+    }
+  }
+  // The degrade switch for request i: forced partial results under
+  // brownout, on top of whatever the request asked for.
+  auto allow_partial = [&](size_t i) {
+    return reqs[i].allow_partial || degraded[i] != 0;
+  };
+
   // One query timestamp for the whole batch.
   const Timestamp batch_ts = ctx_.tso->Allocate();
   std::map<CollectionId, std::vector<size_t>> by_collection;
   for (size_t i = 0; i < reqs.size(); ++i) {
+    if (refused[i] != 0) continue;
     auto prep = Prepare(reqs[i]);
     if (!prep.ok()) {
       results[i] = prep.status();
@@ -283,32 +392,33 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
   }
 
   for (const auto& [collection, indices] : by_collection) {
-    auto nodes = query_coord_->NodesFor(collection);
-    if (nodes.empty()) {
+    auto plan = query_coord_->PlanFor(collection);
+    if (plan.empty()) {
       for (size_t i : indices) {
         results[i] = Status::Unavailable("collection not loaded");
       }
       continue;
     }
-    // Coverage weights, as in Search().
+    // Coverage weights, as in Search(): assigned sealed + growing-only.
     std::vector<int64_t> weights;
-    weights.reserve(nodes.size());
+    weights.reserve(plan.size());
     int64_t total_weight = 0;
-    for (const auto& node : nodes) {
-      const int64_t w =
-          std::max<int64_t>(1, node->NumServingSegments(collection));
+    for (const auto& r : plan) {
+      const int64_t w = std::max<int64_t>(1, r.weight);
       weights.push_back(w);
       total_weight += w;
     }
 
     // The group waits as long as its most patient request allows; stricter
     // per-request deadlines are not individually enforced (batching trades
-    // that precision for one dispatch per node).
+    // that precision for one dispatch per node). Degraded requests bring
+    // their tightened deadline into the max.
     int64_t deadline_ms = 0;
     for (size_t i : indices) {
-      const int64_t eff = reqs[i].node_deadline_ms > 0
-                              ? reqs[i].node_deadline_ms
-                              : ctx_.config.node_search_deadline_ms;
+      int64_t eff = reqs[i].node_deadline_ms > 0
+                        ? reqs[i].node_deadline_ms
+                        : ctx_.config.node_search_deadline_ms;
+      if (degraded[i] != 0) eff = DegradedDeadlineMs(reqs[i].node_deadline_ms);
       deadline_ms = std::max(deadline_ms, eff);
     }
 
@@ -322,14 +432,20 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
       nreq.trace = root.context();
     }
 
-    // One dispatch per node for the whole group.
+    // One dispatch per node for the whole group. Each node gets its own
+    // copy of the group's requests carrying that node's sealed-segment
+    // assignment (the shared template has no filter).
     std::vector<
         std::future<std::vector<Result<std::vector<SegmentHit>>>>>
         futures;
-    futures.reserve(nodes.size());
-    for (auto& node : nodes) {
-      futures.push_back(pool_.Submit([node, prepared, batch]() {
-        return node->SearchBatch(*batch);
+    futures.reserve(plan.size());
+    for (auto& r : plan) {
+      auto node_batch =
+          std::make_shared<std::vector<NodeSearchRequest>>(*batch);
+      for (auto& nreq : *node_batch) nreq.sealed_filter = r.sealed_filter;
+      auto node = r.node;
+      futures.push_back(pool_.Submit([node, prepared, node_batch]() {
+        return node->SearchBatch(*node_batch);
       }));
     }
     const auto deadline = std::chrono::steady_clock::now() +
@@ -340,7 +456,7 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
     std::vector<
         std::optional<std::vector<Result<std::vector<SegmentHit>>>>>
         per_node;
-    per_node.reserve(nodes.size());
+    per_node.reserve(plan.size());
     for (auto& fut : futures) {
       if (deadline_ms > 0 &&
           fut.wait_until(deadline) == std::future_status::timeout) {
@@ -358,7 +474,7 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
       Status failure;
       for (size_t n = 0; n < per_node.size(); ++n) {
         if (!per_node[n].has_value()) {
-          if (!reqs[i].allow_partial) {
+          if (!allow_partial(i)) {
             failure = Status::Timeout(
                 "query node missed the search deadline");
             break;
@@ -368,7 +484,7 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
         }
         const auto& hits = (*per_node[n])[pos];
         if (!hits.ok()) {
-          if (!reqs[i].allow_partial) {
+          if (!allow_partial(i)) {
             failure = hits.status();
             break;
           }
@@ -418,6 +534,37 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
   return results;
 }
 
+Result<Timestamp> Proxy::WriteWithBackpressure(
+    Span* root, const std::function<Result<Timestamp>(bool last)>& attempt) {
+  const int32_t extra =
+      std::max(0, ctx_.config.admission_write_retry_attempts);
+  Result<Timestamp> res;
+  for (int32_t n = 0; n <= extra; ++n) {
+    const bool last = n == extra;
+    res = attempt(last);
+    if (res.ok() ||
+        res.status().code() != StatusCode::kResourceExhausted || last) {
+      break;
+    }
+    // The proxy front door is the ONE place that honors the retry-after
+    // hint (RetryPolicy never retries kResourceExhausted): wait out the
+    // hint plus deterministic jitter so synchronized writers don't re-slam
+    // the logger in lockstep.
+    int64_t wait_ms = AdmissionController::RetryAfterHintMs(res.status());
+    if (wait_ms < 0) wait_ms = std::max<int64_t>(1, ctx_.config.shed_retry_after_ms);
+    uint64_t j = static_cast<uint64_t>(n) + 0x9e3779b97f4a7c15ULL;
+    j = (j ^ (j >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    const int64_t jitter_ms =
+        static_cast<int64_t>(j % static_cast<uint64_t>(wait_ms / 2 + 1));
+    MetricsRegistry::Global().GetCounter("backpressure.write_retries")->Add();
+    root->Event("backpressure: waiting retry-after " +
+                std::to_string(wait_ms + jitter_ms) + "ms");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(wait_ms + jitter_ms));
+  }
+  return res;
+}
+
 Result<Timestamp> Proxy::Insert(const std::string& collection,
                                 EntityBatch batch) {
   Span root = Tracer::Global().StartTrace("proxy.insert");
@@ -425,7 +572,12 @@ Result<Timestamp> Proxy::Insert(const std::string& collection,
   root.Tag("rows", batch.NumRows());
   MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
                         root_coord_->GetCollection(collection));
-  auto res = loggers_->Insert(meta, std::move(batch), root.context());
+  auto res = WriteWithBackpressure(&root, [&](bool last) {
+    // The batch is only surrendered on the final attempt; earlier attempts
+    // publish a copy so a backpressured retry still has the rows.
+    if (last) return loggers_->Insert(meta, std::move(batch), root.context());
+    return loggers_->Insert(meta, batch, root.context());
+  });
   if (!res.ok()) {
     root.Tag("error", res.status().ToString());
   } else {
@@ -441,7 +593,9 @@ Result<Timestamp> Proxy::Delete(const std::string& collection,
   root.Tag("pks", static_cast<int64_t>(pks.size()));
   MANU_ASSIGN_OR_RETURN(CollectionMeta meta,
                         root_coord_->GetCollection(collection));
-  auto res = loggers_->Delete(meta, pks, root.context());
+  auto res = WriteWithBackpressure(&root, [&](bool) {
+    return loggers_->Delete(meta, pks, root.context());
+  });
   if (!res.ok()) root.Tag("error", res.status().ToString());
   return res;
 }

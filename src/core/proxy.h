@@ -1,12 +1,14 @@
 #ifndef MANU_CORE_PROXY_H_
 #define MANU_CORE_PROXY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "common/trace.h"
+#include "core/admission.h"
 #include "core/context.h"
 #include "core/expr.h"
 #include "core/logger.h"
@@ -43,6 +45,15 @@ struct SearchRequest {
   /// Staleness tolerance tau in ms for kBounded; <0 uses the instance
   /// default.
   int64_t staleness_ms = -1;
+
+  // --- Multi-tenant admission (core/admission.h) ---
+  /// Tenant for per-tenant token-bucket admission; empty = the default
+  /// tenant (all anonymous traffic shares one bucket).
+  std::string tenant;
+  /// Scheduling class: 0 = normal, > 0 = low priority. Brownout stage 2
+  /// sheds priority > 0 requests first (with a retry-after hint) while
+  /// normal-priority traffic still serves degraded.
+  int32_t priority = 0;
 
   /// Time travel: non-zero = search the collection as of this timestamp.
   Timestamp travel_ts = 0;
@@ -89,10 +100,16 @@ class Proxy {
       const std::vector<SearchRequest>& reqs);
 
   /// Write path: validates and forwards to the logger fleet. Returns the
-  /// operation's LSN (its visibility point).
+  /// operation's LSN (its visibility point). On logger backpressure
+  /// (kResourceExhausted) the proxy — and ONLY the proxy — may re-attempt
+  /// up to admission_write_retry_attempts times, sleeping the response's
+  /// retry-after hint plus deterministic jitter first.
   Result<Timestamp> Insert(const std::string& collection, EntityBatch batch);
   Result<Timestamp> Delete(const std::string& collection,
                            const std::vector<int64_t>& pks);
+
+  /// Overload front door state (DescribeCluster, tests).
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   /// Validated request, ready for fan-out. Owns the parsed filter AND the
@@ -121,10 +138,25 @@ class Proxy {
 
   static SearchResult ToResult(std::vector<Neighbor> merged);
 
+  /// Tags the admission decision on `span` (may be null) and records the
+  /// admission.*/shed.* metrics.
+  void RecordAdmission(Span* span, const AdmitDecision& decision);
+  /// Per-node deadline for a degraded (brownout stage >= 1) request:
+  /// the effective deadline scaled by shed_deadline_factor, or
+  /// shed_degraded_deadline_ms when the request was unbounded.
+  int64_t DegradedDeadlineMs(int64_t request_deadline_ms) const;
+  /// Shared Insert/Delete backpressure loop: runs `attempt_fn`, honoring a
+  /// kResourceExhausted retry-after hint (plus deterministic jitter) up to
+  /// admission_write_retry_attempts extra attempts. `last` tells the
+  /// callback it may move its payload.
+  Result<Timestamp> WriteWithBackpressure(
+      Span* root, const std::function<Result<Timestamp>(bool last)>& attempt);
+
   CoreContext ctx_;
   RootCoordinator* root_coord_;
   QueryCoordinator* query_coord_;
   LoggerFleet* loggers_;
+  AdmissionController admission_;  ///< Overload front door.
   ThreadPool pool_;  ///< Fan-out workers for multi-node dispatch.
 };
 

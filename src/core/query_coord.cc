@@ -324,6 +324,94 @@ std::vector<std::shared_ptr<QueryNode>> QueryCoordinator::NodesFor(
   return out;
 }
 
+namespace {
+
+/// splitmix64 finalizer: turns the route counter into an independent draw.
+uint64_t MixRouteSeed(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t QueryCoordinator::RouteLoadScore(
+    const std::shared_ptr<QueryNode>& node) const {
+  NodeLoad load;
+  bool fresh = false;
+  if (ctx_.leases != nullptr) {
+    load = ctx_.leases->LoadOf(node->id());
+    fresh = load.updated_ms > 0 &&
+            NowMs() - load.updated_ms <= ctx_.leases->ttl_ms();
+  }
+  if (!fresh) load = node->LoadSnapshot();
+  // Outstanding requests dominate; EWMA service time breaks ties between
+  // equally-backlogged nodes (a slow node at depth n is worse than a fast
+  // one at depth n).
+  return load.inflight * 1'000'000 + load.ewma_latency_us;
+}
+
+std::vector<QueryCoordinator::NodeRoute> QueryCoordinator::PlanFor(
+    CollectionId collection) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<NodeRoute> routes;
+  auto it = serving_.find(collection);
+  if (it == serving_.end()) return routes;
+  const CollectionServing& serving = it->second;
+
+  std::map<NodeId, size_t> route_index;
+  auto route_for = [&](NodeId id) -> NodeRoute* {
+    auto found = route_index.find(id);
+    if (found != route_index.end()) return &routes[found->second];
+    auto node = NodeById(id);
+    if (node == nullptr) return nullptr;
+    route_index[id] = routes.size();
+    routes.push_back(NodeRoute{std::move(node), 0, {}});
+    return &routes.back();
+  };
+
+  // Channel owners are always in the plan: growing segments and the
+  // consistency gate live only there.
+  for (const auto& [shard, owner] : serving.channel_owner) {
+    (void)route_for(owner);
+  }
+
+  // Power-of-two-choices per sealed segment: two deterministic
+  // pseudo-random candidates from the owner set, lower load wins. Against
+  // always-least-loaded this avoids herding every segment of a plan onto
+  // the momentarily-idlest node.
+  for (const auto& [segment, owners] : serving.segment_owner) {
+    std::vector<NodeId> live;
+    for (NodeId id : owners) {
+      if (NodeById(id) != nullptr) live.push_back(id);
+    }
+    if (live.empty()) continue;
+    NodeId chosen = live[0];
+    if (live.size() > 1) {
+      const uint64_t draw = MixRouteSeed(
+          route_seq_.fetch_add(1, std::memory_order_relaxed) ^
+          (static_cast<uint64_t>(segment) << 32));
+      const size_t a = static_cast<size_t>(draw % live.size());
+      const size_t b = static_cast<size_t>(
+          (a + 1 + (draw >> 32) % (live.size() - 1)) % live.size());
+      chosen = RouteLoadScore(NodeById(live[a])) <=
+                       RouteLoadScore(NodeById(live[b]))
+                   ? live[a]
+                   : live[b];
+    }
+    NodeRoute* route = route_for(chosen);
+    if (route != nullptr) route->sealed_filter.push_back(segment);
+  }
+
+  for (NodeRoute& route : routes) {
+    std::sort(route.sealed_filter.begin(), route.sealed_filter.end());
+    route.weight = static_cast<int64_t>(route.sealed_filter.size()) +
+                   route.node->NumGrowingOnlySegments(collection);
+  }
+  return routes;
+}
+
 void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = serving_.find(meta.collection);

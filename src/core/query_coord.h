@@ -72,6 +72,30 @@ class QueryCoordinator {
   std::vector<std::shared_ptr<QueryNode>> NodesFor(
       CollectionId collection) const;
 
+  /// One fan-out target in a routing plan (PlanFor).
+  struct NodeRoute {
+    std::shared_ptr<QueryNode> node;
+    /// Segments this route is expected to scan (assigned sealed + the
+    /// node's growing-only segments): the proxy's coverage weight under
+    /// allow_partial.
+    int64_t weight = 0;
+    /// Sealed segments assigned to this node, sorted ascending
+    /// (NodeSearchRequest::sealed_filter). Empty = nothing assigned; the
+    /// node is in the plan for its growing segments / channel gate.
+    std::vector<SegmentId> sealed_filter;
+  };
+
+  /// Load-aware routing plan: every shard channel owner is included (they
+  /// alone hold growing segments), and each sealed segment is assigned to
+  /// exactly ONE owner picked by power-of-two-choices over the replica set
+  /// (two deterministic pseudo-random candidates, lower load wins; load =
+  /// heartbeat-piggybacked NodeLoad when fresh, the node's live snapshot
+  /// otherwise). With replica_factor > 1 this replaces NodesFor's
+  /// dispatch-everyone-scan-everything with one scan per segment spread by
+  /// load, which is what makes hot replicas add throughput instead of just
+  /// redundancy.
+  std::vector<NodeRoute> PlanFor(CollectionId collection) const;
+
   /// Moves sealed segments from overloaded to underloaded nodes until
   /// segment counts differ by at most one.
   Status Rebalance();
@@ -101,6 +125,9 @@ class QueryCoordinator {
                              const std::vector<SegmentId>& segments);
   std::shared_ptr<QueryNode> NodeById(NodeId id) const;
   std::shared_ptr<QueryNode> LeastLoadedLocked() const;
+  /// Routing load score (lower = less loaded): heartbeat load when fresh,
+  /// else the node's direct snapshot.
+  int64_t RouteLoadScore(const std::shared_ptr<QueryNode>& node) const;
 
   CoreContext ctx_;
   DataCoordinator* data_coord_;
@@ -112,6 +139,8 @@ class QueryCoordinator {
 
   std::atomic<bool> stop_{false};
   std::thread thread_;
+  /// Per-plan counter feeding the deterministic p2c candidate draw.
+  mutable std::atomic<uint64_t> route_seq_{0};
 };
 
 }  // namespace manu

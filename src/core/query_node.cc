@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "core/admission.h"
 #include "core/lease.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
@@ -25,10 +26,60 @@ QueryNode::~QueryNode() {
   executor_.reset();
 }
 
+Status QueryNode::AdmitSearch(const NodeSearchRequest& req) {
+  // A request whose deadline already passed is dead on arrival: fail fast
+  // instead of letting it claim executor slots just to time out inside the
+  // scan path (the pre-admission behavior — see the re-checks in
+  // SearchInternal / search_one for requests that expire later).
+  if (req.deadline_us > 0 && NowMicros() > req.deadline_us) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter("query_node.deadline_rejects")->Add();
+    return Status::Timeout("query node " + std::to_string(id_) +
+                           ": deadline already passed at admission");
+  }
+  const int64_t cap = ctx_.config.admission_node_inflight;
+  if (cap > 0) {
+    // Optimistic reserve; back out at the cap. The node refuses instead of
+    // queueing unboundedly — the proxy's ladder turns this into
+    // degrade/shed long before clients see it.
+    if (outstanding_.fetch_add(1, std::memory_order_relaxed) + 1 > cap) {
+      outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global()
+          .GetCounter("query_node.overload_rejects")
+          ->Add();
+      const int64_t hint_ms = std::max<int64_t>(
+          1, ewma_latency_us_.load(std::memory_order_relaxed) / 1000);
+      return AdmissionController::ShedStatus(
+          "query node " + std::to_string(id_), /*stage=*/0, hint_ms);
+    }
+  } else {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SegmentHit>> QueryNode::RunAdmitted(
+    const NodeSearchRequest& req) {
+  executing_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t t0 = NowMicros();
+  auto result = SearchInternal(req);
+  // EWMA service time (alpha = 1/8), the load signal heartbeats carry for
+  // power-of-two-choices routing. Relaxed lost updates only blur an
+  // already-approximate signal.
+  const int64_t lat = NowMicros() - t0;
+  const int64_t prev = ewma_latency_us_.load(std::memory_order_relaxed);
+  ewma_latency_us_.store(prev == 0 ? lat : prev - prev / 8 + lat / 8,
+                         std::memory_order_relaxed);
+  executing_.fetch_sub(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
 Result<std::vector<SegmentHit>> QueryNode::Search(
     const NodeSearchRequest& req) {
-  return executor_->Submit([this, &req] { return SearchInternal(req); })
-      .get();
+  MANU_RETURN_NOT_OK(AdmitSearch(req));
+  return executor_->Submit([this, &req] { return RunAdmitted(req); }).get();
 }
 
 std::vector<Result<std::vector<SegmentHit>>> QueryNode::SearchBatch(
@@ -36,16 +87,23 @@ std::vector<Result<std::vector<SegmentHit>>> QueryNode::SearchBatch(
   // One executor task per request: the batch spreads across the pool
   // instead of serializing on a single thread (the old mega-task pinned
   // the whole batch to one executor slot, so query_threads bought batched
-  // clients nothing).
-  std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
+  // clients nothing). Refused requests (expired deadline, full node) fail
+  // in place without claiming a slot.
+  std::vector<Result<std::vector<SegmentHit>>> out(reqs.size());
+  std::vector<std::pair<size_t, std::future<Result<std::vector<SegmentHit>>>>>
+      futures;
   futures.reserve(reqs.size());
-  for (const NodeSearchRequest& req : reqs) {
-    futures.push_back(
-        executor_->Submit([this, &req] { return SearchInternal(req); }));
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    Status admitted = AdmitSearch(reqs[i]);
+    if (!admitted.ok()) {
+      out[i] = std::move(admitted);
+      continue;
+    }
+    const NodeSearchRequest& req = reqs[i];
+    futures.emplace_back(
+        i, executor_->Submit([this, &req] { return RunAdmitted(req); }));
   }
-  std::vector<Result<std::vector<SegmentHit>>> out;
-  out.reserve(reqs.size());
-  for (auto& fut : futures) out.push_back(fut.get());
+  for (auto& [i, fut] : futures) out[i] = fut.get();
   return out;
 }
 
@@ -129,7 +187,9 @@ void QueryNode::Run() {
     if (ctx_.leases != nullptr && NowMs() >= next_heartbeat_ms) {
       // Renewal failures (dropped heartbeat failpoint, fenced epoch) are
       // deliberate no-ops: the watchdog decides liveness, not the worker.
-      (void)ctx_.leases->Renew(id_, lease_epoch_);
+      // The heartbeat carries this node's load snapshot — the free
+      // transport for the coordinator/proxy's load-aware replica routing.
+      (void)ctx_.leases->Renew(id_, lease_epoch_, LoadSnapshot());
       next_heartbeat_ms = NowMs() + ctx_.config.heartbeat_interval_ms;
     }
     bool idle = true;
@@ -409,6 +469,16 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     return Status::Unavailable("query node " + std::to_string(id_) +
                                " is stopped");
   }
+  // Re-check the deadline after the queue wait: an admitted request can
+  // expire while queued behind the pool, and scanning for a proxy that
+  // already gave up only steals capacity from live requests.
+  if (req.deadline_us > 0 && NowMicros() > req.deadline_us) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter("query_node.deadline_rejects")->Add();
+    span.Tag("error", "deadline passed in queue");
+    return Status::Timeout("query node " + std::to_string(id_) +
+                           ": deadline passed while queued");
+  }
   // Delay policies model a slow node (misses the proxy deadline), error
   // policies a failing one; both are how the chaos test forces coverage<1.
   MANU_FAILPOINT("query_node.search_segment");
@@ -453,7 +523,17 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       if (it->second.sealed.count(seg_id) > 0) continue;  // Sealed twin wins.
       growing.push_back(seg);
     }
-    for (const auto& [_, seg] : it->second.sealed) sealed.push_back(seg);
+    // A routing plan narrows the sealed scan to this node's assigned share
+    // (replica routing: one load-chosen owner per segment); an empty filter
+    // keeps the scan-everything behavior for direct callers.
+    const bool planned = !req.sealed_filter.empty();
+    for (const auto& [seg_id, seg] : it->second.sealed) {
+      if (planned && !std::binary_search(req.sealed_filter.begin(),
+                                         req.sealed_filter.end(), seg_id)) {
+        continue;
+      }
+      sealed.push_back(seg);
+    }
     tombstones = static_cast<int64_t>(it->second.deletes_count);
   }
 
@@ -680,6 +760,28 @@ int64_t QueryNode::NumServingSegments(CollectionId collection) const {
     if (it->second.sealed.count(seg_id) == 0) ++n;  // Sealed twin wins.
   }
   return n;
+}
+
+int64_t QueryNode::NumGrowingOnlySegments(CollectionId collection) const {
+  std::shared_lock lk(mu_);
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return 0;
+  int64_t n = 0;
+  for (const auto& [seg_id, _] : it->second.growing) {
+    if (it->second.sealed.count(seg_id) == 0) ++n;  // Sealed twin wins.
+  }
+  return n;
+}
+
+NodeLoad QueryNode::LoadSnapshot() const {
+  NodeLoad load;
+  load.inflight = outstanding_.load(std::memory_order_relaxed);
+  load.queue_depth = std::max<int64_t>(
+      0, load.inflight - executing_.load(std::memory_order_relaxed));
+  load.ewma_latency_us = ewma_latency_us_.load(std::memory_order_relaxed);
+  load.deadline_rejects = deadline_rejects_.load(std::memory_order_relaxed);
+  load.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
+  return load;
 }
 
 uint64_t QueryNode::MemoryBytes() const {

@@ -15,6 +15,7 @@
 #include "common/trace.h"
 #include "core/collection_meta.h"
 #include "core/context.h"
+#include "core/lease.h"
 #include "core/segment.h"
 
 namespace manu {
@@ -41,8 +42,19 @@ struct NodeSearchRequest {
   /// Absolute deadline in NowMicros() terms; 0 = none. Set by the proxy
   /// from its per-node wait bound so that a straggling node stops fanning
   /// out new segment tasks once the proxy has abandoned the query, instead
-  /// of burning its executor on a result nobody will read.
+  /// of burning its executor on a result nobody will read. Checked at
+  /// admission (a dead-on-arrival request never claims an executor slot),
+  /// again when the request leaves the queue, and before every segment
+  /// claim.
   int64_t deadline_us = 0;
+  /// Sealed segments this node should scan, SORTED ascending; empty = all
+  /// local sealed segments (the pre-replica-routing behavior, and what
+  /// direct callers that bypass the coordinator plan get). The proxy fills
+  /// it from QueryCoordinator::PlanFor so that with replica_factor > 1 each
+  /// sealed segment is scanned by exactly one (load-chosen) owner instead
+  /// of every owner. Growing segments are always scanned — they exist only
+  /// on the shard primary.
+  std::vector<SegmentId> sealed_filter;
   const FilterExpr* filter = nullptr;
   /// Tracing context of the originating request (inactive by default, which
   /// makes every span on the node path a no-op). Spans opened here parent
@@ -134,6 +146,13 @@ class QueryNode {
   /// Segments this node answers searches from (sealed + growing without a
   /// sealed twin); the proxy's coverage weight for partial results.
   int64_t NumServingSegments(CollectionId collection) const;
+  /// Growing segments with no sealed twin — the share of this node's
+  /// serving set that a coordinator plan cannot route elsewhere (they live
+  /// only on the shard primary). PlanFor's coverage weights count these on
+  /// top of the sealed segments it assigns.
+  int64_t NumGrowingOnlySegments(CollectionId collection) const;
+  /// Load signal for the lease-heartbeat piggyback and DescribeCluster.
+  NodeLoad LoadSnapshot() const;
   uint64_t MemoryBytes() const;
   /// Min last-consumed tick LSN across this node's channels of the
   /// collection (Ls of Section 3.4).
@@ -188,6 +207,15 @@ class QueryNode {
                        int64_t staleness_ms);
   Result<std::vector<SegmentHit>> SearchInternal(
       const NodeSearchRequest& req);
+  /// Bounded admission (ROADMAP item 3): fails fast on an already-expired
+  /// deadline (kTimeout) or a full node (admission_node_inflight cap,
+  /// kResourceExhausted + retry-after) — refused requests never claim an
+  /// executor slot. On OK the request holds an outstanding_ slot that
+  /// RunAdmitted releases.
+  Status AdmitSearch(const NodeSearchRequest& req);
+  /// Executor-side wrapper: tracks executing_, feeds the EWMA service-time
+  /// signal, releases the outstanding_ slot.
+  Result<std::vector<SegmentHit>> RunAdmitted(const NodeSearchRequest& req);
 
   NodeId id_;
   CoreContext ctx_;
@@ -204,6 +232,13 @@ class QueryNode {
   std::atomic<bool> stop_{false};
   std::thread thread_;
   std::unique_ptr<ThreadPool> executor_;  ///< Per-node search capacity.
+
+  // --- Overload signals (core/admission.h; read by LoadSnapshot) ---
+  std::atomic<int64_t> outstanding_{0};  ///< Admitted (queued + executing).
+  std::atomic<int64_t> executing_{0};
+  std::atomic<int64_t> ewma_latency_us_{0};
+  std::atomic<int64_t> deadline_rejects_{0};
+  std::atomic<int64_t> overload_rejects_{0};
 };
 
 }  // namespace manu

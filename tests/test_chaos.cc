@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <random>
 #include <set>
 #include <thread>
@@ -841,6 +843,242 @@ TEST(Liveness, TraceSurvivesRetryAndFailoverRedispatch) {
   EXPECT_GT(node_spans, 0);
   EXPECT_NE(FindSpanNamed(spans, "segment.scan"), nullptr);
   Tracer::Global().ResetForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Overload storm (core/admission.h)
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, OverloadStormShedsBeforeRejectAndDrains) {
+  // ~10x the sustainable concurrency against an armed admission front door.
+  // Proves the brownout ladder engages in order (degrade -> shed ->
+  // reject), that refusals carry retry-after hints instead of queueing,
+  // that goodput holds up under the storm, that admitted latency stays
+  // bounded, that no acked write is lost, and that everything drains back
+  // to stage 0 once the storm passes.
+  ManuConfig config;
+  config.num_shards = 2;
+  config.num_query_nodes = 2;
+  config.query_threads = 2;
+  config.segment_seal_rows = 1000;
+  config.segment_idle_seal_ms = 300;
+  config.time_tick_interval_ms = 10;
+  config.sim_segment_search_us = 2000;  // Calibrated 2ms/segment service.
+  config.admission_max_inflight = 16;
+  config.admission_node_inflight = 4;
+  config.node_search_deadline_ms = 500;
+  config.shed_retry_after_ms = 5;
+  config.shed_degraded_deadline_ms = 250;
+  config.logger_inflight_limit = 2;
+  config.admission_write_retry_attempts = 4;
+  ManuInstance db(config);
+
+  auto meta = db.CreateCollection(VecSchema("storm", 16));
+  ASSERT_TRUE(meta.ok());
+  SyntheticOptions opts;
+  opts.num_rows = 4000;
+  opts.dim = 16;
+  opts.num_clusters = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+  ASSERT_TRUE(db.Insert("storm", VecBatch(meta.value(), data, 0, 4000)).ok());
+  ASSERT_TRUE(db.FlushAndWait("storm").ok());
+
+  auto search_once = [&](int64_t row, int32_t priority,
+                         const std::string& tenant) {
+    SearchRequest req;
+    req.collection = "storm";
+    req.query.assign(data.Row(row % 4000), data.Row(row % 4000) + 16);
+    req.k = 10;
+    req.consistency = ConsistencyLevel::kEventually;
+    req.tenant = tenant;
+    req.priority = priority;
+    return db.Search(req);
+  };
+
+  // Closed-loop driver; shed clients honor the retry-after hint (sleep)
+  // instead of hammering, like a well-behaved SDK.
+  struct LoopStats {
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> shed{0};
+    std::atomic<int64_t> timeout{0};
+    std::atomic<int64_t> unavailable{0};
+    std::atomic<int64_t> unexpected{0};
+  };
+  auto run_loop = [&](int threads, int64_t duration_ms, bool mixed_priority,
+                      LoopStats* stats, LatencyHistogram* ok_lat) {
+    std::vector<std::thread> workers;
+    const int64_t t_end = NowMs() + duration_ms;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        int64_t n = 0;
+        while (NowMs() < t_end) {
+          const int32_t priority = mixed_priority && (w % 2 == 1) ? 1 : 0;
+          const std::string tenant = "t" + std::to_string(w % 4);
+          const int64_t t0 = NowMicros();
+          auto res = search_once(w * 10007 + n++, priority, tenant);
+          if (res.ok()) {
+            stats->ok.fetch_add(1);
+            if (ok_lat != nullptr) {
+              ok_lat->Observe(static_cast<double>(NowMicros() - t0));
+            }
+            continue;
+          }
+          switch (res.status().code()) {
+            case StatusCode::kResourceExhausted: {
+              stats->shed.fetch_add(1);
+              int64_t hint =
+                  AdmissionController::RetryAfterHintMs(res.status());
+              if (hint < 1) hint = 5;
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(std::min<int64_t>(hint, 50)));
+              break;
+            }
+            case StatusCode::kTimeout:
+              stats->timeout.fetch_add(1);
+              break;
+            case StatusCode::kUnavailable:
+              // Degraded fan-out where every node refused at once.
+              stats->unavailable.fetch_add(1);
+              break;
+            default:
+              stats->unexpected.fetch_add(1);
+              ADD_FAILURE() << "unexpected storm error: "
+                            << res.status().ToString();
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
+  // --- Pre-storm saturation: near-capacity, below the brownout knee. ---
+  LoopStats sat;
+  const int64_t sat_t0 = NowMs();
+  run_loop(/*threads=*/4, /*duration_ms=*/600, /*mixed_priority=*/false,
+           &sat, nullptr);
+  const double sat_qps = static_cast<double>(sat.ok.load()) /
+                         (static_cast<double>(NowMs() - sat_t0) / 1000.0);
+  ASSERT_GT(sat.ok.load(), 0);
+
+  // --- The storm: ~10x the saturation concurrency, plus writers. ---
+  std::atomic<bool> stop_writers{false};
+  std::atomic<Timestamp> max_acked_ts{0};
+  std::vector<int64_t> acked_pks;
+  std::mutex acked_mu;
+  // Written rows come from a differently-seeded mixture so their vectors
+  // don't collide with the base corpus (presence is verifiable by search).
+  SyntheticOptions wopts = opts;
+  wopts.num_rows = 2000;
+  wopts.seed = 1234;
+  VectorDataset wdata = MakeClusteredDataset(wopts);
+  std::vector<std::thread> writers;
+  std::atomic<int64_t> next_wrow{0};
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      while (!stop_writers.load()) {
+        const int64_t row = next_wrow.fetch_add(20);
+        if (row + 20 > wdata.NumRows()) break;
+        auto ts = db.Insert(
+            "storm", VecBatch(meta.value(), wdata, row, row + 20, 100000));
+        if (ts.ok()) {
+          Timestamp prev = max_acked_ts.load();
+          while (prev < ts.value() &&
+                 !max_acked_ts.compare_exchange_weak(prev, ts.value())) {
+          }
+          std::lock_guard<std::mutex> lk(acked_mu);
+          for (int64_t i = row; i < row + 20; ++i) {
+            acked_pks.push_back(100000 + i);
+          }
+        } else {
+          // Backpressured past the proxy's retry budget: the write was
+          // refused with zero side effects; only RE is acceptable here.
+          EXPECT_EQ(ts.status().code(), StatusCode::kResourceExhausted)
+              << ts.status().ToString();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  LoopStats storm;
+  LatencyHistogram admitted_lat;
+  const int64_t storm_t0 = NowMs();
+  run_loop(/*threads=*/40, /*duration_ms=*/1500, /*mixed_priority=*/true,
+           &storm, &admitted_lat);
+  const double storm_secs =
+      static_cast<double>(NowMs() - storm_t0) / 1000.0;
+  stop_writers.store(true);
+  for (auto& w : writers) w.join();
+
+  // The ladder engaged, and in order: degrade before shed before reject.
+  const AdmissionController& adm = db.proxy()->admission();
+  const int64_t s1 = adm.StageFirstEngagedMs(1);
+  const int64_t s2 = adm.StageFirstEngagedMs(2);
+  const int64_t s3 = adm.StageFirstEngagedMs(3);
+  EXPECT_GT(s1, 0) << "storm never engaged the brownout ladder";
+  if (s2 > 0) EXPECT_LE(s1, s2);
+  if (s3 > 0) {
+    EXPECT_GT(s2, 0) << "reject engaged without passing through shed";
+    EXPECT_LE(s2, s3);
+  }
+  EXPECT_GT(storm.shed.load(), 0) << "overload must shed, not queue";
+  EXPECT_EQ(storm.unexpected.load(), 0);
+
+  // Goodput holds up: admitted work still completes at a healthy fraction
+  // of the pre-storm saturation rate (the bench demonstrates the >= 0.7
+  // SLO; the bar here is relaxed because sanitizer instrumentation on a
+  // loaded single-core CI box skews the 40-thread storm far more than the
+  // 4-thread saturation probe — collapse would read ~0.1x, not ~0.5x).
+  const double storm_qps = static_cast<double>(storm.ok.load()) / storm_secs;
+  EXPECT_GE(storm_qps, 0.35 * sat_qps)
+      << "goodput collapsed under overload: " << storm_qps << " vs saturation "
+      << sat_qps;
+
+  // Admitted latency stays bounded (degraded deadlines cap node waits).
+  EXPECT_GT(admitted_lat.Count(), 0);
+  EXPECT_LT(admitted_lat.Percentile(99), 2'000'000.0)
+      << "admitted p99 exploded: " << admitted_lat.Percentile(99) / 1000.0
+      << "ms";
+
+  // --- Drain: pressure decays, the ladder releases, queues empty. ---
+  bool drained = false;
+  for (int i = 0; i < 100; ++i) {
+    (void)search_once(i, 0, "drain");  // Each call re-samples pressure.
+    bool nodes_idle = true;
+    for (const auto& node : db.query_coord()->Nodes()) {
+      if (node->LoadSnapshot().inflight > 0) nodes_idle = false;
+    }
+    if (adm.stage() == 0 && adm.inflight() == 0 && nodes_idle) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(drained) << "stage=" << adm.stage()
+                       << " inflight=" << adm.inflight();
+
+  // --- No acked write lost. ---
+  ASSERT_TRUE(db.WaitUntilVisible("storm", max_acked_ts.load()).ok());
+  std::vector<int64_t> sample;
+  {
+    std::lock_guard<std::mutex> lk(acked_mu);
+    for (size_t i = 0; i < acked_pks.size(); i += 37) {
+      sample.push_back(acked_pks[i]);
+    }
+  }
+  EXPECT_FALSE(sample.empty()) << "every storm write was backpressured away";
+  for (int64_t pk : sample) {
+    SearchRequest req;
+    req.collection = "storm";
+    const int64_t row = pk - 100000;
+    req.query.assign(wdata.Row(row), wdata.Row(row) + 16);
+    req.k = 1;
+    req.consistency = ConsistencyLevel::kStrong;
+    auto res = db.Search(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_FALSE(res.value().ids.empty());
+    EXPECT_EQ(res.value().ids[0], pk) << "acked write lost";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,547 @@
+// Overload robustness: admission control, brownout shedding and write-path
+// backpressure (core/admission.h, ROADMAP item 3). Tier-1 coverage for the
+// mechanisms the chaos storm test exercises end-to-end:
+//   - AdmissionController unit behavior: token buckets, the inflight
+//     ceiling, the three-stage brownout ladder with hysteresis, and the
+//     retry-after hint protocol.
+//   - kResourceExhausted is never blindly retried (RetryPolicy, proxy).
+//   - Query-node bounded admission: expired deadlines fail fast at
+//     admission; the per-node inflight cap sheds with a hint.
+//   - Coverage accounting when shedding drops a node mid-fan-out.
+//   - Logger backpressure and the proxy's hint-honoring write retry.
+//   - DescribeCluster surfaces per-node overload state.
+//   - PlanFor assigns each sealed segment to exactly one replica (p2c).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/synthetic.h"
+#include "core/admission.h"
+#include "core/manu.h"
+
+namespace manu {
+namespace {
+
+constexpr int32_t kDim = 16;
+
+ManuConfig BaseConfig() {
+  ManuConfig config;
+  config.num_shards = 2;
+  config.segment_seal_rows = 1000;
+  config.segment_idle_seal_ms = 200;
+  config.slice_rows = 256;
+  config.time_tick_interval_ms = 10;
+  config.num_query_nodes = 2;
+  return config;
+}
+
+CollectionSchema VecSchema(const std::string& name) {
+  CollectionSchema schema(name);
+  FieldSchema pk;
+  pk.name = "id";
+  pk.type = DataType::kInt64;
+  pk.is_primary = true;
+  EXPECT_TRUE(schema.AddField(pk).ok());
+  FieldSchema vec;
+  vec.name = "embedding";
+  vec.type = DataType::kFloatVector;
+  vec.dim = kDim;
+  vec.metric = MetricType::kL2;
+  EXPECT_TRUE(schema.AddField(vec).ok());
+  return schema;
+}
+
+EntityBatch MakeBatch(const CollectionMeta& meta, const VectorDataset& data,
+                      int64_t begin, int64_t end) {
+  EntityBatch batch;
+  const FieldSchema* vec = meta.schema.FieldByName("embedding");
+  std::vector<float> flat(data.data.begin() + begin * data.dim,
+                          data.data.begin() + end * data.dim);
+  for (int64_t i = begin; i < end; ++i) batch.primary_keys.push_back(i);
+  batch.columns.push_back(
+      FieldColumn::MakeFloatVector(vec->id, data.dim, std::move(flat)));
+  return batch;
+}
+
+VectorDataset MakeData(int64_t rows) {
+  SyntheticOptions opts;
+  opts.num_rows = rows;
+  opts.dim = kDim;
+  opts.num_clusters = 8;
+  return MakeClusteredDataset(opts);
+}
+
+// --- Retry-after hint protocol -------------------------------------------
+
+TEST(Overload, ShedStatusCarriesRetryAfterHint) {
+  Status st = AdmissionController::ShedStatus("proxy", 2, 75);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(AdmissionController::RetryAfterHintMs(st), 75);
+  // Components without a hint (or foreign RE statuses) parse as "none".
+  EXPECT_EQ(AdmissionController::RetryAfterHintMs(
+                Status::ResourceExhausted("logger full")),
+            -1);
+  EXPECT_EQ(AdmissionController::RetryAfterHintMs(Status::OK()), -1);
+}
+
+// --- AdmissionController units -------------------------------------------
+
+TEST(Overload, TokenBucketThrottlesPerTenant) {
+  ManuConfig config;
+  config.admission_tenant_qps = 1;
+  config.admission_tenant_burst = 1;
+  AdmissionController adm(config);
+
+  AdmitDecision first = adm.Admit("acme", 0);
+  EXPECT_TRUE(first.admitted());
+  adm.Release();
+
+  AdmitDecision second = adm.Admit("acme", 0);
+  EXPECT_EQ(second.action, AdmitAction::kShed);
+  EXPECT_STREQ(second.reason, "tenant_throttle");
+  // The hint points at the bucket's refill, not a generic constant.
+  EXPECT_GE(second.retry_after_ms, 1);
+
+  // Buckets are per tenant: a throttled tenant doesn't starve others.
+  AdmitDecision other = adm.Admit("globex", 0);
+  EXPECT_TRUE(other.admitted());
+  adm.Release();
+}
+
+TEST(Overload, InflightCeilingShedsAtCapacity) {
+  ManuConfig config;
+  config.admission_max_inflight = 2;
+  AdmissionController adm(config);
+
+  EXPECT_TRUE(adm.Admit("", 0).admitted());
+  EXPECT_TRUE(adm.Admit("", 0).admitted());
+  AdmitDecision third = adm.Admit("", 0);
+  EXPECT_EQ(third.action, AdmitAction::kShed);
+  EXPECT_STREQ(third.reason, "inflight_ceiling");
+  EXPECT_GE(third.retry_after_ms, 1);
+  EXPECT_EQ(adm.inflight(), 2);
+
+  adm.Release();
+  EXPECT_TRUE(adm.Admit("", 0).admitted());
+  adm.Release();
+  adm.Release();
+  EXPECT_EQ(adm.inflight(), 0);
+}
+
+TEST(Overload, BrownoutLadderEngagesInOrderAndReleases) {
+  ManuConfig config;  // Default thresholds: 0.65 / 0.80 / 0.95.
+  AdmissionController adm(config);
+  std::atomic<double> pressure{0.0};
+  adm.SetPressureProbe([&] { return pressure.load(); });
+
+  // The EWMA snaps to the probe once samples are >= 100ms apart
+  // (alpha = 1), so each step below is deterministic.
+  auto settle = [&](double p) {
+    pressure.store(p);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  };
+  auto admit = [&](int32_t priority) {
+    AdmitDecision d = adm.Admit("t", priority);
+    if (d.admitted()) adm.Release();
+    return d;
+  };
+
+  settle(0.70);
+  AdmitDecision d1 = admit(0);
+  EXPECT_EQ(d1.action, AdmitAction::kDegrade);
+  EXPECT_EQ(adm.stage(), 1);
+
+  settle(0.85);
+  AdmitDecision low = admit(1);
+  EXPECT_EQ(low.action, AdmitAction::kShed);
+  EXPECT_STREQ(low.reason, "low_priority_shed");
+  AdmitDecision normal = admit(0);
+  EXPECT_EQ(normal.action, AdmitAction::kDegrade) << "stage 2 still serves "
+                                                     "normal priority";
+
+  settle(1.0);
+  AdmitDecision rejected = admit(0);
+  EXPECT_EQ(rejected.action, AdmitAction::kReject);
+  EXPECT_EQ(adm.stage(), 3);
+
+  // The ladder engaged in order: degrade, then shed, then reject.
+  const int64_t s1 = adm.StageFirstEngagedMs(1);
+  const int64_t s2 = adm.StageFirstEngagedMs(2);
+  const int64_t s3 = adm.StageFirstEngagedMs(3);
+  EXPECT_GT(s1, 0);
+  EXPECT_LE(s1, s2);
+  EXPECT_LE(s2, s3);
+
+  // Pressure collapse releases the ladder (through the hysteresis band).
+  settle(0.0);
+  AdmitDecision after = admit(0);
+  EXPECT_EQ(after.action, AdmitAction::kAdmit);
+  EXPECT_EQ(adm.stage(), 0);
+}
+
+// --- kResourceExhausted is never blindly retried -------------------------
+
+TEST(Overload, ResourceExhaustedIsNeverBlindlyRetried) {
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::ResourceExhausted("shed")));
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  Status st = RetryOp(policy, "test.overload_shed", [&] {
+    ++calls;
+    return Status::ResourceExhausted("shed");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 1) << "a shed op must surface immediately, not retry-storm";
+}
+
+// --- Query-node bounded admission ----------------------------------------
+
+TEST(Overload, QueryNodeFailsExpiredDeadlineAtAdmission) {
+  // Regression: the deadline used to be checked only inside the segment
+  // scan path, so a dead-on-arrival request with no matching segments
+  // returned OK-empty after claiming an executor slot. It must fail fast
+  // at admission.
+  ManuInstance db(BaseConfig());
+  auto meta = db.CreateCollection(VecSchema("overload_deadline"));
+  ASSERT_TRUE(meta.ok());
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_FALSE(nodes.empty());
+
+  NodeSearchRequest req;
+  req.collection = meta.value().id;
+  req.staleness_ms = -1;
+  req.deadline_us = NowMicros() - 1'000'000;  // Already a second past.
+
+  const int64_t t0 = NowMicros();
+  auto res = nodes[0]->Search(req);
+  const int64_t elapsed_ms = (NowMicros() - t0) / 1000;
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(res.status().message().find("admission"), std::string::npos)
+      << res.status().ToString();
+  EXPECT_LT(elapsed_ms, 500) << "expired deadline must fail fast";
+  EXPECT_GE(nodes[0]->LoadSnapshot().deadline_rejects, 1);
+}
+
+TEST(Overload, QueryNodeInflightCapShedsWithHint) {
+  ManuConfig config = BaseConfig();
+  config.admission_node_inflight = 1;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_cap"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(200);
+  ASSERT_TRUE(db.Insert("overload_cap", MakeBatch(meta.value(), data, 0, 200))
+                  .ok());
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_FALSE(nodes.empty());
+  auto node = nodes[0];
+
+  const FieldId field = meta.value().schema.FieldByName("embedding")->id;
+  std::vector<float> query(data.Row(3), data.Row(3) + kDim);
+  NodeSearchRequest req;
+  req.collection = meta.value().id;
+  req.targets.push_back({field, query.data(), 1.0f});
+  req.params.k = 5;
+  req.staleness_ms = -1;
+
+  // Hold the node's only slot with a search parked in the delay failpoint.
+  ScopedFailPoint fp("query_node.search_segment",
+                     FailPointPolicy::Delay(300'000));
+  std::thread occupier([&] { (void)node->Search(req); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto res = node->Search(req);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(AdmissionController::RetryAfterHintMs(res.status()), 1);
+  EXPECT_GE(node->LoadSnapshot().overload_rejects, 1);
+  occupier.join();
+}
+
+// --- Proxy front door ----------------------------------------------------
+
+TEST(Overload, ProxyShedsThrottledTenantWithoutRetry) {
+  ManuConfig config = BaseConfig();
+  config.admission_tenant_qps = 1;
+  config.admission_tenant_burst = 1;
+  config.search_retry_attempts = 3;  // Must NOT apply to shed requests.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_tenant"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(500);
+  ASSERT_TRUE(
+      db.Insert("overload_tenant", MakeBatch(meta.value(), data, 0, 500))
+          .ok());
+
+  SearchRequest req;
+  req.collection = "overload_tenant";
+  req.query.assign(data.Row(7), data.Row(7) + kDim);
+  req.k = 5;
+  req.consistency = ConsistencyLevel::kEventually;
+  req.tenant = "acme";
+
+  auto first = db.Search(req);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  const auto& metrics = MetricsRegistry::Global();
+  const int64_t retries_before = metrics.CounterValue("proxy.search_retries");
+  auto second = db.Search(req);  // Bucket empty: shed, not queued.
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(AdmissionController::RetryAfterHintMs(second.status()), 1);
+  EXPECT_EQ(metrics.CounterValue("proxy.search_retries"), retries_before)
+      << "the proxy must not re-dispatch a shed request";
+  EXPECT_GE(metrics.CounterValue("shed.requests",
+                                 {{"reason", "tenant_throttle"}}),
+            1);
+
+  req.tenant = "globex";
+  auto other = db.Search(req);
+  EXPECT_TRUE(other.ok()) << other.status().ToString();
+}
+
+TEST(Overload, PartialCoverageWhenNodeShedsMidFanout) {
+  ManuConfig config = BaseConfig();
+  config.admission_node_inflight = 1;
+  config.node_search_deadline_ms = 5000;
+  config.search_retry_attempts = 2;  // Must not fire for RE either way.
+  // Park the brownout ladder (pressure never reaches a threshold > 1) so
+  // the test isolates NODE-level shedding and the proxy's coverage math.
+  config.shed_degrade_pressure = 2.0;
+  config.shed_low_priority_pressure = 2.0;
+  config.shed_reject_pressure = 2.0;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_partial"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(2000);
+  ASSERT_TRUE(
+      db.Insert("overload_partial", MakeBatch(meta.value(), data, 0, 2000))
+          .ok());
+  ASSERT_TRUE(db.FlushAndWait("overload_partial").ok());
+
+  // Tombstone-heavy mix: delete a quarter of the rows, then make sure the
+  // shed-node accounting doesn't resurrect them or miscount coverage.
+  std::vector<int64_t> doomed;
+  for (int64_t pk = 1000; pk < 1500; ++pk) doomed.push_back(pk);
+  auto del_ts = db.Delete("overload_partial", doomed);
+  ASSERT_TRUE(del_ts.ok());
+  ASSERT_TRUE(db.WaitUntilVisible("overload_partial", del_ts.value()).ok());
+
+  auto nodes = db.query_coord()->Nodes();
+  ASSERT_GE(nodes.size(), 2u);
+
+  const FieldId field = meta.value().schema.FieldByName("embedding")->id;
+  std::vector<float> occupier_query(data.Row(3), data.Row(3) + kDim);
+  NodeSearchRequest direct;
+  direct.collection = meta.value().id;
+  direct.targets.push_back({field, occupier_query.data(), 1.0f});
+  direct.params.k = 5;
+  direct.staleness_ms = -1;
+
+  // Saturate node 0's single slot for the duration of `body`; every other
+  // node merely runs slow (the delay applies to all of them).
+  ScopedFailPoint fp("query_node.search_segment",
+                     FailPointPolicy::Delay(400'000));
+  auto while_node0_full = [&](const std::function<void()>& body) {
+    std::thread occupier([&] { (void)nodes[0]->Search(direct); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    body();
+    occupier.join();
+  };
+
+  SearchRequest req;
+  req.collection = "overload_partial";
+  req.query.assign(data.Row(17), data.Row(17) + kDim);
+  req.k = 20;
+  req.consistency = ConsistencyLevel::kEventually;
+
+  const auto& metrics = MetricsRegistry::Global();
+  const int64_t retries_before = metrics.CounterValue("proxy.search_retries");
+
+  // allow_partial: the shed node is dropped from coverage, the rest serve.
+  while_node0_full([&] {
+    SearchRequest partial = req;
+    partial.allow_partial = true;
+    auto res = db.Search(partial);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_GT(res.value().coverage, 0.0);
+    EXPECT_LT(res.value().coverage, 1.0)
+        << "the refused node must be subtracted from coverage";
+    EXPECT_FALSE(res.value().ids.empty());
+    for (int64_t id : res.value().ids) {
+      EXPECT_FALSE(id >= 1000 && id < 1500)
+          << "deleted pk " << id << " resurfaced";
+    }
+  });
+
+  // Without allow_partial the refusal surfaces as-is — and is NOT retried
+  // (a proxy.retry re-dispatch would double-offer load to a shedding node).
+  while_node0_full([&] {
+    auto strict = db.Search(req);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(metrics.CounterValue("proxy.search_retries"), retries_before);
+  });
+}
+
+// --- Write-path backpressure ---------------------------------------------
+
+TEST(Overload, LoggerBackpressureSurfacesWhenRetriesOff) {
+  ManuConfig config = BaseConfig();
+  config.num_shards = 1;
+  config.num_loggers = 1;
+  config.logger_inflight_limit = 1;
+  config.shed_retry_after_ms = 10;
+  config.admission_write_retry_attempts = 0;
+  config.time_tick_interval_ms = 1000;  // Keep ticks off the delayed mq.
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_write"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(200);
+
+  const auto& metrics = MetricsRegistry::Global();
+  const int64_t rejects_before =
+      metrics.CounterValue("backpressure.logger_rejections");
+
+  // Park the first insert inside the WAL publish; its in-flight slot stays
+  // held, so a second insert meets a full window.
+  ScopedFailPoint fp("mq.publish", FailPointPolicy::Delay(150'000));
+  std::atomic<bool> first_ok{false};
+  std::thread writer([&] {
+    first_ok = db.Insert("overload_write", MakeBatch(meta.value(), data, 0, 100))
+                   .ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  auto second =
+      db.Insert("overload_write", MakeBatch(meta.value(), data, 100, 200));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(AdmissionController::RetryAfterHintMs(second.status()), 1);
+  EXPECT_GT(metrics.CounterValue("backpressure.logger_rejections"),
+            rejects_before);
+
+  writer.join();
+  EXPECT_TRUE(first_ok) << "backpressure must not fail the admitted write";
+
+  // The refused write had no side effects: replaying it verbatim succeeds.
+  auto replay =
+      db.Insert("overload_write", MakeBatch(meta.value(), data, 100, 200));
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+}
+
+TEST(Overload, ProxyWriteRetriesHonorRetryAfterHint) {
+  ManuConfig config = BaseConfig();
+  config.num_shards = 1;
+  config.num_loggers = 1;
+  config.logger_inflight_limit = 1;
+  config.shed_retry_after_ms = 10;
+  config.admission_write_retry_attempts = 10;
+  config.time_tick_interval_ms = 1000;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_wretry"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(200);
+
+  const auto& metrics = MetricsRegistry::Global();
+  const int64_t retries_before =
+      metrics.CounterValue("backpressure.write_retries");
+
+  ScopedFailPoint fp("mq.publish", FailPointPolicy::Delay(60'000));
+  std::atomic<bool> first_ok{false};
+  std::thread writer([&] {
+    first_ok =
+        db.Insert("overload_wretry", MakeBatch(meta.value(), data, 0, 100))
+            .ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // The second insert is initially refused but the proxy front door honors
+  // the retry-after hint and lands it once the window drains.
+  auto second =
+      db.Insert("overload_wretry", MakeBatch(meta.value(), data, 100, 200));
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(metrics.CounterValue("backpressure.write_retries"),
+            retries_before);
+  writer.join();
+  EXPECT_TRUE(first_ok);
+}
+
+// --- Introspection -------------------------------------------------------
+
+TEST(Overload, DescribeClusterReportsOverloadState) {
+  ManuInstance db(BaseConfig());
+  auto meta = db.CreateCollection(VecSchema("overload_describe"));
+  ASSERT_TRUE(meta.ok());
+  const std::string desc = db.DescribeCluster();
+  EXPECT_NE(desc.find("queue_depth="), std::string::npos) << desc;
+  EXPECT_NE(desc.find("overload_rejects="), std::string::npos);
+  EXPECT_NE(desc.find("admission: brownout_stage=0"), std::string::npos);
+}
+
+// --- Replica routing -----------------------------------------------------
+
+TEST(Overload, PlanForAssignsEachSealedSegmentToOneReplica) {
+  ManuConfig config = BaseConfig();
+  config.num_query_nodes = 3;
+  config.replica_factor = 2;
+  config.segment_seal_rows = 500;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("overload_p2c"));
+  ASSERT_TRUE(meta.ok());
+  VectorDataset data = MakeData(2000);
+  ASSERT_TRUE(
+      db.Insert("overload_p2c", MakeBatch(meta.value(), data, 0, 2000)).ok());
+  ASSERT_TRUE(db.FlushAndWait("overload_p2c").ok());
+
+  auto plan = db.query_coord()->PlanFor(meta.value().id);
+  ASSERT_FALSE(plan.empty());
+  std::set<SegmentId> assigned;
+  size_t total_assigned = 0;
+  for (const auto& route : plan) {
+    ASSERT_NE(route.node, nullptr);
+    EXPECT_TRUE(std::is_sorted(route.sealed_filter.begin(),
+                               route.sealed_filter.end()));
+    for (SegmentId seg : route.sealed_filter) assigned.insert(seg);
+    total_assigned += route.sealed_filter.size();
+    // Replication makes segments live on several nodes, but the plan only
+    // asks a node to scan segments it actually holds.
+    auto held = route.node->SealedSegments(meta.value().id);
+    std::set<SegmentId> held_set(held.begin(), held.end());
+    for (SegmentId seg : route.sealed_filter) {
+      EXPECT_TRUE(held_set.count(seg)) << "route assigns unheld segment "
+                                       << seg;
+    }
+  }
+  EXPECT_GT(total_assigned, 0u);
+  EXPECT_EQ(total_assigned, assigned.size())
+      << "with replica_factor=2 each sealed segment must be scanned by "
+         "exactly one p2c-chosen owner";
+
+  // Routing changes must not change answers: exact self-match, full
+  // coverage (every segment is owned by exactly one route).
+  SearchRequest req;
+  req.collection = "overload_p2c";
+  req.query.assign(data.Row(17), data.Row(17) + kDim);
+  req.k = 10;
+  req.consistency = ConsistencyLevel::kStrong;
+  for (int i = 0; i < 5; ++i) {
+    auto res = db.Search(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_FALSE(res.value().ids.empty());
+    EXPECT_EQ(res.value().ids[0], 17);
+    EXPECT_DOUBLE_EQ(res.value().coverage, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace manu
