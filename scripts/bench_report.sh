@@ -7,6 +7,8 @@
 #                               bench_fig8_recall_throughput
 #   BENCH_overload_brownout.json — goodput / shed / brownout stage per
 #                               offered-load multiple from bench_overload
+#   BENCH_ingest.json         — acked WAL publishes/sec per publisher count,
+#                               group commit off vs on, from bench_ingest
 #
 # Each bench writes its artifact only when MANU_BENCH_JSON names a path
 # (see bench/bench_util.h), so plain bench runs never churn the committed
@@ -23,7 +25,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_micro_kernels \
-  bench_fig8_recall_throughput bench_overload
+  bench_fig8_recall_throughput bench_overload bench_ingest
 
 echo "=== micro kernels ==="
 MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
@@ -36,6 +38,10 @@ MANU_BENCH_JSON="$ROOT/BENCH_fig8.json" \
 echo "=== overload: brownout ladder goodput ==="
 MANU_BENCH_JSON="$ROOT/BENCH_overload_brownout.json" \
   ./build/bench/bench_overload
+
+echo "=== WAL ingest: group commit off vs on ==="
+MANU_BENCH_JSON="$ROOT/BENCH_ingest.json" \
+  ./build/bench/bench_ingest
 
 echo "=== artifacts ==="
 ls -l "$ROOT"/BENCH_*.json

@@ -25,10 +25,11 @@ while read -r kind name; do
   fi
 done <<< "$pairs"
 
-# 3. Required overload-observability families: the admission front door,
-#    shedding and backpressure paths must stay instrumented (the chaos
-#    storm test and DescribeCluster read these).
-for family in admission. shed. backpressure.; do
+# 3. Required observability families: the admission front door, shedding
+#    and backpressure paths (chaos storm test / DescribeCluster), and the
+#    WAL publish path (group commit, refusals, subscriber gaps) must stay
+#    instrumented.
+for family in admission. shed. backpressure. wal.; do
   if ! echo "$pairs" | awk '{print $2}' | grep -q "^${family//./\\.}"; then
     echo "metrics lint: no metric registered under required family" \
          "'${family}*'" >&2

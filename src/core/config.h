@@ -50,6 +50,24 @@ struct ManuConfig {
   /// larger grains amortize dispatch when segments are tiny.
   int64_t search_parallel_grain = 1;
 
+  // --- WAL group commit (ROADMAP item 1, BtrLog recipe) ---
+  // All default off/compatible: the broker behaves exactly like the
+  // pre-group-commit publish path (each publish is its own commit group)
+  // until a deployment opts in. bench_ingest arms them.
+  /// Batch concurrently staged publishes into one flush + one collective
+  /// ack per channel (publishers block on a commit ticket; the flush
+  /// leader installs the whole group atomically).
+  bool wal_group_commit = false;
+  /// Max entries per commit group.
+  int64_t wal_group_max_entries = 256;
+  /// Flush-leader linger (us) waiting for a group to fill before flushing
+  /// what's staged. 0 = flush immediately.
+  int64_t wal_flush_linger_us = 0;
+  /// Simulated per-flush device latency (us) — the fsync/replication RTT a
+  /// real broker pays once per group. Makes the batching win measurable;
+  /// 0 = off.
+  int64_t wal_sim_flush_latency_us = 0;
+
   // --- Node main-loop cadence ---
   int64_t poll_batch = 256;          ///< Max WAL entries per poll.
   int64_t poll_timeout_ms = 20;

@@ -73,6 +73,18 @@ void DataNode::Run() {
     }
     for (const auto& ch : channels) {
       auto entries = ch->sub->TryPoll(ctx_.config.poll_batch);
+      // A truncated-away cursor is not a clean tail: the skipped entries
+      // are unrecoverable for this pump and the buffers it feeds. Surface
+      // it (the subscription already bumped wal.subscriber_gap) so an
+      // operator can tell replay-from-floor from normal consumption.
+      const int64_t missed = ch->sub->missed();
+      if (missed > ch->missed_seen) {
+        MANU_LOG_WARN << "data node " << id_ << " channel "
+                      << ch->sub->channel() << " lost "
+                      << (missed - ch->missed_seen)
+                      << " truncated WAL entries (cursor snapped to floor)";
+        ch->missed_seen = missed;
+      }
       if (!entries.empty()) idle = false;
       for (const auto& entry : entries) {
         HandleEntry(ch.get(), *entry);

@@ -57,6 +57,8 @@ class DataNode {
     ShardId shard;
     std::shared_ptr<const CollectionSchema> schema;
     std::map<SegmentId, Buffer> buffers;
+    /// Subscription missed() already surfaced (pump-loop gap detection).
+    int64_t missed_seen = 0;
   };
 
   void Run();

@@ -28,6 +28,13 @@ class SlotRelease {
 Logger::Logger(NodeId id, const CoreContext& ctx, DataCoordinator* data_coord)
     : id_(id), ctx_(ctx), data_coord_(data_coord) {}
 
+MessageQueue::PublishFence Logger::InstanceFence() const {
+  if (ctx_.leases == nullptr) return {};
+  return [this] {
+    return ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch);
+  };
+}
+
 Status Logger::ReserveSlot() {
   const int64_t limit = ctx_.config.logger_inflight_limit;
   if (limit <= 0) {
@@ -108,11 +115,6 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
     MANU_RETURN_NOT_OK(map->Put(pk, segment));
   }
 
-  // Commit-point fence (WAL publish): a superseded instance's logger must
-  // not append — the recovered instance owns the log now.
-  if (ctx_.leases != nullptr) {
-    MANU_RETURN_NOT_OK(ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch));
-  }
   LogEntry entry;
   entry.type = LogEntryType::kInsert;
   entry.timestamp = last;
@@ -123,11 +125,20 @@ Result<Timestamp> Logger::Append(const CollectionMeta& meta, ShardId shard,
   span.Tag("segment", static_cast<int64_t>(segment));
   // The WAL append IS the commit point: a refused publish (broker fault /
   // shutdown) means the rows were never durable and must not be acked.
+  // The instance-epoch fence rides INSIDE the broker's group-commit
+  // decision: a superseded instance's logger is excluded from the commit
+  // group before any waiter is acked, even if it was staged before the
+  // takeover (the recovered instance owns the log now).
   {
     Span publish(span.context(), "wal.publish");
-    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard),
-                         std::move(entry)) < 0) {
+    Status fence_status;
+    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry),
+                         InstanceFence(), &fence_status) < 0) {
       publish.Tag("acked", "false");
+      if (!fence_status.ok()) {
+        span.Tag("error", fence_status.ToString());
+        return fence_status;
+      }
       span.Tag("error", "wal publish failed");
       return Status::Unavailable("wal publish failed");
     }
@@ -166,9 +177,6 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   }
   if (existing.empty()) return Timestamp{0};
 
-  if (ctx_.leases != nullptr) {
-    MANU_RETURN_NOT_OK(ctx_.leases->CheckInstanceEpoch(ctx_.instance_epoch));
-  }
   LogEntry entry;
   entry.type = LogEntryType::kDelete;
   entry.timestamp = ctx_.tso->Allocate();
@@ -176,11 +184,18 @@ Result<Timestamp> Logger::Delete(const CollectionMeta& meta, ShardId shard,
   entry.shard = shard;
   entry.delete_pks = std::move(existing);
   const Timestamp ts = entry.timestamp;
+  // Same commit-point discipline as Append: the epoch fence is evaluated
+  // inside the group-commit decision, never before it.
   {
     Span publish(span.context(), "wal.publish");
-    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard),
-                         std::move(entry)) < 0) {
+    Status fence_status;
+    if (ctx_.mq->Publish(ShardChannelName(meta.id, shard), std::move(entry),
+                         InstanceFence(), &fence_status) < 0) {
       publish.Tag("acked", "false");
+      if (!fence_status.ok()) {
+        span.Tag("error", fence_status.ToString());
+        return fence_status;
+      }
       span.Tag("error", "wal publish failed");
       return Status::Unavailable("wal publish failed");
     }

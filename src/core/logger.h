@@ -55,6 +55,13 @@ class Logger {
 
  private:
   LsmEntityMap* MapFor(CollectionId collection, ShardId shard);
+  /// The WAL publish fence: checks this instance's epoch against the
+  /// persisted one. Handed to MessageQueue::Publish so the check runs
+  /// INSIDE the broker's group-commit decision (a logger superseded while
+  /// its entry sat in the append buffer is excluded before ack), not as a
+  /// pre-publish check a concurrent failover could race past. Empty when
+  /// liveness is disabled.
+  MessageQueue::PublishFence InstanceFence() const;
   /// Reserves one slot in the bounded in-flight window
   /// (ManuConfig::logger_inflight_limit; <= 0 = unbounded). A full window
   /// returns kResourceExhausted with a retry-after hint BEFORE any side

@@ -93,6 +93,13 @@ ManuInstance::ManuInstance(ManuConfig config,
   Tracer::Global().Configure(config_.trace_sample_every,
                              config_.slow_query_trace_ms * 1000);
 
+  WalOptions wal_options;
+  wal_options.group_commit = config_.wal_group_commit;
+  wal_options.group_max_entries = config_.wal_group_max_entries;
+  wal_options.flush_linger_us = config_.wal_flush_linger_us;
+  wal_options.sim_flush_latency_us = config_.wal_sim_flush_latency_us;
+  durable_->mq.SetOptions(wal_options);
+
   ticker_ = std::make_unique<TimeTickEmitter>(
       &durable_->mq, &durable_->tso, config_.time_tick_interval_ms);
 

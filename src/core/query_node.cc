@@ -200,6 +200,17 @@ void QueryNode::Run() {
     }
     for (const auto& ch : channels) {
       auto entries = ch->sub->TryPoll(ctx_.config.poll_batch);
+      // Surface truncation gaps: deletes dropped below this cursor are
+      // only recoverable via LoadSealedSegment's replay-from-floor, so a
+      // silent skip here would hide real tombstone loss.
+      const int64_t missed = ch->sub->missed();
+      if (missed > ch->missed_seen) {
+        MANU_LOG_WARN << "query node " << id_ << " channel "
+                      << ch->sub->channel() << " lost "
+                      << (missed - ch->missed_seen)
+                      << " truncated WAL entries (cursor snapped to floor)";
+        ch->missed_seen = missed;
+      }
       if (entries.empty()) continue;
       idle = false;
       std::unique_lock lk(mu_);

@@ -168,6 +168,8 @@ class QueryNode {
     ShardId shard;
     bool primary = false;
     Timestamp service_ts = 0;
+    /// Subscription missed() already surfaced (pump-loop gap detection).
+    int64_t missed_seen = 0;
   };
 
   struct CollectionState {

@@ -32,6 +32,27 @@ Result<LogEntry> LogEntry::Deserialize(std::string_view data) {
   return e;
 }
 
+std::string SerializeGroup(
+    const std::vector<std::shared_ptr<const LogEntry>>& entries) {
+  BinaryWriter w;
+  w.PutU64(entries.size());
+  for (const auto& e : entries) w.PutString(e->Serialize());
+  return w.Release();
+}
+
+Result<std::vector<LogEntry>> DeserializeGroup(std::string_view data) {
+  BinaryReader r(data);
+  MANU_ASSIGN_OR_RETURN(uint64_t n, r.GetU64());
+  std::vector<LogEntry> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(std::string frame, r.GetString());
+    MANU_ASSIGN_OR_RETURN(LogEntry entry, LogEntry::Deserialize(frame));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 const char* ToString(LogEntryType type) {
   switch (type) {
     case LogEntryType::kInsert:

@@ -1,6 +1,7 @@
 #ifndef MANU_WAL_MESSAGE_H_
 #define MANU_WAL_MESSAGE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,14 @@ struct LogEntry {
 };
 
 const char* ToString(LogEntryType type);
+
+/// Group-commit batch serialization: the unit the WAL flush pipeline writes
+/// per (simulated) device flush. One contiguous buffer holding a count
+/// header and a length-prefixed frame per entry, so a whole commit group is
+/// a single sequential write however many publishers it carries.
+std::string SerializeGroup(
+    const std::vector<std::shared_ptr<const LogEntry>>& entries);
+Result<std::vector<LogEntry>> DeserializeGroup(std::string_view data);
 
 /// Channel naming scheme. Data manipulation is hashed across
 /// `kNumDefaultShards` per-collection shard channels; DDL and coordination

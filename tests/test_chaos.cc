@@ -507,6 +507,12 @@ TEST(Liveness, QueryNodeLeaseExpiryAutoFailover) {
   }
   ASSERT_EQ(db.NumQueryNodes(), 1u) << "watchdog never failed the node over";
   EXPECT_GT(Counter("lease.missed_heartbeats"), missed_before);
+  // The watchdog records MTTR after the coordinator removal that the loop
+  // above observes, so give the gauge its own bounded wait.
+  while (MetricsRegistry::Global().GaugeValue("cluster.mttr_ms") <= 0 &&
+         NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   EXPECT_GT(MetricsRegistry::Global().GaugeValue("cluster.mttr_ms"), 0);
 
   // tau=0 on the survivor: every acked write, full coverage.

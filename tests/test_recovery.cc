@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <thread>
@@ -256,6 +257,108 @@ TEST(Recovery, InstanceEpochFencesSupersededInstance) {
   auto after =
       new_db.value()->Insert("fence", VecBatch(created.value(), data, 10, 20));
   EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(Recovery, GroupCommitFencedNeverAckedAckedSurviveRecover) {
+  // The group-commit crash drill: with batching on, fenced (zombie) and
+  // live publishes share commit groups on one channel. Refused publishes
+  // must never be acked or installed; everything acked must survive a
+  // subsequent abrupt failover. This is the "fencing inside the commit
+  // decision" property — a pre-publish check would pass for entries staged
+  // before the epoch bump but flushed after it.
+  ManuConfig config = SmallConfig();
+  config.num_shards = 1;  // One channel: zombie and successor share groups.
+  config.wal_group_commit = true;
+  config.wal_group_max_entries = 64;
+  config.wal_flush_linger_us = 200;  // Encourage mixed groups.
+  config.wal_sim_flush_latency_us = 100;
+  SyntheticOptions opts;
+  opts.num_rows = 300;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  auto old_db = std::make_unique<ManuInstance>(config);
+  auto created = old_db->CreateCollection(VecSchema("gc", 8));
+  ASSERT_TRUE(created.ok());
+  const CollectionMeta meta = created.value();
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 4;
+  ASSERT_TRUE(old_db->CreateIndex("gc", "v", params).ok());
+
+  // Phase 1: concurrent writers through the grouped publish path; every
+  // batch acked. Rows [0, 100).
+  {
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+      writers.emplace_back([&, w] {
+        for (int b = 0; b < 5; ++b) {
+          const int64_t lo = w * 25 + b * 5;
+          auto st = old_db->Insert("gc", VecBatch(meta, data, lo, lo + 5));
+          EXPECT_TRUE(st.ok()) << st.status().ToString();
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+
+  // Phase 2: failover while the old instance keeps running (split brain).
+  auto new_db = ManuInstance::Recover(config, old_db->durable_state());
+  ASSERT_TRUE(new_db.ok()) << new_db.status().ToString();
+
+  // Phase 3: mixed traffic on the same shard channel. The zombie's rows
+  // [100, 150) must all be refused; the successor's rows [200, 250) must
+  // all commit — even when both sit in the same commit group.
+  std::atomic<int> stale_failures{0};
+  std::vector<std::thread> mixed;
+  for (int w = 0; w < 2; ++w) {
+    mixed.emplace_back([&, w] {
+      for (int b = 0; b < 5; ++b) {
+        const int64_t lo = 100 + w * 25 + b * 5;
+        auto st = old_db->Insert("gc", VecBatch(meta, data, lo, lo + 5));
+        if (!st.ok()) stale_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < 2; ++w) {
+    mixed.emplace_back([&, w] {
+      for (int b = 0; b < 5; ++b) {
+        const int64_t lo = 200 + w * 25 + b * 5;
+        auto st =
+            new_db.value()->Insert("gc", VecBatch(meta, data, lo, lo + 5));
+        EXPECT_TRUE(st.ok()) << st.status().ToString();
+      }
+    });
+  }
+  for (auto& t : mixed) t.join();
+  EXPECT_EQ(stale_failures.load(), 10) << "a fenced publish was acked";
+
+  // Abrupt end of both instances (zombie first: it must not tear down the
+  // shared broker under the successor), then recover from durable state.
+  auto durable = new_db.value()->durable_state();
+  old_db.reset();
+  new_db.value().reset();
+  auto recovered = ManuInstance::Recover(config, durable);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  SearchRequest req;
+  req.collection = "gc";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  req.k = 300;
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = recovered.value()->Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  for (int64_t pk = 0; pk < 100; ++pk) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
+  for (int64_t pk = 100; pk < 150; ++pk) {
+    EXPECT_EQ(found.count(pk), 0u)
+        << "fenced pk " << pk << " leaked into the log";
+  }
+  for (int64_t pk = 200; pk < 250; ++pk) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
 }
 
 TEST(Recovery, DetectsWalTruncatedAboveArchivedFloor) {
