@@ -9,6 +9,9 @@
 #                               offered-load multiple from bench_overload
 #   BENCH_ingest.json         — acked WAL publishes/sec per publisher count,
 #                               group commit off vs on, from bench_ingest
+#   BENCH_filtered.json       — filtered-search selectivity sweep: QPS /
+#                               recall@50 per strategy vs the post-scan
+#                               baseline, from bench_filtered
 #
 # Each bench writes its artifact only when MANU_BENCH_JSON names a path
 # (see bench/bench_util.h), so plain bench runs never churn the committed
@@ -25,7 +28,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_micro_kernels \
-  bench_fig8_recall_throughput bench_overload bench_ingest
+  bench_fig8_recall_throughput bench_overload bench_ingest bench_filtered
 
 echo "=== micro kernels ==="
 MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
@@ -42,6 +45,10 @@ MANU_BENCH_JSON="$ROOT/BENCH_overload_brownout.json" \
 echo "=== WAL ingest: group commit off vs on ==="
 MANU_BENCH_JSON="$ROOT/BENCH_ingest.json" \
   ./build/bench/bench_ingest
+
+echo "=== filtered search: selectivity sweep vs post-scan ==="
+MANU_BENCH_JSON="$ROOT/BENCH_filtered.json" \
+  ./build/bench/bench_filtered
 
 echo "=== artifacts ==="
 ls -l "$ROOT"/BENCH_*.json

@@ -26,10 +26,11 @@ while read -r kind name; do
 done <<< "$pairs"
 
 # 3. Required observability families: the admission front door, shedding
-#    and backpressure paths (chaos storm test / DescribeCluster), and the
-#    WAL publish path (group commit, refusals, subscriber gaps) must stay
-#    instrumented.
-for family in admission. shed. backpressure. wal.; do
+#    and backpressure paths (chaos storm test / DescribeCluster), the
+#    WAL publish path (group commit, refusals, subscriber gaps), and the
+#    filtered-search planner (strategy counts, selectivity, artifact
+#    build/load) must stay instrumented.
+for family in admission. shed. backpressure. wal. filter.; do
   if ! echo "$pairs" | awk '{print $2}' | grep -q "^${family//./\\.}"; then
     echo "metrics lint: no metric registered under required family" \
          "'${family}*'" >&2

@@ -29,6 +29,13 @@ class ConcurrentBitset {
     return (prev & mask) == 0;
   }
 
+  /// Clears bit `i`. Used when composing scan masks (allowed AND NOT
+  /// deleted); the per-segment delete bitmap itself never clears bits.
+  void Clear(size_t i) {
+    uint64_t mask = 1ull << (i & 63);
+    words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+  }
+
   bool Test(size_t i) const {
     return (words_[i >> 6].load(std::memory_order_acquire) >>
             (i & 63)) & 1;

@@ -51,6 +51,8 @@ std::string SegmentMeta::Serialize() const {
     auto it = index_versions.find(field);
     w.PutI32(it == index_versions.end() ? 0 : it->second);
   }
+  w.PutString(filter_index_path);
+  w.PutI32(filter_index_version);
   w.PutU64(last_lsn);
   w.PutBool(from_compaction);
   return w.Release();
@@ -73,6 +75,8 @@ Result<SegmentMeta> SegmentMeta::Deserialize(std::string_view data) {
     meta.index_paths[field] = std::move(path);
     MANU_ASSIGN_OR_RETURN(meta.index_versions[field], r.GetI32());
   }
+  MANU_ASSIGN_OR_RETURN(meta.filter_index_path, r.GetString());
+  MANU_ASSIGN_OR_RETURN(meta.filter_index_version, r.GetI32());
   MANU_ASSIGN_OR_RETURN(meta.last_lsn, r.GetU64());
   MANU_ASSIGN_OR_RETURN(meta.from_compaction, r.GetBool());
   return meta;

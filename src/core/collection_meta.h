@@ -42,6 +42,13 @@ struct SegmentMeta {
   /// indexed), and the collection index_version it was built under.
   std::map<FieldId, std::string> index_paths;
   std::map<FieldId, int32_t> index_versions;
+  /// Object-store path of the segment's attribute-index artifact
+  /// (FilterIndex), built by index nodes beside the vector index when
+  /// config.filter_index_enable is set; empty = not built. Query nodes fall
+  /// back to building scalar indexes locally on load.
+  std::string filter_index_path;
+  /// Collection index_version the filter index was built under.
+  int32_t filter_index_version = 0;
   /// LSN of the last row in the segment (replay progress marker for time
   /// travel, Section 4.3).
   Timestamp last_lsn = 0;

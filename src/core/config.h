@@ -170,6 +170,29 @@ struct ManuConfig {
   /// publish => no ack is preserved). 0 = unlimited.
   int64_t logger_inflight_limit = 0;
 
+  // --- Filtered search (index/filter_index.h, core/filter_planner.h) ---
+  // All knobs default off: search behaves exactly like the legacy
+  // post-filter path until a deployment opts in. See DESIGN.md Section 14.
+  /// Index nodes build + persist a per-segment attribute-index artifact
+  /// (FilterIndex) beside the vector index; query nodes load it on
+  /// LoadSealedSegment instead of rebuilding scalar indexes locally.
+  bool filter_index_enable = false;
+  /// Cost-based per-segment filter planner (strategy: prefilter /
+  /// filtered traversal / brute-force-over-matches). Off = the legacy
+  /// fixed heuristic.
+  bool filter_planner_enable = false;
+  /// Below this estimated selectivity the planner brute-forces distances
+  /// over just the matching rows (exact, and cheaper than any index
+  /// traversal — the measured crossover sits near 15%, bench_filtered).
+  double filter_brute_threshold = 0.15;
+  /// Below this selectivity (and above brute) the planner uses
+  /// filter-aware traversal on engines that support it; at or above it the
+  /// allowed-mask pre-filter path wins.
+  double filter_prefilter_threshold = 0.5;
+  /// Filtered HNSW traversal may adaptively double ef up to
+  /// ef * this cap when the beam surfaces fewer than k passing rows.
+  double filter_ef_inflation_cap = 16.0;
+
   // --- Observability (common/trace.h) ---
   /// Retain every Nth request trace in the in-memory collector; <= 0
   /// disables sampling retention (slow queries are still captured).

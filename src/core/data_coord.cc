@@ -299,6 +299,26 @@ Status DataCoordinator::RegisterIndex(CollectionId collection,
   return Status::OK();
 }
 
+Status DataCoordinator::RegisterFilterIndex(CollectionId collection,
+                                            SegmentId segment,
+                                            const std::string& path,
+                                            int32_t version) {
+  SegmentMeta copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = segments_.find({collection, segment});
+    if (it == segments_.end()) {
+      return Status::NotFound("segment not registered: " +
+                              std::to_string(segment));
+    }
+    it->second.filter_index_path = path;
+    it->second.filter_index_version = version;
+    copy = it->second;
+  }
+  ctx_.meta->Put(SegmentMetaKey(collection, segment), copy.Serialize());
+  return Status::OK();
+}
+
 Result<SegmentMeta> DataCoordinator::GetSegment(CollectionId collection,
                                                 SegmentId segment) const {
   std::lock_guard<std::mutex> lk(mu_);

@@ -93,6 +93,13 @@ class DataCoordinator {
                        FieldId field, const std::string& index_path,
                        int32_t version);
 
+  /// Index coordinator reports a built attribute-index artifact
+  /// (FilterIndex). Unlike RegisterIndex this does not advance the segment
+  /// state — the filter index is an optional acceleration, not a serving
+  /// prerequisite.
+  Status RegisterFilterIndex(CollectionId collection, SegmentId segment,
+                             const std::string& path, int32_t version);
+
   Result<SegmentMeta> GetSegment(CollectionId collection,
                                  SegmentId segment) const;
   /// All sealed/indexed segments of a collection (growing ones live only in

@@ -150,6 +150,13 @@ class LabelCompareExpr : public FilterExpr {
 
   Status Evaluate(const FilterContext& ctx,
                   ConcurrentBitset* out) const override {
+    const LabelBitmapIndex* bitmap =
+        ctx.label_bitmap ? ctx.label_bitmap(field_) : nullptr;
+    if (bitmap != nullptr && bitmap->NumRows() == ctx.num_rows) {
+      bitmap->EqualsQuery(value_, out);
+      if (negated_) out->Not();
+      return Status::OK();
+    }
     const LabelIndex* index =
         ctx.label_index ? ctx.label_index(field_) : nullptr;
     if (index != nullptr && index->NumRows() == ctx.num_rows) {
@@ -170,10 +177,24 @@ class LabelCompareExpr : public FilterExpr {
   }
 
   double EstimateSelectivity(const FilterContext& ctx) const override {
+    if (ctx.num_rows == 0) return 1.0;
+    const double n = static_cast<double>(ctx.num_rows);
+    // O(log labels) posting-length estimates when an index is resident.
+    const LabelBitmapIndex* bitmap =
+        ctx.label_bitmap ? ctx.label_bitmap(field_) : nullptr;
+    if (bitmap != nullptr && bitmap->NumRows() == ctx.num_rows) {
+      const double eq = static_cast<double>(bitmap->PostingSize(value_)) / n;
+      return negated_ ? 1.0 - eq : eq;
+    }
+    const LabelIndex* index =
+        ctx.label_index ? ctx.label_index(field_) : nullptr;
+    if (index != nullptr && index->NumRows() == ctx.num_rows) {
+      const double eq = static_cast<double>(index->PostingSize(value_)) / n;
+      return negated_ ? 1.0 - eq : eq;
+    }
     ConcurrentBitset tmp(static_cast<size_t>(ctx.num_rows));
-    if (!Evaluate(ctx, &tmp).ok() || ctx.num_rows == 0) return 1.0;
-    return static_cast<double>(tmp.Count()) /
-           static_cast<double>(ctx.num_rows);
+    if (!Evaluate(ctx, &tmp).ok()) return 1.0;
+    return static_cast<double>(tmp.Count()) / n;
   }
 
  private:
@@ -300,7 +321,24 @@ class Lexer {
     ++pos_;  // Skip opening quote.
     std::string value;
     while (pos_ < text_.size() && text_[pos_] != quote) {
-      value.push_back(text_[pos_++]);
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("dangling escape in string literal");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          case '"':  c = '"';  break;
+          case 'n':  c = '\n'; break;
+          case 't':  c = '\t'; break;
+          default:
+            return Status::InvalidArgument(
+                std::string("unknown escape in string literal: \\") + esc);
+        }
+      }
+      value.push_back(c);
     }
     if (pos_ >= text_.size()) {
       return Status::InvalidArgument("unterminated string literal");

@@ -54,7 +54,6 @@ void IndexCoordinator::Dispatch(const SegmentMeta& segment) {
   auto collection = root_coord_->GetCollectionById(segment.collection);
   if (!collection.ok()) return;  // Dropped concurrently.
   const CollectionMeta& meta = collection.value();
-  if (meta.index_params.empty()) return;  // No index declared: stay flat.
 
   // The kSegmentSealed payload carries the meta as of seal time, which is
   // stale when this is a coordination-channel *replay* (crash recovery):
@@ -70,6 +69,17 @@ void IndexCoordinator::Dispatch(const SegmentMeta& segment) {
     MANU_LOG_WARN << "index coord: no index nodes registered";
     return;
   }
+  // Attribute-index artifact: independent of vector-index declarations
+  // (flat collections benefit from filtered scans too), versioned with the
+  // collection index_version so DeclareIndex bumps trigger a rebuild.
+  if (ctx_.config.filter_index_enable &&
+      (current.filter_index_path.empty() ||
+       current.filter_index_version < meta.index_version)) {
+    IndexNode* node = nodes_[next_node_ % nodes_.size()];
+    ++next_node_;
+    node->SubmitFilterBuild(current, meta.index_version);
+  }
+  if (meta.index_params.empty()) return;  // No index declared: stay flat.
   for (const auto& [field, params] : meta.index_params) {
     auto built = current.index_versions.find(field);
     if (built != current.index_versions.end() &&

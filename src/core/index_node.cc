@@ -8,6 +8,7 @@
 #include "common/retry.h"
 #include "common/trace.h"
 #include "core/lease.h"
+#include "index/filter_index.h"
 #include "index/index_factory.h"
 #include "storage/binlog.h"
 
@@ -45,6 +46,14 @@ void IndexNode::SubmitBuild(SegmentMeta segment, FieldId field,
   pending_.fetch_add(1, std::memory_order_acq_rel);
   pool_->Post([this, segment = std::move(segment), field, params, version] {
     Build(segment, field, params, version);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void IndexNode::SubmitFilterBuild(SegmentMeta segment, int32_t version) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Post([this, segment = std::move(segment), version] {
+    BuildFilter(segment, version);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   });
 }
@@ -160,6 +169,97 @@ void IndexNode::Build(const SegmentMeta& segment, FieldId field,
   MetricsRegistry::Global().GetCounter("index_node.indexes_built")->Add(1);
   MetricsRegistry::Global()
       .GetHistogram("index_node.build_latency")
+      ->Observe(static_cast<double>(NowMicros() - start));
+}
+
+void IndexNode::BuildFilter(const SegmentMeta& segment, int32_t version) {
+  const int64_t start = NowMicros();
+  Span root = Tracer::Global().StartTrace("index_node.build_filter",
+                                          /*force_sample=*/true);
+  root.Tag("node", static_cast<int64_t>(id_));
+  root.Tag("segment", static_cast<int64_t>(segment.id));
+  const RetryPolicy retry = MakeIoRetryPolicy(ctx_.config);
+  // The filter index covers every scalar column, so read the whole segment
+  // (the vector column rides along; attribute columns dominate neither size
+  // nor build cost).
+  Span load_span(root.context(), "binlog.load_segment");
+  auto batch = RetryResult(retry, "index_node.read_binlog", [&] {
+    return binlog::ReadSegment(ctx_.store, segment.binlog_path);
+  });
+  load_span.End();
+  if (!batch.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " filter read binlog failed: "
+                   << batch.status().ToString();
+    root.Tag("error", batch.status().ToString());
+    return;
+  }
+  Span build_span(root.context(), "filter_index.build");
+  build_span.Tag("rows", batch.value().NumRows());
+  FilterIndex index;
+  Status st = index.Build(batch.value());
+  build_span.End();
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " filter build failed: "
+                   << st.ToString();
+    root.Tag("error", st.ToString());
+    return;
+  }
+
+  BinaryWriter w;
+  index.Serialize(&w);
+  const std::string framed = binlog::Frame(w.Release());
+  // Versioned path, same contract as vector indexes: a rebuild never
+  // clobbers the artifact a query node may be reading.
+  const std::string path =
+      "index/c" + std::to_string(segment.collection) + "/seg" +
+      std::to_string(segment.id) + "/filter/v" + std::to_string(version);
+  Span persist_span(root.context(), "filter_index.persist");
+  st = RetryOp(retry, "index_node.persist_filter",
+               [&] { return ctx_.store->Put(path, framed); });
+  persist_span.End();
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " filter persist failed: "
+                   << st.ToString();
+    root.Tag("error", st.ToString());
+    return;
+  }
+  // Same commit-point fence as vector-index registration.
+  if (ctx_.leases != nullptr) {
+    Status fenced = ctx_.leases->CheckEpoch(id_, lease_epoch_);
+    if (!fenced.ok()) {
+      MANU_LOG_WARN << "index node " << id_ << " filter register of segment "
+                    << segment.id << " rejected: " << fenced.ToString();
+      return;
+    }
+  }
+  {
+    Span reg_span(root.context(), "data_coord.register_filter_index");
+    st = data_coord_->RegisterFilterIndex(segment.collection, segment.id,
+                                          path, version);
+  }
+  if (!st.ok()) {
+    MANU_LOG_ERROR << "index node " << id_ << " filter register failed: "
+                   << st.ToString();
+    root.Tag("error", st.ToString());
+    return;
+  }
+
+  // Re-announce kIndexBuilt with the refreshed meta so query nodes already
+  // serving the segment learn the artifact route.
+  auto updated = data_coord_->GetSegment(segment.collection, segment.id);
+  LogEntry announce;
+  announce.type = LogEntryType::kIndexBuilt;
+  announce.timestamp = ctx_.tso->Allocate();
+  announce.collection = segment.collection;
+  announce.shard = segment.shard;
+  announce.segment = segment.id;
+  announce.payload =
+      updated.ok() ? updated.value().Serialize() : segment.Serialize();
+  ctx_.mq->Publish(CoordChannelName(), std::move(announce));
+
+  MetricsRegistry::Global().GetCounter("filter.index_builds")->Add(1);
+  MetricsRegistry::Global()
+      .GetHistogram("filter.index_build_latency")
       ->Observe(static_cast<double>(NowMicros() - start));
 }
 

@@ -30,6 +30,12 @@ class IndexNode {
   void SubmitBuild(SegmentMeta segment, FieldId field, IndexParams params,
                    int32_t version);
 
+  /// Asynchronously builds the segment's attribute-index artifact
+  /// (FilterIndex over all scalar columns) under the given collection index
+  /// version. Dispatched beside SubmitBuild when
+  /// config.filter_index_enable is set.
+  void SubmitFilterBuild(SegmentMeta segment, int32_t version);
+
   /// Tasks submitted but not yet finished.
   int64_t PendingBuilds() const {
     return pending_.load(std::memory_order_acquire);
@@ -41,6 +47,7 @@ class IndexNode {
  private:
   void Build(const SegmentMeta& segment, FieldId field,
              const IndexParams& params, int32_t version);
+  void BuildFilter(const SegmentMeta& segment, int32_t version);
 
   NodeId id_;
   CoreContext ctx_;

@@ -295,7 +295,37 @@ Status QueryNode::LoadSealedSegment(
       }));
   auto segment = std::make_shared<SealedSegment>(meta.id, schema.get());
   MANU_RETURN_NOT_OK(segment->SetRows(rows));
-  MANU_RETURN_NOT_OK(segment->BuildScalarIndexes());
+  // Prefer the index node's persisted attribute-index artifact over
+  // rebuilding scalar indexes locally; any load failure falls back to the
+  // local build (the artifact is an acceleration, never a prerequisite).
+  bool filter_loaded = false;
+  if (!meta.filter_index_path.empty()) {
+    auto load_filter = [&]() -> Status {
+      MANU_ASSIGN_OR_RETURN(
+          std::string framed,
+          RetryResult(retry, "query_node.load_filter_index", [&] {
+            return ctx_.store->Get(meta.filter_index_path);
+          }));
+      MANU_ASSIGN_OR_RETURN(std::string payload, binlog::Unframe(framed));
+      BinaryReader r(payload);
+      MANU_ASSIGN_OR_RETURN(FilterIndex filter_index,
+                            FilterIndex::Deserialize(&r));
+      return segment->SetFilterIndex(
+          std::make_shared<const FilterIndex>(std::move(filter_index)));
+    };
+    Status st = load_filter();
+    if (st.ok()) {
+      filter_loaded = true;
+      MetricsRegistry::Global().GetCounter("filter.index_loads")->Add(1);
+    } else {
+      MANU_LOG_WARN << "query node " << id_ << " filter index load failed ("
+                    << st.ToString() << "), rebuilding scalar indexes";
+      MetricsRegistry::Global()
+          .GetCounter("filter.index_load_failures")
+          ->Add(1);
+    }
+  }
+  if (!filter_loaded) MANU_RETURN_NOT_OK(segment->BuildScalarIndexes());
   for (const auto& [field, path] : meta.index_paths) {
     MANU_ASSIGN_OR_RETURN(std::string framed,
                           RetryResult(retry, "query_node.load_index",
@@ -563,8 +593,16 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
   // the serial scan.
   std::vector<std::vector<Neighbor>> per_segment(num_segments);
   std::vector<Status> statuses(num_segments);
+  std::vector<FilterPlan> plans(num_segments);
   span.Tag("segments", num_segments);
   span.Tag("tombstones", tombstones);
+
+  FilterPlannerParams filter_params;
+  filter_params.enable = ctx_.config.filter_planner_enable;
+  filter_params.force = req.force_filter_strategy;
+  filter_params.brute_threshold = ctx_.config.filter_brute_threshold;
+  filter_params.prefilter_threshold = ctx_.config.filter_prefilter_threshold;
+  filter_params.ef_inflation_cap = ctx_.config.filter_ef_inflation_cap;
 
   // Single-vector per-segment top-k.
   auto single_search = [&](int64_t i) -> Status {
@@ -575,6 +613,8 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     sreq.params = req.params;
     sreq.read_ts = req.read_ts;
     sreq.filter = req.filter;
+    sreq.filter_params = filter_params;
+    sreq.plan_out = &plans[i];
     auto hits = i < num_sealed ? sealed[i]->Search(sreq)
                                : growing[i - num_sealed]->Search(sreq);
     if (!hits.ok()) return hits.status();
@@ -602,6 +642,8 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
       sreq.params.k = cand_k;
       sreq.read_ts = req.read_ts;
       sreq.filter = req.filter;
+      sreq.filter_params = filter_params;
+      sreq.plan_out = &plans[i];
       auto hits = i < num_sealed ? sealed[i]->Search(sreq)
                                  : growing[i - num_sealed]->Search(sreq);
       if (!hits.ok()) return hits.status();
@@ -648,6 +690,23 @@ Result<std::vector<SegmentHit>> QueryNode::SearchInternal(
     }
     statuses[i] =
         req.targets.size() == 1 ? single_search(i) : multi_search(i);
+    if (req.filter != nullptr && statuses[i].ok()) {
+      // The planner's per-segment verdict: tagged on the scan span and
+      // counted under the filter.* metrics family.
+      const FilterPlan& plan = plans[i];
+      if (seg_span.active()) {
+        seg_span.Tag("filter.strategy", FilterStrategyName(plan.strategy));
+        seg_span.Tag("filter.selectivity", plan.selectivity);
+      }
+      MetricsRegistry::Global().GetCounter("filter.plans")->Add(1);
+      MetricsRegistry::Global()
+          .GetCounter("filter.strategy",
+                      {{"strategy", FilterStrategyName(plan.strategy)}})
+          ->Add(1);
+      MetricsRegistry::Global()
+          .GetHistogram("filter.selectivity")
+          ->Observe(plan.selectivity);
+    }
     if (seg_span.active()) {
       seg_span.Tag("hits", static_cast<int64_t>(per_segment[i].size()));
       if (!statuses[i].ok()) seg_span.Tag("error", statuses[i].ToString());

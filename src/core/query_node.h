@@ -56,6 +56,10 @@ struct NodeSearchRequest {
   /// on the shard primary.
   std::vector<SegmentId> sealed_filter;
   const FilterExpr* filter = nullptr;
+  /// Overrides the filter planner's strategy choice on every segment
+  /// (kNone = let the planner / legacy heuristic decide). Bench and
+  /// equivalence-test hook; ignored when `filter` is null.
+  FilterStrategy force_filter_strategy = FilterStrategy::kNone;
   /// Tracing context of the originating request (inactive by default, which
   /// makes every span on the node path a no-op). Spans opened here parent
   /// to the proxy's fan-out (or retry) span.

@@ -1,15 +1,15 @@
 #include "core/segment.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "index/metric_util.h"
 
 namespace manu {
 
 namespace {
-/// Strategy thresholds for attribute filtering (Section 3.6: "Manu supports
-/// three strategies for attribute filtering and uses a cost-based model to
-/// choose the most suitable strategy for each segment"):
+/// Legacy strategy thresholds for attribute filtering (Section 3.6), used
+/// when the cost-based planner is disabled (filter_params.enable == false):
 ///   sel < kScanThreshold      -> (C) predicate-first: brute-force only the
 ///                                matching rows (few matches, exact).
 ///   graph index & sel < 0.5   -> (B) widened beam: pre-filter mask plus an
@@ -17,6 +17,8 @@ namespace {
 ///                                reaches k passing results.
 ///   otherwise                 -> (A) pre-filter mask straight into the
 ///                                index scan.
+/// With the planner enabled, core/filter_planner.h chooses instead (and can
+/// additionally pick filtered traversal or the forced post-scan baseline).
 constexpr double kScanThreshold = 0.05;
 }  // namespace
 
@@ -94,6 +96,10 @@ FilterContext SegmentCore::MakeFilterContext() const {
   ctx.num_rows = NumRows();
   ctx.column = [this](FieldId id) { return rows_.ColumnByFieldId(id); };
   ctx.scalar_index = [this](FieldId id) -> const ScalarSortedIndex* {
+    if (filter_index_ != nullptr) {
+      const ScalarSortedIndex* index = filter_index_->scalar(id);
+      if (index != nullptr) return index;
+    }
     auto it = scalar_indexes_.find(id);
     return it == scalar_indexes_.end() ? nullptr : &it->second;
   };
@@ -101,7 +107,41 @@ FilterContext SegmentCore::MakeFilterContext() const {
     auto it = label_indexes_.find(id);
     return it == label_indexes_.end() ? nullptr : &it->second;
   };
+  ctx.label_bitmap = [this](FieldId id) -> const LabelBitmapIndex* {
+    return filter_index_ == nullptr ? nullptr : filter_index_->label(id);
+  };
   return ctx;
+}
+
+Status SegmentCore::BuildScanMask(const SegmentSearchRequest& req,
+                                  ScanMask* out) const {
+  const bool have_tombstones = !tombstones_.empty();
+  if (req.filter == nullptr && !have_tombstones) return Status::OK();
+  auto mask =
+      std::make_unique<ConcurrentBitset>(static_cast<size_t>(NumRows()));
+  if (req.filter != nullptr) {
+    const FilterContext ctx = MakeFilterContext();
+    MANU_RETURN_NOT_OK(req.filter->Evaluate(ctx, mask.get()));
+    out->has_filter = true;
+    // Evaluate already materialized the match bitmap, so the exact match
+    // fraction is a popcount away — strictly better planner input than
+    // EstimateSelectivity, and the only real signal on growing segments
+    // (no attribute indexes -> the estimate degrades to a pessimistic 1.0,
+    // which would lock the planner out of kBruteMatches there).
+    out->selectivity =
+        NumRows() > 0
+            ? static_cast<double>(mask->Count()) / static_cast<double>(NumRows())
+            : 1.0;
+  } else {
+    mask->SetAll();
+  }
+  if (have_tombstones) {
+    for (const auto& [row, lsn] : tombstones_) {
+      if (lsn <= req.read_ts) mask->Clear(static_cast<size_t>(row));
+    }
+  }
+  out->allowed = std::move(mask);
+  return Status::OK();
 }
 
 Result<std::vector<SegmentHit>> SegmentCore::Search(
@@ -119,51 +159,42 @@ Result<std::vector<SegmentHit>> SegmentCore::Search(
   SearchParams sp = req.params;
   sp.visible_rows = visible;
 
-  std::unique_ptr<ConcurrentBitset> deleted;
-  if (!tombstones_.empty()) {
-    deleted = std::make_unique<ConcurrentBitset>(
-        static_cast<size_t>(NumRows()));
-    FillDeleted(req.read_ts, deleted.get());
-    sp.deleted = deleted.get();
-  }
+  // One shared mask: tombstones AND attribute filter, composed once
+  // (BuildScanMask) for every strategy and index family below.
+  ScanMask mask;
+  MANU_RETURN_NOT_OK(BuildScanMask(req, &mask));
+  sp.allowed = mask.allowed.get();
+  sp.deleted = nullptr;
 
-  std::unique_ptr<ConcurrentBitset> allowed;
-  bool scan_allowed_only = false;
-  if (req.filter != nullptr) {
-    const FilterContext ctx = MakeFilterContext();
-    const double sel = req.filter->EstimateSelectivity(ctx);
-    allowed =
-        std::make_unique<ConcurrentBitset>(static_cast<size_t>(NumRows()));
-    MANU_RETURN_NOT_OK(req.filter->Evaluate(ctx, allowed.get()));
-    sp.allowed = allowed.get();
-    if (sel < kScanThreshold || index == nullptr) {
-      scan_allowed_only = true;  // Strategy C.
-    } else if (index->type() == IndexType::kHnsw) {
-      // Strategy B: widen the beam so ~k passing hits survive the mask.
-      const double inflate = std::min(16.0, 1.0 / std::max(sel, 1e-3));
-      sp.ef_search = static_cast<int32_t>(sp.ef_search * inflate);
-    }
-    // Else strategy A: mask only.
-  }
+  const bool covered = index != nullptr && index->Size() == NumRows();
 
-  std::vector<Neighbor> neighbors;
-  if (scan_allowed_only && allowed != nullptr) {
-    // Scan exactly the allowed rows.
+  FilterPlan plan;
+  plan.selectivity = mask.selectivity;
+  if (req.filter == nullptr) {
+    plan.strategy = FilterStrategy::kNone;
+  } else if (!req.filter_params.enable) {
+    plan.strategy = FilterStrategy::kLegacy;
+  } else {
+    plan = PlanFilter(req.filter_params, mask.selectivity, covered,
+                      covered ? index->type() : IndexType::kFlat);
+  }
+  if (req.plan_out != nullptr) *req.plan_out = plan;
+
+  // Scans exactly the mask's member rows (exact; cost ~ sel * n distances).
+  const auto scan_matches = [&]() {
     TopKHeap heap(sp.k);
     for (int64_t row = 0; row < visible; ++row) {
-      if (!allowed->Test(static_cast<size_t>(row))) continue;
-      if (sp.deleted != nullptr &&
-          sp.deleted->Test(static_cast<size_t>(row))) {
+      if (mask.allowed != nullptr &&
+          !mask.allowed->Test(static_cast<size_t>(row))) {
         continue;
       }
       heap.Push(row, MetricScore(req.query, vec_col->VectorAt(row),
                                  vec_col->dim, metric));
     }
-    neighbors = heap.TakeSorted();
-  } else if (index != nullptr && index->Size() == NumRows()) {
-    MANU_ASSIGN_OR_RETURN(neighbors, index->Search(req.query, sp));
-  } else {
-    // Brute force over the visible prefix.
+    return heap.TakeSorted();
+  };
+  // Brute force over the visible prefix with the mask applied per row.
+  const auto brute_force = [&]() {
     TopKHeap heap(sp.k);
     constexpr int64_t kBlock = 1024;
     float scores[kBlock];
@@ -178,7 +209,94 @@ Result<std::vector<SegmentHit>> SegmentCore::Search(
         heap.Push(row, scores[i]);
       }
     }
-    neighbors = heap.TakeSorted();
+    return heap.TakeSorted();
+  };
+
+  std::vector<Neighbor> neighbors;
+  switch (plan.strategy) {
+    case FilterStrategy::kLegacy: {
+      bool scan_allowed_only =
+          mask.selectivity < kScanThreshold || index == nullptr;
+      if (!scan_allowed_only && index->type() == IndexType::kHnsw) {
+        // Strategy B: widen the beam so ~k passing hits survive the mask.
+        const double inflate =
+            std::min(16.0, 1.0 / std::max(mask.selectivity, 1e-3));
+        sp.ef_search = static_cast<int32_t>(sp.ef_search * inflate);
+      }
+      if (scan_allowed_only) {
+        neighbors = scan_matches();  // Strategy C.
+      } else if (covered) {
+        MANU_ASSIGN_OR_RETURN(neighbors, index->Search(req.query, sp));
+      } else {
+        neighbors = brute_force();
+      }
+      break;
+    }
+    case FilterStrategy::kBruteMatches:
+      neighbors = scan_matches();
+      break;
+    case FilterStrategy::kTraversal: {
+      if (!covered) {
+        neighbors = scan_matches();
+        break;
+      }
+      sp.filtered_traversal = true;
+      sp.traversal_ef_cap = req.filter_params.ef_inflation_cap;
+      // Selectivity-aware widening: IVF prunes probed lists to allowed
+      // rows, so probe proportionally more lists; HNSW's beam must be wide
+      // enough to surface the *nearest* passing rows, not merely k passing
+      // rows (the adaptive retry in the index only guards against
+      // starvation, not against a too-narrow first beam).
+      const double inflate = std::min(req.filter_params.ef_inflation_cap,
+                                      1.0 / std::max(mask.selectivity, 1e-3));
+      sp.nprobe = static_cast<int32_t>(
+          std::min<double>(1 << 20, sp.nprobe * inflate));
+      sp.ef_search = static_cast<int32_t>(
+          std::min<double>(1 << 20, sp.ef_search * inflate));
+      MANU_ASSIGN_OR_RETURN(neighbors, index->Search(req.query, sp));
+      break;
+    }
+    case FilterStrategy::kPostScan: {
+      if (!covered) {
+        neighbors = scan_matches();
+        break;
+      }
+      // Baseline: unmasked ANN over-fetching ~k/sel candidates, intersect
+      // with the mask afterwards. This is what the planner strategies are
+      // measured against in bench_filtered.
+      SearchParams post = sp;
+      post.allowed = nullptr;
+      post.filtered_traversal = false;
+      const double sel = std::max(mask.selectivity, 1e-4);
+      const size_t kprime = static_cast<size_t>(std::min<double>(
+          static_cast<double>(visible),
+          std::ceil(static_cast<double>(sp.k) / sel) + 16));
+      post.k = kprime;
+      post.ef_search = std::max(
+          post.ef_search,
+          static_cast<int32_t>(std::min<size_t>(kprime, 1u << 20)));
+      MANU_ASSIGN_OR_RETURN(std::vector<Neighbor> raw,
+                            index->Search(req.query, post));
+      TopKHeap heap(sp.k);
+      for (const Neighbor& n : raw) {
+        if (!PassesFilters(n.id, sp)) continue;
+        heap.Push(n.id, n.score);
+      }
+      neighbors = heap.TakeSorted();
+      break;
+    }
+    case FilterStrategy::kNone:
+    case FilterStrategy::kPreFilter:
+    default: {
+      if (covered) {
+        MANU_ASSIGN_OR_RETURN(neighbors, index->Search(req.query, sp));
+      } else if (mask.has_filter) {
+        neighbors = scan_matches();
+      } else {
+        neighbors = brute_force();
+      }
+      break;
+    }
   }
 
   std::vector<SegmentHit> hits;
@@ -295,29 +413,52 @@ Result<std::vector<SegmentHit>> GrowingSegment::Search(
     return Status::InvalidArgument("growing: bad vector field");
   }
 
-  std::unique_ptr<ConcurrentBitset> deleted;
-  if (!core_.tombstones_.empty()) {
-    deleted = std::make_unique<ConcurrentBitset>(
-        static_cast<size_t>(core_.NumRows()));
-    core_.FillDeleted(req.read_ts, deleted.get());
-  }
-  std::unique_ptr<ConcurrentBitset> allowed;
-  if (req.filter != nullptr) {
-    const FilterContext ctx = core_.MakeFilterContext();
-    allowed = std::make_unique<ConcurrentBitset>(
-        static_cast<size_t>(core_.NumRows()));
-    MANU_RETURN_NOT_OK(req.filter->Evaluate(ctx, allowed.get()));
-  }
+  // Same shared mask helper as the sealed path: tombstones and the filter
+  // bitmap compose once, never per slice index.
+  ScanMask mask;
+  MANU_RETURN_NOT_OK(core_.BuildScanMask(req, &mask));
   const auto passes = [&](int64_t row) {
     if (row >= visible) return false;
-    if (deleted != nullptr && deleted->Test(static_cast<size_t>(row))) {
-      return false;
-    }
-    if (allowed != nullptr && !allowed->Test(static_cast<size_t>(row))) {
+    if (mask.allowed != nullptr &&
+        !mask.allowed->Test(static_cast<size_t>(row))) {
       return false;
     }
     return true;
   };
+
+  FilterPlan plan;
+  plan.selectivity = mask.selectivity;
+  if (req.filter == nullptr) {
+    plan.strategy = FilterStrategy::kNone;
+  } else if (!req.filter_params.enable) {
+    plan.strategy = FilterStrategy::kLegacy;
+  } else if (req.filter_params.force != FilterStrategy::kNone) {
+    plan.strategy = req.filter_params.force;
+  } else if (mask.selectivity < req.filter_params.brute_threshold) {
+    // Growing segments have no full-coverage index, only temporary slice
+    // indexes; below the brute threshold, scanning just the matches beats
+    // the slice scans outright.
+    plan.strategy = FilterStrategy::kBruteMatches;
+  } else {
+    plan.strategy = FilterStrategy::kPreFilter;
+  }
+  if (req.plan_out != nullptr) *req.plan_out = plan;
+
+  if (plan.strategy == FilterStrategy::kBruteMatches) {
+    TopKHeap heap(req.params.k);
+    for (int64_t row = 0; row < visible; ++row) {
+      if (!passes(row)) continue;
+      heap.Push(row, MetricScore(req.query, vec_col->VectorAt(row),
+                                 field->dim, field->metric));
+    }
+    std::vector<Neighbor> merged = heap.TakeSorted();
+    std::vector<SegmentHit> out;
+    out.reserve(merged.size());
+    for (const Neighbor& n : merged) {
+      out.push_back({core_.rows().primary_keys[n.id], n.score});
+    }
+    return out;
+  }
 
   TopKHeap heap(req.params.k);
   int64_t covered = 0;
@@ -403,6 +544,22 @@ Status SealedSegment::BuildScalarIndexes() {
   return Status::OK();
 }
 
+Status SealedSegment::SetFilterIndex(
+    std::shared_ptr<const FilterIndex> index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("null filter index");
+  }
+  if (index->NumRows() != core_.NumRows()) {
+    return Status::InvalidArgument("filter index row count mismatch");
+  }
+  core_.filter_index_ = std::move(index);
+  return Status::OK();
+}
+
+bool SealedSegment::HasFilterIndex() const {
+  return core_.filter_index_ != nullptr;
+}
+
 Result<std::vector<SegmentHit>> SealedSegment::Search(
     const SegmentSearchRequest& req) const {
   auto it = indexes_.find(req.field);
@@ -414,6 +571,9 @@ Result<std::vector<SegmentHit>> SealedSegment::Search(
 uint64_t SealedSegment::MemoryBytes() const {
   uint64_t bytes = core_.ByteSize();
   for (const auto& [_, index] : indexes_) bytes += index->MemoryBytes();
+  if (core_.filter_index_ != nullptr) {
+    bytes += core_.filter_index_->MemoryBytes();
+  }
   return bytes;
 }
 

@@ -13,6 +13,8 @@
 #include "common/schema.h"
 #include "core/config.h"
 #include "core/expr.h"
+#include "core/filter_planner.h"
+#include "index/filter_index.h"
 #include "index/index_factory.h"
 #include "index/scalar_index.h"
 #include "index/vector_index.h"
@@ -29,6 +31,26 @@ struct SegmentSearchRequest {
   Timestamp read_ts = kMaxTimestamp;
   /// Optional attribute filter (pre-parsed); null = no filtering.
   const FilterExpr* filter = nullptr;
+  /// Cost-based planner knobs (default-disabled: the legacy strategy
+  /// heuristic runs). Filled by the query node from ManuConfig.
+  FilterPlannerParams filter_params;
+  /// When non-null, receives the executed plan (strategy + selectivity) for
+  /// span tagging and the filter.* metrics. Must point at storage owned by
+  /// the caller of this one Search call.
+  FilterPlan* plan_out = nullptr;
+};
+
+/// The composed row mask for one segment scan: `allowed` is the attribute
+/// filter bitmap AND NOT the tombstone bitmap at the request's read_ts
+/// (null when neither applies — every visible row passes). Built once per
+/// scan by SegmentCore::BuildScanMask, the single place where the MVCC
+/// delete mask and the filter mask compose, shared by the sealed and
+/// growing paths.
+struct ScanMask {
+  std::unique_ptr<ConcurrentBitset> allowed;
+  bool has_filter = false;
+  /// Filter selectivity estimate (1.0 when no filter).
+  double selectivity = 1.0;
 };
 
 /// A search hit at segment scope, already mapped to the primary key.
@@ -74,6 +96,11 @@ class SegmentCore {
   Result<std::vector<SegmentHit>> Search(const SegmentSearchRequest& req,
                                          const VectorIndex* index) const;
 
+  /// Composes tombstones (at req.read_ts) and the attribute filter into one
+  /// allowed mask; see ScanMask. Evaluates the filter through the resident
+  /// attribute indexes when available.
+  Status BuildScanMask(const SegmentSearchRequest& req, ScanMask* out) const;
+
   /// Exact canonical score of `pk`'s vector on `field` against `query` at
   /// `read_ts` (best score across visible non-deleted rows of the pk).
   /// NotFound when the pk has no visible row. Used by multi-vector search
@@ -108,6 +135,9 @@ class SegmentCore {
   /// Attribute indexes (built for sealed segments).
   std::map<FieldId, ScalarSortedIndex> scalar_indexes_;
   std::map<FieldId, LabelIndex> label_indexes_;
+  /// Persisted attribute-index artifact (loaded from object storage by the
+  /// query node); preferred over the locally-built maps above.
+  std::shared_ptr<const FilterIndex> filter_index_;
 };
 
 /// A growing segment on a query node (Section 3.6): consumes WAL inserts,
@@ -171,6 +201,12 @@ class SealedSegment {
 
   /// Builds attribute indexes over all scalar fields.
   Status BuildScalarIndexes();
+
+  /// Installs a persisted attribute-index artifact (covers all rows); the
+  /// filter planner then estimates selectivity and evaluates predicates
+  /// against it instead of locally-built indexes.
+  Status SetFilterIndex(std::shared_ptr<const FilterIndex> index);
+  bool HasFilterIndex() const;
 
   void Delete(int64_t pk, Timestamp ts) { core_.Delete(pk, ts); }
 

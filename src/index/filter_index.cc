@@ -1,0 +1,307 @@
+#include "index/filter_index.h"
+
+#include <algorithm>
+
+namespace manu {
+
+// --- BitmapPostings ---
+
+int64_t BitmapPostings::Container::Cardinality() const {
+  if (!dense) return static_cast<int64_t>(values.size());
+  int64_t n = 0;
+  for (uint64_t w : words) n += __builtin_popcountll(w);
+  return n;
+}
+
+BitmapPostings BitmapPostings::FromSortedRows(
+    const std::vector<int64_t>& rows) {
+  BitmapPostings out;
+  size_t i = 0;
+  while (i < rows.size()) {
+    const uint32_t key = static_cast<uint32_t>(rows[i] >> kChunkBits);
+    size_t j = i;
+    while (j < rows.size() &&
+           static_cast<uint32_t>(rows[j] >> kChunkBits) == key) {
+      ++j;
+    }
+    Container c;
+    c.key = key;
+    const size_t n = j - i;
+    if (n > kArrayMax) {
+      c.dense = true;
+      c.words.assign(kWordsPerChunk, 0);
+      for (size_t k = i; k < j; ++k) {
+        const uint64_t low = static_cast<uint64_t>(rows[k]) & (kChunkRows - 1);
+        c.words[low >> 6] |= 1ull << (low & 63);
+      }
+    } else {
+      c.values.reserve(n);
+      for (size_t k = i; k < j; ++k) {
+        c.values.push_back(static_cast<uint16_t>(rows[k] & (kChunkRows - 1)));
+      }
+    }
+    out.cardinality_ += static_cast<int64_t>(n);
+    out.containers_.push_back(std::move(c));
+    i = j;
+  }
+  return out;
+}
+
+void BitmapPostings::AddTo(ConcurrentBitset* out) const {
+  for (const Container& c : containers_) {
+    const size_t base = static_cast<size_t>(c.key) << kChunkBits;
+    if (c.dense) {
+      for (size_t w = 0; w < c.words.size(); ++w) {
+        uint64_t word = c.words[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          out->Set(base + w * 64 + static_cast<size_t>(bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t v : c.values) out->Set(base + v);
+    }
+  }
+}
+
+void BitmapPostings::AppendRows(std::vector<int64_t>* out) const {
+  for (const Container& c : containers_) {
+    const int64_t base = static_cast<int64_t>(c.key) << kChunkBits;
+    if (c.dense) {
+      for (size_t w = 0; w < c.words.size(); ++w) {
+        uint64_t word = c.words[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          out->push_back(base + static_cast<int64_t>(w * 64) + bit);
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t v : c.values) out->push_back(base + v);
+    }
+  }
+}
+
+bool BitmapPostings::Contains(int64_t row) const {
+  const uint32_t key = static_cast<uint32_t>(row >> kChunkBits);
+  const auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) return false;
+  const uint64_t low = static_cast<uint64_t>(row) & (kChunkRows - 1);
+  if (it->dense) {
+    return (it->words[low >> 6] >> (low & 63)) & 1;
+  }
+  return std::binary_search(it->values.begin(), it->values.end(),
+                            static_cast<uint16_t>(low));
+}
+
+uint64_t BitmapPostings::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const Container& c : containers_) {
+    bytes += sizeof(Container) + c.values.size() * sizeof(uint16_t) +
+             c.words.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void BitmapPostings::Serialize(BinaryWriter* w) const {
+  w->PutI64(cardinality_);
+  w->PutU32(static_cast<uint32_t>(containers_.size()));
+  for (const Container& c : containers_) {
+    w->PutU32(c.key);
+    w->PutBool(c.dense);
+    if (c.dense) {
+      w->PutVector(c.words);
+    } else {
+      w->PutVector(c.values);
+    }
+  }
+}
+
+Result<BitmapPostings> BitmapPostings::Deserialize(BinaryReader* r) {
+  BitmapPostings out;
+  MANU_ASSIGN_OR_RETURN(out.cardinality_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  out.containers_.resize(n);
+  int64_t total = 0;
+  uint32_t prev_key = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    Container& c = out.containers_[i];
+    MANU_ASSIGN_OR_RETURN(c.key, r->GetU32());
+    if (i > 0 && c.key <= prev_key) {
+      return Status::Corruption("bitmap postings: container keys not sorted");
+    }
+    prev_key = c.key;
+    MANU_ASSIGN_OR_RETURN(c.dense, r->GetBool());
+    if (c.dense) {
+      MANU_ASSIGN_OR_RETURN(c.words, r->GetVector<uint64_t>());
+      if (c.words.size() != kWordsPerChunk) {
+        return Status::Corruption("bitmap postings: bad bitmap container");
+      }
+    } else {
+      MANU_ASSIGN_OR_RETURN(c.values, r->GetVector<uint16_t>());
+      if (!std::is_sorted(c.values.begin(), c.values.end())) {
+        return Status::Corruption("bitmap postings: array container unsorted");
+      }
+    }
+    total += c.Cardinality();
+  }
+  if (total != out.cardinality_) {
+    return Status::Corruption("bitmap postings: cardinality mismatch");
+  }
+  return out;
+}
+
+// --- LabelBitmapIndex ---
+
+Status LabelBitmapIndex::Build(const FieldColumn& column) {
+  if (column.type != DataType::kString) {
+    return Status::InvalidArgument(
+        "label bitmap index requires a string column");
+  }
+  num_rows_ = column.NumRows();
+  labels_ = column.str;
+  std::sort(labels_.begin(), labels_.end());
+  labels_.erase(std::unique(labels_.begin(), labels_.end()), labels_.end());
+  std::vector<std::vector<int64_t>> rows(labels_.size());
+  for (int64_t row = 0; row < num_rows_; ++row) {
+    const auto it =
+        std::lower_bound(labels_.begin(), labels_.end(), column.str[row]);
+    rows[it - labels_.begin()].push_back(row);  // Ascending by construction.
+  }
+  postings_.clear();
+  postings_.reserve(labels_.size());
+  for (const auto& posting : rows) {
+    postings_.push_back(BitmapPostings::FromSortedRows(posting));
+  }
+  return Status::OK();
+}
+
+void LabelBitmapIndex::EqualsQuery(const std::string& label,
+                                   ConcurrentBitset* out) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return;
+  postings_[it - labels_.begin()].AddTo(out);
+}
+
+int64_t LabelBitmapIndex::PostingSize(const std::string& label) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return 0;
+  return postings_[it - labels_.begin()].cardinality();
+}
+
+uint64_t LabelBitmapIndex::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const auto& l : labels_) bytes += l.size();
+  for (const auto& p : postings_) bytes += p.MemoryBytes();
+  return bytes;
+}
+
+void LabelBitmapIndex::Serialize(BinaryWriter* w) const {
+  w->PutI64(num_rows_);
+  w->PutU32(static_cast<uint32_t>(labels_.size()));
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    w->PutString(labels_[i]);
+    postings_[i].Serialize(w);
+  }
+}
+
+Result<LabelBitmapIndex> LabelBitmapIndex::Deserialize(BinaryReader* r) {
+  LabelBitmapIndex index;
+  MANU_ASSIGN_OR_RETURN(index.num_rows_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  index.labels_.resize(n);
+  index.postings_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MANU_ASSIGN_OR_RETURN(index.labels_[i], r->GetString());
+    MANU_ASSIGN_OR_RETURN(BitmapPostings p, BitmapPostings::Deserialize(r));
+    index.postings_.push_back(std::move(p));
+  }
+  return index;
+}
+
+// --- FilterIndex ---
+
+Status FilterIndex::Build(const EntityBatch& batch) {
+  num_rows_ = batch.NumRows();
+  scalars_.clear();
+  labels_.clear();
+  for (const FieldColumn& column : batch.columns) {
+    switch (column.type) {
+      case DataType::kInt64:
+      case DataType::kFloat:
+      case DataType::kDouble: {
+        ScalarSortedIndex index;
+        MANU_RETURN_NOT_OK(index.Build(column));
+        scalars_.emplace(column.field_id, std::move(index));
+        break;
+      }
+      case DataType::kString: {
+        LabelBitmapIndex index;
+        MANU_RETURN_NOT_OK(index.Build(column));
+        labels_.emplace(column.field_id, std::move(index));
+        break;
+      }
+      default:
+        break;  // Vector / bool fields are not filterable.
+    }
+  }
+  return Status::OK();
+}
+
+const ScalarSortedIndex* FilterIndex::scalar(FieldId field) const {
+  const auto it = scalars_.find(field);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const LabelBitmapIndex* FilterIndex::label(FieldId field) const {
+  const auto it = labels_.find(field);
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+uint64_t FilterIndex::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const auto& [field, index] : scalars_) {
+    bytes += 2 * index.NumRows() * (sizeof(double) + sizeof(int64_t)) / 2;
+  }
+  for (const auto& [field, index] : labels_) bytes += index.MemoryBytes();
+  return bytes;
+}
+
+void FilterIndex::Serialize(BinaryWriter* w) const {
+  w->PutI64(num_rows_);
+  w->PutU32(static_cast<uint32_t>(scalars_.size()));
+  for (const auto& [field, index] : scalars_) {
+    w->PutI64(field);
+    index.Serialize(w);
+  }
+  w->PutU32(static_cast<uint32_t>(labels_.size()));
+  for (const auto& [field, index] : labels_) {
+    w->PutI64(field);
+    index.Serialize(w);
+  }
+}
+
+Result<FilterIndex> FilterIndex::Deserialize(BinaryReader* r) {
+  FilterIndex out;
+  MANU_ASSIGN_OR_RETURN(out.num_rows_, r->GetI64());
+  MANU_ASSIGN_OR_RETURN(uint32_t nscalar, r->GetU32());
+  for (uint32_t i = 0; i < nscalar; ++i) {
+    MANU_ASSIGN_OR_RETURN(int64_t field, r->GetI64());
+    MANU_ASSIGN_OR_RETURN(ScalarSortedIndex index,
+                          ScalarSortedIndex::Deserialize(r));
+    out.scalars_.emplace(static_cast<FieldId>(field), std::move(index));
+  }
+  MANU_ASSIGN_OR_RETURN(uint32_t nlabel, r->GetU32());
+  for (uint32_t i = 0; i < nlabel; ++i) {
+    MANU_ASSIGN_OR_RETURN(int64_t field, r->GetI64());
+    MANU_ASSIGN_OR_RETURN(LabelBitmapIndex index,
+                          LabelBitmapIndex::Deserialize(r));
+    out.labels_.emplace(static_cast<FieldId>(field), std::move(index));
+  }
+  return out;
+}
+
+}  // namespace manu

@@ -99,6 +99,46 @@ std::vector<Neighbor> HnswIndex::SearchLayer(
   return best.TakeSorted();
 }
 
+std::vector<Neighbor> HnswIndex::SearchLayerFiltered(
+    const float* query, int32_t entry, int32_t ef, size_t k,
+    const SearchParams& sp, std::vector<uint8_t>* visited) const {
+  // `beam` bounds the traversal over ALL nodes — a masked-out node still
+  // routes, which keeps the graph connected under selective filters — while
+  // `results` collects only rows that pass the masks.
+  struct CloserFirst {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return b < a;
+    }
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, CloserFirst>
+      candidates;
+  TopKHeap beam(ef);
+  TopKHeap results(k);
+
+  const float d0 = Dist(query, Vec(entry));
+  candidates.push({entry, d0});
+  beam.Push(entry, d0);
+  if (PassesFilters(entry, sp)) results.Push(entry, d0);
+  (*visited)[entry] = 1;
+
+  while (!candidates.empty()) {
+    const Neighbor cur = candidates.top();
+    if (beam.Full() && cur.score > beam.Worst()) break;
+    candidates.pop();
+    for (int32_t nb : links_[cur.id][0]) {
+      if ((*visited)[nb]) continue;
+      (*visited)[nb] = 1;
+      const float d = Dist(query, Vec(nb));
+      if (!beam.Full() || d < beam.Worst()) {
+        candidates.push({nb, d});
+        beam.Push(nb, d);
+        if (PassesFilters(nb, sp)) results.Push(nb, d);
+      }
+    }
+  }
+  return results.TakeSorted();
+}
+
 void HnswIndex::SelectNeighbors(std::vector<Neighbor>* candidates,
                                 int32_t max_m) const {
   // Heuristic from the HNSW paper: keep a candidate only if it is closer to
@@ -194,6 +234,25 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
   const int32_t ef =
       std::max<int32_t>(sp.ef_search, static_cast<int32_t>(sp.k));
   std::vector<uint8_t> visited(levels_.size(), 0);
+  const bool has_masks = sp.allowed != nullptr || sp.deleted != nullptr ||
+                         sp.visible_rows < Size();
+  if (sp.filtered_traversal && has_masks) {
+    // Visiting-filter traversal with adaptive ef: when the filter is so
+    // selective that the beam surfaces fewer than k passing rows, double ef
+    // (up to ef * traversal_ef_cap) and retry instead of starving.
+    const int32_t max_ef = static_cast<int32_t>(std::min<double>(
+        static_cast<double>(std::max<int64_t>(Size(), 1)),
+        std::max(1.0, sp.traversal_ef_cap) * ef));
+    int32_t cur_ef = ef;
+    std::vector<Neighbor> out;
+    while (true) {
+      std::fill(visited.begin(), visited.end(), 0);
+      out = SearchLayerFiltered(query, entry, cur_ef, sp.k, sp, &visited);
+      if (out.size() >= sp.k || cur_ef >= max_ef) break;
+      cur_ef = std::min(max_ef, cur_ef * 2);
+    }
+    return out;
+  }
   std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0, &visited);
   // Filters are applied post-traversal: the beam explores the graph
   // unfiltered (filtered nodes still route), only results are masked.

@@ -52,6 +52,14 @@ class HnswIndex : public VectorIndex {
                                     int32_t ef, int32_t level,
                                     std::vector<uint8_t>* visited) const;
 
+  /// Layer-0 beam search with a visiting filter: the beam routes through
+  /// every node (masked nodes keep the graph connected) while only rows
+  /// passing `sp`'s masks are collected, up to k results. Used by the
+  /// planner's filtered-traversal strategy.
+  std::vector<Neighbor> SearchLayerFiltered(
+      const float* query, int32_t entry, int32_t ef, size_t k,
+      const SearchParams& sp, std::vector<uint8_t>* visited) const;
+
   /// Keeps at most `max_m` links, preferring diverse neighbors (the HNSW
   /// select-neighbors heuristic).
   void SelectNeighbors(std::vector<Neighbor>* candidates, int32_t max_m) const;

@@ -96,6 +96,29 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   if (size_ == 0) return std::vector<Neighbor>{};
   TopKHeap heap(sp.k);
   std::vector<float> scores;
+  if (sp.filtered_traversal && sp.allowed != nullptr) {
+    // Allowed-mask list pruning: gather the passing rows of each probed
+    // list first (bitset tests only) and compute distances for just those;
+    // lists with no passing rows are skipped entirely. The planner inflates
+    // nprobe so ~nprobe lists still contribute candidates.
+    std::vector<size_t> allowed_offsets;
+    for (int32_t list : ProbeLists(query, sp.nprobe)) {
+      const auto& ids = ids_[list];
+      if (ids.empty()) continue;
+      allowed_offsets.clear();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (PassesFilters(ids[i], sp)) allowed_offsets.push_back(i);
+      }
+      if (allowed_offsets.empty()) continue;
+      const float* vecs = vectors_[list].data();
+      for (size_t i : allowed_offsets) {
+        heap.Push(ids[i],
+                  MetricScore(query, vecs + i * params_.dim, params_.dim,
+                              params_.metric));
+      }
+    }
+    return heap.TakeSorted();
+  }
   for (int32_t list : ProbeLists(query, sp.nprobe)) {
     const auto& ids = ids_[list];
     if (ids.empty()) continue;

@@ -59,6 +59,15 @@ struct SearchParams {
   /// candidates. Segments append rows in LSN order, so "data visible at
   /// timestamp T" is always a row prefix. Default: everything visible.
   int64_t visible_rows = INT64_MAX;
+  /// Filter-aware traversal (the planner's kTraversal strategy): HNSW runs
+  /// a visiting-filter beam with adaptive ef inflation instead of post-hoc
+  /// result filtering, IVF prunes probed lists to allowed rows before
+  /// computing distances. Off = the legacy post-filtering behavior.
+  bool filtered_traversal = false;
+  /// Cap on the adaptive ef multiplier during filtered HNSW traversal (the
+  /// beam keeps doubling until k passing results are found or ef reaches
+  /// ef_search * traversal_ef_cap). Only read when filtered_traversal.
+  double traversal_ef_cap = 16.0;
 };
 
 /// Base interface for all vector indexes. An index covers the rows of one

@@ -154,6 +154,49 @@ TEST_F(ExprTest, EvaluateUsesIndexesWhenAvailable) {
   EXPECT_EQ(Eval("label != 'b'"), "10101");
 }
 
+TEST_F(ExprTest, NestedParensAndNotChains) {
+  EXPECT_EQ(Eval("((price > 30))"), "00011");
+  EXPECT_EQ(Eval("(((label == 'a') && (price >= 30)))"), "00101");
+  EXPECT_EQ(Eval("!(!(price == 30))"), "00100");
+  EXPECT_EQ(Eval("!!(price == 30)"), "00100");
+  EXPECT_EQ(Eval("!(price < 20 || price > 40)"), "01110");
+  EXPECT_EQ(Eval("!(label == 'a') || !(price > 10)"), "11010");
+  // De Morgan sanity: !(A && B) == !A || !B.
+  EXPECT_EQ(Eval("!(label == 'a' && price >= 30)"),
+            Eval("!(label == 'a') || !(price >= 30)"));
+}
+
+TEST_F(ExprTest, MixedPrecedenceChains) {
+  // a || b && c || d groups as a || (b && c) || d.
+  EXPECT_EQ(Eval("price == 10 || count >= 2 && label == 'b' || price == 50"),
+            "10011");
+  // && chains left-to-right inside one or-term.
+  EXPECT_EQ(Eval("price > 10 && price < 50 && label == 'a'"), "00100");
+  // NOT binds tighter than &&.
+  EXPECT_EQ(Eval("!(price == 10) && label == 'a'"), "00101");
+  EXPECT_EQ(Eval("(price == 10 || count >= 2) && (label == 'b' || price == 50)"),
+            "00011");
+}
+
+TEST_F(ExprTest, StringEscapes) {
+  label_col_ = FieldColumn::MakeString(
+      label_col_.field_id, {"it's", "a\"b", "back\\slash", "line\nbreak",
+                            "tab\there"});
+  EXPECT_EQ(Eval("label == 'it\\'s'"), "10000");
+  EXPECT_EQ(Eval("label == \"it's\""), "10000");
+  EXPECT_EQ(Eval("label == 'a\\\"b'"), "01000");
+  EXPECT_EQ(Eval("label == \"a\\\"b\""), "01000");
+  EXPECT_EQ(Eval("label == 'back\\\\slash'"), "00100");
+  EXPECT_EQ(Eval("label == 'line\\nbreak'"), "00010");
+  EXPECT_EQ(Eval("label == 'tab\\there'"), "00001");
+  EXPECT_EQ(Eval("label != 'it\\'s'"), "01111");
+}
+
+TEST_F(ExprTest, EscapeErrors) {
+  EXPECT_FALSE(FilterExpr::Parse("label == 'dangling\\", schema_).ok());
+  EXPECT_FALSE(FilterExpr::Parse("label == 'bad\\qescape'", schema_).ok());
+}
+
 TEST_F(ExprTest, MissingColumnReportsNotFound) {
   FilterContext empty;
   empty.num_rows = 5;

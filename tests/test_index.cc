@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/synthetic.h"
 #include "index/flat_index.h"
 #include "index/hnsw.h"
@@ -554,6 +556,92 @@ TEST(ScalarSortedIndex, RejectsNonNumeric) {
   FieldColumn col = FieldColumn::MakeString(1, {"x"});
   ScalarSortedIndex index;
   EXPECT_FALSE(index.Build(col).ok());
+}
+
+TEST(ScalarSortedIndex, NanRowsSortLastAndNeverMatch) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  FieldColumn col = FieldColumn::MakeDouble(1, {3.0, nan, -inf, 7.0, nan, inf});
+  ScalarSortedIndex index;
+  ASSERT_TRUE(index.Build(col).ok());
+  EXPECT_EQ(index.NumRows(), 6);
+  EXPECT_EQ(index.NumFinite(), 4);  // NaNs excluded; ±inf are ordered values.
+
+  // A full-line range sees every non-NaN row, including the infinities.
+  ConcurrentBitset bits(6);
+  index.RangeQuery(-inf, inf, &bits);
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(4));
+  EXPECT_EQ(index.CountRange(-inf, inf), 4);
+
+  // ±inf stored values match their own bound and equality queries.
+  bits.Reset();
+  index.EqualsQuery(inf, &bits);
+  EXPECT_TRUE(bits.Test(5));
+  EXPECT_EQ(bits.Count(), 1u);
+  bits.Reset();
+  index.RangeQuery(-inf, 0.0, &bits);
+  EXPECT_TRUE(bits.Test(2));
+  EXPECT_EQ(bits.Count(), 1u);
+
+  // NaN rows never match equality, even NaN == NaN style probes.
+  bits.Reset();
+  index.EqualsQuery(nan, &bits);
+  EXPECT_FALSE(bits.Any());
+  EXPECT_EQ(index.CountRange(nan, nan), 0);
+}
+
+TEST(ScalarSortedIndex, NanBoundsMatchNothing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  FieldColumn col = FieldColumn::MakeDouble(1, {1.0, 2.0, 3.0});
+  ScalarSortedIndex index;
+  ASSERT_TRUE(index.Build(col).ok());
+  ConcurrentBitset bits(3);
+  index.RangeQuery(nan, 10.0, &bits);
+  EXPECT_FALSE(bits.Any());
+  index.RangeQuery(0.0, nan, &bits);
+  EXPECT_FALSE(bits.Any());
+  EXPECT_EQ(index.CountRange(nan, 10.0), 0);
+  EXPECT_EQ(index.CountRange(0.0, nan), 0);
+}
+
+TEST(ScalarSortedIndex, EmptyColumn) {
+  FieldColumn col = FieldColumn::MakeDouble(1, {});
+  ScalarSortedIndex index;
+  ASSERT_TRUE(index.Build(col).ok());
+  EXPECT_EQ(index.NumRows(), 0);
+  EXPECT_EQ(index.NumFinite(), 0);
+  ConcurrentBitset bits(1);
+  index.RangeQuery(-1e300, 1e300, &bits);
+  EXPECT_FALSE(bits.Any());
+  EXPECT_EQ(index.CountRange(-1e300, 1e300), 0);
+
+  BinaryWriter w;
+  index.Serialize(&w);
+  BinaryReader r(w.data());
+  auto back = ScalarSortedIndex::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().NumRows(), 0);
+}
+
+TEST(ScalarSortedIndex, SerdePreservesNanTail) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  FieldColumn col = FieldColumn::MakeDouble(1, {2.0, nan, 1.0});
+  ScalarSortedIndex index;
+  ASSERT_TRUE(index.Build(col).ok());
+  BinaryWriter w;
+  index.Serialize(&w);
+  BinaryReader r(w.data());
+  auto back = ScalarSortedIndex::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().NumRows(), 3);
+  EXPECT_EQ(back.value().NumFinite(), 2);  // Recomputed from the value order.
+  ConcurrentBitset bits(3);
+  back.value().RangeQuery(0.0, 5.0, &bits);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_TRUE(bits.Test(2));
 }
 
 TEST(LabelIndex, EqualsQuery) {
