@@ -12,6 +12,12 @@
 #   BENCH_filtered.json       — filtered-search selectivity sweep: QPS /
 #                               recall@50 per strategy vs the post-scan
 #                               baseline, from bench_filtered
+#   BENCH_diurnal.json        — two-day diurnal elasticity drill with a
+#                               node kill at the first peak: per-hour
+#                               goodput / coverage / fleet size / brownout
+#                               stage plus the kill episode (detect and
+#                               redundancy-restore latency), from
+#                               bench_fig9_elasticity diurnal
 #
 # Each bench writes its artifact only when MANU_BENCH_JSON names a path
 # (see bench/bench_util.h), so plain bench runs never churn the committed
@@ -28,7 +34,8 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_micro_kernels \
-  bench_fig8_recall_throughput bench_overload bench_ingest bench_filtered
+  bench_fig8_recall_throughput bench_overload bench_ingest bench_filtered \
+  bench_fig9_elasticity
 
 echo "=== micro kernels ==="
 MANU_BENCH_JSON="$ROOT/BENCH_micro_kernels.json" \
@@ -49,6 +56,10 @@ MANU_BENCH_JSON="$ROOT/BENCH_ingest.json" \
 echo "=== filtered search: selectivity sweep vs post-scan ==="
 MANU_BENCH_JSON="$ROOT/BENCH_filtered.json" \
   ./build/bench/bench_filtered
+
+echo "=== diurnal drill: two-day elasticity with peak node kill ==="
+MANU_BENCH_JSON="$ROOT/BENCH_diurnal.json" \
+  ./build/bench/bench_fig9_elasticity diurnal
 
 echo "=== artifacts ==="
 ls -l "$ROOT"/BENCH_*.json

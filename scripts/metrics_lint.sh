@@ -27,10 +27,11 @@ done <<< "$pairs"
 
 # 3. Required observability families: the admission front door, shedding
 #    and backpressure paths (chaos storm test / DescribeCluster), the
-#    WAL publish path (group commit, refusals, subscriber gaps), and the
+#    WAL publish path (group commit, refusals, subscriber gaps), the
 #    filtered-search planner (strategy counts, selectivity, artifact
-#    build/load) must stay instrumented.
-for family in admission. shed. backpressure. wal. filter.; do
+#    build/load), and the placement reconciler (repair ops/bytes/aborts,
+#    under-replication gauge, drain duration) must stay instrumented.
+for family in admission. shed. backpressure. wal. filter. placement.; do
   if ! echo "$pairs" | awk '{print $2}' | grep -q "^${family//./\\.}"; then
     echo "metrics lint: no metric registered under required family" \
          "'${family}*'" >&2

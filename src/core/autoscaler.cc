@@ -4,9 +4,15 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "core/manu.h"
 
 namespace manu {
+
+int32_t AutoScaler::BrownoutStage() const {
+  if (brownout_probe_) return brownout_probe_();
+  return db_->proxy()->admission().stage();
+}
 
 int32_t AutoScaler::Evaluate(double avg_latency_ms) {
   const int32_t current = static_cast<int32_t>(db_->NumQueryNodes());
@@ -21,6 +27,19 @@ int32_t AutoScaler::Evaluate(double avg_latency_ms) {
       above_streak_ = 0;
     }
   } else if (avg_latency_ms < policy_.scale_down_below_ms) {
+    // Low latency while the brownout ladder is engaged is an artifact of
+    // shedding, not spare capacity: degraded/rejected requests keep the
+    // measured latency low precisely because the system is overloaded.
+    // Removing nodes now would deepen the overload, so hold the fleet.
+    if (BrownoutStage() >= 1) {
+      below_streak_ = 0;
+      MetricsRegistry::Global()
+          .GetCounter("autoscaler.scale_down_suppressed")
+          ->Add(1);
+      MANU_LOG_INFO << "autoscaler: scale-down suppressed (brownout stage "
+                    << BrownoutStage() << ")";
+      return current;
+    }
     ++below_streak_;
     above_streak_ = 0;
     if (below_streak_ >= policy_.hysteresis) {

@@ -2,6 +2,8 @@
 #define MANU_CORE_AUTOSCALER_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/status.h"
 
@@ -39,9 +41,20 @@ class AutoScaler {
 
   const AutoScalerPolicy& policy() const { return policy_; }
 
+  /// Test hook: overrides where the brownout stage is read from (default:
+  /// the instance proxy's admission controller). Scale-down is suppressed
+  /// at stage >= 1 — shedding load and removing capacity at the same time
+  /// fight each other.
+  void SetBrownoutProbe(std::function<int32_t()> probe) {
+    brownout_probe_ = std::move(probe);
+  }
+
  private:
+  int32_t BrownoutStage() const;
+
   ManuInstance* db_;
   AutoScalerPolicy policy_;
+  std::function<int32_t()> brownout_probe_;
   int32_t above_streak_ = 0;
   int32_t below_streak_ = 0;
 };

@@ -170,6 +170,27 @@ struct ManuConfig {
   /// publish => no ack is preserved). 0 = unlimited.
   int64_t logger_inflight_limit = 0;
 
+  // --- Replica placement (core/placement.h; ROADMAP item 3) ---
+  // Defaults-off posture: with the interval at 0 the placement table is
+  // still maintained (PlanFor routes off it, drains use it), but nothing
+  // repairs in the background — redundancy behaves like the pre-reconciler
+  // tree except that repairs can be invoked manually (Rebalance /
+  // ReconcileOnce). Chaos tests and the diurnal drill arm the loop.
+  /// Background reconcile cadence: diff desired vs. actual replica groups
+  /// and issue repairs every this many ms. 0 (default) = no background
+  /// reconciler.
+  int64_t placement_reconcile_interval_ms = 0;
+  /// Max concurrent repair loads per reconcile/drain pass (bounds the
+  /// object-store and target-node load of a repair storm).
+  int32_t placement_repair_concurrency = 2;
+  /// Max repair ops issued per reconcile pass; 0 = unbounded. Zero-replica
+  /// (coverage) repairs are always planned first.
+  int32_t placement_max_repairs_per_cycle = 64;
+  /// Upper bound on one drain's survivor-load phase, in ms; 0 = unbounded.
+  /// On timeout the victim keeps serving whatever was not yet moved (no
+  /// coverage dip) and the drain reports Unavailable.
+  int64_t placement_drain_timeout_ms = 0;
+
   // --- Filtered search (index/filter_index.h, core/filter_planner.h) ---
   // All knobs default off: search behaves exactly like the legacy
   // post-filter path until a deployment opts in. See DESIGN.md Section 14.

@@ -538,6 +538,11 @@ std::string ManuInstance::DescribeCluster() {
         << adm.pressure() << " inflight=" << adm.inflight() << "\n";
   }
 
+  out << "placement: under_replicated="
+      << query_coord_->placement()->UnderReplicatedCount()
+      << " reconcile_interval_ms="
+      << config_.placement_reconcile_interval_ms << "\n";
+
   if (leases_ != nullptr) {
     out << "liveness (instance epoch " << instance_epoch_ << ", lease ttl "
         << leases_->ttl_ms() << "ms):\n";

@@ -1,0 +1,539 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace manu {
+
+namespace {
+
+/// Approximate bytes moved by one replica repair. Exact load sizes are not
+/// surfaced by the object store, so estimate rows * (vector payload + pk);
+/// good enough for the placement.repair_bytes counter to rank repair storms.
+uint64_t ApproxSegmentBytes(const SegmentMeta& meta,
+                            const CollectionSchema* schema) {
+  uint64_t row_bytes = 8;  // pk
+  if (schema != nullptr) {
+    for (const FieldSchema& field : schema->fields()) {
+      row_bytes += field.IsVector()
+                       ? static_cast<uint64_t>(field.dim) * sizeof(float)
+                       : 8;
+    }
+  }
+  return static_cast<uint64_t>(meta.num_rows) * row_bytes;
+}
+
+}  // namespace
+
+int32_t PlacementTargetVersion(const SegmentMeta& meta) {
+  int32_t target = 0;
+  for (const auto& [field, version] : meta.index_versions) {
+    target = std::max(target, version);
+  }
+  return std::max(target, meta.filter_index_version);
+}
+
+PlacementManager::PlacementManager(const ManuConfig& config,
+                                   PlacementHost* host)
+    : config_(config), host_(host) {}
+
+PlacementManager::~PlacementManager() { Stop(); }
+
+void PlacementManager::Start() {
+  if (config_.placement_reconcile_interval_ms <= 0) return;
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void PlacementManager::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void PlacementManager::RunLoop() {
+  const int64_t interval_ms =
+      std::max<int64_t>(1, config_.placement_reconcile_interval_ms);
+  int64_t waited_ms = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    waited_ms += 5;
+    if (waited_ms < interval_ms) continue;
+    waited_ms = 0;
+    ReconcileOnce();
+  }
+}
+
+// --- Desired-state table -------------------------------------------------
+
+void PlacementManager::SetDesired(
+    const SegmentMeta& meta, std::shared_ptr<const CollectionSchema> schema,
+    int32_t desired) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  SegmentPlacement& entry = table_[{meta.collection, meta.id}];
+  entry.meta = meta;
+  entry.schema = std::move(schema);
+  entry.desired = std::max<int32_t>(1, desired);
+  entry.target_version = PlacementTargetVersion(meta);
+}
+
+void PlacementManager::RecordServing(CollectionId collection,
+                                     SegmentId segment, NodeId node,
+                                     int32_t version) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find({collection, segment});
+  if (it == table_.end()) return;
+  for (ReplicaState& replica : it->second.serving) {
+    if (replica.node == node) {
+      replica.version = version;
+      return;
+    }
+  }
+  it->second.serving.push_back(ReplicaState{node, version});
+}
+
+void PlacementManager::RecordReleased(CollectionId collection,
+                                      SegmentId segment, NodeId node) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find({collection, segment});
+  if (it == table_.end()) return;
+  auto& serving = it->second.serving;
+  serving.erase(std::remove_if(serving.begin(), serving.end(),
+                               [node](const ReplicaState& r) {
+                                 return r.node == node;
+                               }),
+                serving.end());
+}
+
+void PlacementManager::Remove(CollectionId collection, SegmentId segment) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  table_.erase({collection, segment});
+}
+
+void PlacementManager::RemoveCollection(CollectionId collection) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.lower_bound({collection, 0});
+  while (it != table_.end() && it->first.first == collection) {
+    it = table_.erase(it);
+  }
+}
+
+std::vector<SegmentPlacement> PlacementManager::OnNodeGone(NodeId node) {
+  std::vector<SegmentPlacement> orphaned;
+  std::lock_guard<std::mutex> lock(table_mu_);
+  for (auto& [key, entry] : table_) {
+    auto& serving = entry.serving;
+    const size_t before = serving.size();
+    serving.erase(std::remove_if(serving.begin(), serving.end(),
+                                 [node](const ReplicaState& r) {
+                                   return r.node == node;
+                                 }),
+                  serving.end());
+    if (before != serving.size() && serving.empty()) {
+      orphaned.push_back(entry);
+    }
+  }
+  return orphaned;
+}
+
+// --- Reads ---------------------------------------------------------------
+
+std::vector<NodeId> PlacementManager::ServingNodes(CollectionId collection,
+                                                   SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find({collection, segment});
+  if (it == table_.end()) return {};
+  std::vector<NodeId> nodes;
+  nodes.reserve(it->second.serving.size());
+  for (const ReplicaState& replica : it->second.serving) {
+    nodes.push_back(replica.node);
+  }
+  return nodes;
+}
+
+bool PlacementManager::IsServing(CollectionId collection,
+                                 SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  return table_.count({collection, segment}) > 0;
+}
+
+std::vector<SegmentPlacement> PlacementManager::CollectionSnapshot(
+    CollectionId collection) const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  std::vector<SegmentPlacement> out;
+  for (auto it = table_.lower_bound({collection, 0});
+       it != table_.end() && it->first.first == collection; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void PlacementManager::ForEachServing(
+    CollectionId collection,
+    const std::function<void(SegmentId, const std::vector<ReplicaState>&)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  for (auto it = table_.lower_bound({collection, 0});
+       it != table_.end() && it->first.first == collection; ++it) {
+    fn(it->first.second, it->second.serving);
+  }
+}
+
+int64_t PlacementManager::UnderReplicatedLocked(size_t candidates) const {
+  int64_t count = 0;
+  for (const auto& [key, entry] : table_) {
+    const int32_t effective = static_cast<int32_t>(std::min<size_t>(
+        static_cast<size_t>(entry.desired), std::max<size_t>(1, candidates)));
+    if (static_cast<int32_t>(entry.serving.size()) < effective) ++count;
+  }
+  return count;
+}
+
+int64_t PlacementManager::UnderReplicatedCount() const {
+  // Candidate pool BEFORE the table lock: the host call takes the
+  // coordinator lock, which must never be acquired under table_mu_.
+  const size_t candidates = host_->RepairCandidates().size();
+  int64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    count = UnderReplicatedLocked(candidates);
+  }
+  MetricsRegistry::Global().GetGauge("placement.under_replicated")->Set(count);
+  return count;
+}
+
+// --- Reconciliation ------------------------------------------------------
+
+int64_t PlacementManager::ReconcileOnce() {
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  const int64_t planned_epoch = host_->TopologyEpoch();
+  auto candidates = host_->RepairCandidates();
+  MetricsRegistry::Global().GetCounter("placement.reconcile_passes")->Add(1);
+  if (candidates.empty()) {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    MetricsRegistry::Global()
+        .GetGauge("placement.under_replicated")
+        ->Set(UnderReplicatedLocked(0));
+    return 0;
+  }
+
+  // Charge planned assignments against this memory view so one empty node
+  // does not absorb every repair in the pass.
+  std::map<NodeId, uint64_t> mem(candidates.begin(), candidates.end());
+
+  std::vector<RepairOp> coverage_ops;  // zero-replica groups: run first
+  std::vector<RepairOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    for (const auto& [key, entry] : table_) {
+      const int32_t effective = static_cast<int32_t>(
+          std::min<size_t>(static_cast<size_t>(entry.desired),
+                           candidates.size()));
+      std::set<NodeId> members;
+      for (const ReplicaState& replica : entry.serving) {
+        members.insert(replica.node);
+      }
+      // Top up below-desired groups (node loss / scale-up trigger).
+      int32_t deficit = effective - static_cast<int32_t>(members.size());
+      while (deficit > 0) {
+        NodeId target = kInvalidNodeId;
+        uint64_t best = 0;
+        for (const auto& [node, bytes] : mem) {
+          if (members.count(node)) continue;
+          if (target == kInvalidNodeId || bytes < best) {
+            target = node;
+            best = bytes;
+          }
+        }
+        if (target == kInvalidNodeId) break;
+        RepairOp op;
+        op.kind = RepairKind::kAdd;
+        op.meta = entry.meta;
+        op.schema = entry.schema;
+        op.version = entry.target_version;
+        op.target = target;
+        op.trigger = entry.serving.empty() ? "coverage" : "redundancy";
+        const uint64_t bytes = ApproxSegmentBytes(op.meta, op.schema.get());
+        mem[target] += bytes;
+        members.insert(target);
+        (entry.serving.empty() ? coverage_ops : ops).push_back(std::move(op));
+        --deficit;
+      }
+      if (deficit <= 0 && !entry.serving.empty()) {
+        // Rolling version reload: at most ONE stale replica per group per
+        // pass, so a group never has every replica reloading at once.
+        for (const ReplicaState& replica : entry.serving) {
+          if (replica.version >= entry.target_version) continue;
+          if (mem.count(replica.node) == 0) continue;  // draining/unknown
+          RepairOp op;
+          op.kind = RepairKind::kReload;
+          op.meta = entry.meta;
+          op.schema = entry.schema;
+          op.version = entry.target_version;
+          op.target = replica.node;
+          op.trigger = "version";
+          ops.push_back(std::move(op));
+          break;
+        }
+      }
+    }
+  }
+
+  // Zero-coverage groups repair first; then cap the pass.
+  coverage_ops.insert(coverage_ops.end(),
+                      std::make_move_iterator(ops.begin()),
+                      std::make_move_iterator(ops.end()));
+  const size_t cap = config_.placement_max_repairs_per_cycle > 0
+                         ? static_cast<size_t>(
+                               config_.placement_max_repairs_per_cycle)
+                         : coverage_ops.size();
+  if (coverage_ops.size() > cap) coverage_ops.resize(cap);
+
+  const int64_t committed =
+      ExecuteRepairs(std::move(coverage_ops), planned_epoch, /*deadline_ms=*/0);
+
+  // Refresh the gauge from post-repair state.
+  UnderReplicatedCount();
+  return committed;
+}
+
+Status PlacementManager::DrainNode(NodeId victim) {
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  const int64_t t0 = NowMicros();
+  const int64_t planned_epoch = host_->TopologyEpoch();
+  auto candidates = host_->RepairCandidates();
+  std::map<NodeId, uint64_t> mem(candidates.begin(), candidates.end());
+  mem.erase(victim);
+  if (mem.empty()) {
+    return Status::InvalidArgument("drain: no surviving target nodes");
+  }
+
+  std::vector<RepairOp> moves;
+  std::vector<std::pair<CollectionId, SegmentId>> releases;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    for (const auto& [key, entry] : table_) {
+      bool on_victim = false;
+      std::set<NodeId> others;
+      for (const ReplicaState& replica : entry.serving) {
+        if (replica.node == victim) {
+          on_victim = true;
+        } else {
+          others.insert(replica.node);
+        }
+      }
+      if (!on_victim) continue;
+      if (!others.empty()) {
+        // Another live replica already serves the group: pure release.
+        releases.push_back(key);
+        continue;
+      }
+      NodeId target = kInvalidNodeId;
+      uint64_t best = 0;
+      for (const auto& [node, bytes] : mem) {
+        if (others.count(node)) continue;
+        if (target == kInvalidNodeId || bytes < best) {
+          target = node;
+          best = bytes;
+        }
+      }
+      RepairOp op;
+      op.kind = RepairKind::kMove;
+      op.meta = entry.meta;
+      op.schema = entry.schema;
+      op.version = entry.target_version;
+      op.target = target;
+      op.source = victim;
+      op.trigger = "drain";
+      mem[target] += ApproxSegmentBytes(op.meta, op.schema.get());
+      moves.push_back(std::move(op));
+    }
+  }
+
+  // Survivor-before-victim, generalized: every sole-copy segment is loaded
+  // (and recorded serving) elsewhere BEFORE any victim replica is released.
+  const size_t planned = moves.size();
+  const int64_t committed = ExecuteRepairs(
+      std::move(moves), planned_epoch, config_.placement_drain_timeout_ms);
+  if (static_cast<size_t>(committed) != planned) {
+    // Epoch moved or a load failed: the victim keeps serving whatever was
+    // not moved, so coverage never dips. The caller may retry the drain.
+    return Status::Unavailable("drain interrupted; node still serving");
+  }
+
+  // Redundant victim replicas: survivors already cover them, release now.
+  for (const auto& [collection, segment] : releases) {
+    RecordReleased(collection, segment, victim);
+    host_->ReleaseReplica(victim, collection, segment);
+  }
+  MetricsRegistry::Global()
+      .GetHistogram("placement.drain_duration_ms")
+      ->Observe(static_cast<double>(NowMicros() - t0) / 1000.0);
+  return Status::OK();
+}
+
+Status PlacementManager::RebalanceNow() {
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  for (int iter = 0; iter < 256; ++iter) {
+    const int64_t planned_epoch = host_->TopologyEpoch();
+    auto candidates = host_->RepairCandidates();
+    if (candidates.size() < 2) return Status::OK();
+
+    std::map<NodeId, int64_t> replica_count;
+    for (const auto& [node, bytes] : candidates) replica_count[node] = 0;
+    RepairOp op;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(table_mu_);
+      for (const auto& [key, entry] : table_) {
+        for (const ReplicaState& replica : entry.serving) {
+          auto it = replica_count.find(replica.node);
+          if (it != replica_count.end()) ++it->second;
+        }
+      }
+      NodeId max_node = kInvalidNodeId, min_node = kInvalidNodeId;
+      int64_t max_count = -1, min_count = INT64_MAX;
+      for (const auto& [node, count] : replica_count) {
+        if (count > max_count) {
+          max_count = count;
+          max_node = node;
+        }
+        if (count < min_count) {
+          min_count = count;
+          min_node = node;
+        }
+      }
+      if (max_count - min_count <= 1) return Status::OK();
+      // Move one replica from the most- to the least-loaded node, skipping
+      // groups that already have a copy on the destination.
+      for (const auto& [key, entry] : table_) {
+        bool on_max = false, on_min = false;
+        for (const ReplicaState& replica : entry.serving) {
+          if (replica.node == max_node) on_max = true;
+          if (replica.node == min_node) on_min = true;
+        }
+        if (!on_max || on_min) continue;
+        op.kind = RepairKind::kMove;
+        op.meta = entry.meta;
+        op.schema = entry.schema;
+        op.version = entry.target_version;
+        op.target = min_node;
+        op.source = max_node;
+        op.trigger = "rebalance";
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::OK();
+    if (!ExecuteOne(op, planned_epoch)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+// --- Repair execution ----------------------------------------------------
+
+int64_t PlacementManager::ExecuteRepairs(std::vector<RepairOp> ops,
+                                         int64_t planned_epoch,
+                                         int64_t deadline_ms) {
+  if (ops.empty()) return 0;
+  const int64_t deadline_us =
+      deadline_ms > 0 ? NowMicros() + deadline_ms * 1000 : 0;
+  const size_t concurrency = static_cast<size_t>(std::max<int32_t>(
+      1, config_.placement_repair_concurrency));
+  std::atomic<size_t> next{0};
+  std::atomic<int64_t> committed{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ops.size()) break;
+      if (deadline_us > 0 && NowMicros() > deadline_us) break;
+      if (ExecuteOne(ops[i], planned_epoch)) {
+        committed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  if (concurrency <= 1 || ops.size() == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    const size_t n = std::min(concurrency, ops.size());
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  return committed.load(std::memory_order_relaxed);
+}
+
+bool PlacementManager::ExecuteOne(const RepairOp& op, int64_t planned_epoch) {
+  Span span = Tracer::Global().StartTrace("placement.repair",
+                                          /*force_sample=*/true);
+  span.Tag("collection", static_cast<int64_t>(op.meta.collection));
+  span.Tag("segment", static_cast<int64_t>(op.meta.id));
+  span.Tag("target", static_cast<int64_t>(op.target));
+  span.Tag("trigger", std::string(op.trigger));
+
+  if (op.target == kInvalidNodeId ||
+      host_->TopologyEpoch() != planned_epoch) {
+    span.Event("aborted: stale epoch");
+    MetricsRegistry::Global().GetCounter("placement.repair_aborts")->Add(1);
+    return false;
+  }
+
+  Status st = host_->LoadReplica(op.target, op.meta, op.schema);
+  if (!st.ok()) {
+    span.Event("load failed: " + st.ToString());
+    MetricsRegistry::Global().GetCounter("placement.repair_failures")->Add(1);
+    return false;
+  }
+
+  if (!CommitRepair(op, planned_epoch)) {
+    // Lost the epoch race after loading: undo so a stale decision never
+    // fights the failover/drain that bumped the epoch.
+    span.Event("commit fenced: undoing load");
+    host_->ReleaseReplica(op.target, op.meta.collection, op.meta.id);
+    MetricsRegistry::Global().GetCounter("placement.repair_aborts")->Add(1);
+    return false;
+  }
+
+  if (op.kind == RepairKind::kMove && op.source != kInvalidNodeId) {
+    RecordReleased(op.meta.collection, op.meta.id, op.source);
+    host_->ReleaseReplica(op.source, op.meta.collection, op.meta.id);
+  }
+
+  MetricsRegistry::Global()
+      .GetCounter("placement.repair_ops", {{"trigger", op.trigger}})
+      ->Add(1);
+  MetricsRegistry::Global()
+      .GetCounter("placement.repair_bytes")
+      ->Add(static_cast<int64_t>(ApproxSegmentBytes(op.meta,
+                                                    op.schema.get())));
+  return true;
+}
+
+bool PlacementManager::CommitRepair(const RepairOp& op,
+                                    int64_t planned_epoch) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  // Epoch check under table_mu_: a failover bumps the epoch BEFORE it takes
+  // table_mu_ in OnNodeGone, so either this commit lands first (and the
+  // failover strips it like any other replica) or the bump is visible here
+  // and the repair aborts. TopologyEpoch() is a lock-free atomic read.
+  if (host_->TopologyEpoch() != planned_epoch) return false;
+  auto it = table_.find({op.meta.collection, op.meta.id});
+  if (it == table_.end()) return false;  // segment released/compacted away
+  for (ReplicaState& replica : it->second.serving) {
+    if (replica.node == op.target) {
+      replica.version = op.version;
+      return true;
+    }
+  }
+  it->second.serving.push_back(ReplicaState{op.target, op.version});
+  return true;
+}
+
+}  // namespace manu

@@ -1,0 +1,222 @@
+#ifndef MANU_CORE_PLACEMENT_H_
+#define MANU_CORE_PLACEMENT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/collection_meta.h"
+#include "core/config.h"
+
+namespace manu {
+
+/// Max declared index version across a segment meta's vector and filter
+/// indexes — the replica group's rolling-reload target.
+int32_t PlacementTargetVersion(const SegmentMeta& meta);
+
+/// One serving replica of a sealed segment: which node serves it and the
+/// index version it last loaded. Version skew against the group's target
+/// is what drives rolling reloads after an index-version bump.
+struct ReplicaState {
+  NodeId node = kInvalidNodeId;
+  int32_t version = 0;
+};
+
+/// Desired vs. actual state of one sealed segment's replica group — a row
+/// of the placement table. `desired` is the configured replica target
+/// (replica_factor at placement time); the reconciler clamps it to the
+/// live node count per pass, so a shrunken fleet is not treated as
+/// permanently under-replicated.
+struct SegmentPlacement {
+  SegmentMeta meta;  ///< Repair source: binlog + index paths, shard, rows.
+  std::shared_ptr<const CollectionSchema> schema;
+  int32_t desired = 1;
+  /// Max declared index version in `meta` — replicas below it are stale.
+  int32_t target_version = 0;
+  std::vector<ReplicaState> serving;
+};
+
+/// The actions a reconciler decision needs from the serving layer,
+/// implemented by QueryCoordinator. Calls may take the coordinator's lock;
+/// PlacementManager therefore NEVER invokes them while holding its own
+/// table mutex (lock order: coordinator -> placement table, no cycles).
+class PlacementHost {
+ public:
+  virtual ~PlacementHost() = default;
+
+  /// Live, non-draining nodes with their memory footprint — the candidate
+  /// pool for repair targets (the reconciler picks least-loaded first).
+  virtual std::vector<std::pair<NodeId, uint64_t>> RepairCandidates() = 0;
+
+  /// Loads a replica of `meta` onto `target` from the object store.
+  /// Blocking; returns the outcome of the load.
+  virtual Status LoadReplica(NodeId target, const SegmentMeta& meta,
+                             std::shared_ptr<const CollectionSchema> schema)
+      = 0;
+
+  /// Releases the replica on `target` (move sources, stale copies, undo of
+  /// a repair that lost its epoch race).
+  virtual void ReleaseReplica(NodeId target, CollectionId collection,
+                              SegmentId segment) = 0;
+
+  /// Monotone topology epoch, bumped by every failover / scale event. A
+  /// repair planned under epoch E commits only if the epoch is still E —
+  /// the fence that keeps a stale reconciler decision from fighting an
+  /// in-progress failover or drain.
+  virtual int64_t TopologyEpoch() const = 0;
+};
+
+/// Reconciliation-driven placement manager (ROADMAP item 3; Taurus
+/// discipline: replicate *serving state*, not storage — a lost replica is
+/// repaired cheaply from the shared object store).
+///
+/// The table half is a passive desired-state store the query coordinator
+/// reads and writes under its own lock (only the table mutex is taken, no
+/// host callbacks). The active half — ReconcileOnce / DrainNode /
+/// RebalanceNow and the optional background loop — continuously diffs
+/// desired vs. actual serving state and issues bounded-concurrency repair
+/// ops through the host, each fenced by the topology epoch captured at
+/// planning time.
+///
+/// Triggers handled:
+///  - node loss:   the coordinator strips the dead node (OnNodeGone) and
+///                 synchronously restores *coverage* for groups that hit
+///                 zero replicas; the reconciler restores *redundancy*
+///                 (groups below desired) within the reconcile interval.
+///  - scale-up:    a new node widens the candidate pool; the reconciler
+///                 tops groups up to desired and RebalanceNow spreads
+///                 replicas until per-node counts differ by at most one.
+///  - scale-down:  DrainNode generalizes the survivor-before-victim rule:
+///                 every affected segment is loaded (and serving) elsewhere
+///                 BEFORE the victim's copy is released — zero coverage dip
+///                 for in-flight searches.
+///  - version bump: replicas below the group's target index version are
+///                 reloaded at most ONE per group per pass (rolling), so a
+///                 group never has all replicas reloading at once.
+class PlacementManager {
+ public:
+  PlacementManager(const ManuConfig& config, PlacementHost* host);
+  ~PlacementManager();
+
+  /// Starts the background reconciler when
+  /// config.placement_reconcile_interval_ms > 0 (0 = manual ReconcileOnce
+  /// only — the defaults-off posture).
+  void Start();
+  void Stop();
+
+  // --- Desired-state table (coordinator-facing; table mutex only) ---
+
+  /// Registers/updates the desired state of a sealed segment: latest meta
+  /// (including index versions), schema, and the replica target. Existing
+  /// serving records are kept.
+  void SetDesired(const SegmentMeta& meta,
+                  std::shared_ptr<const CollectionSchema> schema,
+                  int32_t desired);
+  /// Records `node` as serving the segment at `version` (upserts the
+  /// replica record). No-op if the segment is not in the table.
+  void RecordServing(CollectionId collection, SegmentId segment, NodeId node,
+                     int32_t version);
+  /// Removes `node` from the segment's serving set.
+  void RecordReleased(CollectionId collection, SegmentId segment,
+                      NodeId node);
+  /// Drops the segment from the table (release / compaction input).
+  void Remove(CollectionId collection, SegmentId segment);
+  void RemoveCollection(CollectionId collection);
+  /// Node vanished (crash / failover): strips it from every serving set and
+  /// returns the entries left with ZERO replicas — the coordinator reloads
+  /// those synchronously (coverage), the reconciler handles the rest
+  /// (redundancy).
+  std::vector<SegmentPlacement> OnNodeGone(NodeId node);
+
+  // --- Reads ---
+
+  std::vector<NodeId> ServingNodes(CollectionId collection,
+                                   SegmentId segment) const;
+  bool IsServing(CollectionId collection, SegmentId segment) const;
+  std::vector<SegmentPlacement> CollectionSnapshot(
+      CollectionId collection) const;
+  /// Iterates a collection's (segment, serving set) rows under the table
+  /// mutex without copying metas — the routing hot path. The callback must
+  /// not call back into the placement table.
+  void ForEachServing(
+      CollectionId collection,
+      const std::function<void(SegmentId, const std::vector<ReplicaState>&)>&
+          fn) const;
+  /// Segments with fewer live-serving replicas than (clamped) desired,
+  /// given the current candidate pool size. Also refreshes the
+  /// placement.under_replicated gauge.
+  int64_t UnderReplicatedCount() const;
+
+  // --- Reconciliation (serialized by an internal repair mutex) ---
+
+  /// One reconcile pass: prunes replicas on vanished nodes, repairs
+  /// zero-replica groups first, tops up under-replicated groups, then
+  /// rolling-reloads version-stale replicas (<= 1 per group). Repairs run
+  /// with bounded concurrency (placement_repair_concurrency) and commit
+  /// only if the topology epoch has not moved since planning. Returns the
+  /// number of repair ops that committed.
+  int64_t ReconcileOnce();
+
+  /// Drains every replica off `victim`: segments it serves are loaded (and
+  /// verified serving) on other nodes FIRST, then the victim's copy is
+  /// released. Fails with Unavailable if the topology changes mid-drain
+  /// (the caller may retry); the victim keeps serving whatever was not yet
+  /// moved, so a failed drain never dips coverage either.
+  Status DrainNode(NodeId victim);
+
+  /// Moves replicas from the most- to the least-loaded node until per-node
+  /// replica counts differ by at most one (scale-up spread). Each move is
+  /// load-then-release and epoch-fenced like any repair.
+  Status RebalanceNow();
+
+ private:
+  enum class RepairKind { kAdd, kReload, kMove };
+
+  struct RepairOp {
+    RepairKind kind = RepairKind::kAdd;
+    SegmentMeta meta;
+    std::shared_ptr<const CollectionSchema> schema;
+    int32_t version = 0;
+    NodeId target = kInvalidNodeId;
+    /// kMove: replica to release after the target serves.
+    NodeId source = kInvalidNodeId;
+    const char* trigger = "repair";
+  };
+
+  /// Executes `ops` with bounded concurrency; commits each against
+  /// `planned_epoch`. `deadline_ms` > 0 stops claiming new ops once it
+  /// elapses (drain bound). Returns committed count.
+  int64_t ExecuteRepairs(std::vector<RepairOp> ops, int64_t planned_epoch,
+                         int64_t deadline_ms);
+  /// Runs one op end-to-end (load -> commit -> optional source release).
+  bool ExecuteOne(const RepairOp& op, int64_t planned_epoch);
+  /// Commit point: records the repaired replica iff the epoch is unchanged
+  /// and the entry still exists; false => caller must undo the load.
+  bool CommitRepair(const RepairOp& op, int64_t planned_epoch);
+  void RunLoop();
+  int64_t UnderReplicatedLocked(size_t candidates) const;
+
+  const ManuConfig config_;
+  PlacementHost* host_;
+
+  mutable std::mutex table_mu_;
+  /// (collection, segment) -> placement row.
+  std::map<std::pair<CollectionId, SegmentId>, SegmentPlacement> table_;
+
+  /// Serializes reconcile passes, drains and rebalances: one repair driver
+  /// at a time, so two planners never fight over the same group.
+  std::mutex repair_mu_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace manu
+
+#endif  // MANU_CORE_PLACEMENT_H_

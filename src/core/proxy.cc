@@ -163,18 +163,29 @@ Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
   // (growing data), each sealed segment on exactly one p2c-chosen owner. ---
   Span route(parent->context(), "query_coord.route");
   auto plan = query_coord_->PlanFor(prep->meta.id);
-  route.Tag("nodes", static_cast<int64_t>(plan.size()));
+  route.Tag("nodes", static_cast<int64_t>(plan.routes.size()));
+  if (plan.unroutable > 0) {
+    route.Tag("unroutable", plan.unroutable);
+  }
   route.End();
-  if (plan.empty()) {
+  if (plan.routes.empty()) {
     return Status::Unavailable("collection is not loaded on any query node");
+  }
+  // Segments with no live replica (mid-repair): a strict search must not
+  // silently return a subset, so it fails retryably — with
+  // search_retry_attempts the re-plan lands after the reconciler repairs.
+  // Partial searches proceed with the loss counted against coverage below.
+  if (plan.unroutable > 0 && !req.allow_partial) {
+    return Status::Unavailable("sealed segments awaiting replica repair");
   }
   // Coverage weights: how much of the collection each route answers for —
   // its assigned sealed segments plus its growing-only ones. A node in the
   // plan only for its shard channel (no data yet) still weighs 1.
+  // Unroutable segments weigh in the total but can never be covered.
   std::vector<int64_t> weights;
-  weights.reserve(plan.size());
-  int64_t total_weight = 0;
-  for (const auto& r : plan) {
+  weights.reserve(plan.routes.size());
+  int64_t total_weight = plan.unroutable;
+  for (const auto& r : plan.routes) {
     const int64_t w = std::max<int64_t>(1, r.weight);
     weights.push_back(w);
     total_weight += w;
@@ -198,8 +209,8 @@ Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
   }
 
   std::vector<std::future<Result<std::vector<SegmentHit>>>> futures;
-  futures.reserve(plan.size());
-  for (auto& r : plan) {
+  futures.reserve(plan.routes.size());
+  for (auto& r : plan.routes) {
     NodeSearchRequest nreq = base;
     nreq.sealed_filter = r.sealed_filter;
     auto node = r.node;
@@ -211,7 +222,7 @@ Result<SearchResult> Proxy::SearchOnce(const SearchRequest& req,
                         std::chrono::milliseconds(std::max<int64_t>(
                             0, deadline_ms));
   std::vector<std::vector<Neighbor>> lists;
-  lists.reserve(plan.size());
+  lists.reserve(plan.routes.size());
   int64_t covered_weight = 0;
   int64_t degraded_nodes = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -393,17 +404,18 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
 
   for (const auto& [collection, indices] : by_collection) {
     auto plan = query_coord_->PlanFor(collection);
-    if (plan.empty()) {
+    if (plan.routes.empty()) {
       for (size_t i : indices) {
         results[i] = Status::Unavailable("collection not loaded");
       }
       continue;
     }
-    // Coverage weights, as in Search(): assigned sealed + growing-only.
+    // Coverage weights, as in Search(): assigned sealed + growing-only,
+    // plus the unroutable segments no route can cover.
     std::vector<int64_t> weights;
-    weights.reserve(plan.size());
-    int64_t total_weight = 0;
-    for (const auto& r : plan) {
+    weights.reserve(plan.routes.size());
+    int64_t total_weight = plan.unroutable;
+    for (const auto& r : plan.routes) {
       const int64_t w = std::max<int64_t>(1, r.weight);
       weights.push_back(w);
       total_weight += w;
@@ -438,8 +450,8 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
     std::vector<
         std::future<std::vector<Result<std::vector<SegmentHit>>>>>
         futures;
-    futures.reserve(plan.size());
-    for (auto& r : plan) {
+    futures.reserve(plan.routes.size());
+    for (auto& r : plan.routes) {
       auto node_batch =
           std::make_shared<std::vector<NodeSearchRequest>>(*batch);
       for (auto& nreq : *node_batch) nreq.sealed_filter = r.sealed_filter;
@@ -456,7 +468,7 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
     std::vector<
         std::optional<std::vector<Result<std::vector<SegmentHit>>>>>
         per_node;
-    per_node.reserve(plan.size());
+    per_node.reserve(plan.routes.size());
     for (auto& fut : futures) {
       if (deadline_ms > 0 &&
           fut.wait_until(deadline) == std::future_status::timeout) {
@@ -468,6 +480,13 @@ std::vector<Result<SearchResult>> Proxy::BatchSearch(
 
     for (size_t pos = 0; pos < indices.size(); ++pos) {
       const size_t i = indices[pos];
+      if (plan.unroutable > 0 && !allow_partial(i)) {
+        // Same rule as Search(): a strict request never silently serves a
+        // subset while segments await replica repair.
+        results[i] =
+            Status::Unavailable("sealed segments awaiting replica repair");
+        continue;
+      }
       std::vector<std::vector<Neighbor>> lists;
       int64_t covered_weight = 0;
       int64_t degraded_nodes = 0;

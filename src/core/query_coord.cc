@@ -11,16 +11,21 @@ namespace manu {
 QueryCoordinator::QueryCoordinator(const CoreContext& ctx,
                                    DataCoordinator* data_coord,
                                    RootCoordinator* root_coord)
-    : ctx_(ctx), data_coord_(data_coord), root_coord_(root_coord) {}
+    : ctx_(ctx),
+      data_coord_(data_coord),
+      root_coord_(root_coord),
+      placement_(std::make_unique<PlacementManager>(ctx.config, this)) {}
 
 QueryCoordinator::~QueryCoordinator() { Stop(); }
 
 void QueryCoordinator::Start() {
   stop_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { Run(); });
+  placement_->Start();
 }
 
 void QueryCoordinator::Stop() {
+  placement_->Stop();
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
 }
@@ -58,7 +63,7 @@ void QueryCoordinator::Run() {
           auto it = serving_.find(entry->collection);
           if (it == serving_.end()) break;
           if (entry->segment == kInvalidSegmentId ||
-              it->second.segment_owner.count(entry->segment) > 0) {
+              placement_->IsServing(entry->collection, entry->segment)) {
             // Merged result already serving (or everything was deleted):
             // release the inputs now.
             ReleaseSegmentsLocked(entry->collection, dropped.value());
@@ -85,6 +90,7 @@ std::shared_ptr<QueryNode> QueryCoordinator::LeastLoadedLocked() const {
   std::shared_ptr<QueryNode> best;
   uint64_t best_bytes = 0;
   for (const auto& node : nodes_) {
+    if (draining_.count(node->id()) > 0) continue;
     const uint64_t bytes = node->MemoryBytes();
     if (best == nullptr || bytes < best_bytes) {
       best = node;
@@ -104,70 +110,107 @@ void QueryCoordinator::AddQueryNode(std::shared_ptr<QueryNode> node) {
     }
   }
   nodes_.push_back(std::move(node));
+  topo_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-Status QueryCoordinator::RemoveQueryNode(NodeId id) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (nodes_.size() <= 1) {
-    return Status::InvalidArgument("cannot remove the last query node");
-  }
-  auto victim = NodeById(id);
-  if (victim == nullptr) return Status::NotFound("query node");
+// --- PlacementHost -------------------------------------------------------
 
-  for (auto& [collection, serving] : serving_) {
-    // Reassign primary channels.
-    for (auto& [shard, owner] : serving.channel_owner) {
-      if (owner != id) continue;
-      // Round-robin over the survivors.
-      for (const auto& node : nodes_) {
-        if (node->id() == id) continue;
-        node->PromoteChannel(collection, shard);
-        victim->DemoteChannel(collection, shard);
-        owner = node->id();
-        break;
-      }
-    }
-    // Move sealed segments: survivors load from object storage first, then
-    // the victim releases (paper: "a query node can be removed once other
-    // query nodes load the indexes for the segments it handles"). A replica
-    // set that still has survivors needs no reload at all.
-    for (auto& [segment, owners] : serving.segment_owner) {
-      auto victim_it = std::find(owners.begin(), owners.end(), id);
-      if (victim_it == owners.end()) continue;
-      owners.erase(victim_it);
-      if (owners.empty()) {
-        auto meta = data_coord_->GetSegment(collection, segment);
-        if (!meta.ok()) continue;
-        // Prefer the shard's channel owner (already reassigned above): it
-        // sits in every fan-out set and suppresses any replayed growing
-        // twin via the sealed-twin-wins rule.
-        std::shared_ptr<QueryNode> target;
-        auto primary_it = serving.channel_owner.find(meta.value().shard);
-        if (primary_it != serving.channel_owner.end() &&
-            primary_it->second != id) {
-          target = NodeById(primary_it->second);
-        }
-        if (target == nullptr) {
-          for (const auto& node : nodes_) {
-            if (node->id() != id &&
-                (target == nullptr ||
-                 node->MemoryBytes() < target->MemoryBytes())) {
-              target = node;
-            }
-          }
-        }
-        if (target == nullptr) continue;
-        MANU_RETURN_NOT_OK(
-            target->LoadSealedSegment(meta.value(), serving.schema));
-        owners.push_back(target->id());
-      }
-      // Release only after the survivor serves the segment.
-      victim->ReleaseSegment(collection, segment);
-    }
-    victim->RemoveCollection(collection);
+std::vector<std::pair<NodeId, uint64_t>> QueryCoordinator::RepairCandidates() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<NodeId, uint64_t>> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (draining_.count(node->id()) > 0) continue;
+    out.emplace_back(node->id(), node->MemoryBytes());
   }
-  victim->Stop();
-  std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+  return out;
+}
+
+Status QueryCoordinator::LoadReplica(
+    NodeId target, const SegmentMeta& meta,
+    std::shared_ptr<const CollectionSchema> schema) {
+  std::shared_ptr<QueryNode> node;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    node = NodeById(target);
+    if (node == nullptr || draining_.count(target) > 0) {
+      return Status::Unavailable("repair target gone or draining");
+    }
+  }
+  // The load itself runs outside mu_: object-store I/O must not block
+  // routing or failover.
+  return node->LoadSealedSegment(meta, std::move(schema));
+}
+
+void QueryCoordinator::ReleaseReplica(NodeId target, CollectionId collection,
+                                      SegmentId segment) {
+  std::shared_ptr<QueryNode> node;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    node = NodeById(target);
+  }
+  if (node != nullptr) node->ReleaseSegment(collection, segment);
+}
+
+// --- Scale-down (drain) --------------------------------------------------
+
+Status QueryCoordinator::RemoveQueryNode(NodeId id) {
+  std::shared_ptr<QueryNode> victim;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    victim = NodeById(id);
+    if (victim == nullptr) return Status::NotFound("query node");
+    size_t live = 0;
+    for (const auto& node : nodes_) {
+      if (draining_.count(node->id()) == 0) ++live;
+    }
+    if (live <= 1 || draining_.count(id) > 0) {
+      return Status::InvalidArgument("cannot remove the last query node");
+    }
+    // Phase 1: mark draining (new placements skip it; PlanFor keeps routing
+    // to it) and hand primary channels to survivors. The epoch bump fences
+    // out any repair planned against the pre-drain topology.
+    draining_.insert(id);
+    topo_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    for (auto& [collection, serving] : serving_) {
+      for (auto& [shard, owner] : serving.channel_owner) {
+        if (owner != id) continue;
+        for (const auto& node : nodes_) {
+          if (draining_.count(node->id()) > 0) continue;
+          node->PromoteChannel(collection, shard);
+          victim->DemoteChannel(collection, shard);
+          owner = node->id();
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: drain sealed replicas WITHOUT holding mu_ — searches keep
+  // routing to the victim until every affected segment serves elsewhere
+  // (paper: "a query node can be removed once other query nodes load the
+  // indexes for the segments it handles").
+  Status drained = placement_->DrainNode(id);
+  if (!drained.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_.erase(id);
+    topo_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    MANU_LOG_WARN << "drain of query node " << id
+                  << " interrupted: " << drained.ToString();
+    return drained;
+  }
+
+  // Phase 3: nothing routes to the victim anymore; retire it.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [collection, serving] : serving_) {
+      victim->RemoveCollection(collection);
+    }
+    victim->Stop();
+    std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+    draining_.erase(id);
+    topo_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
   if (ctx_.leases != nullptr) ctx_.leases->Deregister(id);
   MANU_LOG_INFO << "query node " << id << " removed (scale-down)";
   return Status::OK();
@@ -180,9 +223,14 @@ Status QueryCoordinator::RecoverDeadNodeLocked(NodeId id) {
   if (nodes_.size() <= 1) {
     return Status::InvalidArgument("cannot kill the last query node");
   }
-  // Crash first: no cooperation from the victim.
+  // Fence first: a repair planned against the pre-failover topology must
+  // not commit (the epoch is re-checked under the placement table mutex,
+  // which OnNodeGone below also takes — no commit can slip between).
+  topo_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Crash: no cooperation from the victim.
   victim->Stop();
   std::erase_if(nodes_, [&](const auto& n) { return n->id() == id; });
+  draining_.erase(id);
 
   for (auto& [collection, serving] : serving_) {
     for (auto& [shard, owner] : serving.channel_owner) {
@@ -191,26 +239,36 @@ Status QueryCoordinator::RecoverDeadNodeLocked(NodeId id) {
       target->PromoteChannel(collection, shard);
       owner = target->id();
     }
-    for (auto& [segment, owners] : serving.segment_owner) {
-      auto victim_it = std::find(owners.begin(), owners.end(), id);
-      if (victim_it == owners.end()) continue;
-      owners.erase(victim_it);
-      if (!owners.empty()) continue;  // A hot replica already serves it.
-      auto meta = data_coord_->GetSegment(collection, segment);
-      if (!meta.ok()) continue;
-      // Prefer the shard's channel owner: the promoted primary replays the
-      // channel from the beginning, and hosting the sealed copy there lets
-      // the sealed-twin-wins rule suppress the replayed growing twin
-      // instead of serving the rows twice from two nodes.
-      std::shared_ptr<QueryNode> target;
-      auto primary_it = serving.channel_owner.find(meta.value().shard);
-      if (primary_it != serving.channel_owner.end()) {
-        target = NodeById(primary_it->second);
-      }
-      if (target == nullptr) target = LeastLoadedLocked();
-      if (target == nullptr) continue;
-      Status st = target->LoadSealedSegment(meta.value(), serving.schema);
-      if (st.ok()) owners.push_back(target->id());
+  }
+
+  // Strip the dead node from every replica group. Groups with surviving
+  // replicas keep serving untouched — the reconciler restores their
+  // redundancy within its interval. Groups at ZERO live replicas are
+  // reloaded synchronously here: coverage cannot wait for a background
+  // pass.
+  for (const auto& entry : placement_->OnNodeGone(id)) {
+    auto it = serving_.find(entry.meta.collection);
+    if (it == serving_.end()) continue;
+    // Prefer the shard's channel owner: the promoted primary replays the
+    // channel from the beginning, and hosting the sealed copy there lets
+    // the sealed-twin-wins rule suppress the replayed growing twin
+    // instead of serving the rows twice from two nodes.
+    std::shared_ptr<QueryNode> target;
+    auto primary_it = it->second.channel_owner.find(entry.meta.shard);
+    if (primary_it != it->second.channel_owner.end()) {
+      target = NodeById(primary_it->second);
+    }
+    if (target == nullptr) target = LeastLoadedLocked();
+    if (target == nullptr) continue;
+    Status st = target->LoadSealedSegment(entry.meta, entry.schema);
+    if (st.ok()) {
+      placement_->RecordServing(entry.meta.collection, entry.meta.id,
+                                target->id(), entry.target_version);
+    } else {
+      // Left unroutable: PlanFor accounts it as lost coverage and the
+      // reconciler keeps retrying the repair from the object store.
+      MANU_LOG_ERROR << "recovery reload of segment " << entry.meta.id
+                     << " failed: " << st.ToString();
     }
   }
   // Recovery duration: promotion + segment reloads. The promoted channels
@@ -290,6 +348,7 @@ Status QueryCoordinator::LoadCollection(const CollectionMeta& meta) {
 Status QueryCoordinator::ReleaseCollection(CollectionId collection) {
   std::lock_guard<std::mutex> lk(mu_);
   serving_.erase(collection);
+  placement_->RemoveCollection(collection);
   // Announced via log; nodes release asynchronously (Section 3.3's example
   // of log-based coordination) — here we also release synchronously since
   // nodes are in-process.
@@ -308,18 +367,19 @@ std::vector<std::shared_ptr<QueryNode>> QueryCoordinator::NodesFor(
   std::vector<std::shared_ptr<QueryNode>> out;
   auto it = serving_.find(collection);
   if (it == serving_.end()) return out;
+  std::set<NodeId> involved;
+  for (const auto& [_, owner] : it->second.channel_owner) {
+    involved.insert(owner);
+  }
+  placement_->ForEachServing(
+      collection,
+      [&](SegmentId, const std::vector<ReplicaState>& replicas) {
+        for (const ReplicaState& replica : replicas) {
+          involved.insert(replica.node);
+        }
+      });
   for (const auto& node : nodes_) {
-    const NodeId id = node->id();
-    bool involved = false;
-    for (const auto& [_, owner] : it->second.channel_owner) {
-      if (owner == id) involved = true;
-    }
-    for (const auto& [_, owners] : it->second.segment_owner) {
-      if (std::find(owners.begin(), owners.end(), id) != owners.end()) {
-        involved = true;
-      }
-    }
-    if (involved) out.push_back(node);
+    if (involved.count(node->id()) > 0) out.push_back(node);
   }
   return out;
 }
@@ -352,13 +412,14 @@ int64_t QueryCoordinator::RouteLoadScore(
   return load.inflight * 1'000'000 + load.ewma_latency_us;
 }
 
-std::vector<QueryCoordinator::NodeRoute> QueryCoordinator::PlanFor(
+QueryCoordinator::Plan QueryCoordinator::PlanFor(
     CollectionId collection) const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::vector<NodeRoute> routes;
+  Plan plan;
   auto it = serving_.find(collection);
-  if (it == serving_.end()) return routes;
+  if (it == serving_.end()) return plan;
   const CollectionServing& serving = it->second;
+  std::vector<NodeRoute>& routes = plan.routes;
 
   std::map<NodeId, size_t> route_index;
   auto route_for = [&](NodeId id) -> NodeRoute* {
@@ -378,38 +439,51 @@ std::vector<QueryCoordinator::NodeRoute> QueryCoordinator::PlanFor(
   }
 
   // Power-of-two-choices per sealed segment: two deterministic
-  // pseudo-random candidates from the owner set, lower load wins. Against
-  // always-least-loaded this avoids herding every segment of a plan onto
-  // the momentarily-idlest node.
-  for (const auto& [segment, owners] : serving.segment_owner) {
-    std::vector<NodeId> live;
-    for (NodeId id : owners) {
-      if (NodeById(id) != nullptr) live.push_back(id);
-    }
-    if (live.empty()) continue;
-    NodeId chosen = live[0];
-    if (live.size() > 1) {
-      const uint64_t draw = MixRouteSeed(
-          route_seq_.fetch_add(1, std::memory_order_relaxed) ^
-          (static_cast<uint64_t>(segment) << 32));
-      const size_t a = static_cast<size_t>(draw % live.size());
-      const size_t b = static_cast<size_t>(
-          (a + 1 + (draw >> 32) % (live.size() - 1)) % live.size());
-      chosen = RouteLoadScore(NodeById(live[a])) <=
-                       RouteLoadScore(NodeById(live[b]))
-                   ? live[a]
-                   : live[b];
-    }
-    NodeRoute* route = route_for(chosen);
-    if (route != nullptr) route->sealed_filter.push_back(segment);
-  }
+  // pseudo-random candidates from the replica set, lower load wins.
+  // Against always-least-loaded this avoids herding every segment of a
+  // plan onto the momentarily-idlest node. A segment with NO live replica
+  // is not dropped: it is reported on the plan so the proxy degrades
+  // coverage (or fails a strict search) instead of losing rows silently.
+  placement_->ForEachServing(
+      collection,
+      [&](SegmentId segment, const std::vector<ReplicaState>& replicas) {
+        std::vector<NodeId> live;
+        live.reserve(replicas.size());
+        for (const ReplicaState& replica : replicas) {
+          if (NodeById(replica.node) != nullptr) live.push_back(replica.node);
+        }
+        if (live.empty()) {
+          ++plan.unroutable;
+          return;
+        }
+        NodeId chosen = live[0];
+        if (live.size() > 1) {
+          const uint64_t draw = MixRouteSeed(
+              route_seq_.fetch_add(1, std::memory_order_relaxed) ^
+              (static_cast<uint64_t>(segment) << 32));
+          const size_t a = static_cast<size_t>(draw % live.size());
+          const size_t b = static_cast<size_t>(
+              (a + 1 + (draw >> 32) % (live.size() - 1)) % live.size());
+          chosen = RouteLoadScore(NodeById(live[a])) <=
+                           RouteLoadScore(NodeById(live[b]))
+                       ? live[a]
+                       : live[b];
+        }
+        NodeRoute* route = route_for(chosen);
+        if (route != nullptr) route->sealed_filter.push_back(segment);
+      });
 
+  if (plan.unroutable > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("placement.unroutable_segments")
+        ->Add(plan.unroutable);
+  }
   for (NodeRoute& route : routes) {
     std::sort(route.sealed_filter.begin(), route.sealed_filter.end());
     route.weight = static_cast<int64_t>(route.sealed_filter.size()) +
                    route.node->NumGrowingOnlySegments(collection);
   }
-  return routes;
+  return plan;
 }
 
 void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
@@ -418,20 +492,22 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
   if (it == serving_.end()) return;
   CollectionServing& serving = it->second;
 
-  // Pick the replica set: existing owners reload in place (new index
-  // version); then the shard's channel owner; missing replicas go to the
-  // least-loaded remaining nodes.
+  // Pick the replica set: existing replicas reload in place (new index
+  // version — one node at a time, so the group is rolling by
+  // construction); then the shard's channel owner; missing replicas go to
+  // the least-loaded remaining non-draining nodes.
   std::vector<std::shared_ptr<QueryNode>> targets;
-  auto owner = serving.segment_owner.find(meta.id);
-  if (owner != serving.segment_owner.end()) {
-    for (NodeId id : owner->second) {
-      auto node = NodeById(id);
-      if (node != nullptr) targets.push_back(node);
-    }
+  for (NodeId id : placement_->ServingNodes(meta.collection, meta.id)) {
+    auto node = NodeById(id);
+    if (node != nullptr) targets.push_back(node);
+  }
+  size_t pool = 0;
+  for (const auto& node : nodes_) {
+    if (draining_.count(node->id()) == 0) ++pool;
   }
   const size_t want = std::max<size_t>(
       1, std::min<size_t>(static_cast<size_t>(ctx_.config.replica_factor),
-                          nodes_.size()));
+                          std::max<size_t>(pool, 1)));
   // The channel owner hosts the growing twin and sits in every proxy
   // fan-out set for this collection, so loading the sealed segment there
   // makes the growing->sealed handoff atomic for in-flight searches: a
@@ -449,7 +525,10 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
       targets.push_back(primary);
     }
   }
-  std::vector<std::shared_ptr<QueryNode>> candidates = nodes_;
+  std::vector<std::shared_ptr<QueryNode>> candidates;
+  for (const auto& node : nodes_) {
+    if (draining_.count(node->id()) == 0) candidates.push_back(node);
+  }
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) {
               return a->MemoryBytes() < b->MemoryBytes();
@@ -471,8 +550,15 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
     }
     loaded.push_back(target->id());
   }
+  // Nothing loaded => do not register the segment at all: the growing twin
+  // keeps serving its rows, and registering an empty group would both
+  // double-count (growing + "sealed") and report false unroutability.
   if (loaded.empty()) return;
-  serving.segment_owner[meta.id] = std::move(loaded);
+  placement_->SetDesired(meta, serving.schema, ctx_.config.replica_factor);
+  const int32_t version = PlacementTargetVersion(meta);
+  for (NodeId id : loaded) {
+    placement_->RecordServing(meta.collection, meta.id, id, version);
+  }
   // Every node drops the growing twin (the loader already did).
   for (const auto& node : nodes_) {
     node->DropGrowing(meta.collection, meta.id);
@@ -487,65 +573,22 @@ void QueryCoordinator::OnSegmentReady(const SegmentMeta& meta) {
 
 void QueryCoordinator::ReleaseSegmentsLocked(
     CollectionId collection, const std::vector<SegmentId>& segments) {
-  auto it = serving_.find(collection);
-  if (it == serving_.end()) return;
   for (SegmentId segment : segments) {
-    auto owner = it->second.segment_owner.find(segment);
-    if (owner == it->second.segment_owner.end()) continue;
-    for (NodeId id : owner->second) {
+    for (NodeId id : placement_->ServingNodes(collection, segment)) {
       auto node = NodeById(id);
       if (node != nullptr) node->ReleaseSegment(collection, segment);
     }
-    it->second.segment_owner.erase(owner);
+    placement_->Remove(collection, segment);
   }
 }
 
 Status QueryCoordinator::Rebalance() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (nodes_.size() < 2) return Status::OK();
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    // Count segment replicas per node across collections.
-    std::map<NodeId, int64_t> load;
-    for (const auto& node : nodes_) load[node->id()] = 0;
-    for (const auto& [_, serving] : serving_) {
-      for (const auto& [__, owners] : serving.segment_owner) {
-        for (NodeId id : owners) ++load[id];
-      }
-    }
-    auto [min_it, max_it] = std::minmax_element(
-        load.begin(), load.end(),
-        [](const auto& a, const auto& b) { return a.second < b.second; });
-    if (max_it->second - min_it->second <= 1) break;
-
-    // Move one replica from the max node to the min node (only if the min
-    // node does not already hold one).
-    for (auto& [collection, serving] : serving_) {
-      for (auto& [segment, owners] : serving.segment_owner) {
-        auto source_it =
-            std::find(owners.begin(), owners.end(), max_it->first);
-        if (source_it == owners.end()) continue;
-        if (std::find(owners.begin(), owners.end(), min_it->first) !=
-            owners.end()) {
-          continue;
-        }
-        auto meta = data_coord_->GetSegment(collection, segment);
-        if (!meta.ok()) continue;
-        auto target = NodeById(min_it->first);
-        auto source = NodeById(max_it->first);
-        if (target == nullptr || source == nullptr) continue;
-        MANU_RETURN_NOT_OK(
-            target->LoadSealedSegment(meta.value(), serving.schema));
-        source->ReleaseSegment(collection, segment);
-        *source_it = target->id();
-        moved = true;
-        break;
-      }
-      if (moved) break;
-    }
-  }
-  return Status::OK();
+  // Top up replica groups against the current fleet first (a fresh node is
+  // useless to a group that is merely under-replicated unless someone adds
+  // the replica), then equalize per-node replica counts. Both run through
+  // the reconciler so every move is epoch-fenced and survivor-first.
+  placement_->ReconcileOnce();
+  return placement_->RebalanceNow();
 }
 
 }  // namespace manu

@@ -5,12 +5,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/collection_meta.h"
 #include "core/context.h"
 #include "core/data_coord.h"
+#include "core/placement.h"
 #include "core/query_node.h"
 #include "core/root_coord.h"
 
@@ -23,11 +25,17 @@ namespace manu {
 /// load the segment's index + binlog and every node to drop the growing
 /// twin. Segment redistribution is not atomic — a segment may briefly live
 /// on two nodes — which is safe because proxies dedup results by pk.
-class QueryCoordinator {
+///
+/// Sealed-segment placement is split out: WHO should serve a segment (the
+/// desired-state table, plus the repairs that converge actual onto desired)
+/// lives in PlacementManager; this class keeps the serving machinery —
+/// channels, node lifecycle, routing — and implements PlacementHost so
+/// reconciler decisions act through the coordinator's node set and lock.
+class QueryCoordinator : public PlacementHost {
  public:
   QueryCoordinator(const CoreContext& ctx, DataCoordinator* data_coord,
                    RootCoordinator* root_coord);
-  ~QueryCoordinator();
+  ~QueryCoordinator() override;
 
   void Start();
   void Stop();
@@ -38,8 +46,12 @@ class QueryCoordinator {
   /// segments on the next Rebalance().
   void AddQueryNode(std::shared_ptr<QueryNode> node);
 
-  /// Graceful scale-down: moves the node's sealed segments and channels to
-  /// the remaining nodes, then removes it.
+  /// Graceful scale-down (drain): marks the node draining (no new replicas
+  /// land on it, but searches keep routing to it), moves its primary
+  /// channels, loads every sole-copy segment onto survivors FIRST, and only
+  /// then releases + removes the node — zero coverage dip throughout. A
+  /// drain interrupted by a topology change leaves the node serving and
+  /// returns Unavailable (retryable).
   Status RemoveQueryNode(NodeId id);
 
   /// Simulated crash: drops the node without cooperation and restores its
@@ -85,6 +97,15 @@ class QueryCoordinator {
     std::vector<SegmentId> sealed_filter;
   };
 
+  /// A routing snapshot: the fan-out targets plus the sealed segments that
+  /// currently have NO live replica. Unroutable segments are not silently
+  /// dropped — they count against coverage (allow_partial) or fail the
+  /// query (strict), and the reconciler treats them as repair triggers.
+  struct Plan {
+    std::vector<NodeRoute> routes;
+    int64_t unroutable = 0;
+  };
+
   /// Load-aware routing plan: every shard channel owner is included (they
   /// alone hold growing segments), and each sealed segment is assigned to
   /// exactly ONE owner picked by power-of-two-choices over the replica set
@@ -94,11 +115,25 @@ class QueryCoordinator {
   /// dispatch-everyone-scan-everything with one scan per segment spread by
   /// load, which is what makes hot replicas add throughput instead of just
   /// redundancy.
-  std::vector<NodeRoute> PlanFor(CollectionId collection) const;
+  Plan PlanFor(CollectionId collection) const;
 
-  /// Moves sealed segments from overloaded to underloaded nodes until
-  /// segment counts differ by at most one.
+  /// Converges placement onto the current fleet: tops up under-replicated
+  /// groups (scale-up spread), then moves replicas from the most- to the
+  /// least-loaded node until per-node counts differ by at most one.
   Status Rebalance();
+
+  PlacementManager* placement() const { return placement_.get(); }
+
+  // --- PlacementHost (reconciler decisions act through the coordinator) ---
+
+  std::vector<std::pair<NodeId, uint64_t>> RepairCandidates() override;
+  Status LoadReplica(NodeId target, const SegmentMeta& meta,
+                     std::shared_ptr<const CollectionSchema> schema) override;
+  void ReleaseReplica(NodeId target, CollectionId collection,
+                      SegmentId segment) override;
+  int64_t TopologyEpoch() const override {
+    return topo_epoch_.load(std::memory_order_acquire);
+  }
 
  private:
   struct CollectionServing {
@@ -107,23 +142,22 @@ class QueryCoordinator {
     int32_t num_shards = 0;
     /// shard -> node id currently pumping that channel.
     std::map<ShardId, NodeId> channel_owner;
-    /// sealed segment -> hot-replica set (size = min(replica_factor,
-    /// nodes)). Proxies dedup results by pk, so replicas are free to
-    /// overlap in what they return.
-    std::map<SegmentId, std::vector<NodeId>> segment_owner;
     /// Compaction: merged segment -> segments to release once it serves.
     std::map<SegmentId, std::vector<SegmentId>> pending_drops;
   };
 
   void Run();
   /// Shared crash-recovery body (mu_ held): stops/evicts the victim,
-  /// promotes its channels and reloads orphaned segments on survivors.
+  /// promotes its channels, and synchronously reloads segments whose
+  /// replica group hit ZERO live copies (coverage); groups merely below
+  /// desired are the reconciler's to top up (redundancy).
   Status RecoverDeadNodeLocked(NodeId id);
   void OnSegmentReady(const SegmentMeta& meta);
   /// Releases `segments` from their owners (mu_ held by caller).
   void ReleaseSegmentsLocked(CollectionId collection,
                              const std::vector<SegmentId>& segments);
   std::shared_ptr<QueryNode> NodeById(NodeId id) const;
+  /// Least-loaded non-draining node (mu_ held).
   std::shared_ptr<QueryNode> LeastLoadedLocked() const;
   /// Routing load score (lower = less loaded): heartbeat load when fresh,
   /// else the node's direct snapshot.
@@ -136,6 +170,17 @@ class QueryCoordinator {
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<QueryNode>> nodes_;
   std::map<CollectionId, CollectionServing> serving_;
+  /// Nodes mid-drain: still serving (searches route to them) but excluded
+  /// from repair targets and new placements.
+  std::set<NodeId> draining_;
+
+  /// Desired-state table + reconciler. Lock order: mu_ -> placement table
+  /// mutex; placement host callbacks take mu_ but are never invoked under
+  /// the table mutex.
+  std::unique_ptr<PlacementManager> placement_;
+  /// Bumped by every failover, drain start/finish and node add — the fence
+  /// repairs are planned/committed against (see PlacementHost).
+  std::atomic<int64_t> topo_epoch_{0};
 
   std::atomic<bool> stop_{false};
   std::thread thread_;

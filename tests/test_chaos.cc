@@ -1087,5 +1087,158 @@ TEST(Chaos, OverloadStormShedsBeforeRejectAndDrains) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Replica groups: self-healing placement under an abrupt kill + live load
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ReplicaGroupSelfHealsAfterAbruptKillUnderLoad) {
+  // replica_factor=2 on a 3-node fleet: every sealed segment has two
+  // serving copies, so an abrupt single-node kill never loses coverage.
+  // The reconciler must then restore redundancy on the survivors while a
+  // mixed insert/search workload keeps running — searches never fail (at
+  // most reduced coverage inside the detection window) and no acked write
+  // is lost.
+  ManuConfig config = LivenessConfig();
+  config.num_query_nodes = 3;
+  config.replica_factor = 2;
+  config.segment_seal_rows = 400;
+  config.placement_reconcile_interval_ms = 100;
+  config.search_retry_attempts = 3;
+  ManuInstance db(config);
+  auto meta = db.CreateCollection(VecSchema("heal", 8));
+  ASSERT_TRUE(meta.ok());
+  IndexParams params;
+  params.type = IndexType::kIvfFlat;
+  params.nlist = 4;
+  ASSERT_TRUE(db.CreateIndex("heal", "v", params).ok());
+
+  SyntheticOptions opts;
+  opts.num_rows = 2000;
+  opts.dim = 8;
+  VectorDataset data = MakeClusteredDataset(opts);
+
+  // Seed sealed, replicated segments before the fault.
+  std::mutex ack_mu;
+  std::set<int64_t> acked;
+  int64_t attempted = 1200;
+  ASSERT_TRUE(db.Insert("heal", VecBatch(meta.value(), data, 0, 1200)).ok());
+  for (int64_t pk = 0; pk < 1200; ++pk) acked.insert(pk);
+  ASSERT_TRUE(db.FlushAndWait("heal").ok());
+
+  auto* placement = db.query_coord()->placement();
+  ASSERT_EQ(placement->UnderReplicatedCount(), 0);
+  auto groups = placement->CollectionSnapshot(meta.value().id);
+  ASSERT_FALSE(groups.empty());
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.serving.size(), 2u) << "segment " << g.meta.id;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> searches{0};
+  std::atomic<int64_t> failed_searches{0};
+  std::mutex err_mu;
+  std::string first_error;
+
+  std::thread searcher([&] {
+    std::mt19937 rng(7);
+    while (!stop.load()) {
+      SearchRequest req;
+      req.collection = "heal";
+      const int64_t row = static_cast<int64_t>(rng() % 1200);
+      req.query.assign(data.Row(row), data.Row(row) + 8);
+      req.k = 10;
+      req.consistency = ConsistencyLevel::kEventually;
+      req.allow_partial = true;
+      auto res = db.Search(req);
+      ++searches;
+      if (!res.ok()) {
+        ++failed_searches;
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.empty()) first_error = res.status().ToString();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  std::thread writer([&] {
+    while (!stop.load()) {
+      int64_t begin;
+      {
+        std::lock_guard<std::mutex> lock(ack_mu);
+        if (attempted + 40 > opts.num_rows) break;
+        begin = attempted;
+        attempted += 40;
+      }
+      auto ts = db.Insert("heal", VecBatch(meta.value(), data, begin,
+                                           begin + 40));
+      if (ts.ok()) {
+        std::lock_guard<std::mutex> lock(ack_mu);
+        for (int64_t pk = begin; pk < begin + 40; ++pk) acked.insert(pk);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // Let the workload settle on the healthy fleet, then kill a replica
+  // holder abruptly: no coordinator is told, the watchdog must notice.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(db.NumQueryNodes(), 3u);
+  const NodeId victim = groups[0].serving[0].node;
+  ASSERT_TRUE(db.CrashQueryNode(victim).ok());
+
+  const int64_t deadline = NowMs() + 15000;
+  while (db.NumQueryNodes() > 2 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(db.NumQueryNodes(), 2u) << "watchdog never failed the node over";
+
+  // Redundancy must come back on the survivors within a bounded number of
+  // reconcile passes.
+  while (placement->UnderReplicatedCount() > 0 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(placement->UnderReplicatedCount(), 0)
+      << "reconciler never restored redundancy";
+  EXPECT_EQ(MetricsRegistry::Global().GaugeValue("placement.under_replicated"),
+            0);
+  EXPECT_GT(MetricsRegistry::Global().CounterValue(
+                "placement.repair_ops", {{"trigger", "redundancy"}}),
+            0);
+
+  stop.store(true);
+  searcher.join();
+  writer.join();
+
+  EXPECT_GT(searches.load(), 0);
+  EXPECT_EQ(failed_searches.load(), 0) << first_error;
+
+  // Every repaired group is back at factor 2, and none of the copies sits
+  // on the dead node.
+  for (const auto& g : placement->CollectionSnapshot(meta.value().id)) {
+    EXPECT_EQ(g.serving.size(), 2u) << "segment " << g.meta.id;
+    for (const auto& r : g.serving) EXPECT_NE(r.node, victim);
+  }
+
+  // No acked write lost: a strong sweep over everything that may exist
+  // must return every acked pk exactly once at full coverage.
+  SearchRequest req;
+  req.collection = "heal";
+  req.query.assign(data.Row(0), data.Row(0) + 8);
+  {
+    std::lock_guard<std::mutex> lock(ack_mu);
+    req.k = static_cast<size_t>(attempted);
+  }
+  req.consistency = ConsistencyLevel::kStrong;
+  auto res = db.Search(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().coverage, 1.0);
+  std::set<int64_t> found(res.value().ids.begin(), res.value().ids.end());
+  EXPECT_EQ(found.size(), res.value().ids.size()) << "duplicate pks";
+  std::lock_guard<std::mutex> lock(ack_mu);
+  for (int64_t pk : acked) {
+    EXPECT_EQ(found.count(pk), 1u) << "acked pk " << pk << " lost";
+  }
+}
+
 }  // namespace
 }  // namespace manu

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/metrics.h"
 #include "common/synthetic.h"
 #include "core/manu.h"
@@ -343,6 +346,16 @@ TEST(LogRetention, TruncationBoundsReplayButKeepsServing) {
   opts.num_rows = 1200;
   opts.dim = 8;
   VectorDataset data = MakeClusteredDataset(opts);
+  // Let at least one time tick land in each shard channel first: the test
+  // below asserts the truncation dropped something, and ticks below the
+  // archived floor are the entries guaranteed to go (the insert entry
+  // itself carries the batch's max LSN, which can sit above the floor).
+  for (ShardId shard = 0; shard < 2; ++shard) {
+    const std::string channel = ShardChannelName(meta.value().id, shard);
+    while (db.mq()->EndOffset(channel) < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
   ASSERT_TRUE(db.Insert("ret", VecBatch(meta.value(), data, 0, 1200)).ok());
   ASSERT_TRUE(db.FlushAndWait("ret").ok());
 

@@ -25,6 +25,7 @@
 #include "common/retry.h"
 #include "common/synthetic.h"
 #include "core/admission.h"
+#include "core/autoscaler.h"
 #include "core/manu.h"
 
 namespace manu {
@@ -504,10 +505,11 @@ TEST(Overload, PlanForAssignsEachSealedSegmentToOneReplica) {
   ASSERT_TRUE(db.FlushAndWait("overload_p2c").ok());
 
   auto plan = db.query_coord()->PlanFor(meta.value().id);
-  ASSERT_FALSE(plan.empty());
+  ASSERT_FALSE(plan.routes.empty());
+  EXPECT_EQ(plan.unroutable, 0);
   std::set<SegmentId> assigned;
   size_t total_assigned = 0;
-  for (const auto& route : plan) {
+  for (const auto& route : plan.routes) {
     ASSERT_NE(route.node, nullptr);
     EXPECT_TRUE(std::is_sorted(route.sealed_filter.begin(),
                                route.sealed_filter.end()));
@@ -541,6 +543,42 @@ TEST(Overload, PlanForAssignsEachSealedSegmentToOneReplica) {
     EXPECT_EQ(res.value().ids[0], 17);
     EXPECT_DOUBLE_EQ(res.value().coverage, 1.0);
   }
+}
+
+// --- Autoscaler vs. brownout ---------------------------------------------
+
+TEST(Overload, AutoscalerScaleDownSuppressedDuringBrownout) {
+  ManuConfig config = BaseConfig();
+  config.num_query_nodes = 2;
+  ManuInstance db(config);
+
+  AutoScalerPolicy policy;
+  policy.min_nodes = 1;
+  AutoScaler scaler(&db, policy);
+  int32_t stage = 1;
+  scaler.SetBrownoutProbe([&stage] { return stage; });
+
+  // Shedding makes measured latency look idle (rejected requests are
+  // cheap), so low latency during brownout must NOT remove capacity.
+  const int64_t suppressed_before = MetricsRegistry::Global().CounterValue(
+      "autoscaler.scale_down_suppressed");
+  EXPECT_EQ(scaler.Evaluate(10.0), 2);
+  EXPECT_EQ(db.query_coord()->NumQueryNodes(), 2u);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue(
+                "autoscaler.scale_down_suppressed"),
+            suppressed_before + 1);
+
+  // Suppression also resets the below-threshold streak: once the ladder
+  // releases, the streak starts over instead of firing instantly off stale
+  // pre-brownout windows.
+  stage = 0;
+  EXPECT_EQ(scaler.Evaluate(10.0), 1);
+  EXPECT_EQ(db.query_coord()->NumQueryNodes(), 1u);
+
+  // Scale-UP is never suppressed: overload wants more capacity, not less.
+  stage = 2;
+  EXPECT_EQ(scaler.Evaluate(500.0), 2);
+  EXPECT_EQ(db.query_coord()->NumQueryNodes(), 2u);
 }
 
 }  // namespace
